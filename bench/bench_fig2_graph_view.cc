@@ -1,0 +1,71 @@
+// E2 (Figure 2): SQL/PGQ graph views — cost of materializing a property
+// graph from its tabular representation, as table sizes grow.
+
+#include <benchmark/benchmark.h>
+
+#include "pgq/graph_view.h"
+
+namespace gpml {
+namespace {
+
+/// Builds scaled Account/Transfer tables (the Figure 2 schema at size n).
+void InstallScaledTables(Catalog& catalog, int n) {
+  Table accounts{Schema({{"ID", ValueType::kString, false},
+                         {"owner", ValueType::kString, true},
+                         {"isBlocked", ValueType::kString, true}})};
+  for (int i = 0; i < n; ++i) {
+    accounts.AppendUnchecked({Value::String("a" + std::to_string(i)),
+                              Value::String("u" + std::to_string(i)),
+                              Value::String(i % 10 == 0 ? "yes" : "no")});
+  }
+  (void)catalog.AddTable("Account", std::move(accounts));
+
+  Table transfers{Schema({{"ID", ValueType::kString, false},
+                          {"A_ID1", ValueType::kString, false},
+                          {"A_ID2", ValueType::kString, false},
+                          {"amount", ValueType::kInt, true}})};
+  for (int i = 0; i < 4 * n; ++i) {
+    transfers.AppendUnchecked(
+        {Value::String("t" + std::to_string(i)),
+         Value::String("a" + std::to_string((i * 37) % n)),
+         Value::String("a" + std::to_string((i * 61 + 13) % n)),
+         Value::Int((i % 12 + 1) * 1'000'000)});
+  }
+  (void)catalog.AddTable("Transfer", std::move(transfers));
+}
+
+GraphViewDef ScaledDef() {
+  GraphViewDef def;
+  def.name = "g";
+  def.nodes = {{"Account", "ID", {"Account"}, {}}};
+  def.edges = {{"Transfer", "ID", "A_ID1", "A_ID2", true, {"Transfer"}, {}}};
+  return def;
+}
+
+void BM_MaterializeScaledView(benchmark::State& state) {
+  Catalog catalog;
+  InstallScaledTables(catalog, static_cast<int>(state.range(0)));
+  GraphViewDef def = ScaledDef();
+  for (auto _ : state) {
+    Result<PropertyGraph> g = MaterializeGraphView(catalog, def);
+    if (!g.ok()) std::abort();
+    benchmark::DoNotOptimize(g->num_edges());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 5);
+}
+BENCHMARK(BM_MaterializeScaledView)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_MaterializePaperTables(benchmark::State& state) {
+  Catalog catalog;
+  Result<GraphViewDef> def = InstallPaperTables(catalog);
+  if (!def.ok()) std::abort();
+  for (auto _ : state) {
+    Result<PropertyGraph> g = MaterializeGraphView(catalog, *def);
+    if (!g.ok()) std::abort();
+    benchmark::DoNotOptimize(g->num_nodes());
+  }
+}
+BENCHMARK(BM_MaterializePaperTables);
+
+}  // namespace
+}  // namespace gpml

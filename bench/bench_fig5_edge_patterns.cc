@@ -1,0 +1,61 @@
+// E6 (Figure 5): all seven edge-pattern orientations on a mixed graph —
+// the relative cost of each orientation class (directed-only traversals
+// visit fewer adjacency entries than `-`).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace gpml {
+namespace {
+
+using bench::RunOrDie;
+
+PropertyGraph& MixedGraph() {
+  static PropertyGraph* g = new PropertyGraph(
+      MakeRandomGraph(2000, 8000, 4, 0.3, 99));
+  return *g;
+}
+
+void RunOrientation(benchmark::State& state, const char* pattern) {
+  PropertyGraph& g = MixedGraph();
+  std::string query = std::string("MATCH (x)") + pattern + "(y)";
+  size_t rows = 0;
+  for (auto _ : state) {
+    rows = RunOrDie(g, query);
+    benchmark::DoNotOptimize(rows);
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+}
+
+void BM_Fig5_PointingRight(benchmark::State& s) { RunOrientation(s, "-[e]->"); }
+void BM_Fig5_PointingLeft(benchmark::State& s) { RunOrientation(s, "<-[e]-"); }
+void BM_Fig5_Undirected(benchmark::State& s) { RunOrientation(s, "~[e]~"); }
+void BM_Fig5_LeftOrUndirected(benchmark::State& s) {
+  RunOrientation(s, "<~[e]~");
+}
+void BM_Fig5_UndirectedOrRight(benchmark::State& s) {
+  RunOrientation(s, "~[e]~>");
+}
+void BM_Fig5_LeftOrRight(benchmark::State& s) { RunOrientation(s, "<-[e]->"); }
+void BM_Fig5_Any(benchmark::State& s) { RunOrientation(s, "-[e]-"); }
+
+BENCHMARK(BM_Fig5_PointingRight)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Fig5_PointingLeft)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Fig5_Undirected)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Fig5_LeftOrUndirected)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Fig5_UndirectedOrRight)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Fig5_LeftOrRight)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Fig5_Any)->Unit(benchmark::kMillisecond);
+
+void BM_Fig5_LabelFiltered(benchmark::State& state) {
+  // Label expressions prune during the edge step.
+  PropertyGraph& g = MixedGraph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunOrDie(g, "MATCH (x)-[e:L0|L1]->(y)"));
+  }
+}
+BENCHMARK(BM_Fig5_LabelFiltered)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace gpml

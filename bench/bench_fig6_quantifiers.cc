@@ -1,0 +1,90 @@
+// E9 (Figure 6): quantifier cost — fixed {k}, ranged {1,k}, and unbounded
+// (under TRAIL) repetition as k grows, on cyclic and acyclic topologies.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace gpml {
+namespace {
+
+using bench::RunOrDie;
+
+void BM_Fig6_FixedRepetitionOnChain(benchmark::State& state) {
+  static PropertyGraph* g = new PropertyGraph(MakeChainGraph(3000));
+  std::string query = "MATCH (a)-[:Transfer]->{" +
+                      std::to_string(state.range(0)) + "}(b)";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunOrDie(*g, query));
+  }
+}
+BENCHMARK(BM_Fig6_FixedRepetitionOnChain)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Fig6_RangeOnChain(benchmark::State& state) {
+  static PropertyGraph* g = new PropertyGraph(MakeChainGraph(3000));
+  std::string query = "MATCH (a)-[:Transfer]->{1," +
+                      std::to_string(state.range(0)) + "}(b)";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunOrDie(*g, query));
+  }
+}
+BENCHMARK(BM_Fig6_RangeOnChain)->Arg(2)->Arg(4)->Arg(8)->Unit(
+    benchmark::kMillisecond);
+
+void BM_Fig6_RangeOnCycle(benchmark::State& state) {
+  // Cycles make walk counts grow with the bound.
+  static PropertyGraph* g = new PropertyGraph(MakeCycleGraph(64));
+  std::string query = "MATCH (a WHERE a.owner='u0')-[:Transfer]->{1," +
+                      std::to_string(state.range(0)) + "}(b)";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunOrDie(*g, query));
+  }
+}
+BENCHMARK(BM_Fig6_RangeOnCycle)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_Fig6_UnboundedStarUnderTrail(benchmark::State& state) {
+  static PropertyGraph* g = new PropertyGraph(MakeCycleGraph(
+      static_cast<int>(64)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        RunOrDie(*g,
+                 "MATCH TRAIL (a WHERE a.owner='u0')-[:Transfer]->*(b)"));
+  }
+}
+BENCHMARK(BM_Fig6_UnboundedStarUnderTrail);
+
+void BM_Fig6_GroupAggregatePostfilter(benchmark::State& state) {
+  // §4.4's SUM(t.amount) postfilter over group bindings.
+  static PropertyGraph* g = new PropertyGraph([] {
+    FraudGraphOptions options;
+    options.num_accounts = 500;
+    return MakeFraudGraph(options);
+  }());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunOrDie(
+        *g,
+        "MATCH (a:Account) [()-[t:Transfer WHERE t.amount>1M]->()]{2,3} "
+        "(b:Account) WHERE SUM(t.amount)>10M"));
+  }
+}
+BENCHMARK(BM_Fig6_GroupAggregatePostfilter)->Unit(benchmark::kMillisecond);
+
+void BM_Fig6_PerIterationPrefilter(benchmark::State& state) {
+  // Prefilters prune during the walk: cheaper than post-hoc filtering.
+  static PropertyGraph* g = new PropertyGraph([] {
+    FraudGraphOptions options;
+    options.num_accounts = 500;
+    return MakeFraudGraph(options);
+  }());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunOrDie(
+        *g,
+        "MATCH (a:Account) [()-[t:Transfer WHERE t.amount>9M]->()]{2,3} "
+        "(b:Account)"));
+  }
+}
+BENCHMARK(BM_Fig6_PerIterationPrefilter)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace gpml

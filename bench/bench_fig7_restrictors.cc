@@ -1,0 +1,81 @@
+// E13 (Figure 7): restrictor enumeration cost. TRAIL enumerates up to |E|!
+// walks on dense graphs (the §8 complexity wall); ACYCLIC/SIMPLE are
+// bounded by node permutations. The shape to observe: explosive growth in
+// clique size, near-linear behaviour on sparse cyclic graphs.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace gpml {
+namespace {
+
+using bench::RunOrDie;
+
+void BM_Fig7_TrailOnClique(benchmark::State& state) {
+  // K5 already has over a million u0->u1 trails (the worst-case wall of
+  // §8's complexity discussion, [38]); the sweep stops at K4.
+  PropertyGraph g = MakeCompleteGraph(static_cast<int>(state.range(0)));
+  size_t rows = 0;
+  for (auto _ : state) {
+    rows = RunOrDie(
+        g, "MATCH TRAIL (a WHERE a.owner='u0')-[:Transfer]->*"
+           "(b WHERE b.owner='u1')");
+    benchmark::DoNotOptimize(rows);
+  }
+  state.counters["trails"] = static_cast<double>(rows);
+}
+BENCHMARK(BM_Fig7_TrailOnClique)->Arg(3)->Arg(4)->Unit(
+    benchmark::kMillisecond);
+
+void BM_Fig7_AcyclicOnClique(benchmark::State& state) {
+  PropertyGraph g = MakeCompleteGraph(static_cast<int>(state.range(0)));
+  size_t rows = 0;
+  for (auto _ : state) {
+    rows = RunOrDie(
+        g, "MATCH ACYCLIC (a WHERE a.owner='u0')-[:Transfer]->*"
+           "(b WHERE b.owner='u1')");
+    benchmark::DoNotOptimize(rows);
+  }
+  state.counters["paths"] = static_cast<double>(rows);
+}
+BENCHMARK(BM_Fig7_AcyclicOnClique)->Arg(4)->Arg(5)->Arg(6)->Arg(7)->Unit(
+    benchmark::kMillisecond);
+
+void BM_Fig7_SimpleOnClique(benchmark::State& state) {
+  PropertyGraph g = MakeCompleteGraph(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunOrDie(
+        g, "MATCH SIMPLE (a WHERE a.owner='u0')-[:Transfer]->*(a)"));
+  }
+}
+BENCHMARK(BM_Fig7_SimpleOnClique)->Arg(4)->Arg(5)->Arg(6)->Unit(
+    benchmark::kMillisecond);
+
+void BM_Fig7_TrailOnSparseCycle(benchmark::State& state) {
+  PropertyGraph g = MakeCycleGraph(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunOrDie(
+        g, "MATCH TRAIL (a WHERE a.owner='u0')-[:Transfer]->*(b)"));
+  }
+}
+BENCHMARK(BM_Fig7_TrailOnSparseCycle)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_Fig7_RestrictorsOnPaperQuery(benchmark::State& state) {
+  // The §5.1 Dave→Aretha query under each restrictor.
+  static PropertyGraph* g = new PropertyGraph(BuildPaperGraph());
+  const char* restrictor =
+      state.range(0) == 0 ? "TRAIL" : (state.range(0) == 1 ? "ACYCLIC"
+                                                           : "SIMPLE");
+  std::string query = std::string("MATCH ") + restrictor +
+                      " (a WHERE a.owner='Dave')-[t:Transfer]->*"
+                      "(b WHERE b.owner='Aretha')";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunOrDie(*g, query));
+  }
+  state.SetLabel(restrictor);
+}
+BENCHMARK(BM_Fig7_RestrictorsOnPaperQuery)->Arg(0)->Arg(1)->Arg(2);
+
+}  // namespace
+}  // namespace gpml

@@ -1,0 +1,89 @@
+// E14 (Figure 8): selector cost on many-shortest-paths topologies. The
+// shape: ANY SHORTEST is a plain product BFS (cheapest); ALL SHORTEST pays
+// for enumerating every shortest path (2^k on diamond chains); SHORTEST k
+// GROUP grows with the retained length groups.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace gpml {
+namespace {
+
+using bench::RunOrDie;
+
+void RunSelector(benchmark::State& state, const char* selector,
+                 int diamonds) {
+  PropertyGraph g = MakeDiamondChain(diamonds);
+  std::string query = std::string("MATCH ") + selector +
+                      " p = (a WHERE a.owner='s0')-[:Transfer]->*"
+                      "(b WHERE b.owner='s" + std::to_string(diamonds) +
+                      "')";
+  size_t rows = 0;
+  for (auto _ : state) {
+    rows = RunOrDie(g, query);
+    benchmark::DoNotOptimize(rows);
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+}
+
+void BM_Fig8_AnyShortest(benchmark::State& s) {
+  RunSelector(s, "ANY SHORTEST", static_cast<int>(s.range(0)));
+}
+void BM_Fig8_AllShortest(benchmark::State& s) {
+  RunSelector(s, "ALL SHORTEST", static_cast<int>(s.range(0)));
+}
+void BM_Fig8_Any(benchmark::State& s) {
+  RunSelector(s, "ANY", static_cast<int>(s.range(0)));
+}
+void BM_Fig8_Any5(benchmark::State& s) {
+  RunSelector(s, "ANY 5", static_cast<int>(s.range(0)));
+}
+void BM_Fig8_Shortest5(benchmark::State& s) {
+  RunSelector(s, "SHORTEST 5", static_cast<int>(s.range(0)));
+}
+void BM_Fig8_Shortest2Group(benchmark::State& s) {
+  RunSelector(s, "SHORTEST 2 GROUP", static_cast<int>(s.range(0)));
+}
+
+BENCHMARK(BM_Fig8_AnyShortest)->Arg(4)->Arg(8)->Arg(12);
+BENCHMARK(BM_Fig8_AllShortest)->Arg(4)->Arg(8)->Arg(12)->Unit(
+    benchmark::kMillisecond);
+BENCHMARK(BM_Fig8_Any)->Arg(4)->Arg(8)->Arg(12);
+BENCHMARK(BM_Fig8_Any5)->Arg(4)->Arg(8)->Arg(12);
+BENCHMARK(BM_Fig8_Shortest5)->Arg(4)->Arg(8)->Arg(12);
+BENCHMARK(BM_Fig8_Shortest2Group)->Arg(4)->Arg(8)->Unit(
+    benchmark::kMillisecond);
+
+void BM_Fig8_ShortestOnGrid(benchmark::State& state) {
+  // C(2n-2, n-1) shortest corner-to-corner paths on an n×n grid.
+  int n = static_cast<int>(state.range(0));
+  PropertyGraph g = MakeGridGraph(n, n);
+  std::string query =
+      "MATCH ALL SHORTEST p = (a WHERE a.owner='u0')-[:Transfer]->*"
+      "(b WHERE b.owner='u" + std::to_string(n * n - 1) + "')";
+  size_t rows = 0;
+  for (auto _ : state) {
+    rows = RunOrDie(g, query);
+    benchmark::DoNotOptimize(rows);
+  }
+  state.counters["paths"] = static_cast<double>(rows);
+}
+BENCHMARK(BM_Fig8_ShortestOnGrid)->Arg(3)->Arg(4)->Arg(5)->Unit(
+    benchmark::kMillisecond);
+
+void BM_Fig8_SelectorAfterRestrictor(benchmark::State& state) {
+  // §5.1: ALL SHORTEST TRAIL — full trail enumeration then selection.
+  static PropertyGraph* g = new PropertyGraph(BuildPaperGraph());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        RunOrDie(*g,
+                 "MATCH ALL SHORTEST TRAIL p = (a WHERE a.owner='Dave')"
+                 "-[t:Transfer]->*(b WHERE b.owner='Aretha')"
+                 "-[r:Transfer]->*(c WHERE c.owner='Mike')"));
+  }
+}
+BENCHMARK(BM_Fig8_SelectorAfterRestrictor);
+
+}  // namespace
+}  // namespace gpml

@@ -1,0 +1,86 @@
+// E20 (Figure 9): host overhead — the same GPML match consumed by the GQL
+// session (binding table) and by SQL/PGQ GRAPH_TABLE (relational table),
+// plus graph projection (§6.6). The GPML processor dominates; host
+// projection should be a thin layer.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "gql/graph_projection.h"
+#include "gql/session.h"
+#include "pgq/graph_table.h"
+#include "pgq/graph_view.h"
+
+namespace gpml {
+namespace {
+
+struct Env {
+  Catalog catalog;
+  Env() {
+    FraudGraphOptions options;
+    options.num_accounts = 500;
+    (void)catalog.AddGraph("bank", MakeFraudGraph(options));
+  }
+};
+
+Env& GetEnv() {
+  static Env* env = new Env();
+  return *env;
+}
+
+constexpr const char* kMatch =
+    "MATCH (x:Account WHERE x.isBlocked='no')-[t:Transfer WHERE "
+    "t.amount>5M]->(y:Account WHERE y.isBlocked='yes')";
+
+void BM_Fig9_EngineOnly(benchmark::State& state) {
+  auto graph = *GetEnv().catalog.GetGraph("bank");
+  Engine engine(*graph);
+  for (auto _ : state) {
+    Result<MatchOutput> out = engine.Match(kMatch);
+    if (!out.ok()) std::abort();
+    benchmark::DoNotOptimize(out->rows.size());
+  }
+}
+BENCHMARK(BM_Fig9_EngineOnly)->Unit(benchmark::kMillisecond);
+
+void BM_Fig9_GqlSession(benchmark::State& state) {
+  Session session(GetEnv().catalog);
+  if (!session.UseGraph("bank").ok()) std::abort();
+  std::string stmt = std::string(kMatch) +
+                     " RETURN x.owner AS A, y.owner AS B, t.amount AS amt";
+  for (auto _ : state) {
+    Result<Table> t = session.Execute(stmt);
+    if (!t.ok()) std::abort();
+    benchmark::DoNotOptimize(t->num_rows());
+  }
+}
+BENCHMARK(BM_Fig9_GqlSession)->Unit(benchmark::kMillisecond);
+
+void BM_Fig9_PgqGraphTable(benchmark::State& state) {
+  GraphTableQuery q;
+  q.graph = "bank";
+  q.match = kMatch;
+  q.columns = "x.owner AS A, y.owner AS B, t.amount AS amt";
+  for (auto _ : state) {
+    Result<Table> t = GraphTable(GetEnv().catalog, q);
+    if (!t.ok()) std::abort();
+    benchmark::DoNotOptimize(t->num_rows());
+  }
+}
+BENCHMARK(BM_Fig9_PgqGraphTable)->Unit(benchmark::kMillisecond);
+
+void BM_Fig9_GraphProjection(benchmark::State& state) {
+  auto graph = *GetEnv().catalog.GetGraph("bank");
+  Engine engine(*graph);
+  Result<MatchOutput> out = engine.Match(kMatch);
+  if (!out.ok()) std::abort();
+  for (auto _ : state) {
+    Result<PropertyGraph> sub = ProjectGraph(*graph, *out);
+    if (!sub.ok()) std::abort();
+    benchmark::DoNotOptimize(sub->num_edges());
+  }
+}
+BENCHMARK(BM_Fig9_GraphProjection)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace gpml

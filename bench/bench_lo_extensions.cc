@@ -1,0 +1,98 @@
+// §7.1 Language Opportunities (implemented as extensions): isomorphic
+// match modes, cheapest (weighted) regex paths, and JSON export — the
+// ablation costs of each against their baseline.
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/rpq_nfa.h"
+#include "bench_util.h"
+#include "gql/json_export.h"
+
+namespace gpml {
+namespace {
+
+using bench::RunOrDie;
+
+PropertyGraph& Bank() {
+  static PropertyGraph* g = new PropertyGraph([] {
+    FraudGraphOptions options;
+    options.num_accounts = 400;
+    return MakeFraudGraph(options);
+  }());
+  return *g;
+}
+
+void BM_Lo_MatchModeAblation(benchmark::State& state) {
+  // The same two-leg pattern under each match mode.
+  const char* modes[] = {"", "DIFFERENT EDGES ", "DIFFERENT NODES "};
+  std::string query = std::string("MATCH ") + modes[state.range(0)] +
+                      "(x)-[a:Transfer]->(y), (y)-[b:Transfer]->(z)";
+  size_t rows = 0;
+  for (auto _ : state) {
+    rows = RunOrDie(Bank(), query);
+    benchmark::DoNotOptimize(rows);
+  }
+  state.SetLabel(state.range(0) == 0 ? "REPEATABLE ELEMENTS"
+                                     : modes[state.range(0)]);
+  state.counters["rows"] = static_cast<double>(rows);
+}
+BENCHMARK(BM_Lo_MatchModeAblation)->Arg(0)->Arg(1)->Arg(2)->Unit(
+    benchmark::kMillisecond);
+
+void BM_Lo_CheapestVsShortest(benchmark::State& state) {
+  // Weighted Dijkstra vs unweighted BFS over the same product space.
+  static PropertyGraph* g = new PropertyGraph(MakeGridGraph(60, 60));
+  baseline::RpqNfa nfa = baseline::BuildNfa(
+      **baseline::ParseRegex("Transfer+"));
+  NodeId src = g->FindNode("g0_0");
+  NodeId dst = g->FindNode("g59_59");
+  bool weighted = state.range(0) == 1;
+  for (auto _ : state) {
+    Result<Path> p =
+        weighted
+            ? baseline::CheapestRegexPath(*g, nfa, src, dst, "amount")
+            : baseline::ShortestRegexPath(*g, nfa, src, dst);
+    if (!p.ok()) std::abort();
+    benchmark::DoNotOptimize(p->Length());
+  }
+  state.SetLabel(weighted ? "cheapest(Dijkstra)" : "shortest(BFS)");
+}
+BENCHMARK(BM_Lo_CheapestVsShortest)->Arg(0)->Arg(1)->Unit(
+    benchmark::kMillisecond);
+
+void BM_Lo_CheapestWithHopBound(benchmark::State& state) {
+  // The layered product grows with the hop bound.
+  static PropertyGraph* g = new PropertyGraph(MakeGridGraph(30, 30));
+  baseline::RpqNfa nfa = baseline::BuildNfa(
+      **baseline::ParseRegex("Transfer+"));
+  NodeId src = g->FindNode("g0_0");
+  NodeId dst = g->FindNode("g29_29");
+  size_t bound = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    Result<Path> p = baseline::CheapestRegexPathWithinHops(
+        *g, nfa, src, dst, "amount", bound);
+    if (!p.ok()) std::abort();
+    benchmark::DoNotOptimize(p->Length());
+  }
+}
+BENCHMARK(BM_Lo_CheapestWithHopBound)->Arg(58)->Arg(80)->Arg(120)->Unit(
+    benchmark::kMillisecond);
+
+void BM_Lo_JsonExport(benchmark::State& state) {
+  PropertyGraph& g = Bank();
+  Engine engine(g);
+  Result<MatchOutput> out = engine.Match(
+      "MATCH p = (x:Account WHERE x.isBlocked='yes')-[t:Transfer]->{2}(y)");
+  if (!out.ok()) std::abort();
+  size_t bytes = 0;
+  for (auto _ : state) {
+    std::string json = ExportJson(*out, g);
+    bytes = json.size();
+    benchmark::DoNotOptimize(json.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * bytes));
+}
+BENCHMARK(BM_Lo_JsonExport);
+
+}  // namespace
+}  // namespace gpml

@@ -1,0 +1,70 @@
+// E7 (§4.2): concatenation cost as the pattern lengthens — k-hop chains on
+// the scaled banking graph. Expected shape: work grows with the number of
+// partial matches, i.e. roughly with (average out-degree)^k.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace gpml {
+namespace {
+
+using bench::RunOrDie;
+
+PropertyGraph& Graph() {
+  static PropertyGraph* g = new PropertyGraph([] {
+    FraudGraphOptions options;
+    options.num_accounts = 300;
+    options.transfers_per_account = 3;
+    return MakeFraudGraph(options);
+  }());
+  return *g;
+}
+
+std::string HopQuery(int hops) {
+  std::string q = "MATCH (n0:Account)";
+  for (int i = 1; i <= hops; ++i) {
+    q += "-[:Transfer]->(n" + std::to_string(i) + ")";
+  }
+  return q;
+}
+
+void BM_Sec42_KHopChains(benchmark::State& state) {
+  PropertyGraph& g = Graph();
+  std::string query = HopQuery(static_cast<int>(state.range(0)));
+  size_t rows = 0;
+  for (auto _ : state) {
+    rows = RunOrDie(g, query);
+    benchmark::DoNotOptimize(rows);
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+}
+BENCHMARK(BM_Sec42_KHopChains)->Arg(1)->Arg(2)->Arg(3)->Arg(4)->Unit(
+    benchmark::kMillisecond);
+
+void BM_Sec42_MixedOrientationChain(benchmark::State& state) {
+  // The §4.2 phone/transfer two-hop: one undirected, one directed leg.
+  PropertyGraph& g = Graph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunOrDie(
+        g,
+        "MATCH (p:Phone)~[e:hasPhone]~(a1:Account)"
+        "-[t:Transfer WHERE t.amount>1M]->(a2)"));
+  }
+}
+BENCHMARK(BM_Sec42_MixedOrientationChain)->Unit(benchmark::kMillisecond);
+
+void BM_Sec42_SharedPhonePattern(benchmark::State& state) {
+  // The §4.2 closing example: p appears at both ends (implicit equi-join).
+  PropertyGraph& g = Graph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunOrDie(
+        g,
+        "MATCH (p:Phone)~[:hasPhone]~(s:Account)-[t:Transfer]->"
+        "(d:Account)~[:hasPhone]~(p)"));
+  }
+}
+BENCHMARK(BM_Sec42_SharedPhonePattern)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace gpml

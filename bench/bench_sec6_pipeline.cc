@@ -1,0 +1,108 @@
+// E18 (§6): the execution pipeline, stage by stage, on the running example
+// — parse, normalize+analyze, compile, match — plus the §6-literal
+// reference evaluator against the lazy production engine (the ablation for
+// DESIGN.md decision 1: expansion vs product-graph search).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "eval/nfa.h"
+#include "eval/reference_eval.h"
+#include "parser/parser.h"
+#include "semantics/normalize.h"
+#include "semantics/termination.h"
+
+namespace gpml {
+namespace {
+
+constexpr const char* kRunningQuery =
+    "MATCH TRAIL (a WHERE a.owner='Jay')"
+    "[-[b:Transfer WHERE b.amount>5M]->]+"
+    "(a) [-[:isLocatedIn]->(c:City) | -[:isLocatedIn]->(c:Country)]";
+
+void BM_Sec6_Parse(benchmark::State& state) {
+  for (auto _ : state) {
+    Result<GraphPattern> g = ParseGraphPattern(kRunningQuery);
+    if (!g.ok()) std::abort();
+    benchmark::DoNotOptimize(g->paths.size());
+  }
+}
+BENCHMARK(BM_Sec6_Parse);
+
+void BM_Sec6_NormalizeAnalyze(benchmark::State& state) {
+  GraphPattern parsed = *ParseGraphPattern(kRunningQuery);
+  for (auto _ : state) {
+    Result<GraphPattern> n = Normalize(parsed);
+    if (!n.ok()) std::abort();
+    Result<Analysis> a = Analyze(*n);
+    if (!a.ok()) std::abort();
+    benchmark::DoNotOptimize(a->variables().size());
+  }
+}
+BENCHMARK(BM_Sec6_NormalizeAnalyze);
+
+void BM_Sec6_Compile(benchmark::State& state) {
+  GraphPattern parsed = *ParseGraphPattern(kRunningQuery);
+  GraphPattern normalized = *Normalize(parsed);
+  Analysis analysis = *Analyze(normalized);
+  VarTable vars(analysis);
+  for (auto _ : state) {
+    Result<Program> p = CompilePattern(normalized.paths[0], vars);
+    if (!p.ok()) std::abort();
+    benchmark::DoNotOptimize(p->code.size());
+  }
+}
+BENCHMARK(BM_Sec6_Compile);
+
+void BM_Sec6_ProductionEngine(benchmark::State& state) {
+  static PropertyGraph* g = new PropertyGraph(BuildPaperGraph());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench::RunOrDie(*g, kRunningQuery));
+  }
+}
+BENCHMARK(BM_Sec6_ProductionEngine);
+
+void BM_Sec6_ReferenceEvaluator(benchmark::State& state) {
+  // The literal §6 pipeline: expansion cap = |E|+1 under TRAIL.
+  static PropertyGraph* g = new PropertyGraph(BuildPaperGraph());
+  GraphPattern parsed = *ParseGraphPattern(kRunningQuery);
+  GraphPattern normalized = *Normalize(parsed);
+  Analysis analysis = *Analyze(normalized);
+  VarTable vars(analysis);
+  for (auto _ : state) {
+    Result<MatchSet> m =
+        RunReference(*g, normalized.paths[0], vars, ReferenceOptions{});
+    if (!m.ok()) std::abort();
+    benchmark::DoNotOptimize(m->bindings.size());
+  }
+}
+BENCHMARK(BM_Sec6_ReferenceEvaluator)->Unit(benchmark::kMillisecond);
+
+void BM_Sec6_ReferenceExpansionOnly(benchmark::State& state) {
+  static PropertyGraph* g = new PropertyGraph(BuildPaperGraph());
+  GraphPattern parsed = *ParseGraphPattern(kRunningQuery);
+  GraphPattern normalized = *Normalize(parsed);
+  Analysis analysis = *Analyze(normalized);
+  VarTable vars(analysis);
+  for (auto _ : state) {
+    Result<std::vector<RigidPattern>> rigids =
+        ExpandPattern(normalized.paths[0], vars, *g, ReferenceOptions{});
+    if (!rigids.ok()) std::abort();
+    benchmark::DoNotOptimize(rigids->size());
+  }
+}
+BENCHMARK(BM_Sec6_ReferenceExpansionOnly);
+
+void BM_Sec6_FullPipelineEndToEnd(benchmark::State& state) {
+  static PropertyGraph* g = new PropertyGraph(BuildPaperGraph());
+  Engine engine(*g);
+  for (auto _ : state) {
+    Result<MatchOutput> out = engine.Match(kRunningQuery);
+    if (!out.ok()) std::abort();
+    benchmark::DoNotOptimize(out->rows.size());
+  }
+}
+BENCHMARK(BM_Sec6_FullPipelineEndToEnd);
+
+}  // namespace
+}  // namespace gpml

@@ -1,0 +1,33 @@
+#ifndef GPML_BENCH_BENCH_UTIL_H_
+#define GPML_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "eval/engine.h"
+#include "graph/generator.h"
+#include "graph/sample_graph.h"
+
+namespace gpml {
+namespace bench {
+
+/// Runs a match and returns the row count; aborts on error so benchmarks
+/// fail loudly instead of measuring garbage.
+inline size_t RunOrDie(const PropertyGraph& g, const std::string& query,
+                       EngineOptions options = {}) {
+  Engine engine(g, options);
+  Result<MatchOutput> out = engine.Match(query);
+  if (!out.ok()) {
+    std::fprintf(stderr, "benchmark query failed: %s\n  %s\n", query.c_str(),
+                 out.status().ToString().c_str());
+    std::abort();
+  }
+  return out->rows.size();
+}
+
+}  // namespace bench
+}  // namespace gpml
+
+#endif  // GPML_BENCH_BENCH_UTIL_H_

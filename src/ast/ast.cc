@@ -1,0 +1,122 @@
+#include "ast/ast.h"
+
+namespace gpml {
+
+const char* EdgeOrientationName(EdgeOrientation o) {
+  switch (o) {
+    case EdgeOrientation::kLeft: return "left";
+    case EdgeOrientation::kUndirected: return "undirected";
+    case EdgeOrientation::kRight: return "right";
+    case EdgeOrientation::kLeftOrUndirected: return "left-or-undirected";
+    case EdgeOrientation::kUndirectedOrRight: return "undirected-or-right";
+    case EdgeOrientation::kLeftOrRight: return "left-or-right";
+    case EdgeOrientation::kAny: return "any";
+  }
+  return "?";
+}
+
+const char* MatchModeName(MatchMode m) {
+  switch (m) {
+    case MatchMode::kRepeatableElements: return "REPEATABLE ELEMENTS";
+    case MatchMode::kDifferentEdges: return "DIFFERENT EDGES";
+    case MatchMode::kDifferentNodes: return "DIFFERENT NODES";
+  }
+  return "?";
+}
+
+const char* RestrictorName(Restrictor r) {
+  switch (r) {
+    case Restrictor::kNone: return "";
+    case Restrictor::kTrail: return "TRAIL";
+    case Restrictor::kAcyclic: return "ACYCLIC";
+    case Restrictor::kSimple: return "SIMPLE";
+  }
+  return "?";
+}
+
+std::string Selector::ToString() const {
+  switch (kind) {
+    case Kind::kNone: return "";
+    case Kind::kAnyShortest: return "ANY SHORTEST";
+    case Kind::kAllShortest: return "ALL SHORTEST";
+    case Kind::kAny: return "ANY";
+    case Kind::kAnyK: return "ANY " + std::to_string(k);
+    case Kind::kShortestK: return "SHORTEST " + std::to_string(k);
+    case Kind::kShortestKGroup:
+      return "SHORTEST " + std::to_string(k) + " GROUP";
+  }
+  return "?";
+}
+
+PathElement PathElement::Node(NodePattern n) {
+  PathElement e;
+  e.kind = Kind::kNode;
+  e.node = std::move(n);
+  return e;
+}
+
+PathElement PathElement::Edge(EdgePattern ep) {
+  PathElement e;
+  e.kind = Kind::kEdge;
+  e.edge = std::move(ep);
+  return e;
+}
+
+PathElement PathElement::Paren(PathPatternPtr sub, Restrictor r,
+                               ExprPtr where) {
+  PathElement e;
+  e.kind = Kind::kParen;
+  e.sub = std::move(sub);
+  e.restrictor = r;
+  e.where = std::move(where);
+  return e;
+}
+
+PathElement PathElement::Quantified(PathPatternPtr sub, uint64_t min,
+                                    std::optional<uint64_t> max, Restrictor r,
+                                    ExprPtr where, bool bare_edge) {
+  PathElement e;
+  e.kind = Kind::kQuantified;
+  e.sub = std::move(sub);
+  e.min = min;
+  e.max = max;
+  e.restrictor = r;
+  e.where = std::move(where);
+  e.bare_edge = bare_edge;
+  return e;
+}
+
+PathElement PathElement::Optional(PathPatternPtr sub, Restrictor r,
+                                  ExprPtr where, bool bare_edge) {
+  PathElement e;
+  e.kind = Kind::kOptional;
+  e.sub = std::move(sub);
+  e.restrictor = r;
+  e.where = std::move(where);
+  e.bare_edge = bare_edge;
+  return e;
+}
+
+PathPatternPtr PathPattern::Concat(std::vector<PathElement> elements) {
+  auto p = std::make_shared<PathPattern>();
+  p->kind = Kind::kConcat;
+  p->elements = std::move(elements);
+  return p;
+}
+
+PathPatternPtr PathPattern::Union(std::vector<PathPatternPtr> alternatives) {
+  auto p = std::make_shared<PathPattern>();
+  p->kind = Kind::kUnion;
+  p->alternatives = std::move(alternatives);
+  return p;
+}
+
+PathPatternPtr PathPattern::Alternation(
+    std::vector<PathPatternPtr> alternatives) {
+  auto p = std::make_shared<PathPattern>();
+  p->kind = Kind::kAlternation;
+  p->alternatives = std::move(alternatives);
+  return p;
+}
+
+}  // namespace gpml

@@ -1,0 +1,167 @@
+#ifndef GPML_AST_AST_H_
+#define GPML_AST_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ast/expr.h"
+#include "ast/label_expr.h"
+
+namespace gpml {
+
+/// The seven edge-pattern orientations of Figure 5.
+enum class EdgeOrientation {
+  kLeft,               // <-[ ]-   pointing left
+  kUndirected,         // ~[ ]~    undirected
+  kRight,              // -[ ]->   pointing right
+  kLeftOrUndirected,   // <~[ ]~   left or undirected
+  kUndirectedOrRight,  // ~[ ]~>   undirected or right
+  kLeftOrRight,        // <-[ ]->  left or right
+  kAny,                // -[ ]-    left, undirected or right
+};
+
+const char* EdgeOrientationName(EdgeOrientation o);
+
+/// Restrictors (Figure 7): path predicates that bound the match set.
+enum class Restrictor { kNone, kTrail, kAcyclic, kSimple };
+
+const char* RestrictorName(Restrictor r);
+
+/// Selectors (Figure 8): partition the solutions by endpoint pair and keep a
+/// finite subset of each partition.
+struct Selector {
+  enum class Kind {
+    kNone,
+    kAnyShortest,    // ANY SHORTEST
+    kAllShortest,    // ALL SHORTEST
+    kAny,            // ANY
+    kAnyK,           // ANY k
+    kShortestK,      // SHORTEST k
+    kShortestKGroup, // SHORTEST k GROUP
+  };
+  Kind kind = Kind::kNone;
+  int k = 1;  // kAnyK / kShortestK / kShortestKGroup.
+
+  bool IsNone() const { return kind == Kind::kNone; }
+  /// True for the selectors whose result is uniquely determined
+  /// (ALL SHORTEST and SHORTEST k GROUP per Figure 8).
+  bool IsDeterministic() const {
+    return kind == Kind::kAllShortest || kind == Kind::kShortestKGroup;
+  }
+  std::string ToString() const;
+};
+
+/// A node pattern `(x:Account WHERE x.isBlocked='no')` — §4.1. All three
+/// components are optional; `()` is the minimal node pattern.
+struct NodePattern {
+  std::string var;      // Empty = anonymous (normalization names it).
+  LabelExprPtr labels;  // nullptr = no label constraint.
+  ExprPtr where;        // nullptr = no inline predicate.
+};
+
+/// An edge pattern `-[e:Transfer WHERE e.amount>5M]->` — §4.1, Figure 5.
+struct EdgePattern {
+  std::string var;
+  LabelExprPtr labels;
+  ExprPtr where;
+  EdgeOrientation orientation = EdgeOrientation::kRight;
+};
+
+struct PathPattern;
+using PathPatternPtr = std::shared_ptr<const PathPattern>;
+
+/// One term of a concatenation within a path pattern.
+struct PathElement {
+  enum class Kind {
+    kNode,        // (x:L WHERE ...)
+    kEdge,        // -[e:L WHERE ...]->
+    kParen,       // [ RESTRICTOR? sub WHERE ...] — parenthesized path pattern
+    kQuantified,  // elem{m,n} over an edge or parenthesized path pattern
+    kOptional,    // elem?     (conditional-singleton semantics, §4.6)
+  };
+
+  Kind kind = Kind::kNode;
+  NodePattern node;           // kNode.
+  EdgePattern edge;           // kEdge.
+  PathPatternPtr sub;         // kParen / kQuantified / kOptional.
+  Restrictor restrictor = Restrictor::kNone;  // kParen family: head position.
+  ExprPtr where;              // kParen family: trailing WHERE.
+  uint64_t min = 0;           // kQuantified.
+  std::optional<uint64_t> max;  // kQuantified; nullopt = unbounded.
+  /// kQuantified/kOptional: true when the quantifier was written on a bare
+  /// edge pattern, so normalization must supply anonymous nodes (§4.4).
+  bool bare_edge = false;
+
+  static PathElement Node(NodePattern n);
+  static PathElement Edge(EdgePattern e);
+  static PathElement Paren(PathPatternPtr sub, Restrictor r, ExprPtr where);
+  static PathElement Quantified(PathPatternPtr sub, uint64_t min,
+                                std::optional<uint64_t> max, Restrictor r,
+                                ExprPtr where, bool bare_edge);
+  static PathElement Optional(PathPatternPtr sub, Restrictor r, ExprPtr where,
+                              bool bare_edge);
+};
+
+/// A path pattern: either a concatenation of elements, a path pattern union
+/// `|` (set semantics), or a multiset alternation `|+|` (§4.5).
+struct PathPattern {
+  enum class Kind { kConcat, kUnion, kAlternation };
+
+  Kind kind = Kind::kConcat;
+  std::vector<PathElement> elements;         // kConcat.
+  std::vector<PathPatternPtr> alternatives;  // kUnion / kAlternation.
+
+  static PathPatternPtr Concat(std::vector<PathElement> elements);
+  static PathPatternPtr Union(std::vector<PathPatternPtr> alternatives);
+  static PathPatternPtr Alternation(std::vector<PathPatternPtr> alternatives);
+};
+
+/// A top-level path pattern of a MATCH: optional selector, optional
+/// restrictor, optional path variable (`p = ...`), then the pattern.
+/// `MATCH ALL SHORTEST TRAIL p = (a)-[t:Transfer]->*(b)`.
+struct PathPatternDecl {
+  Selector selector;
+  Restrictor restrictor = Restrictor::kNone;
+  std::string path_var;  // Empty = none.
+  PathPatternPtr pattern;
+};
+
+/// Match modes — the §7.1 "isomorphic match modes" Language Opportunity
+/// (published GQL's REPEATABLE ELEMENTS / DIFFERENT EDGES). The default is
+/// homomorphism: elements may repeat freely across the graph pattern.
+enum class MatchMode {
+  kRepeatableElements,  // Default (the paper's semantics throughout).
+  kDifferentEdges,      // All matched edges pairwise distinct across the
+                        // whole graph pattern (edge-isomorphic, §7.1).
+  kDifferentNodes,      // All matched nodes pairwise distinct (stronger).
+};
+
+const char* MatchModeName(MatchMode m);
+
+/// A graph pattern (§4.3): comma-separated path patterns joined on shared
+/// singleton variables, plus the optional postfilter WHERE (§5.2).
+struct GraphPattern {
+  MatchMode mode = MatchMode::kRepeatableElements;
+  std::vector<PathPatternDecl> paths;
+  ExprPtr where;  // nullptr = absent.
+};
+
+/// A full GQL-side statement: MATCH <graph pattern> [RETURN items]. The
+/// SQL/PGQ host wraps the same GraphPattern in GRAPH_TABLE/COLUMNS instead.
+struct ReturnItem {
+  ExprPtr expr;
+  std::string alias;  // Defaults to expr->ToString() if empty.
+};
+
+struct MatchStatement {
+  GraphPattern pattern;
+  bool has_return = false;
+  bool return_distinct = false;
+  std::vector<ReturnItem> return_items;
+};
+
+}  // namespace gpml
+
+#endif  // GPML_AST_AST_H_

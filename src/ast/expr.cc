@@ -1,0 +1,244 @@
+#include "ast/expr.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace gpml {
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNeq: return "<>";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAnd: return "AND";
+    case BinaryOp::kOr: return "OR";
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+  }
+  return "?";
+}
+
+const char* AggFuncName(AggFunc f) {
+  switch (f) {
+    case AggFunc::kCount: return "COUNT";
+    case AggFunc::kSum: return "SUM";
+    case AggFunc::kAvg: return "AVG";
+    case AggFunc::kMin: return "MIN";
+    case AggFunc::kMax: return "MAX";
+    case AggFunc::kListAgg: return "LISTAGG";
+  }
+  return "?";
+}
+
+namespace {
+
+std::shared_ptr<Expr> Make(Expr::Kind kind) {
+  auto e = std::make_shared<Expr>();
+  e->kind = kind;
+  return e;
+}
+
+// Precedence for printing: OR(1) < AND(2) < NOT(3) < cmp(4) < add(5) <
+// mul(6) < atoms(7).
+int Precedence(const Expr& e) {
+  switch (e.kind) {
+    case Expr::Kind::kBinary:
+      switch (e.op) {
+        case BinaryOp::kOr: return 1;
+        case BinaryOp::kAnd: return 2;
+        case BinaryOp::kEq: case BinaryOp::kNeq: case BinaryOp::kLt:
+        case BinaryOp::kLe: case BinaryOp::kGt: case BinaryOp::kGe:
+          return 4;
+        case BinaryOp::kAdd: case BinaryOp::kSub: return 5;
+        case BinaryOp::kMul: case BinaryOp::kDiv: return 6;
+      }
+      return 7;
+    case Expr::Kind::kNot: return 3;
+    default: return 7;
+  }
+}
+
+std::string PrintChild(const ExprPtr& child, int parent_prec) {
+  std::string s = child->ToString();
+  if (Precedence(*child) < parent_prec) return "(" + s + ")";
+  return s;
+}
+
+std::string QuoteIfString(const Value& v) {
+  if (v.is_string()) return "'" + v.string_value() + "'";
+  return v.ToString();
+}
+
+}  // namespace
+
+ExprPtr Expr::Lit(Value v) {
+  auto e = Make(Kind::kLiteral);
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::Var(std::string name) {
+  auto e = Make(Kind::kVarRef);
+  e->var = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::Prop(std::string var, std::string property) {
+  auto e = Make(Kind::kPropertyAccess);
+  e->var = std::move(var);
+  e->property = std::move(property);
+  return e;
+}
+
+ExprPtr Expr::Binary(BinaryOp op, ExprPtr l, ExprPtr r) {
+  auto e = Make(Kind::kBinary);
+  e->op = op;
+  e->lhs = std::move(l);
+  e->rhs = std::move(r);
+  return e;
+}
+
+ExprPtr Expr::Not(ExprPtr sub) {
+  auto e = Make(Kind::kNot);
+  e->lhs = std::move(sub);
+  return e;
+}
+
+ExprPtr Expr::IsNull(ExprPtr sub, bool negated) {
+  auto e = Make(Kind::kIsNull);
+  e->lhs = std::move(sub);
+  e->negated = negated;
+  return e;
+}
+
+ExprPtr Expr::Aggregate(AggFunc f, ExprPtr arg, bool distinct,
+                        std::string separator) {
+  auto e = Make(Kind::kAggregate);
+  e->agg = f;
+  e->arg = std::move(arg);
+  e->distinct = distinct;
+  e->separator = std::move(separator);
+  return e;
+}
+
+ExprPtr Expr::IsDirected(std::string edge_var) {
+  auto e = Make(Kind::kIsDirected);
+  e->var = std::move(edge_var);
+  return e;
+}
+
+ExprPtr Expr::IsSourceOf(std::string node_var, std::string edge_var) {
+  auto e = Make(Kind::kIsSourceOf);
+  e->var = std::move(node_var);
+  e->var2 = std::move(edge_var);
+  return e;
+}
+
+ExprPtr Expr::IsDestinationOf(std::string node_var, std::string edge_var) {
+  auto e = Make(Kind::kIsDestinationOf);
+  e->var = std::move(node_var);
+  e->var2 = std::move(edge_var);
+  return e;
+}
+
+ExprPtr Expr::Same(std::vector<std::string> vars) {
+  auto e = Make(Kind::kSame);
+  e->vars = std::move(vars);
+  return e;
+}
+
+ExprPtr Expr::AllDifferent(std::vector<std::string> vars) {
+  auto e = Make(Kind::kAllDifferent);
+  e->vars = std::move(vars);
+  return e;
+}
+
+ExprPtr Expr::PathLength(std::string path_var) {
+  auto e = Make(Kind::kPathLength);
+  e->var = std::move(path_var);
+  return e;
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case Kind::kLiteral: return QuoteIfString(literal);
+    case Kind::kVarRef: return var;
+    case Kind::kPropertyAccess: return var + "." + property;
+    case Kind::kBinary: {
+      int prec = Precedence(*this);
+      // Left-associative: right child needs parens at equal precedence.
+      return PrintChild(lhs, prec) + " " + BinaryOpName(op) + " " +
+             PrintChild(rhs, prec + 1);
+    }
+    case Kind::kNot: return "NOT " + PrintChild(lhs, 4);
+    case Kind::kIsNull:
+      return PrintChild(lhs, 7) + (negated ? " IS NOT NULL" : " IS NULL");
+    case Kind::kAggregate: {
+      std::string inner = distinct ? "DISTINCT " : "";
+      inner += arg->ToString();
+      if (agg == AggFunc::kListAgg) inner += ", '" + separator + "'";
+      return std::string(AggFuncName(agg)) + "(" + inner + ")";
+    }
+    case Kind::kIsDirected: return var + " IS DIRECTED";
+    case Kind::kIsSourceOf: return var + " IS SOURCE OF " + var2;
+    case Kind::kIsDestinationOf: return var + " IS DESTINATION OF " + var2;
+    case Kind::kSame: return "SAME(" + Join(vars, ", ") + ")";
+    case Kind::kAllDifferent:
+      return "ALL_DIFFERENT(" + Join(vars, ", ") + ")";
+    case Kind::kPathLength: return "PATH_LENGTH(" + var + ")";
+  }
+  return "?";
+}
+
+bool Expr::Equal(const ExprPtr& a, const ExprPtr& b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  if (a->kind != b->kind) return false;
+  return a->literal == b->literal && a->var == b->var &&
+         a->property == b->property && a->op == b->op &&
+         a->negated == b->negated && a->agg == b->agg &&
+         a->distinct == b->distinct && a->separator == b->separator &&
+         a->var2 == b->var2 && a->vars == b->vars && Equal(a->lhs, b->lhs) &&
+         Equal(a->rhs, b->rhs) && Equal(a->arg, b->arg);
+}
+
+bool Expr::ContainsAggregate() const {
+  if (kind == Kind::kAggregate) return true;
+  for (const ExprPtr* child : {&lhs, &rhs, &arg}) {
+    if (*child != nullptr && (*child)->ContainsAggregate()) return true;
+  }
+  return false;
+}
+
+void Expr::CollectVariables(std::vector<std::string>* out) const {
+  switch (kind) {
+    case Kind::kVarRef:
+    case Kind::kPropertyAccess:
+    case Kind::kIsDirected:
+    case Kind::kPathLength:
+      out->push_back(var);
+      break;
+    case Kind::kIsSourceOf:
+    case Kind::kIsDestinationOf:
+      out->push_back(var);
+      out->push_back(var2);
+      break;
+    case Kind::kSame:
+    case Kind::kAllDifferent:
+      out->insert(out->end(), vars.begin(), vars.end());
+      break;
+    default:
+      break;
+  }
+  for (const ExprPtr* child : {&lhs, &rhs, &arg}) {
+    if (*child != nullptr) (*child)->CollectVariables(out);
+  }
+}
+
+}  // namespace gpml

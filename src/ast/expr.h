@@ -1,0 +1,101 @@
+#ifndef GPML_AST_EXPR_H_
+#define GPML_AST_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace gpml {
+
+struct Expr;
+/// Expressions are immutable after parsing; subtrees are shared between the
+/// parsed, normalized, and expanded forms of a pattern.
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Binary operators of the WHERE-clause language (§4) in one enum; the
+/// comparison subset yields TriBool under SQL three-valued logic.
+enum class BinaryOp {
+  kEq, kNeq, kLt, kLe, kGt, kGe,   // comparisons
+  kAnd, kOr,                       // boolean connectives
+  kAdd, kSub, kMul, kDiv,          // arithmetic
+};
+
+const char* BinaryOpName(BinaryOp op);
+
+/// Aggregate functions applicable to group variables (§4.4, §5.3).
+enum class AggFunc { kCount, kSum, kAvg, kMin, kMax, kListAgg };
+
+const char* AggFuncName(AggFunc f);
+
+/// A scalar/boolean expression. One struct with a Kind tag rather than a
+/// class hierarchy: the expression language is small and closed, and passes
+/// switch over kinds exhaustively.
+struct Expr {
+  enum class Kind {
+    kLiteral,         // 5000000, 'Ankh-Morpork', TRUE, NULL
+    kVarRef,          // x                 (element reference)
+    kPropertyAccess,  // x.owner ; e.* is property == "*" (COUNT(e.*))
+    kBinary,          // lhs op rhs
+    kNot,             // NOT lhs
+    kIsNull,          // lhs IS [NOT] NULL     (negated flag)
+    kAggregate,       // SUM(arg), COUNT(DISTINCT arg), LISTAGG(arg, sep)
+    kIsDirected,      // e IS DIRECTED          (§4.7)
+    kIsSourceOf,      // s IS SOURCE OF e       (§4.7)
+    kIsDestinationOf, // d IS DESTINATION OF e  (§4.7)
+    kSame,            // SAME(p, q, ...)        (§4.7)
+    kAllDifferent,    // ALL_DIFFERENT(p, ...)  (§4.7)
+    kPathLength,      // PATH_LENGTH(p): edges in the path bound to p
+  };
+
+  Kind kind = Kind::kLiteral;
+
+  Value literal;                  // kLiteral.
+  std::string var;                // kVarRef/kPropertyAccess/kIsDirected/
+                                  // kIsSourceOf (node var)/kPathLength.
+  std::string property;           // kPropertyAccess ("*" for e.*).
+  BinaryOp op = BinaryOp::kEq;    // kBinary.
+  ExprPtr lhs;                    // kBinary, kNot, kIsNull (operand).
+  ExprPtr rhs;                    // kBinary.
+  bool negated = false;           // kIsNull: IS NOT NULL.
+  AggFunc agg = AggFunc::kCount;  // kAggregate.
+  bool distinct = false;          // kAggregate: COUNT(DISTINCT x).
+  ExprPtr arg;                    // kAggregate argument.
+  std::string separator;          // kAggregate: LISTAGG separator.
+  std::string var2;               // kIsSourceOf/kIsDestinationOf: edge var.
+  std::vector<std::string> vars;  // kSame/kAllDifferent.
+
+  // Factory helpers (the parser and tests build expressions through these).
+  static ExprPtr Lit(Value v);
+  static ExprPtr Var(std::string name);
+  static ExprPtr Prop(std::string var, std::string property);
+  static ExprPtr Binary(BinaryOp op, ExprPtr l, ExprPtr r);
+  static ExprPtr Not(ExprPtr e);
+  static ExprPtr IsNull(ExprPtr e, bool negated);
+  static ExprPtr Aggregate(AggFunc f, ExprPtr arg, bool distinct = false,
+                           std::string separator = "");
+  static ExprPtr IsDirected(std::string edge_var);
+  static ExprPtr IsSourceOf(std::string node_var, std::string edge_var);
+  static ExprPtr IsDestinationOf(std::string node_var, std::string edge_var);
+  static ExprPtr Same(std::vector<std::string> vars);
+  static ExprPtr AllDifferent(std::vector<std::string> vars);
+  static ExprPtr PathLength(std::string path_var);
+
+  /// Renders in GPML surface syntax.
+  std::string ToString() const;
+
+  /// Structural equality.
+  static bool Equal(const ExprPtr& a, const ExprPtr& b);
+
+  /// True if any node in the tree is an aggregate (used by the §5.3
+  /// termination rules and by postfilter planning).
+  bool ContainsAggregate() const;
+
+  /// Collects every variable referenced anywhere in the tree.
+  void CollectVariables(std::vector<std::string>* out) const;
+};
+
+}  // namespace gpml
+
+#endif  // GPML_AST_EXPR_H_

@@ -1,0 +1,99 @@
+#include "ast/label_expr.h"
+
+#include <algorithm>
+
+namespace gpml {
+
+namespace {
+
+std::shared_ptr<LabelExpr> Make(LabelExpr::Kind kind) {
+  auto e = std::make_shared<LabelExpr>();
+  e->kind = kind;
+  return e;
+}
+
+// Precedence for printing: Or(1) < And(2) < Not(3) < atoms(4).
+int Precedence(LabelExpr::Kind k) {
+  switch (k) {
+    case LabelExpr::Kind::kOr: return 1;
+    case LabelExpr::Kind::kAnd: return 2;
+    case LabelExpr::Kind::kNot: return 3;
+    default: return 4;
+  }
+}
+
+std::string PrintChild(const LabelExprPtr& child, int parent_prec) {
+  std::string s = child->ToString();
+  if (Precedence(child->kind) < parent_prec) return "(" + s + ")";
+  return s;
+}
+
+}  // namespace
+
+LabelExprPtr LabelExpr::Name(std::string n) {
+  auto e = Make(Kind::kName);
+  e->name = std::move(n);
+  return e;
+}
+
+LabelExprPtr LabelExpr::Wildcard() { return Make(Kind::kWildcard); }
+
+LabelExprPtr LabelExpr::Not(LabelExprPtr sub) {
+  auto e = Make(Kind::kNot);
+  e->left = std::move(sub);
+  return e;
+}
+
+LabelExprPtr LabelExpr::And(LabelExprPtr l, LabelExprPtr r) {
+  auto e = Make(Kind::kAnd);
+  e->left = std::move(l);
+  e->right = std::move(r);
+  return e;
+}
+
+LabelExprPtr LabelExpr::Or(LabelExprPtr l, LabelExprPtr r) {
+  auto e = Make(Kind::kOr);
+  e->left = std::move(l);
+  e->right = std::move(r);
+  return e;
+}
+
+bool LabelExpr::Matches(const std::vector<std::string>& labels) const {
+  switch (kind) {
+    case Kind::kName:
+      return std::binary_search(labels.begin(), labels.end(), name);
+    case Kind::kWildcard:
+      return !labels.empty();
+    case Kind::kNot:
+      return !left->Matches(labels);
+    case Kind::kAnd:
+      return left->Matches(labels) && right->Matches(labels);
+    case Kind::kOr:
+      return left->Matches(labels) || right->Matches(labels);
+  }
+  return false;
+}
+
+std::string LabelExpr::ToString() const {
+  switch (kind) {
+    case Kind::kName: return name;
+    case Kind::kWildcard: return "%";
+    case Kind::kNot: return "!" + PrintChild(left, Precedence(kind) + 1);
+    case Kind::kAnd:
+      return PrintChild(left, Precedence(kind)) + "&" +
+             PrintChild(right, Precedence(kind));
+    case Kind::kOr:
+      return PrintChild(left, Precedence(kind)) + "|" +
+             PrintChild(right, Precedence(kind));
+  }
+  return "?";
+}
+
+bool LabelExpr::Equal(const LabelExprPtr& a, const LabelExprPtr& b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  if (a->kind != b->kind || a->name != b->name) return false;
+  return Equal(a->left, b->left) && Equal(a->right, b->right);
+}
+
+}  // namespace gpml

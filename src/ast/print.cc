@@ -1,0 +1,154 @@
+#include "ast/print.h"
+
+#include "common/strings.h"
+
+namespace gpml {
+
+namespace {
+
+/// The `spec` of Figure 5: `var:labelExpr WHERE cond`, all parts optional.
+std::string PrintSpec(const std::string& var, const LabelExprPtr& labels,
+                      const ExprPtr& where) {
+  std::string s = var;
+  if (labels != nullptr) s += ":" + labels->ToString();
+  if (where != nullptr) s += " WHERE " + where->ToString();
+  return s;
+}
+
+std::string QuantifierSuffix(const PathElement& e) {
+  if (e.kind == PathElement::Kind::kOptional) return "?";
+  if (e.min == 0 && !e.max.has_value()) return "*";
+  if (e.min == 1 && !e.max.has_value()) return "+";
+  std::string s = "{" + std::to_string(e.min) + ",";
+  if (e.max.has_value()) s += std::to_string(*e.max);
+  s += "}";
+  return s;
+}
+
+}  // namespace
+
+std::string Print(const NodePattern& n) {
+  return "(" + PrintSpec(n.var, n.labels, n.where) + ")";
+}
+
+std::string Print(const EdgePattern& e) {
+  std::string spec = PrintSpec(e.var, e.labels, e.where);
+  if (spec.empty()) {
+    switch (e.orientation) {
+      case EdgeOrientation::kLeft: return "<-";
+      case EdgeOrientation::kUndirected: return "~";
+      case EdgeOrientation::kRight: return "->";
+      case EdgeOrientation::kLeftOrUndirected: return "<~";
+      case EdgeOrientation::kUndirectedOrRight: return "~>";
+      case EdgeOrientation::kLeftOrRight: return "<->";
+      case EdgeOrientation::kAny: return "-";
+    }
+  }
+  switch (e.orientation) {
+    case EdgeOrientation::kLeft: return "<-[" + spec + "]-";
+    case EdgeOrientation::kUndirected: return "~[" + spec + "]~";
+    case EdgeOrientation::kRight: return "-[" + spec + "]->";
+    case EdgeOrientation::kLeftOrUndirected: return "<~[" + spec + "]~";
+    case EdgeOrientation::kUndirectedOrRight: return "~[" + spec + "]~>";
+    case EdgeOrientation::kLeftOrRight: return "<-[" + spec + "]->";
+    case EdgeOrientation::kAny: return "-[" + spec + "]-";
+  }
+  return "?";
+}
+
+std::string Print(const PathElement& e) {
+  switch (e.kind) {
+    case PathElement::Kind::kNode: return Print(e.node);
+    case PathElement::Kind::kEdge: return Print(e.edge);
+    case PathElement::Kind::kParen: {
+      std::string s = "[";
+      if (e.restrictor != Restrictor::kNone) {
+        s += std::string(RestrictorName(e.restrictor)) + " ";
+      }
+      s += Print(*e.sub);
+      if (e.where != nullptr) s += " WHERE " + e.where->ToString();
+      return s + "]";
+    }
+    case PathElement::Kind::kQuantified:
+    case PathElement::Kind::kOptional: {
+      std::string inner;
+      if (e.bare_edge) {
+        // The quantifier was written directly on an edge pattern.
+        inner = Print(*e.sub);
+      } else {
+        inner = "[";
+        if (e.restrictor != Restrictor::kNone) {
+          inner += std::string(RestrictorName(e.restrictor)) + " ";
+        }
+        inner += Print(*e.sub);
+        if (e.where != nullptr) inner += " WHERE " + e.where->ToString();
+        inner += "]";
+      }
+      return inner + QuantifierSuffix(e);
+    }
+  }
+  return "?";
+}
+
+std::string Print(const PathPattern& p) {
+  switch (p.kind) {
+    case PathPattern::Kind::kConcat: {
+      std::string s;
+      for (const PathElement& e : p.elements) s += Print(e);
+      return s;
+    }
+    case PathPattern::Kind::kUnion:
+    case PathPattern::Kind::kAlternation: {
+      const char* sep =
+          p.kind == PathPattern::Kind::kUnion ? " | " : " |+| ";
+      std::vector<std::string> parts;
+      parts.reserve(p.alternatives.size());
+      for (const auto& a : p.alternatives) parts.push_back(Print(*a));
+      return Join(parts, sep);
+    }
+  }
+  return "?";
+}
+
+std::string Print(const PathPatternDecl& d) {
+  std::string s;
+  if (!d.selector.IsNone()) s += d.selector.ToString() + " ";
+  if (d.restrictor != Restrictor::kNone) {
+    s += std::string(RestrictorName(d.restrictor)) + " ";
+  }
+  if (!d.path_var.empty()) s += d.path_var + " = ";
+  s += Print(*d.pattern);
+  return s;
+}
+
+std::string Print(const GraphPattern& g) {
+  std::vector<std::string> parts;
+  parts.reserve(g.paths.size());
+  for (const auto& d : g.paths) parts.push_back(Print(d));
+  std::string s = "MATCH ";
+  if (g.mode != MatchMode::kRepeatableElements) {
+    s += std::string(MatchModeName(g.mode)) + " ";
+  }
+  s += Join(parts, ", ");
+  if (g.where != nullptr) s += " WHERE " + g.where->ToString();
+  return s;
+}
+
+std::string Print(const MatchStatement& m) {
+  std::string s = Print(m.pattern);
+  if (m.has_return) {
+    s += " RETURN ";
+    if (m.return_distinct) s += "DISTINCT ";
+    std::vector<std::string> items;
+    items.reserve(m.return_items.size());
+    for (const auto& it : m.return_items) {
+      std::string item = it.expr->ToString();
+      if (!it.alias.empty()) item += " AS " + it.alias;
+      items.push_back(std::move(item));
+    }
+    s += Join(items, ", ");
+  }
+  return s;
+}
+
+}  // namespace gpml

@@ -1,0 +1,23 @@
+#ifndef GPML_AST_PRINT_H_
+#define GPML_AST_PRINT_H_
+
+#include <string>
+
+#include "ast/ast.h"
+
+namespace gpml {
+
+/// Renders AST back to GPML surface syntax. Round-trips with the parser
+/// (parse(Print(x)) is structurally equal to x), which the parser tests
+/// exercise; also used to display normalized patterns (§6.2).
+std::string Print(const NodePattern& n);
+std::string Print(const EdgePattern& e);
+std::string Print(const PathElement& e);
+std::string Print(const PathPattern& p);
+std::string Print(const PathPatternDecl& d);
+std::string Print(const GraphPattern& g);
+std::string Print(const MatchStatement& m);
+
+}  // namespace gpml
+
+#endif  // GPML_AST_PRINT_H_

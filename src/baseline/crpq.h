@@ -1,0 +1,53 @@
+#ifndef GPML_BASELINE_CRPQ_H_
+#define GPML_BASELINE_CRPQ_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baseline/regex.h"
+#include "catalog/table.h"
+#include "common/result.h"
+#include "graph/property_graph.h"
+
+namespace gpml {
+namespace baseline {
+
+/// A conjunctive regular path query (§3, §8): a set of atoms x —regex→ y
+/// over node variables, with optional per-variable label and property-equals
+/// filters. This is the academic baseline GPML extends — it returns node
+/// bindings only (endpoint semantics, like SPARQL in §3), no paths, no group
+/// variables, no restrictors/selectors.
+///
+/// The Figure 4 query as a CRPQ:
+///   atoms:  x -isLocatedIn-> g,  y -isLocatedIn-> g,  x -Transfer+-> y
+///   filters: x:Account{isBlocked=no}, y:Account{isBlocked=yes},
+///            g{name=Ankh-Morpork}
+struct CrpqAtom {
+  std::string from_var;
+  std::string regex;
+  std::string to_var;
+};
+
+struct CrpqFilter {
+  std::string var;
+  std::string label;     // Empty = unconstrained.
+  std::string property;  // Optional property equality...
+  Value value;           // ...against this value.
+};
+
+struct CrpqQuery {
+  std::vector<CrpqAtom> atoms;
+  std::vector<CrpqFilter> filters;
+  std::vector<std::string> output_vars;
+};
+
+/// Evaluates by computing each atom's endpoint relation via product-
+/// automaton BFS and hash-joining the relations — the standard CRPQ
+/// evaluation strategy. Output columns are the node names of output_vars.
+Result<Table> EvalCrpq(const PropertyGraph& g, const CrpqQuery& query);
+
+}  // namespace baseline
+}  // namespace gpml
+
+#endif  // GPML_BASELINE_CRPQ_H_

@@ -1,0 +1,157 @@
+#include "baseline/regex.h"
+
+#include <cctype>
+
+namespace gpml {
+namespace baseline {
+
+namespace {
+
+std::shared_ptr<Regex> Make(Regex::Kind kind) {
+  auto r = std::make_shared<Regex>();
+  r->kind = kind;
+  return r;
+}
+
+class RegexParser {
+ public:
+  explicit RegexParser(const std::string& text) : text_(text) {}
+
+  Result<RegexPtr> Parse() {
+    GPML_ASSIGN_OR_RETURN(RegexPtr r, ParseUnion());
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::SyntaxError("trailing input in path regex");
+    }
+    return r;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool Peek(char c) {
+    SkipSpace();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+  bool Eat(char c) {
+    if (!Peek(c)) return false;
+    ++pos_;
+    return true;
+  }
+
+  Result<RegexPtr> ParseUnion() {
+    GPML_ASSIGN_OR_RETURN(RegexPtr left, ParseConcat());
+    while (Eat('|')) {
+      GPML_ASSIGN_OR_RETURN(RegexPtr right, ParseConcat());
+      auto u = Make(Regex::Kind::kUnion);
+      u->left = std::move(left);
+      u->right = std::move(right);
+      left = std::move(u);
+    }
+    return left;
+  }
+
+  Result<RegexPtr> ParseConcat() {
+    GPML_ASSIGN_OR_RETURN(RegexPtr left, ParsePostfix());
+    while (true) {
+      SkipSpace();
+      if (Eat('/')) {
+        GPML_ASSIGN_OR_RETURN(RegexPtr right, ParsePostfix());
+        auto c = Make(Regex::Kind::kConcat);
+        c->left = std::move(left);
+        c->right = std::move(right);
+        left = std::move(c);
+        continue;
+      }
+      // Juxtaposition also concatenates: "a b".
+      if (pos_ < text_.size() &&
+          (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+           text_[pos_] == '_' || text_[pos_] == '^' || text_[pos_] == '(')) {
+        GPML_ASSIGN_OR_RETURN(RegexPtr right, ParsePostfix());
+        auto c = Make(Regex::Kind::kConcat);
+        c->left = std::move(left);
+        c->right = std::move(right);
+        left = std::move(c);
+        continue;
+      }
+      return left;
+    }
+  }
+
+  Result<RegexPtr> ParsePostfix() {
+    GPML_ASSIGN_OR_RETURN(RegexPtr r, ParseAtom());
+    while (true) {
+      SkipSpace();
+      if (Eat('*')) {
+        auto s = Make(Regex::Kind::kStar);
+        s->left = std::move(r);
+        r = std::move(s);
+      } else if (Eat('+')) {
+        auto s = Make(Regex::Kind::kPlus);
+        s->left = std::move(r);
+        r = std::move(s);
+      } else if (Eat('?')) {
+        auto s = Make(Regex::Kind::kOpt);
+        s->left = std::move(r);
+        r = std::move(s);
+      } else {
+        return r;
+      }
+    }
+  }
+
+  Result<RegexPtr> ParseAtom() {
+    SkipSpace();
+    if (Eat('(')) {
+      GPML_ASSIGN_OR_RETURN(RegexPtr r, ParseUnion());
+      if (!Eat(')')) return Status::SyntaxError("expected ) in path regex");
+      return r;
+    }
+    bool inverse = Eat('^');
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (start == pos_) {
+      return Status::SyntaxError("expected label in path regex at offset " +
+                                 std::to_string(pos_));
+    }
+    auto r = Make(inverse ? Regex::Kind::kInverse : Regex::Kind::kLabel);
+    r->label = text_.substr(start, pos_ - start);
+    return RegexPtr(std::move(r));
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string Regex::ToString() const {
+  switch (kind) {
+    case Kind::kLabel: return label;
+    case Kind::kInverse: return "^" + label;
+    case Kind::kConcat: return left->ToString() + "/" + right->ToString();
+    case Kind::kUnion:
+      return "(" + left->ToString() + "|" + right->ToString() + ")";
+    case Kind::kStar: return "(" + left->ToString() + ")*";
+    case Kind::kPlus: return "(" + left->ToString() + ")+";
+    case Kind::kOpt: return "(" + left->ToString() + ")?";
+  }
+  return "?";
+}
+
+Result<RegexPtr> ParseRegex(const std::string& text) {
+  RegexParser p(text);
+  return p.Parse();
+}
+
+}  // namespace baseline
+}  // namespace gpml

@@ -1,0 +1,34 @@
+#ifndef GPML_BASELINE_REGEX_H_
+#define GPML_BASELINE_REGEX_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+
+namespace gpml {
+namespace baseline {
+
+/// Regular path query expressions over edge labels — the classic CRPQ/2RPQ
+/// language of §3/§8 (Cruz-Mendelzon-Wood lineage; SPARQL property paths).
+/// Syntax mirrors SPARQL: `a` (forward step), `^a` (inverse step), `a/b`
+/// (concatenation), `a|b` (union), postfix `*` `+` `?`, parentheses.
+struct Regex {
+  enum class Kind { kLabel, kInverse, kConcat, kUnion, kStar, kPlus, kOpt };
+
+  Kind kind = Kind::kLabel;
+  std::string label;                 // kLabel/kInverse.
+  std::shared_ptr<const Regex> left;
+  std::shared_ptr<const Regex> right;
+
+  std::string ToString() const;
+};
+
+using RegexPtr = std::shared_ptr<const Regex>;
+
+Result<RegexPtr> ParseRegex(const std::string& text);
+
+}  // namespace baseline
+}  // namespace gpml
+
+#endif  // GPML_BASELINE_REGEX_H_

@@ -1,0 +1,389 @@
+#include "baseline/rpq_nfa.h"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+
+namespace gpml {
+namespace baseline {
+
+namespace {
+
+class NfaBuilder {
+ public:
+  RpqNfa Build(const Regex& r) {
+    auto [s, a] = Compile(r);
+    nfa_.start = s;
+    nfa_.accept = a;
+    nfa_.out.assign(static_cast<size_t>(nfa_.num_states), {});
+    for (size_t i = 0; i < nfa_.steps.size(); ++i) {
+      nfa_.out[static_cast<size_t>(nfa_.steps[i].from)].push_back(
+          static_cast<int>(i));
+    }
+    return std::move(nfa_);
+  }
+
+ private:
+  int NewState() { return nfa_.num_states++; }
+
+  void Eps(int from, int to) {
+    RpqNfa::Step s;
+    s.from = from;
+    s.to = to;
+    s.epsilon = true;
+    nfa_.steps.push_back(std::move(s));
+  }
+
+  void LabelStep(int from, int to, const std::string& label, bool inverse) {
+    RpqNfa::Step s;
+    s.from = from;
+    s.to = to;
+    s.epsilon = false;
+    s.inverse = inverse;
+    s.label = label;
+    nfa_.steps.push_back(std::move(s));
+  }
+
+  std::pair<int, int> Compile(const Regex& r) {
+    switch (r.kind) {
+      case Regex::Kind::kLabel:
+      case Regex::Kind::kInverse: {
+        int s = NewState();
+        int a = NewState();
+        LabelStep(s, a, r.label, r.kind == Regex::Kind::kInverse);
+        return {s, a};
+      }
+      case Regex::Kind::kConcat: {
+        auto [ls, la] = Compile(*r.left);
+        auto [rs, ra] = Compile(*r.right);
+        Eps(la, rs);
+        return {ls, ra};
+      }
+      case Regex::Kind::kUnion: {
+        int s = NewState();
+        int a = NewState();
+        auto [ls, la] = Compile(*r.left);
+        auto [rs, ra] = Compile(*r.right);
+        Eps(s, ls);
+        Eps(s, rs);
+        Eps(la, a);
+        Eps(ra, a);
+        return {s, a};
+      }
+      case Regex::Kind::kStar: {
+        int s = NewState();
+        int a = NewState();
+        auto [bs, ba] = Compile(*r.left);
+        Eps(s, bs);
+        Eps(s, a);
+        Eps(ba, bs);
+        Eps(ba, a);
+        return {s, a};
+      }
+      case Regex::Kind::kPlus: {
+        auto [bs, ba] = Compile(*r.left);
+        int a = NewState();
+        Eps(ba, bs);
+        Eps(ba, a);
+        return {bs, a};
+      }
+      case Regex::Kind::kOpt: {
+        int s = NewState();
+        int a = NewState();
+        auto [bs, ba] = Compile(*r.left);
+        Eps(s, bs);
+        Eps(s, a);
+        Eps(ba, a);
+        return {s, a};
+      }
+    }
+    return {NewState(), NewState()};
+  }
+
+  RpqNfa nfa_;
+};
+
+/// Product-state helpers: id = node * num_states + state.
+inline size_t ProductId(NodeId n, int state, int num_states) {
+  return static_cast<size_t>(n) * static_cast<size_t>(num_states) +
+         static_cast<size_t>(state);
+}
+
+/// Admissible (edge, next-node) moves for a label step from `n`.
+template <typename Fn>
+void ForEachMove(const PropertyGraph& g, NodeId n, const RpqNfa::Step& step,
+                 Fn&& fn) {
+  for (const Adjacency& adj : g.adjacencies(n)) {
+    // Baseline RPQs (SPARQL/CRPQ) treat graphs as directed edge-labelled:
+    // forward steps follow edge direction, ^label steps go against it.
+    // Undirected edges are admissible in both directions.
+    bool forward_ok = adj.traversal == Traversal::kForward ||
+                      adj.traversal == Traversal::kUndirected;
+    bool backward_ok = adj.traversal == Traversal::kBackward ||
+                       adj.traversal == Traversal::kUndirected;
+    if (step.inverse ? !backward_ok : !forward_ok) continue;
+    if (!g.edge(adj.edge).HasLabel(step.label)) continue;
+    fn(adj);
+  }
+}
+
+}  // namespace
+
+RpqNfa BuildNfa(const Regex& regex) {
+  NfaBuilder b;
+  return b.Build(regex);
+}
+
+std::vector<NodeId> EvalReachableFrom(const PropertyGraph& g,
+                                      const RpqNfa& nfa, NodeId source) {
+  const int ns = nfa.num_states;
+  std::vector<bool> visited(g.num_nodes() * static_cast<size_t>(ns), false);
+  std::deque<std::pair<NodeId, int>> queue;
+  auto push = [&](NodeId n, int q) {
+    size_t id = ProductId(n, q, ns);
+    if (!visited[id]) {
+      visited[id] = true;
+      queue.push_back({n, q});
+    }
+  };
+  push(source, nfa.start);
+
+  std::vector<NodeId> reached;
+  while (!queue.empty()) {
+    auto [n, q] = queue.front();
+    queue.pop_front();
+    if (q == nfa.accept) reached.push_back(n);
+    for (int si : nfa.out[static_cast<size_t>(q)]) {
+      const RpqNfa::Step& step = nfa.steps[static_cast<size_t>(si)];
+      if (step.epsilon) {
+        push(n, step.to);
+      } else {
+        ForEachMove(g, n, step,
+                    [&](const Adjacency& adj) { push(adj.neighbor, step.to); });
+      }
+    }
+  }
+  std::sort(reached.begin(), reached.end());
+  reached.erase(std::unique(reached.begin(), reached.end()), reached.end());
+  return reached;
+}
+
+std::vector<std::pair<NodeId, NodeId>> EvalReachability(
+    const PropertyGraph& g, const RpqNfa& nfa) {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    for (NodeId m : EvalReachableFrom(g, nfa, n)) out.push_back({n, m});
+  }
+  return out;
+}
+
+Result<Path> ShortestRegexPath(const PropertyGraph& g, const RpqNfa& nfa,
+                               NodeId source, NodeId target) {
+  const int ns = nfa.num_states;
+  struct Pred {
+    size_t prev = SIZE_MAX;
+    EdgeId edge = kInvalidId;
+    Traversal traversal = Traversal::kForward;
+    bool visited = false;
+  };
+  std::vector<Pred> pred(g.num_nodes() * static_cast<size_t>(ns));
+  std::deque<std::pair<NodeId, int>> queue;
+
+  auto push = [&](NodeId n, int q, size_t prev, EdgeId e, Traversal t) {
+    size_t id = ProductId(n, q, ns);
+    if (pred[id].visited) return;
+    pred[id].visited = true;
+    pred[id].prev = prev;
+    pred[id].edge = e;
+    pred[id].traversal = t;
+    queue.push_back({n, q});
+  };
+  push(source, nfa.start, SIZE_MAX, kInvalidId, Traversal::kForward);
+
+  // BFS with zero-cost epsilon edges handled eagerly: expand epsilons first
+  // from each dequeued state (they do not add path length; BFS order over
+  // edge steps stays correct because epsilon closure happens immediately).
+  size_t accept_id = SIZE_MAX;
+  while (!queue.empty() && accept_id == SIZE_MAX) {
+    auto [n, q] = queue.front();
+    queue.pop_front();
+    size_t id = ProductId(n, q, ns);
+    if (n == target && q == nfa.accept) {
+      accept_id = id;
+      break;
+    }
+    for (int si : nfa.out[static_cast<size_t>(q)]) {
+      const RpqNfa::Step& step = nfa.steps[static_cast<size_t>(si)];
+      if (step.epsilon) {
+        // Zero-length move: inherit the predecessor record.
+        size_t nid = ProductId(n, step.to, ns);
+        if (!pred[nid].visited) {
+          pred[nid] = pred[id];
+          pred[nid].visited = true;
+          queue.push_front({n, step.to});  // Front: zero-cost move.
+          if (n == target && step.to == nfa.accept) {
+            accept_id = nid;
+            break;
+          }
+        }
+      } else {
+        ForEachMove(g, n, step, [&](const Adjacency& adj) {
+          push(adj.neighbor, step.to, id, adj.edge, adj.traversal);
+        });
+      }
+    }
+  }
+
+  if (accept_id == SIZE_MAX) {
+    return Status::NotFound("no path matching the regex");
+  }
+
+  // Reconstruct the edge sequence.
+  std::vector<std::pair<EdgeId, Traversal>> edges;
+  for (size_t id = accept_id;
+       id != SIZE_MAX && pred[id].edge != kInvalidId;) {
+    edges.push_back({pred[id].edge, pred[id].traversal});
+    id = pred[id].prev;
+  }
+  std::reverse(edges.begin(), edges.end());
+  Path p(source);
+  NodeId cur = source;
+  for (auto& [e, t] : edges) {
+    NodeId next = g.Cross(e, cur, t);
+    p.Append(e, t, next);
+    cur = next;
+  }
+  return p;
+}
+
+namespace {
+
+/// Shared Dijkstra over the (node × nfa-state × layer) product. With
+/// `max_hops` == SIZE_MAX the layer collapses to 0 and this is plain
+/// weighted product search.
+Result<Path> CheapestImpl(const PropertyGraph& g, const RpqNfa& nfa,
+                          NodeId source, NodeId target,
+                          const std::string& weight_property,
+                          size_t max_hops, double default_weight) {
+  const size_t ns = static_cast<size_t>(nfa.num_states);
+  const size_t layers = max_hops == SIZE_MAX ? 1 : max_hops + 1;
+  const bool layered = max_hops != SIZE_MAX;
+  const size_t total = g.num_nodes() * ns * layers;
+
+  auto id_of = [&](NodeId n, int q, size_t hops) {
+    size_t layer = layered ? hops : 0;
+    return (static_cast<size_t>(n) * ns + static_cast<size_t>(q)) * layers +
+           layer;
+  };
+  // Pre-validate and cache edge costs: errors surface before the search.
+  std::vector<double> cost(g.num_edges(), default_weight);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Value& w = g.edge(e).GetProperty(weight_property);
+    if (w.is_null()) continue;
+    if (!w.is_numeric()) {
+      return Status::SemanticError("weight property " + weight_property +
+                                   " is not numeric on edge " +
+                                   g.edge(e).name);
+    }
+    if (w.AsDouble() < 0) {
+      return Status::InvalidArgument(
+          "negative edge weight on " + g.edge(e).name +
+          "; Dijkstra requires non-negative costs");
+    }
+    cost[e] = w.AsDouble();
+  }
+
+  struct Entry {
+    double dist;
+    NodeId node;
+    int state;
+    size_t hops;
+    bool operator>(const Entry& o) const { return dist > o.dist; }
+  };
+  struct Pred {
+    double dist = -1.0;  // -1 = unvisited.
+    size_t prev = SIZE_MAX;
+    EdgeId edge = kInvalidId;
+    Traversal traversal = Traversal::kForward;
+  };
+  std::vector<Pred> pred(total);
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
+
+  auto relax = [&](NodeId n, int q, size_t hops, double dist, size_t prev,
+                   EdgeId e, Traversal t) {
+    size_t id = id_of(n, q, hops);
+    if (pred[id].dist >= 0 && pred[id].dist <= dist) return;
+    pred[id] = {dist, prev, e, t};
+    queue.push({dist, n, q, hops});
+  };
+  relax(source, nfa.start, 0, 0.0, SIZE_MAX, kInvalidId,
+        Traversal::kForward);
+
+  size_t accept_id = SIZE_MAX;
+  while (!queue.empty()) {
+    Entry cur = queue.top();
+    queue.pop();
+    size_t id = id_of(cur.node, cur.state, cur.hops);
+    if (pred[id].dist < cur.dist) continue;  // Stale entry.
+    if (cur.node == target && cur.state == nfa.accept) {
+      accept_id = id;
+      break;
+    }
+    for (int si : nfa.out[static_cast<size_t>(cur.state)]) {
+      const RpqNfa::Step& step = nfa.steps[static_cast<size_t>(si)];
+      if (step.epsilon) {
+        // Zero-cost move: the predecessor record (last edge taken) carries
+        // over unchanged for path reconstruction.
+        relax(cur.node, step.to, cur.hops, cur.dist, pred[id].prev,
+              pred[id].edge, pred[id].traversal);
+        continue;
+      }
+      if (layered && cur.hops >= max_hops) continue;
+      ForEachMove(g, cur.node, step, [&](const Adjacency& adj) {
+        relax(adj.neighbor, step.to, cur.hops + 1,
+              cur.dist + cost[adj.edge], id, adj.edge, adj.traversal);
+      });
+    }
+  }
+
+  if (accept_id == SIZE_MAX) {
+    return Status::NotFound("no path matching the regex within the bounds");
+  }
+
+  std::vector<std::pair<EdgeId, Traversal>> edges;
+  for (size_t id = accept_id;
+       id != SIZE_MAX && pred[id].edge != kInvalidId;) {
+    edges.push_back({pred[id].edge, pred[id].traversal});
+    id = pred[id].prev;
+  }
+  std::reverse(edges.begin(), edges.end());
+  Path p(source);
+  NodeId cur = source;
+  for (auto& [e, t] : edges) {
+    NodeId next = g.Cross(e, cur, t);
+    p.Append(e, t, next);
+    cur = next;
+  }
+  return p;
+}
+
+}  // namespace
+
+Result<Path> CheapestRegexPath(const PropertyGraph& g, const RpqNfa& nfa,
+                               NodeId source, NodeId target,
+                               const std::string& weight_property,
+                               double default_weight) {
+  return CheapestImpl(g, nfa, source, target, weight_property, SIZE_MAX,
+                      default_weight);
+}
+
+Result<Path> CheapestRegexPathWithinHops(
+    const PropertyGraph& g, const RpqNfa& nfa, NodeId source, NodeId target,
+    const std::string& weight_property, size_t max_hops,
+    double default_weight) {
+  return CheapestImpl(g, nfa, source, target, weight_property, max_hops,
+                      default_weight);
+}
+
+}  // namespace baseline
+}  // namespace gpml

@@ -1,0 +1,77 @@
+#ifndef GPML_BASELINE_RPQ_NFA_H_
+#define GPML_BASELINE_RPQ_NFA_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "baseline/regex.h"
+#include "common/result.h"
+#include "graph/path.h"
+#include "graph/property_graph.h"
+
+namespace gpml {
+namespace baseline {
+
+/// Thompson NFA over edge-label steps (forward / inverse), the classical
+/// machinery for RPQ evaluation (§3, §8). States are dense ints; transitions
+/// are label steps or epsilons.
+struct RpqNfa {
+  struct Step {
+    int from = 0;
+    int to = 0;
+    bool epsilon = true;
+    bool inverse = false;   // Inverse step traverses edges backwards.
+    std::string label;
+  };
+  int num_states = 0;
+  int start = 0;
+  int accept = 0;
+  std::vector<Step> steps;
+
+  /// Adjacency by source state, built on construction.
+  std::vector<std::vector<int>> out;  // Indices into steps.
+};
+
+RpqNfa BuildNfa(const Regex& regex);
+
+/// SPARQL-style endpoint semantics (§3): the set of node pairs (x, y)
+/// connected by a path matching the regex. Existence only — no paths are
+/// materialized, which is why this baseline stays polynomial where path
+/// enumeration cannot (the paper's §5/§8 discussion).
+std::vector<std::pair<NodeId, NodeId>> EvalReachability(
+    const PropertyGraph& g, const RpqNfa& nfa);
+
+/// As above but restricted to a single source node.
+std::vector<NodeId> EvalReachableFrom(const PropertyGraph& g,
+                                      const RpqNfa& nfa, NodeId source);
+
+/// Product-automaton BFS shortest path from `source` to `target` under the
+/// regex — the §7.2 research question ("shortest path queries with arbitrary
+/// regular expressions") answered with the textbook construction. Returns
+/// nullopt-like empty path when unreachable.
+Result<Path> ShortestRegexPath(const PropertyGraph& g, const RpqNfa& nfa,
+                               NodeId source, NodeId target);
+
+/// Cheapest path under edge weights — the §7.1 Language Opportunity
+/// ("cheapest path search, by adding weights to edges", PGQL's ANY
+/// CHEAPEST): Dijkstra over the (graph × NFA) product. Edge cost is the
+/// numeric property `weight_property`; edges lacking it cost
+/// `default_weight`. Negative weights are rejected.
+Result<Path> CheapestRegexPath(const PropertyGraph& g, const RpqNfa& nfa,
+                               NodeId source, NodeId target,
+                               const std::string& weight_property,
+                               double default_weight = 1.0);
+
+/// Constrained variant answering §7.2's "most scenic route to the airport
+/// in at most 2 hours": cheapest path whose hop count does not exceed
+/// `max_hops`, via Dijkstra over the layered (graph × NFA × hops) product.
+Result<Path> CheapestRegexPathWithinHops(
+    const PropertyGraph& g, const RpqNfa& nfa, NodeId source, NodeId target,
+    const std::string& weight_property, size_t max_hops,
+    double default_weight = 1.0);
+
+}  // namespace baseline
+}  // namespace gpml
+
+#endif  // GPML_BASELINE_RPQ_NFA_H_

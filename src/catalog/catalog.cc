@@ -1,0 +1,49 @@
+#include "catalog/catalog.h"
+
+namespace gpml {
+
+Status Catalog::AddTable(std::string name, Table table) {
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("table already exists: " + name);
+  }
+  tables_.emplace(std::move(name), std::move(table));
+  return Status::OK();
+}
+
+Result<const Table*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no table named " + name);
+  return &it->second;
+}
+
+Status Catalog::AddGraph(std::string name, PropertyGraph graph) {
+  if (graphs_.count(name) > 0) {
+    return Status::AlreadyExists("graph already exists: " + name);
+  }
+  graphs_.emplace(std::move(name),
+                  std::make_shared<const PropertyGraph>(std::move(graph)));
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const PropertyGraph>> Catalog::GetGraph(
+    const std::string& name) const {
+  auto it = graphs_.find(name);
+  if (it == graphs_.end()) return Status::NotFound("no graph named " + name);
+  return it->second;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [k, v] : tables_) names.push_back(k);
+  return names;
+}
+
+std::vector<std::string> Catalog::GraphNames() const {
+  std::vector<std::string> names;
+  names.reserve(graphs_.size());
+  for (const auto& [k, v] : graphs_) names.push_back(k);
+  return names;
+}
+
+}  // namespace gpml

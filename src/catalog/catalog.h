@@ -1,0 +1,47 @@
+#ifndef GPML_CATALOG_CATALOG_H_
+#define GPML_CATALOG_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/table.h"
+#include "common/result.h"
+#include "graph/property_graph.h"
+
+namespace gpml {
+
+/// A named collection of relational tables and property graphs — the shared
+/// environment of Figure 9 in which the GPML processor runs. SQL/PGQ
+/// registers base tables and derives graphs from them (graph views); GQL
+/// registers graphs directly. Graphs are owned by shared_ptr so sessions and
+/// long-running queries can hold them independently of catalog mutations.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  Status AddTable(std::string name, Table table);
+  Result<const Table*> GetTable(const std::string& name) const;
+  bool HasTable(const std::string& name) const {
+    return tables_.count(name) > 0;
+  }
+
+  Status AddGraph(std::string name, PropertyGraph graph);
+  Result<std::shared_ptr<const PropertyGraph>> GetGraph(
+      const std::string& name) const;
+  bool HasGraph(const std::string& name) const {
+    return graphs_.count(name) > 0;
+  }
+
+  std::vector<std::string> TableNames() const;
+  std::vector<std::string> GraphNames() const;
+
+ private:
+  std::map<std::string, Table> tables_;
+  std::map<std::string, std::shared_ptr<const PropertyGraph>> graphs_;
+};
+
+}  // namespace gpml
+
+#endif  // GPML_CATALOG_CATALOG_H_

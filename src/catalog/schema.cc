@@ -1,0 +1,58 @@
+#include "catalog/schema.h"
+
+#include "common/strings.h"
+
+namespace gpml {
+
+int Schema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status Schema::ValidateRow(const std::vector<Value>& row) const {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(row.size()) + " values, schema has " +
+        std::to_string(columns_.size()) + " columns");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    const ColumnDef& col = columns_[i];
+    if (row[i].is_null()) {
+      if (!col.nullable) {
+        return Status::InvalidArgument("NULL in non-nullable column " +
+                                       col.name);
+      }
+      continue;
+    }
+    if (col.type != ValueType::kNull && row[i].type() != col.type) {
+      return Status::InvalidArgument(
+          "column " + col.name + " expects " + ValueTypeName(col.type) +
+          ", got " + ValueTypeName(row[i].type()));
+    }
+  }
+  return Status::OK();
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(columns_.size());
+  for (const ColumnDef& c : columns_) {
+    parts.push_back(c.name + " " + ValueTypeName(c.type));
+  }
+  return Join(parts, ", ");
+}
+
+bool operator==(const Schema& a, const Schema& b) {
+  if (a.columns_.size() != b.columns_.size()) return false;
+  for (size_t i = 0; i < a.columns_.size(); ++i) {
+    if (a.columns_[i].name != b.columns_[i].name ||
+        a.columns_[i].type != b.columns_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace gpml

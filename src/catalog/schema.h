@@ -1,0 +1,50 @@
+#ifndef GPML_CATALOG_SCHEMA_H_
+#define GPML_CATALOG_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+
+namespace gpml {
+
+/// A column of a relational table: name plus dynamic type. kNull as a column
+/// type means "any" (used by computed columns whose type depends on data).
+struct ColumnDef {
+  std::string name;
+  ValueType type = ValueType::kNull;
+  bool nullable = true;
+};
+
+/// An ordered list of named, typed columns. The SQL/PGQ host (Figure 2 /
+/// Figure 9) uses schemas both for base tables and for GRAPH_TABLE outputs.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns)
+      : columns_(std::move(columns)) {}
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  /// Index of `name`, or -1 if absent.
+  int FindColumn(const std::string& name) const;
+
+  /// Validates a row against the column types (NULLs allowed when nullable;
+  /// kNull-typed columns accept anything).
+  Status ValidateRow(const std::vector<Value>& row) const;
+
+  /// "name TYPE, name TYPE, ..." rendering.
+  std::string ToString() const;
+
+  friend bool operator==(const Schema& a, const Schema& b);
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+}  // namespace gpml
+
+#endif  // GPML_CATALOG_SCHEMA_H_

@@ -1,0 +1,74 @@
+#include "catalog/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace gpml {
+
+Status Table::Append(Row row) {
+  GPML_RETURN_IF_ERROR(schema_.ValidateRow(row));
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+Result<Value> Table::At(size_t row_index, const std::string& column) const {
+  int col = schema_.FindColumn(column);
+  if (col < 0) return Status::NotFound("no column named " + column);
+  if (row_index >= rows_.size()) {
+    return Status::InvalidArgument("row index out of range");
+  }
+  return rows_[row_index][static_cast<size_t>(col)];
+}
+
+void Table::SortRows() {
+  std::sort(rows_.begin(), rows_.end());
+}
+
+void Table::DeduplicateRows() {
+  SortRows();
+  rows_.erase(std::unique(rows_.begin(), rows_.end()), rows_.end());
+}
+
+std::string Table::ToString() const {
+  // Compute column widths over header + data.
+  std::vector<size_t> widths(schema_.num_columns());
+  std::vector<std::vector<std::string>> cells;
+  cells.reserve(rows_.size());
+  for (size_t c = 0; c < schema_.num_columns(); ++c) {
+    widths[c] = schema_.column(c).name.size();
+  }
+  for (const Row& r : rows_) {
+    std::vector<std::string> rendered;
+    rendered.reserve(r.size());
+    for (size_t c = 0; c < r.size(); ++c) {
+      rendered.push_back(r[c].ToString());
+      widths[c] = std::max(widths[c], rendered.back().size());
+    }
+    cells.push_back(std::move(rendered));
+  }
+
+  std::ostringstream os;
+  auto pad = [&](const std::string& s, size_t w) {
+    os << s << std::string(w - s.size(), ' ');
+  };
+  for (size_t c = 0; c < schema_.num_columns(); ++c) {
+    if (c > 0) os << " | ";
+    pad(schema_.column(c).name, widths[c]);
+  }
+  os << "\n";
+  for (size_t c = 0; c < schema_.num_columns(); ++c) {
+    if (c > 0) os << "-+-";
+    os << std::string(widths[c], '-');
+  }
+  os << "\n";
+  for (const auto& r : cells) {
+    for (size_t c = 0; c < r.size(); ++c) {
+      if (c > 0) os << " | ";
+      pad(r[c], widths[c]);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace gpml

@@ -1,0 +1,59 @@
+#ifndef GPML_CATALOG_TABLE_H_
+#define GPML_CATALOG_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/result.h"
+#include "common/value.h"
+
+namespace gpml {
+
+using Row = std::vector<Value>;
+
+/// A row-oriented relational table: the substrate over which SQL/PGQ defines
+/// graph views (Figure 2) and into which GRAPH_TABLE projects pattern-match
+/// results (Figure 9). Deliberately minimal — rows, schema validation,
+/// deterministic sorting and pretty-printing — since the paper only needs
+/// tables as the host data model, not a full SQL executor.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return rows_.size(); }
+  const Row& row(size_t i) const { return rows_[i]; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  /// Appends a row after validating it against the schema.
+  Status Append(Row row);
+  /// Appends without validation (trusted internal producers).
+  void AppendUnchecked(Row row) { rows_.push_back(std::move(row)); }
+
+  /// Value at (row, column-name); NotFound for unknown columns.
+  Result<Value> At(size_t row_index, const std::string& column) const;
+
+  /// Lexicographic sort over all columns; makes result comparison and
+  /// printing deterministic regardless of match enumeration order.
+  void SortRows();
+
+  /// Removes duplicate rows (set semantics); sorts as a side effect.
+  void DeduplicateRows();
+
+  /// ASCII rendering with a header row, à la psql.
+  std::string ToString() const;
+
+  friend bool operator==(const Table& a, const Table& b) {
+    return a.schema_ == b.schema_ && a.rows_ == b.rows_;
+  }
+
+ private:
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace gpml
+
+#endif  // GPML_CATALOG_TABLE_H_

@@ -1,0 +1,71 @@
+#ifndef GPML_COMMON_RESULT_H_
+#define GPML_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace gpml {
+
+/// Either a value of type T or a non-OK Status; the library's substitute for
+/// exceptions on fallible value-returning APIs (absl::StatusOr / arrow::Result
+/// idiom). A Result constructed from an OK Status is a programming error.
+template <typename T>
+class Result {
+ public:
+  /* implicit */ Result(T value) : repr_(std::move(value)) {}
+  /* implicit */ Result(Status status) : repr_(std::move(status)) {
+    assert(!std::get<Status>(repr_).ok() &&
+           "Result must not be built from an OK Status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    if (ok()) return kOk;
+    return std::get<Status>(repr_);
+  }
+
+  /// Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Evaluates `rexpr` (a Result<T>), propagating errors; otherwise moves the
+/// value into `lhs` (which may be a declaration).
+#define GPML_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value();
+
+#define GPML_ASSIGN_OR_RETURN_CONCAT_(x, y) x##y
+#define GPML_ASSIGN_OR_RETURN_CONCAT(x, y) GPML_ASSIGN_OR_RETURN_CONCAT_(x, y)
+
+#define GPML_ASSIGN_OR_RETURN(lhs, rexpr) \
+  GPML_ASSIGN_OR_RETURN_IMPL(             \
+      GPML_ASSIGN_OR_RETURN_CONCAT(_gpml_result_, __LINE__), lhs, rexpr)
+
+}  // namespace gpml
+
+#endif  // GPML_COMMON_RESULT_H_

@@ -1,0 +1,122 @@
+#ifndef GPML_COMMON_STATUS_H_
+#define GPML_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace gpml {
+
+/// Error categories used across the library. The taxonomy mirrors the places
+/// where the GPML standard allows an implementation to reject a query:
+/// syntax (parser), semantic analysis (variable rules of §4.6), and the
+/// termination rules of §5, plus the usual runtime/internal buckets.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // Malformed input to an API call.
+  kSyntaxError,       // Lexer/parser rejection.
+  kSemanticError,     // Variable misuse, unknown graph, type errors.
+  kNonTerminating,    // §5: unbounded quantifier outside restrictor/selector
+                      // scope, or prefilter aggregate over unbounded group.
+  kNotFound,          // Missing catalog object, property, column.
+  kAlreadyExists,     // Duplicate catalog object.
+  kResourceExhausted, // Evaluation guard tripped (configurable limits).
+  kUnimplemented,     // Feature declared by the standard but not built.
+  kInternal,          // Invariant violation inside the engine.
+};
+
+/// Returns a stable human-readable name for `code` ("OK", "SyntaxError", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Value-type error carrier used instead of exceptions, following the
+/// RocksDB/Arrow idiom. A default-constructed Status is OK. Statuses are
+/// cheap to copy (small string payload only in the error case).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status SyntaxError(std::string msg) {
+    return Status(StatusCode::kSyntaxError, std::move(msg));
+  }
+  static Status SemanticError(std::string msg) {
+    return Status(StatusCode::kSemanticError, std::move(msg));
+  }
+  static Status NonTerminating(std::string msg) {
+    return Status(StatusCode::kNonTerminating, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string s = StatusCodeName(code_);
+    if (!message_.empty()) {
+      s += ": ";
+      s += message_;
+    }
+    return s;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kSyntaxError: return "SyntaxError";
+    case StatusCode::kSemanticError: return "SemanticError";
+    case StatusCode::kNonTerminating: return "NonTerminating";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kAlreadyExists: return "AlreadyExists";
+    case StatusCode::kResourceExhausted: return "ResourceExhausted";
+    case StatusCode::kUnimplemented: return "Unimplemented";
+    case StatusCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define GPML_RETURN_IF_ERROR(expr)                 \
+  do {                                             \
+    ::gpml::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                     \
+  } while (0)
+
+}  // namespace gpml
+
+#endif  // GPML_COMMON_STATUS_H_

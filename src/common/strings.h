@@ -1,0 +1,31 @@
+#ifndef GPML_COMMON_STRINGS_H_
+#define GPML_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gpml {
+
+/// Joins `parts` with `sep` ("a, b, c" style).
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view s);
+/// ASCII uppercase copy.
+std::string ToUpper(std::string_view s);
+
+/// Case-insensitive ASCII equality (keywords in GPML are case-insensitive).
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Combines a hash into a running seed (boost::hash_combine recipe).
+inline size_t HashCombine(size_t seed, size_t h) {
+  return seed ^ (h + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace gpml
+
+#endif  // GPML_COMMON_STRINGS_H_

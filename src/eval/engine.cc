@@ -1,0 +1,242 @@
+#include "eval/engine.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "eval/nfa.h"
+#include "parser/parser.h"
+#include "semantics/normalize.h"
+#include "semantics/termination.h"
+
+namespace gpml {
+
+std::optional<ElementRef> RowScope::LookupSingleton(int var) const {
+  for (size_t i = row_.bindings.size(); i-- > 0;) {
+    const ElementRef* el = row_.bindings[i]->LastOf(var);
+    if (el != nullptr) return *el;
+  }
+  return std::nullopt;
+}
+
+std::vector<ElementRef> RowScope::CollectGroup(int var) const {
+  std::vector<ElementRef> out;
+  for (const auto& pb : row_.bindings) {
+    std::vector<ElementRef> part = pb->ElementsOf(var);
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  return out;
+}
+
+const Path* RowScope::LookupPath(int var) const {
+  for (size_t i = 0; i < row_.bindings.size(); ++i) {
+    if (i < output_.path_vars.size() && output_.path_vars[i] == var) {
+      return &row_.bindings[i]->path;
+    }
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// Joins the accumulated rows with the next declaration's bindings on the
+/// given join variables (hash join; cross product when none).
+Result<std::vector<ResultRow>> JoinDecl(
+    std::vector<ResultRow> rows,
+    const std::vector<std::shared_ptr<const PathBinding>>& bindings,
+    const std::vector<int>& join_vars, size_t max_rows) {
+  auto key_of_binding =
+      [&](const PathBinding& pb) -> std::optional<std::vector<ElementRef>> {
+    std::vector<ElementRef> key;
+    key.reserve(join_vars.size());
+    for (int v : join_vars) {
+      const ElementRef* el = pb.LastOf(v);
+      if (el == nullptr) return std::nullopt;
+      key.push_back(*el);
+    }
+    return key;
+  };
+  auto hash_key = [](const std::vector<ElementRef>& key) {
+    size_t h = 0x9e3779b97f4a7c15ULL;
+    for (const ElementRef& r : key) h = HashCombine(h, ElementRefHash()(r));
+    return h;
+  };
+
+  // Index the new declaration's bindings by join key.
+  std::unordered_map<size_t, std::vector<size_t>> index;
+  std::vector<std::optional<std::vector<ElementRef>>> keys(bindings.size());
+  for (size_t i = 0; i < bindings.size(); ++i) {
+    keys[i] = key_of_binding(*bindings[i]);
+    if (keys[i].has_value()) index[hash_key(*keys[i])].push_back(i);
+  }
+
+  std::vector<ResultRow> out;
+  for (ResultRow& row : rows) {
+    std::optional<std::vector<ElementRef>> row_key;
+    if (!join_vars.empty()) {
+      std::vector<ElementRef> key;
+      key.reserve(join_vars.size());
+      bool ok = true;
+      for (int v : join_vars) {
+        const ElementRef* el = nullptr;
+        for (size_t i = row.bindings.size(); i-- > 0 && el == nullptr;) {
+          el = row.bindings[i]->LastOf(v);
+        }
+        if (el == nullptr) {
+          ok = false;
+          break;
+        }
+        key.push_back(*el);
+      }
+      if (!ok) continue;
+      row_key = std::move(key);
+    }
+
+    auto extend_with = [&](size_t i) -> Status {
+      ResultRow nr = row;
+      nr.bindings.push_back(bindings[i]);
+      out.push_back(std::move(nr));
+      if (out.size() > max_rows) {
+        return Status::ResourceExhausted(
+            "joined result exceeded max_rows; refine the pattern or raise "
+            "EngineOptions::max_rows");
+      }
+      return Status::OK();
+    };
+
+    if (!row_key.has_value()) {
+      for (size_t i = 0; i < bindings.size(); ++i) {
+        GPML_RETURN_IF_ERROR(extend_with(i));
+      }
+    } else {
+      auto it = index.find(hash_key(*row_key));
+      if (it == index.end()) continue;
+      for (size_t i : it->second) {
+        if (*keys[i] == *row_key) {
+          GPML_RETURN_IF_ERROR(extend_with(i));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<MatchOutput> Engine::Match(const std::string& match_text) const {
+  GPML_ASSIGN_OR_RETURN(GraphPattern pattern, ParseGraphPattern(match_text));
+  return Match(pattern);
+}
+
+Result<MatchOutput> Engine::Match(const GraphPattern& pattern) const {
+  MatchOutput out;
+  GPML_ASSIGN_OR_RETURN(out.normalized, Normalize(pattern));
+  GPML_ASSIGN_OR_RETURN(Analysis analysis, Analyze(out.normalized));
+  GPML_RETURN_IF_ERROR(CheckTermination(out.normalized, analysis));
+  out.vars = std::make_shared<VarTable>(analysis);
+
+  // Evaluate every path declaration independently (§6.5), then join.
+  bool first = true;
+  std::vector<ResultRow> rows;
+  for (size_t d = 0; d < out.normalized.paths.size(); ++d) {
+    const PathPatternDecl& decl = out.normalized.paths[d];
+    out.path_vars.push_back(
+        decl.path_var.empty() ? -1 : out.vars->Find(decl.path_var));
+
+    GPML_ASSIGN_OR_RETURN(Program program,
+                          CompilePattern(decl, *out.vars));
+    GPML_ASSIGN_OR_RETURN(
+        MatchSet match, RunPattern(graph_, program, *out.vars,
+                                   options_.matcher));
+    std::vector<std::shared_ptr<const PathBinding>> bindings;
+    bindings.reserve(match.bindings.size());
+    for (PathBinding& pb : match.bindings) {
+      bindings.push_back(std::make_shared<const PathBinding>(std::move(pb)));
+    }
+
+    if (first) {
+      rows.reserve(bindings.size());
+      for (auto& b : bindings) {
+        ResultRow r;
+        r.bindings.push_back(std::move(b));
+        rows.push_back(std::move(r));
+      }
+      first = false;
+      continue;
+    }
+
+    // Join variables: named non-group singletons declared both in this
+    // declaration and in any earlier one.
+    std::vector<int> join_vars;
+    for (int v = 0; v < out.vars->size(); ++v) {
+      const VarInfo& info = out.vars->info(v);
+      if (info.anonymous || info.group || info.conditional) continue;
+      if (info.kind == VarInfo::Kind::kPath) continue;
+      bool in_this = false;
+      bool in_earlier = false;
+      for (int di : info.decls) {
+        if (di == static_cast<int>(d)) in_this = true;
+        if (di < static_cast<int>(d)) in_earlier = true;
+      }
+      if (in_this && in_earlier) join_vars.push_back(v);
+    }
+    GPML_ASSIGN_OR_RETURN(
+        rows, JoinDecl(std::move(rows), bindings, join_vars,
+                       options_.max_rows));
+  }
+
+  // Match mode (§7.1 Language Opportunity): DIFFERENT EDGES requires all
+  // matched edges across the whole graph pattern to be pairwise distinct;
+  // DIFFERENT NODES likewise for nodes. The default (REPEATABLE ELEMENTS)
+  // is the paper's homomorphism semantics.
+  if (out.normalized.mode != MatchMode::kRepeatableElements) {
+    // Distinctness is over logical bindings: all occurrences of one named
+    // singleton variable are a single binding (equi-joins assert equality,
+    // they must not self-collide), while group-variable iterations and
+    // anonymous positions each count separately — so a walk reusing an
+    // edge across quantifier iterations is rejected under DIFFERENT EDGES.
+    bool edges_only = out.normalized.mode == MatchMode::kDifferentEdges;
+    std::vector<ResultRow> kept;
+    kept.reserve(rows.size());
+    for (ResultRow& row : rows) {
+      std::unordered_set<uint32_t> seen;
+      std::unordered_set<uint64_t> singleton_bindings;
+      bool ok = true;
+      for (const auto& pb : row.bindings) {
+        for (const ElementaryBinding& b : pb->reduced) {
+          if (b.element.is_edge() != edges_only) continue;
+          const VarInfo& vi = out.vars->info(b.var);
+          if (!vi.group && !vi.anonymous) {
+            uint64_t key = (static_cast<uint64_t>(b.var) << 32) |
+                           b.element.id;
+            if (!singleton_bindings.insert(key).second) continue;
+          }
+          if (!seen.insert(b.element.id).second) {
+            ok = false;
+            break;
+          }
+        }
+        if (!ok) break;
+      }
+      if (ok) kept.push_back(std::move(row));
+    }
+    rows = std::move(kept);
+  }
+
+  // Final WHERE: the postfilter of §5.2.
+  if (out.normalized.where != nullptr) {
+    std::vector<ResultRow> filtered;
+    for (ResultRow& row : rows) {
+      RowScope scope(out, row);
+      GPML_ASSIGN_OR_RETURN(
+          TriBool ok,
+          EvalPredicate(*out.normalized.where, graph_, *out.vars, scope));
+      if (ok == TriBool::kTrue) filtered.push_back(std::move(row));
+    }
+    rows = std::move(filtered);
+  }
+
+  out.rows = std::move(rows);
+  return out;
+}
+
+}  // namespace gpml

@@ -1,0 +1,87 @@
+#ifndef GPML_EVAL_ENGINE_H_
+#define GPML_EVAL_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ast/ast.h"
+#include "common/result.h"
+#include "eval/binding.h"
+#include "eval/expr_eval.h"
+#include "eval/matcher.h"
+#include "graph/property_graph.h"
+#include "semantics/analyze.h"
+
+namespace gpml {
+
+struct EngineOptions {
+  MatcherOptions matcher;
+  size_t max_rows = 1u << 20;  // Join-output guard.
+};
+
+/// One solution of a graph pattern: a path binding per path declaration
+/// (§6.5 "Multiple patterns"), sharing singleton variables.
+struct ResultRow {
+  std::vector<std::shared_ptr<const PathBinding>> bindings;
+};
+
+/// The output of pattern matching, self-contained: rows plus the compiled
+/// context needed to interpret them (variable table, normalized pattern with
+/// the expressions the rows may be projected through, per-declaration path
+/// variables).
+struct MatchOutput {
+  std::vector<ResultRow> rows;
+  std::shared_ptr<const VarTable> vars;
+  GraphPattern normalized;        // Keeps pattern ASTs alive.
+  std::vector<int> path_vars;     // Per declaration; -1 when absent.
+
+  size_t size() const { return rows.size(); }
+};
+
+/// Expression scope over one result row: singleton lookups see the last
+/// binding of a variable, group collections span the whole row, path
+/// variables resolve to their declaration's matched path. Used for the
+/// final WHERE postfilter and by both hosts for projection.
+class RowScope : public EvalScope {
+ public:
+  RowScope(const MatchOutput& output, const ResultRow& row)
+      : output_(output), row_(row) {}
+
+  std::optional<ElementRef> LookupSingleton(int var) const override;
+  std::vector<ElementRef> CollectGroup(int var) const override;
+  const Path* LookupPath(int var) const override;
+
+ private:
+  const MatchOutput& output_;
+  const ResultRow& row_;
+};
+
+/// The GPML processor of Figure 9: evaluates graph patterns over one
+/// property graph. Both hosts (SQL/PGQ's GRAPH_TABLE and GQL sessions)
+/// delegate here; the pre-projection semantics is identical in both, as the
+/// paper requires.
+class Engine {
+ public:
+  explicit Engine(const PropertyGraph& graph, EngineOptions options = {})
+      : graph_(graph), options_(options) {}
+
+  /// Full pipeline from MATCH text: parse, normalize (§6.2), analyze
+  /// (§4.4/§4.6/§4.7), termination-check (§5), compile, match, join
+  /// declarations on shared singletons, apply the final WHERE.
+  Result<MatchOutput> Match(const std::string& match_text) const;
+
+  /// Same, starting from a parsed (unnormalized) pattern.
+  Result<MatchOutput> Match(const GraphPattern& pattern) const;
+
+  const PropertyGraph& graph() const { return graph_; }
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  const PropertyGraph& graph_;
+  EngineOptions options_;
+};
+
+}  // namespace gpml
+
+#endif  // GPML_EVAL_ENGINE_H_

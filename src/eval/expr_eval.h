@@ -1,0 +1,88 @@
+#ifndef GPML_EVAL_EXPR_EVAL_H_
+#define GPML_EVAL_EXPR_EVAL_H_
+
+#include <optional>
+#include <vector>
+
+#include "ast/expr.h"
+#include "common/result.h"
+#include "common/value.h"
+#include "eval/binding.h"
+#include "graph/path.h"
+#include "graph/property_graph.h"
+
+namespace gpml {
+
+/// Where expression evaluation finds its variable bindings. Implementations
+/// exist for the three evaluation contexts: in-flight search states (inline
+/// and frame prefilters), joined result rows (postfilter, projection), and
+/// the reference evaluator's rigid-pattern rows.
+class EvalScope {
+ public:
+  virtual ~EvalScope() = default;
+
+  /// Latest element bound to `var` visible as a singleton reference;
+  /// nullopt when unbound (conditional variable not matched, or forward
+  /// reference), which evaluates to NULL.
+  virtual std::optional<ElementRef> LookupSingleton(int var) const = 0;
+
+  /// All elements bound to `var` for group aggregation, innermost frame (or
+  /// whole row for postfilters).
+  virtual std::vector<ElementRef> CollectGroup(int var) const = 0;
+
+  /// Path bound to a path variable, nullptr if none.
+  virtual const Path* LookupPath(int var) const {
+    (void)var;
+    return nullptr;
+  }
+};
+
+/// The result of evaluating an expression: either a property value or an
+/// element/path reference (element references arise from bare variable
+/// references and can be compared, §4.7 / GQL element equality).
+struct EvalValue {
+  enum class Kind { kValue, kElement, kPath };
+  Kind kind = Kind::kValue;
+  Value value;
+  ElementRef element;
+  const Path* path = nullptr;
+
+  static EvalValue Of(Value v) {
+    EvalValue e;
+    e.value = std::move(v);
+    return e;
+  }
+  static EvalValue OfElement(ElementRef r) {
+    EvalValue e;
+    e.kind = Kind::kElement;
+    e.element = r;
+    return e;
+  }
+  static EvalValue OfPath(const Path* p) {
+    EvalValue e;
+    e.kind = Kind::kPath;
+    e.path = p;
+    return e;
+  }
+  bool is_null() const {
+    return kind == Kind::kValue && value.is_null();
+  }
+};
+
+/// Evaluates `expr` to a value. Unbound variables yield NULL; type errors
+/// surface as Status.
+Result<EvalValue> EvalExpr(const Expr& expr, const PropertyGraph& g,
+                           const VarTable& vars, const EvalScope& scope);
+
+/// Evaluates `expr` as a predicate under SQL three-valued logic; a binding
+/// passes a filter only when the result is kTrue.
+Result<TriBool> EvalPredicate(const Expr& expr, const PropertyGraph& g,
+                              const VarTable& vars, const EvalScope& scope);
+
+/// Renders an EvalValue for result tables: elements by name, paths in
+/// path(...) notation.
+Value ToOutputValue(const EvalValue& v, const PropertyGraph& g);
+
+}  // namespace gpml
+
+#endif  // GPML_EVAL_EXPR_EVAL_H_

@@ -1,0 +1,599 @@
+#include "eval/matcher.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "eval/expr_eval.h"
+#include "eval/selector.h"
+
+namespace gpml {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Persistent id set (restrictor memory): linked additions, O(depth) lookup.
+// ---------------------------------------------------------------------------
+
+struct IdSetNode {
+  uint32_t id;
+  std::shared_ptr<const IdSetNode> prev;
+};
+using IdSet = std::shared_ptr<const IdSetNode>;
+
+bool IdSetContains(const IdSet& set, uint32_t id) {
+  for (const IdSetNode* cur = set.get(); cur != nullptr;
+       cur = cur->prev.get()) {
+    if (cur->id == id) return true;
+  }
+  return false;
+}
+
+IdSet IdSetAdd(const IdSet& set, uint32_t id) {
+  auto node = std::make_shared<IdSetNode>();
+  node->id = id;
+  node->prev = set;
+  return node;
+}
+
+size_t IdSetHash(const IdSet& set) {
+  // Order-insensitive: XOR of element hashes (sets, not sequences).
+  size_t h = 0;
+  for (const IdSetNode* cur = set.get(); cur != nullptr;
+       cur = cur->prev.get()) {
+    h ^= (cur->id + 0x9e3779b9u) * 0x85ebca6bu;
+  }
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// Search state
+// ---------------------------------------------------------------------------
+
+struct ScopeState {
+  int scope_id = -1;
+  Restrictor restrictor = Restrictor::kNone;
+  NodeId start_node = kInvalidId;
+  bool start_revisited = false;  // SIMPLE: the one allowed repeat happened.
+  IdSet edges;                   // TRAIL memory.
+  IdSet nodes;                   // ACYCLIC / SIMPLE memory.
+};
+
+struct FrameState {
+  uint32_t chain_size_at_begin = 0;
+  uint32_t edges_at_begin = 0;
+};
+
+struct State {
+  int pc = 0;
+  NodeId node = kInvalidId;
+  NodeId start = kInvalidId;
+  uint32_t edges = 0;
+  BindingChain chain;
+  EnvChain env;
+  std::vector<uint64_t> serials;  // Index = quantifier depth; [0] == 0.
+  std::vector<FrameState> frames;
+  std::vector<ScopeState> scopes;
+  std::vector<int32_t> tags;
+};
+
+// ---------------------------------------------------------------------------
+// Expression scope over an in-flight state
+// ---------------------------------------------------------------------------
+
+class SearchScope : public EvalScope {
+ public:
+  SearchScope(const State& state, int pending_var, ElementRef pending_el,
+              bool has_pending)
+      : state_(state),
+        pending_var_(pending_var),
+        pending_el_(pending_el),
+        has_pending_(has_pending) {}
+
+  std::optional<ElementRef> LookupSingleton(int var) const override {
+    if (has_pending_ && var == pending_var_) return pending_el_;
+    const EnvLink* e = LookupEnv(state_.env, var);
+    if (e == nullptr) return std::nullopt;
+    return e->element;
+  }
+
+  std::vector<ElementRef> CollectGroup(int var) const override {
+    // Innermost frame delimits the group (§4.4 per-iteration predicates and
+    // §5.3 prefilters); without a frame, the whole binding so far.
+    uint32_t floor = state_.frames.empty()
+                         ? 0
+                         : state_.frames.back().chain_size_at_begin;
+    std::vector<ElementRef> out;
+    for (const BindingLink* cur = state_.chain.get();
+         cur != nullptr && cur->size > floor; cur = cur->prev.get()) {
+      if (cur->binding.var == var) out.push_back(cur->binding.element);
+    }
+    std::reverse(out.begin(), out.end());
+    if (has_pending_ && var == pending_var_) out.push_back(pending_el_);
+    return out;
+  }
+
+ private:
+  const State& state_;
+  int pending_var_;
+  ElementRef pending_el_;
+  bool has_pending_;
+};
+
+// ---------------------------------------------------------------------------
+// The matcher
+// ---------------------------------------------------------------------------
+
+class Matcher {
+ public:
+  Matcher(const PropertyGraph& g, const Program& program, const VarTable& vars,
+          const MatcherOptions& options)
+      : g_(g), program_(program), vars_(vars), options_(options) {}
+
+  Result<MatchSet> Run() {
+    Status st = program_.selector.IsNone() ? RunDfs() : RunBfs();
+    if (!st.ok()) return st;
+
+    MatchSet out;
+    out.bindings = std::move(results_);
+    // DFS results were sorted by length; BFS results arrive level-ordered —
+    // either way ApplySelector's precondition holds.
+    ApplySelector(program_.selector, &out.bindings);
+    return out;
+  }
+
+ private:
+  // --- shared helpers ------------------------------------------------------
+
+  Status Budget() {
+    if (++steps_ > options_.max_steps) {
+      return Status::ResourceExhausted(
+          "match search exceeded max_steps; tighten the pattern or raise "
+          "MatcherOptions::max_steps");
+    }
+    return Status::OK();
+  }
+
+  /// Seeds: start nodes. When the first check is a plain-label node pattern,
+  /// only nodes with that label can match, so seed from the label index.
+  std::vector<NodeId> Seeds() const {
+    int pc = program_.start;
+    while (true) {
+      const Instr& in = program_.code[static_cast<size_t>(pc)];
+      if (in.op == Instr::Op::kScopeBegin || in.op == Instr::Op::kJump ||
+          in.op == Instr::Op::kFrameBegin || in.op == Instr::Op::kTag) {
+        pc = in.next;
+        continue;
+      }
+      if (in.op == Instr::Op::kNodeCheck && in.node->labels != nullptr &&
+          in.node->labels->kind == LabelExpr::Kind::kName) {
+        return g_.NodesWithLabel(in.node->labels->name);
+      }
+      break;
+    }
+    std::vector<NodeId> all(g_.num_nodes());
+    for (NodeId i = 0; i < g_.num_nodes(); ++i) all[i] = i;
+    return all;
+  }
+
+  State MakeStart(NodeId s) const {
+    State st;
+    st.pc = program_.start;
+    st.node = s;
+    st.start = s;
+    st.serials.assign(static_cast<size_t>(program_.max_depth) + 1, 0);
+    return st;
+  }
+
+  /// Checks a node pattern against `node` with `state`'s environment;
+  /// returns false to prune. On success appends the binding (out).
+  Result<bool> ApplyNodeCheck(const Instr& in, State* state) {
+    const NodePattern& np = *in.node;
+    const NodeData& nd = g_.node(state->node);
+    if (np.labels != nullptr && !np.labels->Matches(nd.labels)) return false;
+    ElementRef ref = ElementRef::Node(state->node);
+
+    // Implicit equi-join (§4.2): a previous binding of the same variable in
+    // the same iteration instance must be the same node.
+    const VarInfo& vi = vars_.info(in.var);
+    if (!vi.anonymous) {
+      const EnvLink* prev = LookupEnv(state->env, in.var);
+      uint64_t serial = state->serials[static_cast<size_t>(vi.depth)];
+      if (prev != nullptr && prev->serial == serial) {
+        if (!(prev->element == ref)) return false;
+      } else {
+        state->env = ExtendEnv(state->env, in.var, ref, serial);
+      }
+    }
+    if (np.where != nullptr) {
+      SearchScope scope(*state, in.var, ref, /*has_pending=*/true);
+      GPML_ASSIGN_OR_RETURN(TriBool ok,
+                            EvalPredicate(*np.where, g_, vars_, scope));
+      if (ok != TriBool::kTrue) return false;
+    }
+    state->chain = Extend(state->chain, {in.var, ref});
+    return true;
+  }
+
+  /// Orientation admissibility (Figure 5).
+  static bool Admits(EdgeOrientation o, Traversal t) {
+    switch (o) {
+      case EdgeOrientation::kLeft: return t == Traversal::kBackward;
+      case EdgeOrientation::kUndirected: return t == Traversal::kUndirected;
+      case EdgeOrientation::kRight: return t == Traversal::kForward;
+      case EdgeOrientation::kLeftOrUndirected:
+        return t != Traversal::kForward;
+      case EdgeOrientation::kUndirectedOrRight:
+        return t != Traversal::kBackward;
+      case EdgeOrientation::kLeftOrRight: return t != Traversal::kUndirected;
+      case EdgeOrientation::kAny: return true;
+    }
+    return false;
+  }
+
+  /// Restrictor admission of a new edge step into `next`; updates scope
+  /// memories in `state` on success.
+  Result<bool> AdmitStep(EdgeId eid, NodeId next, State* state) {
+    for (ScopeState& sc : state->scopes) {
+      switch (sc.restrictor) {
+        case Restrictor::kTrail:
+          if (IdSetContains(sc.edges, eid)) return false;
+          sc.edges = IdSetAdd(sc.edges, eid);
+          break;
+        case Restrictor::kAcyclic:
+          if (IdSetContains(sc.nodes, next)) return false;
+          sc.nodes = IdSetAdd(sc.nodes, next);
+          break;
+        case Restrictor::kSimple:
+          // One repeat allowed: the scope's first node, and only as the
+          // final position — no further steps once it happened.
+          if (sc.start_revisited) return false;
+          if (IdSetContains(sc.nodes, next)) {
+            if (next == sc.start_node) {
+              sc.start_revisited = true;
+            } else {
+              return false;
+            }
+          } else {
+            sc.nodes = IdSetAdd(sc.nodes, next);
+          }
+          break;
+        case Restrictor::kNone:
+          break;
+      }
+    }
+    return true;
+  }
+
+  /// Attempts the edge step `in` from `state` over adjacency `adj`;
+  /// on success returns the successor state.
+  Result<std::optional<State>> TryEdge(const Instr& in, const State& state,
+                                       const Adjacency& adj) {
+    const EdgePattern& ep = *in.edge;
+    if (!Admits(ep.orientation, adj.traversal)) return std::optional<State>();
+    const EdgeData& ed = g_.edge(adj.edge);
+    if (ep.labels != nullptr && !ep.labels->Matches(ed.labels)) {
+      return std::optional<State>();
+    }
+    ElementRef ref = ElementRef::Edge(adj.edge);
+
+    State next = state;
+
+    const VarInfo& vi = vars_.info(in.var);
+    if (!vi.anonymous) {
+      const EnvLink* prev = LookupEnv(next.env, in.var);
+      uint64_t serial = next.serials[static_cast<size_t>(vi.depth)];
+      if (prev != nullptr && prev->serial == serial) {
+        if (!(prev->element == ref)) return std::optional<State>();
+      } else {
+        next.env = ExtendEnv(next.env, in.var, ref, serial);
+      }
+    }
+    if (ep.where != nullptr) {
+      SearchScope scope(state, in.var, ref, /*has_pending=*/true);
+      GPML_ASSIGN_OR_RETURN(TriBool ok,
+                            EvalPredicate(*ep.where, g_, vars_, scope));
+      if (ok != TriBool::kTrue) return std::optional<State>();
+    }
+    GPML_ASSIGN_OR_RETURN(bool admitted, AdmitStep(adj.edge, adj.neighbor,
+                                                   &next));
+    if (!admitted) return std::optional<State>();
+
+    next.chain = Extend(next.chain, {in.var, ref}, adj.traversal);
+    next.node = adj.neighbor;
+    next.edges = state.edges + 1;
+    next.pc = in.next;
+    return std::optional<State>(std::move(next));
+  }
+
+  /// Runs epsilon work from `state` until edge steps (appended to `parked`)
+  /// or accepts (recorded). Forks are handled with an explicit worklist.
+  Status AdvanceEpsilon(State state, std::vector<State>* parked) {
+    std::vector<State> work;
+    work.push_back(std::move(state));
+    while (!work.empty()) {
+      State cur = std::move(work.back());
+      work.pop_back();
+      bool dead = false;
+      while (!dead) {
+        GPML_RETURN_IF_ERROR(Budget());
+        const Instr& in = program_.code[static_cast<size_t>(cur.pc)];
+        switch (in.op) {
+          case Instr::Op::kAccept: {
+            GPML_RETURN_IF_ERROR(RecordAccept(cur));
+            dead = true;
+            break;
+          }
+          case Instr::Op::kEdgeStep:
+            parked->push_back(std::move(cur));
+            dead = true;
+            break;
+          case Instr::Op::kNodeCheck: {
+            GPML_ASSIGN_OR_RETURN(bool ok, ApplyNodeCheck(in, &cur));
+            if (!ok) {
+              dead = true;
+            } else {
+              cur.pc = in.next;
+            }
+            break;
+          }
+          case Instr::Op::kSplit: {
+            State fork = cur;
+            fork.pc = in.alt;
+            work.push_back(std::move(fork));
+            cur.pc = in.next;
+            break;
+          }
+          case Instr::Op::kJump:
+            cur.pc = in.next;
+            break;
+          case Instr::Op::kFrameBegin: {
+            FrameState f;
+            f.chain_size_at_begin = cur.chain ? cur.chain->size : 0;
+            f.edges_at_begin = cur.edges;
+            cur.frames.push_back(f);
+            if (in.quant_frame) {
+              cur.serials[static_cast<size_t>(in.depth + 1)] = ++serial_gen_;
+            }
+            cur.pc = in.next;
+            break;
+          }
+          case Instr::Op::kWhereCheck: {
+            SearchScope scope(cur, -1, ElementRef(), /*has_pending=*/false);
+            GPML_ASSIGN_OR_RETURN(TriBool ok,
+                                  EvalPredicate(*in.where, g_, vars_, scope));
+            if (ok != TriBool::kTrue) {
+              dead = true;
+            } else {
+              cur.pc = in.next;
+            }
+            break;
+          }
+          case Instr::Op::kFrameEnd: {
+            const FrameState& f = cur.frames.back();
+            if (in.guard_progress && cur.edges == f.edges_at_begin) {
+              dead = true;  // Zero-width loop iteration: cut.
+              break;
+            }
+            cur.frames.pop_back();
+            cur.pc = in.next;
+            break;
+          }
+          case Instr::Op::kScopeBegin: {
+            ScopeState sc;
+            sc.scope_id = in.scope_id;
+            sc.restrictor = in.restrictor;
+            sc.start_node = cur.node;
+            if (sc.restrictor == Restrictor::kAcyclic ||
+                sc.restrictor == Restrictor::kSimple) {
+              sc.nodes = IdSetAdd(nullptr, cur.node);
+            }
+            cur.scopes.push_back(std::move(sc));
+            cur.pc = in.next;
+            break;
+          }
+          case Instr::Op::kScopeEnd: {
+            cur.scopes.pop_back();
+            cur.pc = in.next;
+            break;
+          }
+          case Instr::Op::kTag: {
+            cur.tags.push_back(in.tag);
+            cur.pc = in.next;
+            break;
+          }
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  Status RecordAccept(const State& state) {
+    PathBinding pb = ReduceChain(state.chain, vars_, state.tags);
+    size_t h = pb.ReducedHash();
+    auto [it, inserted] = seen_.emplace(h, std::vector<size_t>());
+    for (size_t idx : it->second) {
+      if (results_[idx].SameReduced(pb)) return Status::OK();  // Duplicate.
+    }
+    it->second.push_back(results_.size());
+    results_.push_back(std::move(pb));
+    if (results_.size() > options_.max_matches) {
+      return Status::ResourceExhausted(
+          "match set exceeded max_matches; add restrictors/selectors or "
+          "raise MatcherOptions::max_matches");
+    }
+    return Status::OK();
+  }
+
+  // --- DFS route (no selector) --------------------------------------------
+
+  Status RunDfs() {
+    for (NodeId s : Seeds()) {
+      std::vector<State> stack;
+      GPML_RETURN_IF_ERROR(AdvanceEpsilon(MakeStart(s), &stack));
+      while (!stack.empty()) {
+        State cur = std::move(stack.back());
+        stack.pop_back();
+        const Instr& in = program_.code[static_cast<size_t>(cur.pc)];
+        for (const Adjacency& adj : g_.adjacencies(cur.node)) {
+          GPML_RETURN_IF_ERROR(Budget());
+          GPML_ASSIGN_OR_RETURN(std::optional<State> next,
+                                TryEdge(in, cur, adj));
+          if (next.has_value()) {
+            GPML_RETURN_IF_ERROR(AdvanceEpsilon(std::move(*next), &stack));
+          }
+        }
+      }
+    }
+    SortResults();
+    return Status::OK();
+  }
+
+  // --- BFS route (selector present) ---------------------------------------
+
+  /// Pruning key: product state plus everything that influences future
+  /// admissibility or result identity (named environment with iteration
+  /// currency, open-frame contents, restrictor memories, provenance tags).
+  size_t StateKey(const State& state) const {
+    size_t h = 0x9ddfea08eb382d69ULL;
+    h = HashCombine(h, static_cast<size_t>(state.pc));
+    h = HashCombine(h, state.node);
+    h = HashCombine(h, state.start);
+    // Latest binding per named var, with "bound in the current iteration
+    // instance at its depth" as part of the key instead of the raw serial.
+    std::unordered_set<int> seen_vars;
+    for (const EnvLink* e = state.env.get(); e != nullptr;
+         e = e->prev.get()) {
+      if (!seen_vars.insert(e->var).second) continue;
+      const VarInfo& vi = vars_.info(e->var);
+      bool current =
+          e->serial == state.serials[static_cast<size_t>(vi.depth)];
+      h = HashCombine(h, static_cast<size_t>(e->var) * 2654435761u);
+      h = HashCombine(h, ElementRefHash()(e->element));
+      h = HashCombine(h, current ? 0x51u : 0x7fu);
+    }
+    if (!state.frames.empty()) {
+      uint32_t floor = state.frames.front().chain_size_at_begin;
+      for (const BindingLink* b = state.chain.get();
+           b != nullptr && b->size > floor; b = b->prev.get()) {
+        h = HashCombine(h, static_cast<size_t>(b->binding.var));
+        h = HashCombine(h, ElementRefHash()(b->binding.element));
+      }
+      h = HashCombine(h, state.frames.size());
+    }
+    for (const ScopeState& sc : state.scopes) {
+      h = HashCombine(h, static_cast<size_t>(sc.restrictor));
+      h = HashCombine(h, sc.start_node);
+      h = HashCombine(h, sc.start_revisited ? 1u : 2u);
+      h = HashCombine(h, IdSetHash(sc.edges));
+      h = HashCombine(h, IdSetHash(sc.nodes));
+    }
+    for (int32_t t : state.tags) h = HashCombine(h, 0xabcd + static_cast<size_t>(t));
+    return h;
+  }
+
+  /// May `state` (parked at an edge step, at BFS level `level`) expand?
+  bool AdmitExpansion(const State& state, uint32_t level) {
+    size_t key = StateKey(state);
+    Visits& v = visits_[key];
+    switch (program_.selector.kind) {
+      case Selector::Kind::kAny:
+      case Selector::Kind::kAnyShortest:
+        if (v.count >= 1) return false;
+        v.count = 1;
+        return true;
+      case Selector::Kind::kAllShortest:
+        if (v.count == 0) {
+          v.count = 1;
+          v.min_level = level;
+          return true;
+        }
+        return level <= v.min_level;
+      case Selector::Kind::kAnyK:
+      case Selector::Kind::kShortestK: {
+        size_t k = static_cast<size_t>(program_.selector.k);
+        if (v.count >= k) return false;
+        ++v.count;
+        return true;
+      }
+      case Selector::Kind::kShortestKGroup: {
+        size_t k = static_cast<size_t>(program_.selector.k);
+        for (uint32_t l : v.levels) {
+          if (l == level) return true;
+        }
+        if (v.levels.size() < k) {
+          v.levels.push_back(level);
+          return true;
+        }
+        return false;
+      }
+      case Selector::Kind::kNone:
+        return true;
+    }
+    return true;
+  }
+
+  Status RunBfs() {
+    std::vector<State> frontier;
+    for (NodeId s : Seeds()) {
+      GPML_RETURN_IF_ERROR(AdvanceEpsilon(MakeStart(s), &frontier));
+    }
+    while (!frontier.empty()) {
+      std::vector<State> next_frontier;
+      for (const State& cur : frontier) {
+        if (!AdmitExpansion(cur, cur.edges)) continue;
+        const Instr& in = program_.code[static_cast<size_t>(cur.pc)];
+        for (const Adjacency& adj : g_.adjacencies(cur.node)) {
+          GPML_RETURN_IF_ERROR(Budget());
+          GPML_ASSIGN_OR_RETURN(std::optional<State> nxt,
+                                TryEdge(in, cur, adj));
+          if (nxt.has_value()) {
+            GPML_RETURN_IF_ERROR(
+                AdvanceEpsilon(std::move(*nxt), &next_frontier));
+          }
+        }
+      }
+      frontier = std::move(next_frontier);
+    }
+    // Results were recorded in nondecreasing path length because accepts at
+    // level L are recorded while processing level L; keep stable order.
+    return Status::OK();
+  }
+
+  void SortResults() {
+    std::stable_sort(results_.begin(), results_.end(),
+                     [](const PathBinding& a, const PathBinding& b) {
+                       return a.path.Length() < b.path.Length();
+                     });
+  }
+
+  struct Visits {
+    size_t count = 0;
+    uint32_t min_level = 0;
+    std::vector<uint32_t> levels;
+  };
+
+  const PropertyGraph& g_;
+  const Program& program_;
+  const VarTable& vars_;
+  const MatcherOptions& options_;
+
+  size_t steps_ = 0;
+  uint64_t serial_gen_ = 0;
+  std::vector<PathBinding> results_;
+  std::unordered_map<size_t, std::vector<size_t>> seen_;
+  std::unordered_map<size_t, Visits> visits_;
+};
+
+}  // namespace
+
+Result<MatchSet> RunPattern(const PropertyGraph& g, const Program& program,
+                            const VarTable& vars,
+                            const MatcherOptions& options) {
+  Matcher m(g, program, vars, options);
+  return m.Run();
+}
+
+}  // namespace gpml

@@ -1,0 +1,44 @@
+#ifndef GPML_EVAL_MATCHER_H_
+#define GPML_EVAL_MATCHER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "eval/binding.h"
+#include "eval/nfa.h"
+#include "graph/property_graph.h"
+
+namespace gpml {
+
+/// Evaluation guards. The search is complete and exact; these limits only
+/// bound pathological instances (enumeration on dense graphs is inherently
+/// exponential, §8's complexity discussion) and surface as
+/// kResourceExhausted instead of runaway memory/time.
+struct MatcherOptions {
+  size_t max_matches = 1u << 20;       // Accepted bindings (pre-selector).
+  size_t max_steps = 200u << 20;       // Executed instructions.
+};
+
+/// The multiset of reduced path bindings of one path pattern declaration,
+/// deduplicated (§6.5) — multiset alternation multiplicity is carried by the
+/// provenance tags — in deterministic order (by path length, then discovery).
+struct MatchSet {
+  std::vector<PathBinding> bindings;
+};
+
+/// Runs one compiled pattern over the graph: every admissible start node is
+/// seeded, matches are collected, reduced, deduplicated, and the selector
+/// (if any) is applied per endpoint partition (§5.1).
+///
+/// Route selection: patterns without a selector enumerate by DFS (the §5
+/// termination rules guarantee finiteness through restrictors); patterns
+/// with a selector run a level-order BFS that emits matches in increasing
+/// path length with per-product-state pruning sound for each selector kind.
+Result<MatchSet> RunPattern(const PropertyGraph& g, const Program& program,
+                            const VarTable& vars,
+                            const MatcherOptions& options);
+
+}  // namespace gpml
+
+#endif  // GPML_EVAL_MATCHER_H_

@@ -1,0 +1,240 @@
+#include "eval/nfa.h"
+
+#include <sstream>
+
+namespace gpml {
+
+namespace {
+
+class Compiler {
+ public:
+  explicit Compiler(const VarTable& vars) : vars_(vars) {}
+
+  Result<Program> Compile(const PathPatternDecl& decl) {
+    program_.selector = decl.selector;
+    program_.root = decl.pattern;
+    if (!decl.path_var.empty()) {
+      program_.path_var = vars_.Find(decl.path_var);
+    }
+
+    int scope_id = -1;
+    if (decl.restrictor != Restrictor::kNone) {
+      scope_id = program_.num_scopes++;
+      EmitScopeBegin(scope_id, decl.restrictor);
+    }
+    GPML_RETURN_IF_ERROR(CompilePath(*decl.pattern));
+    if (scope_id >= 0) EmitScopeEnd(scope_id);
+    Emit(Instr::Op::kAccept);
+
+    program_.start = 0;
+    return std::move(program_);
+  }
+
+ private:
+  int Emit(Instr::Op op) {
+    Instr i;
+    i.op = op;
+    i.depth = depth_;
+    i.next = static_cast<int>(program_.code.size()) + 1;
+    program_.code.push_back(std::move(i));
+    return static_cast<int>(program_.code.size()) - 1;
+  }
+  Instr& At(int pc) { return program_.code[static_cast<size_t>(pc)]; }
+  int Here() const { return static_cast<int>(program_.code.size()); }
+
+  void EmitScopeBegin(int id, Restrictor r) {
+    int pc = Emit(Instr::Op::kScopeBegin);
+    At(pc).scope_id = id;
+    At(pc).restrictor = r;
+  }
+  void EmitScopeEnd(int id) {
+    int pc = Emit(Instr::Op::kScopeEnd);
+    At(pc).scope_id = id;
+  }
+
+  Status CompilePath(const PathPattern& p) {
+    switch (p.kind) {
+      case PathPattern::Kind::kConcat:
+        for (const PathElement& e : p.elements) {
+          GPML_RETURN_IF_ERROR(CompileElement(e));
+        }
+        return Status::OK();
+      case PathPattern::Kind::kUnion:
+      case PathPattern::Kind::kAlternation:
+        return CompileAlternatives(p);
+    }
+    return Status::Internal("unknown path pattern kind");
+  }
+
+  Status CompileAlternatives(const PathPattern& p) {
+    // Chain of splits; each alternative jumps to the common end. Multiset
+    // alternation additionally tags each branch for provenance.
+    bool tagged = p.kind == PathPattern::Kind::kAlternation;
+    std::vector<int> jumps_to_end;
+    std::vector<int> pending_split = {};
+    for (size_t i = 0; i < p.alternatives.size(); ++i) {
+      bool last = i + 1 == p.alternatives.size();
+      int split_pc = -1;
+      if (!last) split_pc = Emit(Instr::Op::kSplit);
+      if (tagged) {
+        int t = Emit(Instr::Op::kTag);
+        At(t).tag = next_tag_++;
+      }
+      GPML_RETURN_IF_ERROR(CompilePath(*p.alternatives[i]));
+      if (!last) {
+        jumps_to_end.push_back(Emit(Instr::Op::kJump));
+        At(split_pc).alt = Here();
+      }
+    }
+    for (int pc : jumps_to_end) At(pc).next = Here();
+    (void)pending_split;
+    return Status::OK();
+  }
+
+  Status CompileElement(const PathElement& e) {
+    switch (e.kind) {
+      case PathElement::Kind::kNode: {
+        int id = vars_.Find(e.node.var);
+        if (id < 0) return Status::Internal("unresolved node variable");
+        int pc = Emit(Instr::Op::kNodeCheck);
+        At(pc).node = &e.node;
+        At(pc).var = id;
+        return Status::OK();
+      }
+      case PathElement::Kind::kEdge: {
+        int id = vars_.Find(e.edge.var);
+        if (id < 0) return Status::Internal("unresolved edge variable");
+        int pc = Emit(Instr::Op::kEdgeStep);
+        At(pc).edge = &e.edge;
+        At(pc).var = id;
+        return Status::OK();
+      }
+      case PathElement::Kind::kParen:
+        return CompileSegment(*e.sub, e.restrictor, e.where,
+                              /*iteration=*/false, /*guard=*/false);
+      case PathElement::Kind::kOptional: {
+        // `?`: fork around the body. Conditional-variable semantics are a
+        // static property (analysis); operationally this is {0,1}.
+        int split_pc = Emit(Instr::Op::kSplit);
+        GPML_RETURN_IF_ERROR(CompileSegment(*e.sub, e.restrictor, e.where,
+                                            /*iteration=*/false,
+                                            /*guard=*/false));
+        At(split_pc).alt = Here();
+        return Status::OK();
+      }
+      case PathElement::Kind::kQuantified:
+        return CompileQuantified(e);
+    }
+    return Status::Internal("unknown path element kind");
+  }
+
+  /// Compiles one body occurrence: [scope [frame body where-check]] with
+  /// iteration frames bumping serials and guarded frames requiring edge
+  /// progress (prevents zero-width loops from spinning, see DESIGN.md).
+  Status CompileSegment(const PathPattern& sub, Restrictor r, ExprPtr where,
+                        bool iteration, bool guard) {
+    int scope_id = -1;
+    if (r != Restrictor::kNone) {
+      scope_id = program_.num_scopes++;
+      EmitScopeBegin(scope_id, r);
+    }
+    bool need_frame = iteration || where != nullptr;
+    if (need_frame) {
+      int pc = Emit(Instr::Op::kFrameBegin);
+      At(pc).quant_frame = iteration;
+    }
+    if (iteration) {
+      ++depth_;
+      program_.max_depth = std::max(program_.max_depth, depth_);
+    }
+    GPML_RETURN_IF_ERROR(CompilePath(sub));
+    if (where != nullptr) {
+      int pc = Emit(Instr::Op::kWhereCheck);
+      At(pc).where = where;
+    }
+    if (iteration) --depth_;
+    if (need_frame) {
+      int pc = Emit(Instr::Op::kFrameEnd);
+      At(pc).guard_progress = guard;
+    }
+    if (scope_id >= 0) EmitScopeEnd(scope_id);
+    return Status::OK();
+  }
+
+  Status CompileQuantified(const PathElement& e) {
+    // min mandatory copies.
+    for (uint64_t i = 0; i < e.min; ++i) {
+      GPML_RETURN_IF_ERROR(CompileSegment(*e.sub, e.restrictor, e.where,
+                                          /*iteration=*/true,
+                                          /*guard=*/false));
+    }
+    if (e.max.has_value()) {
+      // (max - min) optional copies, each skippable to the end.
+      std::vector<int> skip_splits;
+      for (uint64_t i = e.min; i < *e.max; ++i) {
+        skip_splits.push_back(Emit(Instr::Op::kSplit));
+        GPML_RETURN_IF_ERROR(CompileSegment(*e.sub, e.restrictor, e.where,
+                                            /*iteration=*/true,
+                                            /*guard=*/false));
+      }
+      for (int pc : skip_splits) At(pc).alt = Here();
+      return Status::OK();
+    }
+    // Unbounded tail: guarded loop.
+    program_.has_unbounded = true;
+    int loop_head = Emit(Instr::Op::kSplit);  // next: body, alt: exit.
+    GPML_RETURN_IF_ERROR(CompileSegment(*e.sub, e.restrictor, e.where,
+                                        /*iteration=*/true, /*guard=*/true));
+    int back = Emit(Instr::Op::kJump);
+    At(back).next = loop_head;
+    At(loop_head).alt = Here();
+    return Status::OK();
+  }
+
+  const VarTable& vars_;
+  Program program_;
+  int depth_ = 0;
+  int32_t next_tag_ = 1;
+};
+
+const char* OpName(Instr::Op op) {
+  switch (op) {
+    case Instr::Op::kNodeCheck: return "node";
+    case Instr::Op::kEdgeStep: return "edge";
+    case Instr::Op::kSplit: return "split";
+    case Instr::Op::kJump: return "jump";
+    case Instr::Op::kFrameBegin: return "frame+";
+    case Instr::Op::kWhereCheck: return "where?";
+    case Instr::Op::kFrameEnd: return "frame-";
+    case Instr::Op::kScopeBegin: return "scope+";
+    case Instr::Op::kScopeEnd: return "scope-";
+    case Instr::Op::kTag: return "tag";
+    case Instr::Op::kAccept: return "accept";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string Program::ToString() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < code.size(); ++i) {
+    const Instr& in = code[i];
+    os << i << ": " << OpName(in.op);
+    if (in.op == Instr::Op::kSplit) os << " -> " << in.next << "|" << in.alt;
+    else if (in.op == Instr::Op::kJump) os << " -> " << in.next;
+    if (in.var >= 0) os << " var=" << in.var;
+    if (in.scope_id >= 0) os << " scope=" << in.scope_id;
+    if (in.where != nullptr) os << " [" << in.where->ToString() << "]";
+    os << "\n";
+  }
+  return os.str();
+}
+
+Result<Program> CompilePattern(const PathPatternDecl& decl,
+                               const VarTable& vars) {
+  Compiler c(vars);
+  return c.Compile(decl);
+}
+
+}  // namespace gpml

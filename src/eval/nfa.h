@@ -1,0 +1,71 @@
+#ifndef GPML_EVAL_NFA_H_
+#define GPML_EVAL_NFA_H_
+
+#include <vector>
+
+#include "ast/ast.h"
+#include "common/result.h"
+#include "eval/binding.h"
+
+namespace gpml {
+
+/// One instruction of the compiled pattern program. The matcher interprets
+/// these over the graph: kEdgeStep is the only instruction that consumes a
+/// graph edge; everything else is "epsilon" work (checks, bookkeeping,
+/// forks). Quantifiers compile into copies plus a guarded loop, which keeps
+/// the runtime a plain NFA — the execution-model expansion of §6.3 made
+/// lazy.
+struct Instr {
+  enum class Op {
+    kNodeCheck,   // Match current node against `node`; bind var.
+    kEdgeStep,    // Traverse one admissible edge; bind var.
+    kSplit,       // Fork: continue at next and at alt.
+    kJump,        // Continue at next.
+    kFrameBegin,  // Push an aggregation frame; quantifier frames also bump
+                  // the iteration serial at `depth` (§6 superscripts).
+    kWhereCheck,  // Evaluate `where` against the innermost frame.
+    kFrameEnd,    // Pop frame; guarded loop frames require edge progress.
+    kScopeBegin,  // Open restrictor scope `scope_id`.
+    kScopeEnd,    // Close restrictor scope (SIMPLE finalization).
+    kTag,         // Record multiset-alternation provenance (§4.5).
+    kAccept,      // Pattern complete.
+  };
+
+  Op op = Op::kAccept;
+  int next = -1;
+  int alt = -1;                      // kSplit only.
+  const NodePattern* node = nullptr;
+  const EdgePattern* edge = nullptr;
+  int var = -1;                      // Interned variable id.
+  int depth = 0;                     // Quantifier depth of this position.
+  bool quant_frame = false;          // kFrameBegin: iteration frame.
+  bool guard_progress = false;       // kFrameEnd: fail on zero-edge loop.
+  ExprPtr where;                     // kWhereCheck.
+  int scope_id = -1;                 // kScopeBegin/kScopeEnd.
+  Restrictor restrictor = Restrictor::kNone;  // kScopeBegin.
+  int32_t tag = 0;                   // kTag.
+};
+
+/// A compiled top-level path pattern.
+struct Program {
+  std::vector<Instr> code;
+  int start = 0;
+  int max_depth = 0;   // Deepest quantifier nesting (serial array size).
+  int num_scopes = 0;
+  Selector selector;
+  int path_var = -1;   // Interned id of the path variable, -1 if none.
+  bool has_unbounded = false;  // Any {m,} quantifier in the pattern.
+  PathPatternPtr root; // Keeps the normalized AST alive (instrs borrow).
+
+  std::string ToString() const;  // Disassembly for tests/debugging.
+};
+
+/// Compiles one normalized path declaration. The declaration-level
+/// restrictor becomes scope 0 around the whole pattern; the selector is
+/// carried as metadata for the matcher.
+Result<Program> CompilePattern(const PathPatternDecl& decl,
+                               const VarTable& vars);
+
+}  // namespace gpml
+
+#endif  // GPML_EVAL_NFA_H_

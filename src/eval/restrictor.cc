@@ -1,0 +1,15 @@
+#include "eval/restrictor.h"
+
+namespace gpml {
+
+bool SatisfiesRestrictor(const Path& path, Restrictor r) {
+  switch (r) {
+    case Restrictor::kNone: return true;
+    case Restrictor::kTrail: return path.IsTrail();
+    case Restrictor::kAcyclic: return path.IsAcyclic();
+    case Restrictor::kSimple: return path.IsSimple();
+  }
+  return true;
+}
+
+}  // namespace gpml

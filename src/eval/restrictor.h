@@ -1,0 +1,16 @@
+#ifndef GPML_EVAL_RESTRICTOR_H_
+#define GPML_EVAL_RESTRICTOR_H_
+
+#include "ast/ast.h"
+#include "graph/path.h"
+
+namespace gpml {
+
+/// Whole-path restrictor check (Figure 7), used by the reference evaluator
+/// (§6.4 "restrictors are also checked at this point") and by property tests
+/// validating the production engine's incremental pruning.
+bool SatisfiesRestrictor(const Path& path, Restrictor r);
+
+}  // namespace gpml
+
+#endif  // GPML_EVAL_RESTRICTOR_H_

@@ -1,0 +1,24 @@
+#ifndef GPML_EVAL_SELECTOR_H_
+#define GPML_EVAL_SELECTOR_H_
+
+#include <vector>
+
+#include "ast/ast.h"
+#include "eval/binding.h"
+
+namespace gpml {
+
+/// Applies a selector (Figure 8) to deduplicated path bindings: partitions
+/// by endpoint pair (path start/end node) and keeps a finite subset per
+/// partition. `bindings` MUST be ordered by nondecreasing path length;
+/// within a length, enumeration order resolves the standard's permitted
+/// non-determinism (ANY / ANY k / SHORTEST k), making results reproducible.
+///
+/// Selectors always run after deduplication and after restrictors (§5.1,
+/// §6.5).
+void ApplySelector(const Selector& selector,
+                   std::vector<PathBinding>* bindings);
+
+}  // namespace gpml
+
+#endif  // GPML_EVAL_SELECTOR_H_

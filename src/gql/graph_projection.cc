@@ -1,0 +1,52 @@
+#include "gql/graph_projection.h"
+
+#include <set>
+
+#include "graph/graph_builder.h"
+
+namespace gpml {
+
+Result<PropertyGraph> ProjectGraph(const PropertyGraph& source,
+                                   const MatchOutput& output) {
+  std::set<NodeId> nodes;
+  std::set<EdgeId> edges;
+  for (const ResultRow& row : output.rows) {
+    for (const auto& pb : row.bindings) {
+      for (const ElementaryBinding& b : pb->reduced) {
+        if (b.element.is_node()) {
+          nodes.insert(b.element.id);
+        } else {
+          edges.insert(b.element.id);
+        }
+      }
+    }
+  }
+  // Close over edge endpoints so the projection is a property graph.
+  for (EdgeId e : edges) {
+    nodes.insert(source.edge(e).u);
+    nodes.insert(source.edge(e).v);
+  }
+
+  GraphBuilder builder;
+  for (NodeId n : nodes) {
+    const NodeData& nd = source.node(n);
+    PropertyList props(nd.properties.begin(), nd.properties.end());
+    builder.AddNode(nd.name, nd.labels, std::move(props));
+  }
+  for (EdgeId e : edges) {
+    const EdgeData& ed = source.edge(e);
+    PropertyList props(ed.properties.begin(), ed.properties.end());
+    if (ed.directed) {
+      builder.AddDirectedEdge(ed.name, source.node(ed.u).name,
+                              source.node(ed.v).name, ed.labels,
+                              std::move(props));
+    } else {
+      builder.AddUndirectedEdge(ed.name, source.node(ed.u).name,
+                                source.node(ed.v).name, ed.labels,
+                                std::move(props));
+    }
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace gpml

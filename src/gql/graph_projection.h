@@ -1,0 +1,20 @@
+#ifndef GPML_GQL_GRAPH_PROJECTION_H_
+#define GPML_GQL_GRAPH_PROJECTION_H_
+
+#include "common/result.h"
+#include "eval/engine.h"
+#include "graph/property_graph.h"
+
+namespace gpml {
+
+/// GQL graph-shaped output (§6.6): every path binding defines a subgraph of
+/// the input graph; the projection of a match result is the union of those
+/// subgraphs — all bound nodes and edges, plus the endpoints of bound edges
+/// so the result is a well-formed property graph. Labels and properties are
+/// carried over unchanged.
+Result<PropertyGraph> ProjectGraph(const PropertyGraph& source,
+                                   const MatchOutput& output);
+
+}  // namespace gpml
+
+#endif  // GPML_GQL_GRAPH_PROJECTION_H_

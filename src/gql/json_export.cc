@@ -1,0 +1,131 @@
+#include "gql/json_export.h"
+
+#include <sstream>
+
+namespace gpml {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string ValueToJson(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull: return "null";
+    case ValueType::kBool: return v.bool_value() ? "true" : "false";
+    case ValueType::kInt: return std::to_string(v.int_value());
+    case ValueType::kDouble: {
+      std::ostringstream os;
+      os << v.double_value();
+      return os.str();
+    }
+    case ValueType::kString:
+      return "\"" + JsonEscape(v.string_value()) + "\"";
+  }
+  return "null";
+}
+
+std::string PathToJson(const PropertyGraph& g, const Path& p) {
+  std::ostringstream os;
+  os << "{\"kind\":\"path\",\"length\":" << p.Length() << ",\"elements\":[";
+  for (size_t i = 0; i < p.nodes().size(); ++i) {
+    if (i > 0) os << ",";
+    os << "\"" << JsonEscape(g.node(p.nodes()[i]).name) << "\"";
+    if (i < p.edges().size()) {
+      os << ",\"" << JsonEscape(g.edge(p.edges()[i]).name) << "\"";
+    }
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace
+
+std::string ElementToJson(const PropertyGraph& g, const ElementRef& ref) {
+  const ElementData& d = g.element(ref);
+  std::ostringstream os;
+  os << "{\"kind\":\"" << (ref.is_node() ? "node" : "edge") << "\",";
+  os << "\"name\":\"" << JsonEscape(d.name) << "\",";
+  if (ref.is_edge()) {
+    const EdgeData& e = g.edge(ref.id);
+    os << "\"directed\":" << (e.directed ? "true" : "false") << ",";
+    os << "\"endpoints\":[\"" << JsonEscape(g.node(e.u).name) << "\",\""
+       << JsonEscape(g.node(e.v).name) << "\"],";
+  }
+  os << "\"labels\":[";
+  for (size_t i = 0; i < d.labels.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "\"" << JsonEscape(d.labels[i]) << "\"";
+  }
+  os << "],\"properties\":{";
+  bool first = true;
+  for (const auto& [k, v] : d.properties) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << JsonEscape(k) << "\":" << ValueToJson(v);
+  }
+  os << "}}";
+  return os.str();
+}
+
+std::string ExportJson(const MatchOutput& output, const PropertyGraph& g) {
+  std::ostringstream os;
+  os << "{\"rows\":[";
+  bool first_row = true;
+  for (const ResultRow& row : output.rows) {
+    if (!first_row) os << ",";
+    first_row = false;
+    os << "{";
+    RowScope scope(output, row);
+    bool first_var = true;
+    for (int v = 0; v < output.vars->size(); ++v) {
+      const VarInfo& info = output.vars->info(v);
+      if (info.anonymous) continue;
+      if (!first_var) os << ",";
+      first_var = false;
+      os << "\"" << JsonEscape(info.name) << "\":";
+      if (info.kind == VarInfo::Kind::kPath) {
+        const Path* p = scope.LookupPath(v);
+        os << (p == nullptr ? "null" : PathToJson(g, *p));
+        continue;
+      }
+      if (info.group) {
+        os << "[";
+        std::vector<ElementRef> elems = scope.CollectGroup(v);
+        for (size_t i = 0; i < elems.size(); ++i) {
+          if (i > 0) os << ",";
+          os << ElementToJson(g, elems[i]);
+        }
+        os << "]";
+        continue;
+      }
+      std::optional<ElementRef> el = scope.LookupSingleton(v);
+      os << (el.has_value() ? ElementToJson(g, *el) : "null");
+    }
+    os << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace gpml

@@ -1,0 +1,39 @@
+#ifndef GPML_GQL_JSON_EXPORT_H_
+#define GPML_GQL_JSON_EXPORT_H_
+
+#include <string>
+
+#include "eval/engine.h"
+#include "graph/property_graph.h"
+
+namespace gpml {
+
+/// JSON export of match results — the §7.1 Language Opportunity
+/// ("Exporting a graph element or path binding to JSON", also floated in
+/// §6.6 for raw multi-path bindings).
+///
+/// Shape:
+/// {
+///   "rows": [
+///     {
+///       "a":    {"kind":"node","name":"a4","labels":["Account"],
+///                "properties":{"owner":"Jay","isBlocked":"yes"}},
+///       "b":    [ {...}, {...} ],          // group variable: array
+///       "p":    {"kind":"path","length":2,
+///                "elements":["a6","t5","a3","t2","a2"]},
+///       "miss": null                       // unbound conditional variable
+///     }, ...
+///   ]
+/// }
+/// Anonymous variables are omitted. Deterministic key order (variable id).
+std::string ExportJson(const MatchOutput& output, const PropertyGraph& g);
+
+/// One element as a JSON object (exposed for element-level export).
+std::string ElementToJson(const PropertyGraph& g, const ElementRef& ref);
+
+/// Escapes a string for inclusion in JSON output.
+std::string JsonEscape(const std::string& s);
+
+}  // namespace gpml
+
+#endif  // GPML_GQL_JSON_EXPORT_H_

@@ -1,0 +1,81 @@
+#include "gql/result_table.h"
+
+#include "eval/expr_eval.h"
+
+namespace gpml {
+
+Result<Table> ProjectRows(const MatchOutput& output, const PropertyGraph& g,
+                          const std::vector<ReturnItem>& items,
+                          bool distinct) {
+  std::vector<ColumnDef> columns;
+  columns.reserve(items.size());
+  for (const ReturnItem& item : items) {
+    ColumnDef c;
+    c.name = item.alias.empty() ? item.expr->ToString() : item.alias;
+    c.type = ValueType::kNull;  // Dynamic.
+    columns.push_back(std::move(c));
+  }
+  Table table{Schema(std::move(columns))};
+
+  for (const ResultRow& row : output.rows) {
+    RowScope scope(output, row);
+    Row out_row;
+    out_row.reserve(items.size());
+    for (const ReturnItem& item : items) {
+      GPML_ASSIGN_OR_RETURN(EvalValue v,
+                            EvalExpr(*item.expr, g, *output.vars, scope));
+      out_row.push_back(ToOutputValue(v, g));
+    }
+    table.AppendUnchecked(std::move(out_row));
+  }
+  if (distinct) table.DeduplicateRows();
+  return table;
+}
+
+Result<Table> ProjectAllVariables(const MatchOutput& output,
+                                  const PropertyGraph& g) {
+  // Named variables in id order; skip anonymous ones.
+  std::vector<int> ids;
+  std::vector<ColumnDef> columns;
+  for (int v = 0; v < output.vars->size(); ++v) {
+    const VarInfo& info = output.vars->info(v);
+    if (info.anonymous) continue;
+    ids.push_back(v);
+    columns.push_back({info.name, ValueType::kNull, true});
+  }
+  Table table{Schema(std::move(columns))};
+
+  for (const ResultRow& row : output.rows) {
+    RowScope scope(output, row);
+    Row out_row;
+    out_row.reserve(ids.size());
+    for (int v : ids) {
+      const VarInfo& info = output.vars->info(v);
+      if (info.kind == VarInfo::Kind::kPath) {
+        const Path* p = scope.LookupPath(v);
+        out_row.push_back(p == nullptr ? Value::Null()
+                                       : Value::String(p->ToString(g)));
+        continue;
+      }
+      if (info.group) {
+        // Group variable: comma-joined element names in binding order.
+        std::vector<ElementRef> elems = scope.CollectGroup(v);
+        std::string joined;
+        for (size_t i = 0; i < elems.size(); ++i) {
+          if (i > 0) joined += ",";
+          joined += g.element(elems[i]).name;
+        }
+        out_row.push_back(Value::String(joined));
+        continue;
+      }
+      std::optional<ElementRef> el = scope.LookupSingleton(v);
+      out_row.push_back(el.has_value()
+                            ? Value::String(g.element(*el).name)
+                            : Value::Null());
+    }
+    table.AppendUnchecked(std::move(out_row));
+  }
+  return table;
+}
+
+}  // namespace gpml

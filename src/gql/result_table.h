@@ -1,0 +1,31 @@
+#ifndef GPML_GQL_RESULT_TABLE_H_
+#define GPML_GQL_RESULT_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "ast/ast.h"
+#include "catalog/table.h"
+#include "common/result.h"
+#include "eval/engine.h"
+
+namespace gpml {
+
+/// Projects pattern-matching output through RETURN/COLUMNS items into a
+/// relational table — the common machinery behind GQL's RETURN and
+/// SQL/PGQ's GRAPH_TABLE ... COLUMNS (Figure 9). Elements render as their
+/// external names, paths in path(...) notation, group variables referenced
+/// under aggregates per §4.4.
+Result<Table> ProjectRows(const MatchOutput& output, const PropertyGraph& g,
+                          const std::vector<ReturnItem>& items,
+                          bool distinct);
+
+/// Convenience projection when no RETURN list is given: one column per
+/// named, non-anonymous element variable (group variables render as a
+/// comma-separated list) plus one per path variable.
+Result<Table> ProjectAllVariables(const MatchOutput& output,
+                                  const PropertyGraph& g);
+
+}  // namespace gpml
+
+#endif  // GPML_GQL_RESULT_TABLE_H_

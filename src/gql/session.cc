@@ -1,0 +1,35 @@
+#include "gql/session.h"
+
+#include "gql/result_table.h"
+#include "parser/parser.h"
+
+namespace gpml {
+
+Status Session::UseGraph(const std::string& name) {
+  GPML_ASSIGN_OR_RETURN(graph_, catalog_.GetGraph(name));
+  return Status::OK();
+}
+
+Result<Table> Session::Execute(const std::string& statement) const {
+  if (graph_ == nullptr) {
+    return Status::InvalidArgument("no graph selected; call UseGraph first");
+  }
+  GPML_ASSIGN_OR_RETURN(MatchStatement stmt, ParseStatement(statement));
+  Engine engine(*graph_, options_);
+  GPML_ASSIGN_OR_RETURN(MatchOutput output, engine.Match(stmt.pattern));
+  if (!stmt.has_return) {
+    return ProjectAllVariables(output, *graph_);
+  }
+  return ProjectRows(output, *graph_, stmt.return_items,
+                     stmt.return_distinct);
+}
+
+Result<MatchOutput> Session::Match(const std::string& match_text) const {
+  if (graph_ == nullptr) {
+    return Status::InvalidArgument("no graph selected; call UseGraph first");
+  }
+  Engine engine(*graph_, options_);
+  return engine.Match(match_text);
+}
+
+}  // namespace gpml

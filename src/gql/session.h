@@ -1,0 +1,47 @@
+#ifndef GPML_GQL_SESSION_H_
+#define GPML_GQL_SESSION_H_
+
+#include <memory>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "catalog/table.h"
+#include "common/result.h"
+#include "eval/engine.h"
+
+namespace gpml {
+
+/// A GQL host session (Figure 9, right branch): statements of the form
+///
+///   MATCH <graph pattern> [WHERE <postfilter>]
+///   [RETURN [DISTINCT] <item> [AS alias], ...]
+///
+/// run against the session's current graph and produce a binding table.
+/// Without a RETURN clause every named variable is projected. Execute()
+/// returns the table; Match() exposes the raw path bindings for callers
+/// that want graph-shaped output (see graph_projection.h, §6.6).
+class Session {
+ public:
+  explicit Session(const Catalog& catalog, EngineOptions options = {})
+      : catalog_(catalog), options_(options) {}
+
+  /// Selects the working graph (GQL's USE <graph>).
+  Status UseGraph(const std::string& name);
+
+  /// Parses and runs a full statement against the current graph.
+  Result<Table> Execute(const std::string& statement) const;
+
+  /// Runs just the MATCH part, exposing row-level results.
+  Result<MatchOutput> Match(const std::string& match_text) const;
+
+  const PropertyGraph* graph() const { return graph_.get(); }
+
+ private:
+  const Catalog& catalog_;
+  EngineOptions options_;
+  std::shared_ptr<const PropertyGraph> graph_;
+};
+
+}  // namespace gpml
+
+#endif  // GPML_GQL_SESSION_H_

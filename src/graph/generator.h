@@ -1,0 +1,64 @@
+#ifndef GPML_GRAPH_GENERATOR_H_
+#define GPML_GRAPH_GENERATOR_H_
+
+#include <cstdint>
+
+#include "graph/property_graph.h"
+
+namespace gpml {
+
+/// Synthetic workload graphs for benchmarks and property tests. The paper
+/// has no public testbed, so these generators provide the controlled
+/// topologies that each language feature stresses: chains and cycles for
+/// quantifiers, dense graphs for restrictor blow-up, diamond chains for
+/// exponential path counts, and a scaled clone of the Figure 1 banking
+/// schema for the end-to-end fraud queries.
+
+/// n nodes labelled Account in a directed Transfer chain v0->v1->...->v(n-1).
+/// Node i carries owner "u<i>", amount on each edge alternates 4M/10M so
+/// amount predicates select half the edges.
+PropertyGraph MakeChainGraph(int n);
+
+/// Like MakeChainGraph but closing the loop v(n-1)->v0.
+PropertyGraph MakeCycleGraph(int n);
+
+/// Complete directed graph on n Account nodes (no self-loops): n*(n-1)
+/// Transfer edges. TRAIL/ACYCLIC enumeration on this is the worst case.
+PropertyGraph MakeCompleteGraph(int n);
+
+/// Chain of k diamonds: each diamond splits into two parallel 2-edge
+/// branches and refolds, so the number of distinct shortest source-to-sink
+/// paths is 2^k. Exercises ALL SHORTEST and deduplication.
+PropertyGraph MakeDiamondChain(int k);
+
+/// w*h grid with directed "right" and "down" Transfer edges; classic
+/// many-shortest-paths topology (C(w+h-2, w-1) shortest paths corner to
+/// corner).
+PropertyGraph MakeGridGraph(int w, int h);
+
+/// Parameters for the scaled banking graph (Figure 1's schema at size).
+struct FraudGraphOptions {
+  int num_accounts = 1000;
+  int transfers_per_account = 4;   // Average out-degree of Transfer edges.
+  int num_cities = 10;
+  int num_phones_per_100 = 60;     // Phones per 100 accounts (shared).
+  double blocked_fraction = 0.1;   // Fraction of blocked accounts.
+  uint64_t seed = 42;
+};
+
+/// Scaled synthetic clone of the Figure 1 banking graph: Account nodes with
+/// owner/isBlocked, City/Country nodes, shared Phones (undirected hasPhone),
+/// IPs (signInWithIP), and Transfer edges with date/amount properties.
+/// Used by the Figure 4 fraud-query benchmarks and the differential tests.
+PropertyGraph MakeFraudGraph(const FraudGraphOptions& options);
+
+/// Uniformly random mixed multigraph: `num_edges` edges between random
+/// endpoint pairs, a fraction undirected, labels drawn from a small
+/// alphabet (L0..L<num_labels-1>), integer property "w" in [0, 100).
+/// Deterministic in `seed`; used by the differential/property tests.
+PropertyGraph MakeRandomGraph(int num_nodes, int num_edges, int num_labels,
+                              double undirected_fraction, uint64_t seed);
+
+}  // namespace gpml
+
+#endif  // GPML_GRAPH_GENERATOR_H_

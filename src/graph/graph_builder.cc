@@ -1,0 +1,99 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace gpml {
+
+namespace {
+
+void NormalizeLabels(std::vector<std::string>* labels) {
+  std::sort(labels->begin(), labels->end());
+  labels->erase(std::unique(labels->begin(), labels->end()), labels->end());
+}
+
+ElementData MakeElementData(std::string name, std::vector<std::string> labels,
+                            PropertyList properties) {
+  ElementData d;
+  d.name = std::move(name);
+  d.labels = std::move(labels);
+  NormalizeLabels(&d.labels);
+  for (auto& [k, v] : properties) d.properties[k] = std::move(v);
+  return d;
+}
+
+}  // namespace
+
+NodeId GraphBuilder::AddNode(std::string name,
+                             std::vector<std::string> labels,
+                             PropertyList properties) {
+  NodeData n;
+  static_cast<ElementData&>(n) =
+      MakeElementData(std::move(name), std::move(labels), std::move(properties));
+  nodes_.push_back(std::move(n));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void GraphBuilder::AddDirectedEdge(std::string name, const std::string& from,
+                                   const std::string& to,
+                                   std::vector<std::string> labels,
+                                   PropertyList properties) {
+  PendingEdge pe;
+  static_cast<ElementData&>(pe.data) =
+      MakeElementData(std::move(name), std::move(labels), std::move(properties));
+  pe.data.directed = true;
+  pe.from = from;
+  pe.to = to;
+  edges_.push_back(std::move(pe));
+}
+
+void GraphBuilder::AddUndirectedEdge(std::string name, const std::string& a,
+                                     const std::string& b,
+                                     std::vector<std::string> labels,
+                                     PropertyList properties) {
+  PendingEdge pe;
+  static_cast<ElementData&>(pe.data) =
+      MakeElementData(std::move(name), std::move(labels), std::move(properties));
+  pe.data.directed = false;
+  pe.from = a;
+  pe.to = b;
+  edges_.push_back(std::move(pe));
+}
+
+Result<PropertyGraph> GraphBuilder::Build() && {
+  PropertyGraph g;
+  std::unordered_map<std::string, NodeId> by_name;
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    const std::string& name = nodes_[i].name;
+    if (!name.empty() && !by_name.emplace(name, i).second) {
+      return Status::AlreadyExists("duplicate node name: " + name);
+    }
+  }
+  std::unordered_set<std::string> edge_names;
+  for (PendingEdge& pe : edges_) {
+    if (!pe.data.name.empty() && !edge_names.insert(pe.data.name).second) {
+      return Status::AlreadyExists("duplicate edge name: " + pe.data.name);
+    }
+    auto from_it = by_name.find(pe.from);
+    if (from_it == by_name.end()) {
+      return Status::NotFound("edge " + pe.data.name +
+                              " references unknown node: " + pe.from);
+    }
+    auto to_it = by_name.find(pe.to);
+    if (to_it == by_name.end()) {
+      return Status::NotFound("edge " + pe.data.name +
+                              " references unknown node: " + pe.to);
+    }
+    pe.data.u = from_it->second;
+    pe.data.v = to_it->second;
+  }
+
+  g.nodes_ = std::move(nodes_);
+  g.edges_.reserve(edges_.size());
+  for (PendingEdge& pe : edges_) g.edges_.push_back(std::move(pe.data));
+  g.BuildIndexes();
+  return g;
+}
+
+}  // namespace gpml

@@ -1,0 +1,66 @@
+#ifndef GPML_GRAPH_GRAPH_BUILDER_H_
+#define GPML_GRAPH_GRAPH_BUILDER_H_
+
+#include <initializer_list>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/property_graph.h"
+
+namespace gpml {
+
+/// Convenience alias for inline property lists in builder calls.
+using PropertyList = std::vector<std::pair<std::string, Value>>;
+
+/// Constructs PropertyGraph instances. Element names must be unique per kind
+/// (they serve as external identifiers, like a1/t5 in the paper); edges refer
+/// to endpoint nodes by name, so nodes must be added first.
+///
+/// Usage:
+///   GraphBuilder b;
+///   b.AddNode("a1", {"Account"}, {{"owner", Value::String("Scott")}});
+///   b.AddDirectedEdge("t1", "a1", "a3", {"Transfer"},
+///                     {{"amount", Value::Int(8'000'000)}});
+///   GPML_ASSIGN_OR_RETURN(PropertyGraph g, std::move(b).Build());
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+
+  /// Adds a node; returns its dense id. Duplicate names surface at Build().
+  NodeId AddNode(std::string name, std::vector<std::string> labels = {},
+                 PropertyList properties = {});
+
+  /// Adds a directed edge from `from` to `to` (by node name).
+  void AddDirectedEdge(std::string name, const std::string& from,
+                       const std::string& to,
+                       std::vector<std::string> labels = {},
+                       PropertyList properties = {});
+
+  /// Adds an undirected edge between `a` and `b` (by node name).
+  void AddUndirectedEdge(std::string name, const std::string& a,
+                         const std::string& b,
+                         std::vector<std::string> labels = {},
+                         PropertyList properties = {});
+
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t num_edges() const { return edges_.size(); }
+
+  /// Validates names/endpoints and produces the immutable graph.
+  Result<PropertyGraph> Build() &&;
+
+ private:
+  struct PendingEdge {
+    EdgeData data;
+    std::string from;
+    std::string to;
+  };
+
+  std::vector<NodeData> nodes_;
+  std::vector<PendingEdge> edges_;
+};
+
+}  // namespace gpml
+
+#endif  // GPML_GRAPH_GRAPH_BUILDER_H_

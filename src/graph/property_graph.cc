@@ -1,0 +1,96 @@
+#include "graph/property_graph.h"
+
+#include <algorithm>
+
+namespace gpml {
+
+bool ElementData::HasLabel(const std::string& label) const {
+  return std::binary_search(labels.begin(), labels.end(), label);
+}
+
+const Value& ElementData::GetProperty(const std::string& prop) const {
+  static const Value kNull = Value::Null();
+  auto it = properties.find(prop);
+  return it == properties.end() ? kNull : it->second;
+}
+
+NodeId PropertyGraph::FindNode(const std::string& name) const {
+  auto it = node_by_name_.find(name);
+  return it == node_by_name_.end() ? kInvalidId : it->second;
+}
+
+EdgeId PropertyGraph::FindEdge(const std::string& name) const {
+  auto it = edge_by_name_.find(name);
+  return it == edge_by_name_.end() ? kInvalidId : it->second;
+}
+
+const std::vector<NodeId>& PropertyGraph::NodesWithLabel(
+    const std::string& label) const {
+  static const std::vector<NodeId> kEmpty;
+  auto it = nodes_by_label_.find(label);
+  return it == nodes_by_label_.end() ? kEmpty : it->second;
+}
+
+const std::vector<EdgeId>& PropertyGraph::EdgesWithLabel(
+    const std::string& label) const {
+  static const std::vector<EdgeId> kEmpty;
+  auto it = edges_by_label_.find(label);
+  return it == edges_by_label_.end() ? kEmpty : it->second;
+}
+
+NodeId PropertyGraph::Cross(EdgeId e, NodeId from, Traversal t) const {
+  const EdgeData& ed = edges_[e];
+  switch (t) {
+    case Traversal::kForward:
+      if (ed.directed && ed.u == from) return ed.v;
+      return kInvalidId;
+    case Traversal::kBackward:
+      if (ed.directed && ed.v == from) return ed.u;
+      return kInvalidId;
+    case Traversal::kUndirected:
+      if (!ed.directed) {
+        if (ed.u == from) return ed.v;
+        if (ed.v == from) return ed.u;
+      }
+      return kInvalidId;
+  }
+  return kInvalidId;
+}
+
+std::string PropertyGraph::Summary() const {
+  return std::to_string(num_nodes()) + " nodes, " + std::to_string(num_edges()) +
+         " edges";
+}
+
+void PropertyGraph::BuildIndexes() {
+  adjacency_.assign(nodes_.size(), {});
+  node_by_name_.clear();
+  edge_by_name_.clear();
+  nodes_by_label_.clear();
+  edges_by_label_.clear();
+
+  for (NodeId n = 0; n < nodes_.size(); ++n) {
+    if (!nodes_[n].name.empty()) node_by_name_[nodes_[n].name] = n;
+    for (const std::string& l : nodes_[n].labels) {
+      nodes_by_label_[l].push_back(n);
+    }
+  }
+  for (EdgeId e = 0; e < edges_.size(); ++e) {
+    const EdgeData& ed = edges_[e];
+    if (!ed.name.empty()) edge_by_name_[ed.name] = e;
+    for (const std::string& l : ed.labels) edges_by_label_[l].push_back(e);
+    if (ed.directed) {
+      adjacency_[ed.u].push_back({e, ed.v, Traversal::kForward});
+      adjacency_[ed.v].push_back({e, ed.u, Traversal::kBackward});
+    } else {
+      adjacency_[ed.u].push_back({e, ed.v, Traversal::kUndirected});
+      // A non-loop undirected edge can be crossed from either endpoint; a
+      // loop contributes a single adjacency record.
+      if (ed.u != ed.v) {
+        adjacency_[ed.v].push_back({e, ed.u, Traversal::kUndirected});
+      }
+    }
+  }
+}
+
+}  // namespace gpml

@@ -1,0 +1,152 @@
+#ifndef GPML_GRAPH_PROPERTY_GRAPH_H_
+#define GPML_GRAPH_PROPERTY_GRAPH_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+
+namespace gpml {
+
+/// Dense integer handle of a node within one PropertyGraph.
+using NodeId = uint32_t;
+/// Dense integer handle of an edge within one PropertyGraph.
+using EdgeId = uint32_t;
+
+inline constexpr uint32_t kInvalidId = 0xffffffffu;
+
+/// A reference to a graph element (node or edge) — the codomain of variable
+/// bindings in the execution model of §6.
+struct ElementRef {
+  enum class Kind : uint8_t { kNode, kEdge };
+  Kind kind = Kind::kNode;
+  uint32_t id = kInvalidId;
+
+  static ElementRef Node(NodeId n) { return {Kind::kNode, n}; }
+  static ElementRef Edge(EdgeId e) { return {Kind::kEdge, e}; }
+  bool is_node() const { return kind == Kind::kNode; }
+  bool is_edge() const { return kind == Kind::kEdge; }
+
+  friend bool operator==(const ElementRef& a, const ElementRef& b) {
+    return a.kind == b.kind && a.id == b.id;
+  }
+  friend bool operator<(const ElementRef& a, const ElementRef& b) {
+    if (a.kind != b.kind) return a.kind < b.kind;
+    return a.id < b.id;
+  }
+};
+
+struct ElementRefHash {
+  size_t operator()(const ElementRef& r) const {
+    return (static_cast<size_t>(r.kind) << 32) ^ r.id;
+  }
+};
+
+/// How an edge is traversed within a path: a directed edge can be walked
+/// along its direction (forward) or against it (backward); an undirected
+/// edge has no orientation. Edge patterns of Figure 5 constrain which
+/// traversals are admissible.
+enum class Traversal : uint8_t { kForward, kBackward, kUndirected };
+
+/// Payload common to nodes and edges: external name, label set, properties.
+/// Labels are kept sorted for deterministic printing and fast subset tests.
+struct ElementData {
+  std::string name;                       // External id, e.g. "a1", "t5".
+  std::vector<std::string> labels;        // Sorted, unique.
+  std::map<std::string, Value> properties;
+
+  bool HasLabel(const std::string& label) const;
+  /// Missing property -> NULL (the standard's semantics for x.prop).
+  const Value& GetProperty(const std::string& name) const;
+};
+
+struct NodeData : ElementData {};
+
+struct EdgeData : ElementData {
+  bool directed = true;
+  /// For directed edges: source/target. For undirected: the two endpoints in
+  /// insertion order (self-loops allowed in both cases, Def. 2.1).
+  NodeId u = kInvalidId;
+  NodeId v = kInvalidId;
+};
+
+/// An incident-edge record in a node's adjacency list.
+struct Adjacency {
+  EdgeId edge;
+  NodeId neighbor;       // The endpoint reached by this traversal.
+  Traversal traversal;   // How `edge` is crossed when leaving this node.
+};
+
+/// A property graph per Definition 2.1: finite node and edge sets, a total
+/// endpoint function mapping each edge to an ordered pair (directed) or an
+/// unordered pair (undirected) of nodes, a total label function and a partial
+/// property function on elements. It is a multigraph and a pseudograph:
+/// parallel edges and self-loops are allowed, on both directed and
+/// undirected edges.
+///
+/// The class is an immutable-after-construction store: build through
+/// GraphBuilder (or the pgq::GraphView materializer), then query. All engine
+/// hot paths work on dense integer ids; external names are kept for result
+/// rendering and tests.
+class PropertyGraph {
+ public:
+  PropertyGraph() = default;
+
+  // Movable but not copyable: graphs can be large, copies should be explicit.
+  PropertyGraph(PropertyGraph&&) = default;
+  PropertyGraph& operator=(PropertyGraph&&) = default;
+  PropertyGraph(const PropertyGraph&) = delete;
+  PropertyGraph& operator=(const PropertyGraph&) = delete;
+
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t num_edges() const { return edges_.size(); }
+
+  const NodeData& node(NodeId id) const { return nodes_[id]; }
+  const EdgeData& edge(EdgeId id) const { return edges_[id]; }
+  const ElementData& element(const ElementRef& ref) const {
+    return ref.is_node() ? static_cast<const ElementData&>(nodes_[ref.id])
+                         : static_cast<const ElementData&>(edges_[ref.id]);
+  }
+
+  /// All admissible single-step traversals leaving `n` (directed out-edges
+  /// forward, directed in-edges backward, undirected incident edges).
+  const std::vector<Adjacency>& adjacencies(NodeId n) const {
+    return adjacency_[n];
+  }
+
+  /// Lookup by external name; kInvalidId when absent.
+  NodeId FindNode(const std::string& name) const;
+  EdgeId FindEdge(const std::string& name) const;
+
+  /// Nodes carrying `label`; empty vector for unknown labels.
+  const std::vector<NodeId>& NodesWithLabel(const std::string& label) const;
+  const std::vector<EdgeId>& EdgesWithLabel(const std::string& label) const;
+
+  /// The endpoint reached when crossing `e` from `from` with `t`;
+  /// kInvalidId if the traversal is not admissible from that endpoint.
+  NodeId Cross(EdgeId e, NodeId from, Traversal t) const;
+
+  /// Human-readable one-line description ("6 nodes, 8 edges").
+  std::string Summary() const;
+
+ private:
+  friend class GraphBuilder;
+
+  void BuildIndexes();
+
+  std::vector<NodeData> nodes_;
+  std::vector<EdgeData> edges_;
+  std::vector<std::vector<Adjacency>> adjacency_;
+  std::unordered_map<std::string, NodeId> node_by_name_;
+  std::unordered_map<std::string, EdgeId> edge_by_name_;
+  std::unordered_map<std::string, std::vector<NodeId>> nodes_by_label_;
+  std::unordered_map<std::string, std::vector<EdgeId>> edges_by_label_;
+};
+
+}  // namespace gpml
+
+#endif  // GPML_GRAPH_PROPERTY_GRAPH_H_

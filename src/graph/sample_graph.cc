@@ -1,0 +1,88 @@
+#include "graph/sample_graph.h"
+
+#include "graph/graph_builder.h"
+
+namespace gpml {
+
+namespace {
+
+constexpr int64_t kMillion = 1'000'000;
+
+}  // namespace
+
+PropertyGraph BuildPaperGraph() {
+  GraphBuilder b;
+
+  auto account = [&](const std::string& id, const std::string& owner,
+                     bool blocked) {
+    b.AddNode(id, {"Account"},
+              {{"owner", Value::String(owner)},
+               {"isBlocked", Value::String(blocked ? "yes" : "no")}});
+  };
+  account("a1", "Scott", false);
+  account("a2", "Aretha", false);
+  account("a3", "Mike", false);
+  account("a4", "Jay", true);
+  account("a5", "Charles", false);
+  account("a6", "Dave", false);
+
+  b.AddNode("c1", {"Country"}, {{"name", Value::String("Zembla")}});
+  b.AddNode("c2", {"City", "Country"},
+            {{"name", Value::String("Ankh-Morpork")}});
+
+  auto phone = [&](const std::string& id, int64_t number) {
+    b.AddNode(id, {"Phone"},
+              {{"number", Value::Int(number)},
+               {"isBlocked", Value::String("no")}});
+  };
+  phone("p1", 111);
+  phone("p2", 222);
+  phone("p3", 333);
+  phone("p4", 444);
+
+  b.AddNode("ip1", {"IP"},
+            {{"number", Value::String("123.111")},
+             {"isBlocked", Value::String("no")}});
+  b.AddNode("ip2", {"IP"},
+            {{"number", Value::String("123.222")},
+             {"isBlocked", Value::String("no")}});
+
+  auto transfer = [&](const std::string& id, const std::string& from,
+                      const std::string& to, const std::string& date,
+                      int64_t millions) {
+    b.AddDirectedEdge(id, from, to, {"Transfer"},
+                      {{"date", Value::String(date)},
+                       {"amount", Value::Int(millions * kMillion)}});
+  };
+  transfer("t1", "a1", "a3", "1/1/2020", 8);
+  transfer("t2", "a3", "a2", "2/1/2020", 10);
+  transfer("t3", "a2", "a4", "3/1/2020", 10);
+  transfer("t4", "a4", "a6", "4/1/2020", 10);
+  transfer("t5", "a6", "a3", "6/1/2020", 10);
+  transfer("t6", "a6", "a5", "7/1/2020", 4);
+  transfer("t7", "a3", "a5", "8/1/2020", 6);
+  transfer("t8", "a5", "a1", "9/1/2020", 9);
+
+  b.AddDirectedEdge("li1", "a1", "c1", {"isLocatedIn"});
+  b.AddDirectedEdge("li2", "a2", "c2", {"isLocatedIn"});
+  b.AddDirectedEdge("li3", "a3", "c1", {"isLocatedIn"});
+  b.AddDirectedEdge("li4", "a4", "c2", {"isLocatedIn"});
+  b.AddDirectedEdge("li5", "a5", "c1", {"isLocatedIn"});
+  b.AddDirectedEdge("li6", "a6", "c2", {"isLocatedIn"});
+
+  b.AddUndirectedEdge("hp1", "a1", "p1", {"hasPhone"});
+  b.AddUndirectedEdge("hp2", "a2", "p2", {"hasPhone"});
+  b.AddUndirectedEdge("hp3", "a3", "p2", {"hasPhone"});
+  b.AddUndirectedEdge("hp4", "a4", "p3", {"hasPhone"});
+  b.AddUndirectedEdge("hp5", "a5", "p1", {"hasPhone"});
+  b.AddUndirectedEdge("hp6", "a6", "p4", {"hasPhone"});
+
+  b.AddDirectedEdge("sip1", "a1", "ip1", {"signInWithIP"});
+  b.AddDirectedEdge("sip2", "a5", "ip2", {"signInWithIP"});
+
+  Result<PropertyGraph> g = std::move(b).Build();
+  // The fixture is internally consistent by construction.
+  return std::move(g).value();
+}
+
+}  // namespace gpml

@@ -1,0 +1,31 @@
+#ifndef GPML_GRAPH_SAMPLE_GRAPH_H_
+#define GPML_GRAPH_SAMPLE_GRAPH_H_
+
+#include "graph/property_graph.h"
+
+namespace gpml {
+
+/// Builds the banking/fraud property graph of Figure 1 — the graph against
+/// which every worked example in the paper is evaluated.
+///
+/// Contents (reconstructed from Figure 1 plus the worked examples in
+/// §2, §4, §5 and §6, which pin down every endpoint):
+///  * Accounts a1..a6 (owners Scott, Aretha, Mike, Jay, Charles, Dave; only
+///    Jay's account a4 has isBlocked='yes').
+///  * Places c1 (Country "Zembla") and c2 (City & Country "Ankh-Morpork").
+///  * Phones p1..p4 (numbers 111..444, none blocked) and IPs ip1, ip2.
+///  * Transfer t1..t8 (directed, with date and amount):
+///      t1 a1->a3 8M, t2 a3->a2 10M, t3 a2->a4 10M, t4 a4->a6 10M,
+///      t5 a6->a3 10M, t6 a6->a5 4M, t7 a3->a5 6M, t8 a5->a1 9M.
+///  * isLocatedIn li1..li6 (directed): a_i -> c1 for i in {1,3,5},
+///    a_i -> c2 for i in {2,4,6}.
+///  * hasPhone hp1..hp6 (undirected): a1~p1, a2~p2, a3~p2, a4~p3, a5~p1,
+///    a6~p4 (hp3 connecting a3 and p2 is pinned by the §2 example path;
+///    the a5/a1 and a3/a2 phone sharing is pinned by the §4.2 example).
+///  * signInWithIP sip1 a1->ip1, sip2 a5->ip2 (directed account-to-IP, as in
+///    the Figure 2 table which lists columns A_ID, s_ID).
+PropertyGraph BuildPaperGraph();
+
+}  // namespace gpml
+
+#endif  // GPML_GRAPH_SAMPLE_GRAPH_H_

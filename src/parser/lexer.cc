@@ -1,0 +1,219 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+
+namespace gpml {
+
+const char* TokenKindName(TokenKind k) {
+  switch (k) {
+    case TokenKind::kEnd: return "end of input";
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kInt: return "integer";
+    case TokenKind::kDouble: return "number";
+    case TokenKind::kString: return "string";
+    case TokenKind::kLParen: return "(";
+    case TokenKind::kRParen: return ")";
+    case TokenKind::kLBracket: return "[";
+    case TokenKind::kRBracket: return "]";
+    case TokenKind::kLBrace: return "{";
+    case TokenKind::kRBrace: return "}";
+    case TokenKind::kComma: return ",";
+    case TokenKind::kDot: return ".";
+    case TokenKind::kColon: return ":";
+    case TokenKind::kSemicolon: return ";";
+    case TokenKind::kPipe: return "|";
+    case TokenKind::kPipePlusPipe: return "|+|";
+    case TokenKind::kAmp: return "&";
+    case TokenKind::kBang: return "!";
+    case TokenKind::kPercent: return "%";
+    case TokenKind::kPlus: return "+";
+    case TokenKind::kStar: return "*";
+    case TokenKind::kSlash: return "/";
+    case TokenKind::kQuestion: return "?";
+    case TokenKind::kEq: return "=";
+    case TokenKind::kNeq: return "<>";
+    case TokenKind::kLt: return "<";
+    case TokenKind::kLe: return "<=";
+    case TokenKind::kGt: return ">";
+    case TokenKind::kGe: return ">=";
+    case TokenKind::kMinus: return "-";
+    case TokenKind::kArrowRight: return "->";
+    case TokenKind::kArrowLeft: return "<-";
+    case TokenKind::kLeftTilde: return "<~";
+    case TokenKind::kTildeRight: return "~>";
+    case TokenKind::kLeftRight: return "<->";
+    case TokenKind::kTilde: return "~";
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+
+  auto push = [&](TokenKind kind, size_t offset, size_t len) {
+    Token t;
+    t.kind = kind;
+    t.offset = offset;
+    t.text = input.substr(offset, len);
+    tokens.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+
+    if (IsIdentStart(c)) {
+      while (i < n && IsIdentChar(input[i])) ++i;
+      push(TokenKind::kIdent, start, i - start);
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) ++i;
+      bool is_double = false;
+      // A fractional part requires a digit after the dot, so "1." stays an
+      // integer followed by a dot (e.g. in quantifiers "{1,2}" no dot occurs,
+      // but property paths never follow numbers anyway).
+      if (i + 1 < n && input[i] == '.' &&
+          std::isdigit(static_cast<unsigned char>(input[i + 1]))) {
+        is_double = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) {
+          ++i;
+        }
+      }
+      int64_t multiplier = 1;
+      // Paper-style magnitude suffixes: 5M = 5,000,000; 10K = 10,000. Only
+      // when the suffix is not the start of a longer identifier.
+      if (i < n && (input[i] == 'M' || input[i] == 'K') &&
+          (i + 1 >= n || !IsIdentChar(input[i + 1]))) {
+        multiplier = input[i] == 'M' ? 1'000'000 : 1'000;
+        ++i;
+      }
+      Token t;
+      t.offset = start;
+      t.text = input.substr(start, i - start);
+      if (is_double) {
+        t.kind = TokenKind::kDouble;
+        t.double_value =
+            std::stod(input.substr(start, i - start)) * multiplier;
+      } else {
+        t.kind = TokenKind::kInt;
+        std::string digits = input.substr(start, i - start);
+        if (multiplier != 1) digits.pop_back();
+        t.int_value = std::stoll(digits) * multiplier;
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+
+    if (c == '\'') {
+      std::string value;
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == '\'') {
+          if (i + 1 < n && input[i + 1] == '\'') {  // '' escapes a quote
+            value.push_back('\'');
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        value.push_back(input[i]);
+        ++i;
+      }
+      if (!closed) {
+        return Status::SyntaxError("unterminated string literal at offset " +
+                                   std::to_string(start));
+      }
+      Token t;
+      t.kind = TokenKind::kString;
+      t.offset = start;
+      t.string_value = std::move(value);
+      tokens.push_back(std::move(t));
+      continue;
+    }
+
+    // Operators, maximal munch.
+    auto two = [&](char a, char b) {
+      return c == a && i + 1 < n && input[i + 1] == b;
+    };
+    if (c == '|' && i + 2 < n && input[i + 1] == '+' && input[i + 2] == '|') {
+      push(TokenKind::kPipePlusPipe, start, 3);
+      i += 3;
+      continue;
+    }
+    if (c == '<' && i + 2 < n && input[i + 1] == '-' && input[i + 2] == '>') {
+      push(TokenKind::kLeftRight, start, 3);
+      i += 3;
+      continue;
+    }
+    if (two('<', '-')) { push(TokenKind::kArrowLeft, start, 2); i += 2; continue; }
+    if (two('<', '~')) { push(TokenKind::kLeftTilde, start, 2); i += 2; continue; }
+    if (two('<', '=')) { push(TokenKind::kLe, start, 2); i += 2; continue; }
+    if (two('<', '>')) { push(TokenKind::kNeq, start, 2); i += 2; continue; }
+    if (two('>', '=')) { push(TokenKind::kGe, start, 2); i += 2; continue; }
+    if (two('-', '>')) { push(TokenKind::kArrowRight, start, 2); i += 2; continue; }
+    if (two('~', '>')) { push(TokenKind::kTildeRight, start, 2); i += 2; continue; }
+
+    TokenKind kind;
+    switch (c) {
+      case '(': kind = TokenKind::kLParen; break;
+      case ')': kind = TokenKind::kRParen; break;
+      case '[': kind = TokenKind::kLBracket; break;
+      case ']': kind = TokenKind::kRBracket; break;
+      case '{': kind = TokenKind::kLBrace; break;
+      case '}': kind = TokenKind::kRBrace; break;
+      case ',': kind = TokenKind::kComma; break;
+      case '.': kind = TokenKind::kDot; break;
+      case ':': kind = TokenKind::kColon; break;
+      case ';': kind = TokenKind::kSemicolon; break;
+      case '|': kind = TokenKind::kPipe; break;
+      case '&': kind = TokenKind::kAmp; break;
+      case '!': kind = TokenKind::kBang; break;
+      case '%': kind = TokenKind::kPercent; break;
+      case '+': kind = TokenKind::kPlus; break;
+      case '*': kind = TokenKind::kStar; break;
+      case '/': kind = TokenKind::kSlash; break;
+      case '?': kind = TokenKind::kQuestion; break;
+      case '=': kind = TokenKind::kEq; break;
+      case '<': kind = TokenKind::kLt; break;
+      case '>': kind = TokenKind::kGt; break;
+      case '-': kind = TokenKind::kMinus; break;
+      case '~': kind = TokenKind::kTilde; break;
+      default:
+        return Status::SyntaxError(std::string("unexpected character '") + c +
+                                   "' at offset " + std::to_string(start));
+    }
+    push(kind, start, 1);
+    ++i;
+  }
+
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace gpml

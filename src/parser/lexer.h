@@ -1,0 +1,63 @@
+#ifndef GPML_PARSER_LEXER_H_
+#define GPML_PARSER_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace gpml {
+
+/// Token kinds. Keywords are not distinguished here: GPML keywords are
+/// case-insensitive and non-reserved, so the parser matches identifier
+/// tokens against keywords contextually (a property may be called "where").
+enum class TokenKind {
+  kEnd,
+  kIdent,
+  kInt,      // 64-bit integer literal (suffixes K/M expand: 5M = 5000000).
+  kDouble,
+  kString,   // single-quoted, '' escapes a quote.
+
+  kLParen, kRParen, kLBracket, kRBracket, kLBrace, kRBrace,
+  kComma, kDot, kColon, kSemicolon,
+
+  kPipe,          // |
+  kPipePlusPipe,  // |+|
+  kAmp,           // &
+  kBang,          // !
+  kPercent,       // %
+  kPlus,          // +
+  kStar,          // *
+  kSlash,         // /
+  kQuestion,      // ?
+  kEq,            // =
+  kNeq,           // <>
+  kLt, kLe, kGt, kGe,
+  kMinus,         // -
+  kArrowRight,    // ->
+  kArrowLeft,     // <-
+  kLeftTilde,     // <~
+  kTildeRight,    // ~>
+  kLeftRight,     // <->
+  kTilde,         // ~
+};
+
+const char* TokenKindName(TokenKind k);
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;     // kIdent: the identifier; literals: raw text.
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  std::string string_value;
+  size_t offset = 0;    // Byte offset in the input, for error messages.
+};
+
+/// Tokenizes a full GPML statement. Maximal-munch on operators; the parser
+/// re-splits `<-` into `<` `-` in expression position (x < -1 vs <-[e]-).
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace gpml
+
+#endif  // GPML_PARSER_LEXER_H_

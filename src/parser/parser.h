@@ -1,0 +1,30 @@
+#ifndef GPML_PARSER_PARSER_H_
+#define GPML_PARSER_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "ast/ast.h"
+#include "common/result.h"
+
+namespace gpml {
+
+/// Parses a complete GPML statement:
+///   MATCH <path decls> [WHERE <postfilter>] [RETURN [DISTINCT] <items>]
+/// RETURN is the GQL host's projection (Figure 9); SQL/PGQ callers use
+/// ParseGraphPattern + ParseColumns instead.
+Result<MatchStatement> ParseStatement(const std::string& text);
+
+/// Parses "MATCH ... [WHERE ...]" without a RETURN clause.
+Result<GraphPattern> ParseGraphPattern(const std::string& text);
+
+/// Parses a stand-alone expression (tests, COLUMNS items).
+Result<ExprPtr> ParseExpression(const std::string& text);
+
+/// Parses a COLUMNS list: "expr [AS alias] (',' expr [AS alias])*" — the
+/// projection list of SQL/PGQ's GRAPH_TABLE.
+Result<std::vector<ReturnItem>> ParseColumns(const std::string& text);
+
+}  // namespace gpml
+
+#endif  // GPML_PARSER_PARSER_H_

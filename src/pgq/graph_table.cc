@@ -1,0 +1,85 @@
+#include "pgq/graph_table.h"
+
+#include <cctype>
+
+#include "gql/result_table.h"
+#include "parser/parser.h"
+
+namespace gpml {
+
+Result<Table> GraphTable(const Catalog& catalog, const GraphTableQuery& query,
+                         EngineOptions options) {
+  GPML_ASSIGN_OR_RETURN(std::shared_ptr<const PropertyGraph> graph,
+                        catalog.GetGraph(query.graph));
+  Engine engine(*graph, options);
+  GPML_ASSIGN_OR_RETURN(MatchOutput output, engine.Match(query.match));
+  GPML_ASSIGN_OR_RETURN(std::vector<ReturnItem> items,
+                        ParseColumns(query.columns));
+  // SQL semantics: GRAPH_TABLE yields a bag; no implicit DISTINCT.
+  return ProjectRows(output, *graph, items, /*distinct=*/false);
+}
+
+Result<GraphTableQuery> ParseGraphTableCall(const std::string& sql) {
+  // Lightweight surface parser: GRAPH_TABLE ( <name> , MATCH <pattern...>
+  // COLUMNS ( <items> ) ) with arbitrary whitespace/case.
+  auto find_ci = [&](const std::string& needle, size_t from) {
+    for (size_t i = from; i + needle.size() <= sql.size(); ++i) {
+      bool match = true;
+      for (size_t j = 0; j < needle.size(); ++j) {
+        if (std::toupper(sql[i + j]) != std::toupper(needle[j])) {
+          match = false;
+          break;
+        }
+      }
+      if (match) return i;
+    }
+    return std::string::npos;
+  };
+
+  size_t gt = find_ci("GRAPH_TABLE", 0);
+  if (gt == std::string::npos) {
+    return Status::SyntaxError("expected GRAPH_TABLE(...)");
+  }
+  size_t open = sql.find('(', gt);
+  if (open == std::string::npos) {
+    return Status::SyntaxError("expected ( after GRAPH_TABLE");
+  }
+  size_t comma = sql.find(',', open);
+  if (comma == std::string::npos) {
+    return Status::SyntaxError("expected graph name argument");
+  }
+  GraphTableQuery q;
+  q.graph = sql.substr(open + 1, comma - open - 1);
+  // Trim whitespace.
+  while (!q.graph.empty() && std::isspace(static_cast<unsigned char>(
+                                 q.graph.front()))) {
+    q.graph.erase(q.graph.begin());
+  }
+  while (!q.graph.empty() &&
+         std::isspace(static_cast<unsigned char>(q.graph.back()))) {
+    q.graph.pop_back();
+  }
+
+  size_t columns_kw = find_ci("COLUMNS", comma);
+  if (columns_kw == std::string::npos) {
+    return Status::SyntaxError("expected COLUMNS clause");
+  }
+  q.match = sql.substr(comma + 1, columns_kw - comma - 1);
+
+  size_t cols_open = sql.find('(', columns_kw);
+  if (cols_open == std::string::npos) {
+    return Status::SyntaxError("expected ( after COLUMNS");
+  }
+  // Match the closing parenthesis of the COLUMNS list.
+  int depth = 1;
+  size_t i = cols_open + 1;
+  for (; i < sql.size() && depth > 0; ++i) {
+    if (sql[i] == '(') ++depth;
+    if (sql[i] == ')') --depth;
+  }
+  if (depth != 0) return Status::SyntaxError("unbalanced COLUMNS list");
+  q.columns = sql.substr(cols_open + 1, i - cols_open - 2);
+  return q;
+}
+
+}  // namespace gpml

@@ -1,0 +1,41 @@
+#ifndef GPML_PGQ_GRAPH_TABLE_H_
+#define GPML_PGQ_GRAPH_TABLE_H_
+
+#include <string>
+
+#include "catalog/catalog.h"
+#include "catalog/table.h"
+#include "common/result.h"
+#include "eval/engine.h"
+
+namespace gpml {
+
+/// SQL/PGQ's GRAPH_TABLE operator (Figure 9, left branch): runs a GPML
+/// graph pattern against a graph in the catalog and projects the reduced
+/// path bindings into a relational table through a COLUMNS list. In SQL
+/// surface syntax this is
+///
+///   SELECT * FROM GRAPH_TABLE(g,
+///     MATCH (x:Account)-[:isLocatedIn]->(c:City)
+///     WHERE c.name = 'Ankh-Morpork'
+///     COLUMNS (x.owner AS owner))
+///
+/// expressed here as a structured call; `match` carries the MATCH...WHERE
+/// part and `columns` the COLUMNS list.
+struct GraphTableQuery {
+  std::string graph;
+  std::string match;
+  std::string columns;
+};
+
+Result<Table> GraphTable(const Catalog& catalog, const GraphTableQuery& query,
+                         EngineOptions options = {});
+
+/// Parses the SQL surface form "GRAPH_TABLE(<graph>, MATCH ... COLUMNS
+/// (...))" into a GraphTableQuery — enough SQL syntax to run the paper's
+/// examples verbatim.
+Result<GraphTableQuery> ParseGraphTableCall(const std::string& sql);
+
+}  // namespace gpml
+
+#endif  // GPML_PGQ_GRAPH_TABLE_H_

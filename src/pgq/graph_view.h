@@ -1,0 +1,65 @@
+#ifndef GPML_PGQ_GRAPH_VIEW_H_
+#define GPML_PGQ_GRAPH_VIEW_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "graph/property_graph.h"
+
+namespace gpml {
+
+/// SQL/PGQ defines property graphs as views over a tabular schema (§1,
+/// Figure 2): node tables contribute one node per row, edge tables one edge
+/// per row with key references into node tables. This module is the
+/// CREATE PROPERTY GRAPH machinery in API form.
+///
+/// Keys render to element names via Value::ToString, so a node with ID 'a1'
+/// in table Account becomes node "a1" — exactly the Figure 1/Figure 2
+/// correspondence.
+
+struct NodeTableMapping {
+  std::string table;
+  std::string key_column;
+  /// Labels of every node from this table; Figure 2's convention is one
+  /// table per label combination (Account, Country, CityCountry, ...).
+  std::vector<std::string> labels;
+  /// Columns exposed as properties; empty = every column except the key.
+  std::vector<std::string> property_columns;
+};
+
+struct EdgeTableMapping {
+  std::string table;
+  std::string key_column;
+  std::string source_column;  // References a node key.
+  std::string target_column;  // References a node key.
+  bool directed = true;       // hasPhone in Figure 1 is undirected.
+  std::vector<std::string> labels;
+  std::vector<std::string> property_columns;
+};
+
+struct GraphViewDef {
+  std::string name;
+  std::vector<NodeTableMapping> nodes;
+  std::vector<EdgeTableMapping> edges;
+};
+
+/// Materializes the view over the catalog's base tables into a
+/// PropertyGraph. Key collisions across node tables and dangling edge
+/// references are errors.
+Result<PropertyGraph> MaterializeGraphView(const Catalog& catalog,
+                                           const GraphViewDef& def);
+
+/// Convenience: materializes and registers the graph under def.name.
+Status CreatePropertyGraph(Catalog& catalog, const GraphViewDef& def);
+
+/// Builds the Figure 2 tabular schema (Account, Transfer, Country,
+/// CityCountry, Phone, IP, isLocatedIn, hasPhone, signInWithIP tables
+/// populated with the Figure 1 data) into `catalog`, and returns the
+/// GraphViewDef that maps it back to the Figure 1 graph.
+Result<GraphViewDef> InstallPaperTables(Catalog& catalog);
+
+}  // namespace gpml
+
+#endif  // GPML_PGQ_GRAPH_VIEW_H_

@@ -1,0 +1,384 @@
+#include "semantics/analyze.h"
+
+#include <optional>
+
+#include "semantics/normalize.h"
+
+namespace gpml {
+
+namespace {
+
+/// One declaration site of a variable, with enough context to decide
+/// co-bindability: two sites can bind in the same match run unless they sit
+/// in different alternatives of the same union/alternation.
+struct DeclSite {
+  int decl_index = 0;                      // Which path declaration.
+  std::vector<std::pair<int, int>> branch; // (union id, alternative index)*.
+  int depth = 0;                           // Enclosing quantifier count.
+  bool in_optional = false;                // Under a `?` somewhere.
+};
+
+/// A predicate (or projection) site with the quantifier depth of its
+/// evaluation context.
+struct ExprSite {
+  ExprPtr expr;
+  int depth = 0;
+  bool inline_element = false;  // Node/edge inline WHERE (no aggregates).
+};
+
+bool CanCoBind(const DeclSite& a, const DeclSite& b) {
+  if (a.decl_index != b.decl_index) return true;  // Cross-decl join.
+  size_t n = std::min(a.branch.size(), b.branch.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (a.branch[i].first != b.branch[i].first) break;
+    if (a.branch[i].second != b.branch[i].second) {
+      return false;  // Different alternatives of the same union: exclusive.
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+class AnalyzerImpl {
+ public:
+  Result<Analysis> Run(const GraphPattern& g) {
+    // Pass 1: collect declarations and predicate sites.
+    for (size_t i = 0; i < g.paths.size(); ++i) {
+      const PathPatternDecl& d = g.paths[i];
+      decl_index_ = static_cast<int>(i);
+      if (!d.path_var.empty()) {
+        GPML_RETURN_IF_ERROR(
+            DeclarePath(d.path_var, static_cast<int>(i)));
+      }
+      GPML_RETURN_IF_ERROR(CollectPath(*d.pattern, /*certain=*/true));
+    }
+    if (g.where != nullptr) {
+      exprs_.push_back({g.where, /*depth=*/0, /*inline_element=*/false});
+    }
+
+    // Pass 2: per-variable facts.
+    GPML_RETURN_IF_ERROR(Finalize());
+
+    // Pass 3: predicate rules.
+    for (const ExprSite& site : exprs_) {
+      GPML_RETURN_IF_ERROR(CheckExpr(*site.expr, site, /*in_agg=*/false));
+    }
+    return std::move(analysis_);
+  }
+
+ private:
+  struct Collected {
+    VarInfo::Kind kind;
+    std::vector<DeclSite> sites;
+    bool certain = false;  // Declared on every run of its declaring decl.
+    std::vector<ExprPtr> wheres;
+  };
+
+  Status DeclarePath(const std::string& name, int decl_index) {
+    Collected& c = collected_[name];
+    if (!c.sites.empty() && c.kind != VarInfo::Kind::kPath) {
+      return Status::SemanticError("variable " + name +
+                                   " used both as path and element variable");
+    }
+    c.kind = VarInfo::Kind::kPath;
+    DeclSite site;
+    site.decl_index = decl_index;
+    c.sites.push_back(site);
+    c.certain = true;
+    return Status::OK();
+  }
+
+  Status Declare(const std::string& name, VarInfo::Kind kind, ExprPtr where) {
+    auto it = collected_.find(name);
+    if (it == collected_.end()) {
+      Collected c;
+      c.kind = kind;
+      collected_.emplace(name, std::move(c));
+      it = collected_.find(name);
+    } else if (it->second.kind != kind) {
+      return Status::SemanticError(
+          "variable " + name + " used with conflicting element kinds");
+    }
+    DeclSite site;
+    site.decl_index = decl_index_;
+    site.branch = branch_;
+    site.depth = depth_;
+    site.in_optional = optional_depth_ > 0;
+    it->second.sites.push_back(std::move(site));
+    if (where != nullptr) {
+      if (where->ContainsAggregate()) {
+        return Status::SemanticError(
+            "aggregate not allowed in an inline node/edge predicate (on " +
+            name + ")");
+      }
+      exprs_.push_back({std::move(where), depth_, /*inline_element=*/true});
+    }
+    return Status::OK();
+  }
+
+  /// Walks a path pattern. `certain` tells whether this subtree executes on
+  /// every run of the declaring path pattern (false under `?` and under
+  /// union alternatives); certainty feeds the conditional-singleton rule.
+  Status CollectPath(const PathPattern& p, bool certain) {
+    switch (p.kind) {
+      case PathPattern::Kind::kConcat:
+        for (const PathElement& e : p.elements) {
+          GPML_RETURN_IF_ERROR(CollectElement(e, certain));
+        }
+        return Status::OK();
+      case PathPattern::Kind::kUnion:
+      case PathPattern::Kind::kAlternation: {
+        int union_id = ++union_counter_;
+        // A variable is certain across a union only if declared in every
+        // alternative; handled by joining per-alternative certainty in
+        // Finalize(), so mark subtree declarations with their branch and
+        // record the union arity.
+        union_arity_[union_id] =
+            static_cast<int>(p.alternatives.size());
+        for (size_t i = 0; i < p.alternatives.size(); ++i) {
+          branch_.push_back({union_id, static_cast<int>(i)});
+          GPML_RETURN_IF_ERROR(CollectPath(*p.alternatives[i], certain));
+          branch_.pop_back();
+        }
+        return Status::OK();
+      }
+    }
+    return Status::Internal("unknown path pattern kind");
+  }
+
+  Status CollectElement(const PathElement& e, bool certain) {
+    switch (e.kind) {
+      case PathElement::Kind::kNode:
+        return Declare(e.node.var, VarInfo::Kind::kNode, e.node.where);
+      case PathElement::Kind::kEdge:
+        return Declare(e.edge.var, VarInfo::Kind::kEdge, e.edge.where);
+      case PathElement::Kind::kParen: {
+        if (e.where != nullptr) {
+          exprs_.push_back({e.where, depth_, /*inline_element=*/false});
+        }
+        return CollectPath(*e.sub, certain);
+      }
+      case PathElement::Kind::kQuantified: {
+        ++depth_;
+        // The per-iteration WHERE evaluates inside the quantifier (§4.4).
+        if (e.where != nullptr) {
+          exprs_.push_back({e.where, depth_, /*inline_element=*/false});
+        }
+        Status st = CollectPath(*e.sub, certain && e.min > 0);
+        --depth_;
+        return st;
+      }
+      case PathElement::Kind::kOptional: {
+        ++optional_depth_;
+        if (e.where != nullptr) {
+          exprs_.push_back({e.where, depth_, /*inline_element=*/false});
+        }
+        Status st = CollectPath(*e.sub, /*certain=*/false);
+        --optional_depth_;
+        return st;
+      }
+    }
+    return Status::Internal("unknown path element kind");
+  }
+
+  Status Finalize() {
+    for (auto& [name, c] : collected_) {
+      VarInfo info;
+      info.name = name;
+      info.kind = c.kind;
+      info.anonymous = IsAnonymousVar(name);
+
+      if (c.kind != VarInfo::Kind::kPath) {
+        // All declarations must agree on quantifier depth: a variable may
+        // not be declared both inside and outside a quantifier.
+        int depth = c.sites.front().depth;
+        for (const DeclSite& s : c.sites) {
+          if (s.depth != depth) {
+            return Status::SemanticError(
+                "variable " + name +
+                " declared both inside and outside a quantifier");
+          }
+        }
+        info.depth = depth;
+        info.group = depth > 0;
+        info.conditional = ComputeConditional(c);
+
+        if (info.conditional) {
+          // §4.6: implicit equi-joins on conditional singletons are illegal.
+          for (size_t i = 0; i < c.sites.size(); ++i) {
+            for (size_t j = i + 1; j < c.sites.size(); ++j) {
+              if (CanCoBind(c.sites[i], c.sites[j])) {
+                return Status::SemanticError(
+                    "illegal implicit equi-join on conditional singleton " +
+                    name);
+              }
+            }
+          }
+        }
+      }
+
+      for (const DeclSite& s : c.sites) {
+        if (info.decls.empty() || info.decls.back() != s.decl_index) {
+          info.decls.push_back(s.decl_index);
+        }
+      }
+      analysis_.vars_.emplace(name, std::move(info));
+    }
+    return Status::OK();
+  }
+
+  /// A variable is conditional when any declaration site may fail to bind:
+  /// the site sits under `?`, or under some union alternative whose sibling
+  /// alternatives do not all declare the variable (§4.6: y and z in
+  /// [(x)->(y)] | [(x)->(z)] are conditional, x is not). A union site is
+  /// certain when the variable is declared in *all* alternatives of each
+  /// union on its branch path, checked level by level.
+  bool ComputeConditional(const Collected& c) {
+    for (const DeclSite& site : c.sites) {
+      if (!SiteIsCertain(c, site)) return true;
+    }
+    return false;
+  }
+
+  bool SiteIsCertain(const Collected& c, const DeclSite& site) {
+    {
+      if (site.in_optional) return false;    // `?` sites are never certain.
+      if (site.branch.empty()) return true;  // Top-level declaration.
+      // Check that for each union on the site's branch path, every
+      // alternative of that union contains a declaration with the same
+      // prefix.
+      bool certain = true;
+      std::vector<std::pair<int, int>> prefix;
+      for (const auto& [union_id, alt] : site.branch) {
+        int arity = union_arity_[union_id];
+        for (int a = 0; a < arity && certain; ++a) {
+          bool found = false;
+          for (const DeclSite& other : c.sites) {
+            if (other.in_optional) continue;
+            if (other.branch.size() <= prefix.size()) continue;
+            if (!std::equal(prefix.begin(), prefix.end(),
+                            other.branch.begin())) {
+              continue;
+            }
+            if (other.branch[prefix.size()] ==
+                std::make_pair(union_id, a)) {
+              found = true;
+              break;
+            }
+          }
+          if (!found) certain = false;
+        }
+        if (!certain) break;
+        prefix.push_back({union_id, alt});
+      }
+      return certain;
+    }
+  }
+
+  Status CheckExpr(const Expr& e, const ExprSite& site, bool in_agg) {
+    switch (e.kind) {
+      case Expr::Kind::kVarRef:
+      case Expr::Kind::kPropertyAccess: {
+        GPML_RETURN_IF_ERROR(RequireDeclared(e.var));
+        const VarInfo& v = analysis_.vars_.at(e.var);
+        if (v.kind != VarInfo::Kind::kPath && v.depth > site.depth &&
+            !in_agg) {
+          return Status::SemanticError(
+              "group variable " + e.var +
+              " referenced across its quantifier without aggregation");
+        }
+        return Status::OK();
+      }
+      case Expr::Kind::kPathLength: {
+        GPML_RETURN_IF_ERROR(RequireDeclared(e.var));
+        if (analysis_.vars_.at(e.var).kind != VarInfo::Kind::kPath) {
+          return Status::SemanticError("PATH_LENGTH expects a path variable");
+        }
+        return Status::OK();
+      }
+      case Expr::Kind::kIsDirected: {
+        return RequireElement(e.var, VarInfo::Kind::kEdge, "IS DIRECTED");
+      }
+      case Expr::Kind::kIsSourceOf:
+      case Expr::Kind::kIsDestinationOf: {
+        GPML_RETURN_IF_ERROR(
+            RequireElement(e.var, VarInfo::Kind::kNode, "IS SOURCE OF"));
+        return RequireElement(e.var2, VarInfo::Kind::kEdge, "IS SOURCE OF");
+      }
+      case Expr::Kind::kSame:
+      case Expr::Kind::kAllDifferent: {
+        const char* what =
+            e.kind == Expr::Kind::kSame ? "SAME" : "ALL_DIFFERENT";
+        for (const std::string& v : e.vars) {
+          GPML_RETURN_IF_ERROR(RequireDeclared(v));
+          const VarInfo& info = analysis_.vars_.at(v);
+          if (info.kind == VarInfo::Kind::kPath) {
+            return Status::SemanticError(std::string(what) +
+                                         " expects element variables");
+          }
+          // §4.7: arguments must be unconditional singletons.
+          if (info.conditional) {
+            return Status::SemanticError(
+                std::string(what) + " argument " + v +
+                " is a conditional singleton");
+          }
+          if (info.depth > site.depth) {
+            return Status::SemanticError(std::string(what) + " argument " +
+                                         v + " is a group variable");
+          }
+        }
+        return Status::OK();
+      }
+      case Expr::Kind::kAggregate:
+        if (site.inline_element) {
+          return Status::SemanticError(
+              "aggregate not allowed in inline element predicate");
+        }
+        return CheckExpr(*e.arg, site, /*in_agg=*/true);
+      case Expr::Kind::kBinary:
+        GPML_RETURN_IF_ERROR(CheckExpr(*e.lhs, site, in_agg));
+        return CheckExpr(*e.rhs, site, in_agg);
+      case Expr::Kind::kNot:
+      case Expr::Kind::kIsNull:
+        return CheckExpr(*e.lhs, site, in_agg);
+      case Expr::Kind::kLiteral:
+        return Status::OK();
+    }
+    return Status::Internal("unknown expression kind");
+  }
+
+  Status RequireDeclared(const std::string& var) {
+    if (analysis_.vars_.count(var) == 0) {
+      return Status::SemanticError("undeclared variable " + var);
+    }
+    return Status::OK();
+  }
+
+  Status RequireElement(const std::string& var, VarInfo::Kind kind,
+                        const char* what) {
+    GPML_RETURN_IF_ERROR(RequireDeclared(var));
+    if (analysis_.vars_.at(var).kind != kind) {
+      return Status::SemanticError(std::string(what) +
+                                   ": wrong element kind for " + var);
+    }
+    return Status::OK();
+  }
+
+  Analysis analysis_;
+  std::map<std::string, Collected> collected_;
+  std::vector<ExprSite> exprs_;
+  std::map<int, int> union_arity_;
+  std::vector<std::pair<int, int>> branch_;
+  int decl_index_ = 0;
+  int depth_ = 0;
+  int optional_depth_ = 0;
+  int union_counter_ = 0;
+};
+
+Result<Analysis> Analyze(const GraphPattern& normalized) {
+  AnalyzerImpl impl;
+  return impl.Run(normalized);
+}
+
+}  // namespace gpml

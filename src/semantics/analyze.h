@@ -1,0 +1,58 @@
+#ifndef GPML_SEMANTICS_ANALYZE_H_
+#define GPML_SEMANTICS_ANALYZE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ast/ast.h"
+#include "common/result.h"
+
+namespace gpml {
+
+/// Everything the engine and the hosts need to know about one variable of a
+/// normalized graph pattern.
+struct VarInfo {
+  enum class Kind { kNode, kEdge, kPath };
+
+  std::string name;
+  Kind kind = Kind::kNode;
+  bool anonymous = false;     // Introduced by normalization ($n1, $e2).
+  int depth = 0;              // Quantifiers enclosing the declaration.
+  bool group = false;         // depth > 0: binds once per iteration (§4.4).
+  bool conditional = false;   // May stay unbound (§4.6): under `?`, or not
+                              // declared in every union/alternation branch.
+  std::vector<int> decls;     // Indices of path declarations declaring it.
+};
+
+/// Result of semantic analysis over a *normalized* graph pattern.
+class Analysis {
+ public:
+  const std::map<std::string, VarInfo>& variables() const { return vars_; }
+
+  bool Has(const std::string& name) const { return vars_.count(name) > 0; }
+  const VarInfo& Get(const std::string& name) const {
+    return vars_.at(name);
+  }
+
+ private:
+  friend class AnalyzerImpl;
+  std::map<std::string, VarInfo> vars_;
+};
+
+/// Validates the variable rules of §4.4, §4.6 and §4.7 on a normalized
+/// pattern and computes per-variable facts:
+///
+///  * a variable is used consistently as node, edge, or path variable;
+///  * a variable is not declared both inside and outside a quantifier;
+///  * implicit equi-joins on conditional singletons are rejected (§4.6);
+///  * SAME / ALL_DIFFERENT arguments are unconditional singletons (§4.7);
+///  * group variables referenced across their quantifier are only used
+///    under aggregation (§4.4, "crossing the quantifier");
+///  * aggregates are rejected in inline node/edge predicates;
+///  * every variable referenced in a predicate or RETURN item is declared.
+Result<Analysis> Analyze(const GraphPattern& normalized);
+
+}  // namespace gpml
+
+#endif  // GPML_SEMANTICS_ANALYZE_H_

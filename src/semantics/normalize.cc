@@ -1,0 +1,124 @@
+#include "semantics/normalize.h"
+
+namespace gpml {
+
+namespace {
+
+/// Rewrites one graph pattern; carries the fresh-variable counters so names
+/// are unique across the whole pattern (like the paper's □i, □ii, −i, ...).
+class Normalizer {
+ public:
+  Result<GraphPattern> Run(const GraphPattern& g) {
+    GraphPattern out;
+    out.mode = g.mode;
+    out.where = g.where;
+    out.paths.reserve(g.paths.size());
+    for (const PathPatternDecl& d : g.paths) {
+      PathPatternDecl nd;
+      nd.selector = d.selector;
+      nd.restrictor = d.restrictor;
+      nd.path_var = d.path_var;
+      GPML_ASSIGN_OR_RETURN(nd.pattern, NormalizePath(*d.pattern));
+      out.paths.push_back(std::move(nd));
+    }
+    return out;
+  }
+
+ private:
+  std::string FreshNodeVar() {
+    return "$n" + std::to_string(++node_counter_);
+  }
+  std::string FreshEdgeVar() {
+    return "$e" + std::to_string(++edge_counter_);
+  }
+
+  NodePattern AnonNode() {
+    NodePattern n;
+    n.var = FreshNodeVar();
+    return n;
+  }
+
+  Result<PathPatternPtr> NormalizePath(const PathPattern& p) {
+    switch (p.kind) {
+      case PathPattern::Kind::kConcat:
+        return NormalizeConcat(p);
+      case PathPattern::Kind::kUnion:
+      case PathPattern::Kind::kAlternation: {
+        std::vector<PathPatternPtr> alts;
+        alts.reserve(p.alternatives.size());
+        for (const auto& a : p.alternatives) {
+          GPML_ASSIGN_OR_RETURN(PathPatternPtr na, NormalizePath(*a));
+          alts.push_back(std::move(na));
+        }
+        return p.kind == PathPattern::Kind::kUnion
+                   ? PathPattern::Union(std::move(alts))
+                   : PathPattern::Alternation(std::move(alts));
+      }
+    }
+    return Status::Internal("unknown path pattern kind");
+  }
+
+  Result<PathPatternPtr> NormalizeConcat(const PathPattern& p) {
+    std::vector<PathElement> out;
+    out.reserve(p.elements.size() + 2);
+
+    auto last_is_edge = [&]() {
+      return !out.empty() && out.back().kind == PathElement::Kind::kEdge;
+    };
+
+    // Leading edge pattern needs a node on its left (§6.2).
+    if (!p.elements.empty() &&
+        p.elements.front().kind == PathElement::Kind::kEdge) {
+      out.push_back(PathElement::Node(AnonNode()));
+    }
+
+    for (const PathElement& e : p.elements) {
+      switch (e.kind) {
+        case PathElement::Kind::kNode: {
+          NodePattern n = e.node;
+          if (n.var.empty()) n.var = FreshNodeVar();
+          out.push_back(PathElement::Node(std::move(n)));
+          break;
+        }
+        case PathElement::Kind::kEdge: {
+          if (last_is_edge()) {
+            out.push_back(PathElement::Node(AnonNode()));
+          }
+          EdgePattern ep = e.edge;
+          if (ep.var.empty()) ep.var = FreshEdgeVar();
+          out.push_back(PathElement::Edge(std::move(ep)));
+          break;
+        }
+        case PathElement::Kind::kParen:
+        case PathElement::Kind::kQuantified:
+        case PathElement::Kind::kOptional: {
+          if (last_is_edge()) {
+            out.push_back(PathElement::Node(AnonNode()));
+          }
+          GPML_ASSIGN_OR_RETURN(PathPatternPtr sub, NormalizePath(*e.sub));
+          PathElement ne = e;  // Copies kind/min/max/restrictor/where/flags.
+          ne.sub = std::move(sub);
+          out.push_back(std::move(ne));
+          break;
+        }
+      }
+    }
+
+    // Trailing edge pattern needs a node on its right.
+    if (last_is_edge()) out.push_back(PathElement::Node(AnonNode()));
+
+    return PathPattern::Concat(std::move(out));
+  }
+
+  int node_counter_ = 0;
+  int edge_counter_ = 0;
+};
+
+}  // namespace
+
+Result<GraphPattern> Normalize(const GraphPattern& pattern) {
+  Normalizer n;
+  return n.Run(pattern);
+}
+
+}  // namespace gpml

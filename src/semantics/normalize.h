@@ -1,0 +1,42 @@
+#ifndef GPML_SEMANTICS_NORMALIZE_H_
+#define GPML_SEMANTICS_NORMALIZE_H_
+
+#include "ast/ast.h"
+#include "common/result.h"
+
+namespace gpml {
+
+/// Normalization (§6.2) rewrites a parsed graph pattern into canonical form:
+///
+///  1. Every concatenation starts and ends with a node pattern and
+///     alternates node and edge patterns; missing node patterns are
+///     supplied as anonymous `()` (including around quantifiers written on
+///     bare edge patterns, §4.4).
+///  2. Quantifier sugar is already numeric in the AST (`*` = {0,}, `+` =
+///     {1,}); `?` keeps its own element kind because its conditional-
+///     singleton semantics differ from {0,1} (§4.6).
+///  3. Every anonymous node/edge pattern receives a fresh variable. Fresh
+///     names start with '$' ("$n3", "$e1"), which cannot clash with user
+///     identifiers (the lexer rejects '$'). The paper writes these as
+///     squares and dashes; reduction later merges them (§6.5).
+///
+/// Parenthesized sub-patterns, unions, and alternations are normalized
+/// recursively. Expressions and label expressions are shared, not copied.
+Result<GraphPattern> Normalize(const GraphPattern& pattern);
+
+/// True for variables invented by Normalize (anonymous patterns).
+inline bool IsAnonymousVar(const std::string& var) {
+  return !var.empty() && var[0] == '$';
+}
+/// True for anonymous *node* variables ("$n..").
+inline bool IsAnonymousNodeVar(const std::string& var) {
+  return var.size() >= 2 && var[0] == '$' && var[1] == 'n';
+}
+/// True for anonymous *edge* variables ("$e..").
+inline bool IsAnonymousEdgeVar(const std::string& var) {
+  return var.size() >= 2 && var[0] == '$' && var[1] == 'e';
+}
+
+}  // namespace gpml
+
+#endif  // GPML_SEMANTICS_NORMALIZE_H_

@@ -1,0 +1,176 @@
+#include "semantics/termination.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gpml {
+
+namespace {
+
+class TerminationChecker {
+ public:
+  explicit TerminationChecker(const Analysis& analysis)
+      : analysis_(analysis) {}
+
+  Status Check(const GraphPattern& g) {
+    for (const PathPatternDecl& d : g.paths) {
+      has_selector_ = !d.selector.IsNone();
+      restrictor_depth_ = d.restrictor != Restrictor::kNone ? 0 : -1;
+      quant_stack_.clear();
+      // First walk: record, for every variable, whether its innermost
+      // unbounded quantifier is restrictor-bounded; also check rule 1.
+      GPML_RETURN_IF_ERROR(WalkPath(*d.pattern));
+    }
+    // Rule 2 needs the per-variable boundedness computed above, then a pass
+    // over the prefilter expressions; prefilter expressions were collected
+    // during WalkPath.
+    for (const auto& [expr, vars_bounded] : prefilters_) {
+      GPML_RETURN_IF_ERROR(CheckPrefilter(*expr, vars_bounded));
+    }
+    return Status::OK();
+  }
+
+ private:
+  struct QuantInfo {
+    bool unbounded = false;
+    bool restricted = false;  // A restrictor encloses it (at any level).
+  };
+
+  bool InRestrictorScope() const { return restrictor_depth_ >= 0; }
+
+  Status WalkPath(const PathPattern& p) {
+    switch (p.kind) {
+      case PathPattern::Kind::kConcat:
+        for (const PathElement& e : p.elements) {
+          GPML_RETURN_IF_ERROR(WalkElement(e));
+        }
+        return Status::OK();
+      case PathPattern::Kind::kUnion:
+      case PathPattern::Kind::kAlternation:
+        for (const auto& a : p.alternatives) {
+          GPML_RETURN_IF_ERROR(WalkPath(*a));
+        }
+        return Status::OK();
+    }
+    return Status::Internal("unknown path pattern kind");
+  }
+
+  Status WalkElement(const PathElement& e) {
+    switch (e.kind) {
+      case PathElement::Kind::kNode:
+        RecordVarBoundedness(e.node.var);
+        return Status::OK();
+      case PathElement::Kind::kEdge:
+        RecordVarBoundedness(e.edge.var);
+        return Status::OK();
+      case PathElement::Kind::kParen: {
+        bool entered = false;
+        if (e.restrictor != Restrictor::kNone && !InRestrictorScope()) {
+          restrictor_depth_ = static_cast<int>(quant_stack_.size());
+          entered = true;
+        }
+        if (e.where != nullptr) RecordPrefilter(e.where);
+        Status st = WalkPath(*e.sub);
+        if (entered) restrictor_depth_ = -1;
+        return st;
+      }
+      case PathElement::Kind::kQuantified: {
+        bool unbounded = !e.max.has_value();
+        // A restrictor written on the quantified pattern itself ([TRAIL x]*)
+        // applies to each *iteration's* segment, so it bounds neither the
+        // iteration count nor this quantifier — only an enclosing restrictor
+        // or a selector does.
+        if (unbounded && !InRestrictorScope() && !has_selector_) {
+          return Status::NonTerminating(
+              "unbounded quantifier {" + std::to_string(e.min) +
+              ",} is not within the scope of a restrictor or selector (§5)");
+        }
+        QuantInfo qi;
+        qi.unbounded = unbounded;
+        qi.restricted = InRestrictorScope();  // Before the own restrictor.
+        bool entered = false;
+        if (e.restrictor != Restrictor::kNone && !InRestrictorScope()) {
+          restrictor_depth_ = static_cast<int>(quant_stack_.size());
+          entered = true;
+        }
+        quant_stack_.push_back(qi);
+        // Iteration WHERE evaluates inside the quantifier, so it is recorded
+        // after pushing the quantifier frame.
+        if (e.where != nullptr) RecordPrefilter(e.where);
+        Status st = WalkPath(*e.sub);
+        quant_stack_.pop_back();
+        if (entered) restrictor_depth_ = -1;
+        return st;
+      }
+      case PathElement::Kind::kOptional: {
+        if (e.where != nullptr) RecordPrefilter(e.where);
+        return WalkPath(*e.sub);
+      }
+    }
+    return Status::Internal("unknown path element kind");
+  }
+
+  /// A variable declared here is "effectively bounded" iff every enclosing
+  /// unbounded quantifier is restrictor-bounded.
+  void RecordVarBoundedness(const std::string& var) {
+    bool bounded = true;
+    for (const QuantInfo& q : quant_stack_) {
+      if (q.unbounded && !q.restricted) bounded = false;
+    }
+    auto it = var_bounded_.find(var);
+    if (it == var_bounded_.end()) {
+      var_bounded_[var] = bounded;
+    } else {
+      it->second = it->second && bounded;
+    }
+  }
+
+  void RecordPrefilter(const ExprPtr& e) {
+    if (e->ContainsAggregate()) prefilters_.push_back({e, &var_bounded_});
+  }
+
+  Status CheckPrefilter(const Expr& e,
+                        const std::map<std::string, bool>* bounded) {
+    if (e.kind == Expr::Kind::kAggregate) {
+      std::vector<std::string> vars;
+      e.arg->CollectVariables(&vars);
+      for (const std::string& v : vars) {
+        auto it = bounded->find(v);
+        // Unknown variables are reported by Analyze; only boundedness is
+        // checked here.
+        if (it != bounded->end() && !it->second) {
+          return Status::NonTerminating(
+              "prefilter aggregates over effectively-unbounded group "
+              "variable " +
+              v + " (§5.3); bound the quantifier or move the predicate to "
+              "the final WHERE clause");
+        }
+      }
+    }
+    for (const ExprPtr* child : {&e.lhs, &e.rhs, &e.arg}) {
+      if (*child != nullptr) {
+        GPML_RETURN_IF_ERROR(CheckPrefilter(**child, bounded));
+      }
+    }
+    return Status::OK();
+  }
+
+  const Analysis& analysis_;
+  bool has_selector_ = false;
+  int restrictor_depth_ = -1;  // -1 = not in restrictor scope.
+  std::vector<QuantInfo> quant_stack_;
+  std::map<std::string, bool> var_bounded_;
+  std::vector<std::pair<ExprPtr, const std::map<std::string, bool>*>>
+      prefilters_;
+};
+
+}  // namespace
+
+Status CheckTermination(const GraphPattern& normalized,
+                        const Analysis& analysis) {
+  TerminationChecker checker(analysis);
+  return checker.Check(normalized);
+}
+
+}  // namespace gpml

@@ -1,0 +1,30 @@
+#ifndef GPML_SEMANTICS_TERMINATION_H_
+#define GPML_SEMANTICS_TERMINATION_H_
+
+#include "ast/ast.h"
+#include "common/result.h"
+#include "semantics/analyze.h"
+
+namespace gpml {
+
+/// Static termination checks of §5 on a normalized pattern:
+///
+///  1. Every unbounded quantifier ({m,}, *, +) must be within the scope of a
+///     restrictor or a selector (§5): a restrictor at the declaration head,
+///     a restrictor on an enclosing parenthesized pattern, or a selector at
+///     the declaration head.
+///
+///  2. Prefilter predicates over effectively-unbounded group variables are
+///     prohibited (§5.3): an aggregate inside an element/parenthesized/
+///     iteration WHERE may only aggregate variables whose quantifier is
+///     bounded — statically bounded ({m,n}) or bounded by a restrictor in
+///     scope. A selector does NOT bound prefilters (it applies after
+///     matching), which is exactly the ALL SHORTEST counter-example of §5.3.
+///
+/// Returns kNonTerminating with an explanatory message on violation.
+Status CheckTermination(const GraphPattern& normalized,
+                        const Analysis& analysis);
+
+}  // namespace gpml
+
+#endif  // GPML_SEMANTICS_TERMINATION_H_

@@ -1,0 +1,166 @@
+#include "semantics/analyze.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+#include "semantics/normalize.h"
+
+namespace gpml {
+namespace {
+
+Result<Analysis> AnalyzeText(const std::string& text) {
+  GPML_ASSIGN_OR_RETURN(GraphPattern g, ParseGraphPattern(text));
+  GPML_ASSIGN_OR_RETURN(GraphPattern n, Normalize(g));
+  return Analyze(n);
+}
+
+Analysis MustAnalyze(const std::string& text) {
+  Result<Analysis> a = AnalyzeText(text);
+  EXPECT_TRUE(a.ok()) << text << " -> " << a.status();
+  return a.ok() ? *a : Analysis{};
+}
+
+TEST(AnalyzeTest, KindsOfVariables) {
+  Analysis a = MustAnalyze("MATCH p = (x)-[e:Transfer]->(y)");
+  EXPECT_EQ(a.Get("x").kind, VarInfo::Kind::kNode);
+  EXPECT_EQ(a.Get("e").kind, VarInfo::Kind::kEdge);
+  EXPECT_EQ(a.Get("p").kind, VarInfo::Kind::kPath);
+  EXPECT_FALSE(a.Get("x").group);
+  EXPECT_FALSE(a.Get("x").conditional);
+}
+
+TEST(AnalyzeTest, ConflictingKindsRejected) {
+  Result<Analysis> a = AnalyzeText("MATCH (x)-[x]->(y)");
+  EXPECT_FALSE(a.ok());
+  EXPECT_EQ(a.status().code(), StatusCode::kSemanticError);
+}
+
+TEST(AnalyzeTest, PathAndElementKindsConflict) {
+  EXPECT_FALSE(AnalyzeText("MATCH p = (p)-[e]->(y)").ok());
+}
+
+TEST(AnalyzeTest, GroupVariablesUnderQuantifier) {
+  Analysis a =
+      MustAnalyze("MATCH (a) [()-[t:Transfer]->()]{2,5} (b)");
+  EXPECT_TRUE(a.Get("t").group);
+  EXPECT_EQ(a.Get("t").depth, 1);
+  EXPECT_FALSE(a.Get("a").group);
+}
+
+TEST(AnalyzeTest, DeclaredInsideAndOutsideQuantifierRejected) {
+  Result<Analysis> a = AnalyzeText("MATCH (a) [(a)-[t]->()]{1,3} (b)");
+  EXPECT_FALSE(a.ok());
+  EXPECT_NE(a.status().message().find("inside and outside"),
+            std::string::npos);
+}
+
+TEST(AnalyzeTest, ConditionalSingletonsFromUnion) {
+  // §4.6: x unconditional, y and z conditional.
+  Analysis a = MustAnalyze("MATCH [(x)->(y)] | [(x)->(z)]");
+  EXPECT_FALSE(a.Get("x").conditional);
+  EXPECT_TRUE(a.Get("y").conditional);
+  EXPECT_TRUE(a.Get("z").conditional);
+}
+
+TEST(AnalyzeTest, ConditionalSingletonsFromQuestionMark) {
+  Analysis a = MustAnalyze("MATCH (x) [->(y)]?");
+  EXPECT_FALSE(a.Get("x").conditional);
+  EXPECT_TRUE(a.Get("y").conditional);
+  // `?` does not make y a group variable (§4.6).
+  EXPECT_FALSE(a.Get("y").group);
+}
+
+TEST(AnalyzeTest, QuantifierZeroOneMakesGroup) {
+  // {0,1} exposes variables as group, unlike `?` (§4.6).
+  Analysis a = MustAnalyze("MATCH (x) [->(y)]{0,1}");
+  EXPECT_TRUE(a.Get("y").group);
+}
+
+TEST(AnalyzeTest, IllegalEquiJoinOnConditionalSingleton) {
+  // §4.6's illegal query.
+  Result<Analysis> a =
+      AnalyzeText("MATCH [(x)->(y)] | [(x)->(z)], (y)->(w)");
+  EXPECT_FALSE(a.ok());
+  EXPECT_NE(a.status().message().find("conditional singleton"),
+            std::string::npos);
+}
+
+TEST(AnalyzeTest, JoinOnUnconditionalAcrossDeclsAllowed) {
+  EXPECT_TRUE(AnalyzeText("MATCH (x)->(y), (y)->(z)").ok());
+}
+
+TEST(AnalyzeTest, SameUnionVariableInBothBranchesAllowed) {
+  // c is declared in every branch: unconditional despite the union.
+  Analysis a = MustAnalyze("MATCH (a)[->(c:City) | ->(c:Country)]");
+  EXPECT_FALSE(a.Get("c").conditional);
+}
+
+TEST(AnalyzeTest, UndeclaredVariableInPostfilter) {
+  Result<Analysis> a = AnalyzeText("MATCH (x) WHERE ghost.a = 1");
+  EXPECT_FALSE(a.ok());
+  EXPECT_NE(a.status().message().find("undeclared"), std::string::npos);
+}
+
+TEST(AnalyzeTest, GroupReferenceWithoutAggregateRejected) {
+  Result<Analysis> a =
+      AnalyzeText("MATCH (a)[()-[t]->()]{1,3}(b) WHERE t.amount > 1");
+  EXPECT_FALSE(a.ok());
+  EXPECT_NE(a.status().message().find("group variable"), std::string::npos);
+}
+
+TEST(AnalyzeTest, GroupReferenceUnderAggregateAllowed) {
+  EXPECT_TRUE(
+      AnalyzeText("MATCH (a)[()-[t]->()]{1,3}(b) WHERE SUM(t.amount) > 1")
+          .ok());
+}
+
+TEST(AnalyzeTest, SingletonReferenceInsideIterationAllowed) {
+  // §4.4: inside the quantifier, t is a singleton reference.
+  EXPECT_TRUE(
+      AnalyzeText(
+          "MATCH (a)[()-[t:Transfer]->() WHERE t.amount>1M]{2,5}(b)")
+          .ok());
+}
+
+TEST(AnalyzeTest, AggregateInInlinePredicateRejected) {
+  Result<Analysis> a =
+      AnalyzeText("MATCH (x WHERE COUNT(x.*) > 1)");
+  EXPECT_FALSE(a.ok());
+}
+
+TEST(AnalyzeTest, SameRequiresUnconditionalSingletons) {
+  Result<Analysis> a =
+      AnalyzeText("MATCH (x)[->(y)]?, (z)->(w) WHERE SAME(x, y)");
+  EXPECT_FALSE(a.ok());
+  EXPECT_NE(a.status().message().find("conditional"), std::string::npos);
+}
+
+TEST(AnalyzeTest, SameOnGroupVariableRejected) {
+  Result<Analysis> a =
+      AnalyzeText("MATCH (a)[()-[t]->()]{1,2}(b) WHERE SAME(a, t)");
+  EXPECT_FALSE(a.ok());
+  EXPECT_NE(a.status().message().find("group"), std::string::npos);
+}
+
+TEST(AnalyzeTest, AllDifferentOnSingletonsAllowed) {
+  EXPECT_TRUE(
+      AnalyzeText("MATCH (x)->(y)->(z) WHERE ALL_DIFFERENT(x, y, z)").ok());
+}
+
+TEST(AnalyzeTest, AnonymousVariablesTracked) {
+  Analysis a = MustAnalyze("MATCH (x)-[:T]->(y)");
+  int anonymous = 0;
+  for (const auto& [name, info] : a.variables()) {
+    if (info.anonymous) ++anonymous;
+  }
+  EXPECT_EQ(anonymous, 1) << "the anonymous edge variable";
+}
+
+TEST(AnalyzeTest, DeclIndicesRecorded) {
+  Analysis a = MustAnalyze("MATCH (x)->(y), (y)->(z)");
+  EXPECT_EQ(a.Get("y").decls.size(), 2u);
+  EXPECT_EQ(a.Get("x").decls.size(), 1u);
+}
+
+}  // namespace
+}  // namespace gpml

@@ -1,0 +1,133 @@
+#include "baseline/crpq.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/rpq_nfa.h"
+#include "graph/generator.h"
+#include "graph/sample_graph.h"
+
+namespace gpml {
+namespace baseline {
+namespace {
+
+// E4 (baseline side): the classic CRPQ/RPQ machinery of §3/§8.
+
+TEST(RegexTest, ParseAndPrint) {
+  Result<RegexPtr> r = ParseRegex("Transfer+");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->kind, Regex::Kind::kPlus);
+  r = ParseRegex("a/b | ^c*");
+  ASSERT_TRUE(r.ok()) << r.status();
+  r = ParseRegex("(a|b)/c?");
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(ParseRegex("").ok());
+  EXPECT_FALSE(ParseRegex("(a").ok());
+  EXPECT_FALSE(ParseRegex("a$").ok());
+}
+
+TEST(RpqNfaTest, ReachabilityOnChain) {
+  PropertyGraph g = MakeChainGraph(4);
+  Result<RegexPtr> r = ParseRegex("Transfer+");
+  RpqNfa nfa = BuildNfa(**r);
+  std::vector<NodeId> from0 = EvalReachableFrom(g, nfa, 0);
+  EXPECT_EQ(from0, (std::vector<NodeId>{1, 2, 3}));
+  std::vector<NodeId> from3 = EvalReachableFrom(g, nfa, 3);
+  EXPECT_TRUE(from3.empty());
+}
+
+TEST(RpqNfaTest, StarIncludesSelf) {
+  PropertyGraph g = MakeChainGraph(3);
+  Result<RegexPtr> r = ParseRegex("Transfer*");
+  RpqNfa nfa = BuildNfa(**r);
+  EXPECT_EQ(EvalReachableFrom(g, nfa, 1), (std::vector<NodeId>{1, 2}));
+}
+
+TEST(RpqNfaTest, InverseSteps) {
+  PropertyGraph g = MakeChainGraph(3);
+  Result<RegexPtr> r = ParseRegex("^Transfer");
+  RpqNfa nfa = BuildNfa(**r);
+  EXPECT_EQ(EvalReachableFrom(g, nfa, 2), (std::vector<NodeId>{1}));
+}
+
+TEST(RpqNfaTest, UnionAndConcat) {
+  PropertyGraph g = BuildPaperGraph();
+  // Account --isLocatedIn--> place, or account --hasPhone--> phone.
+  Result<RegexPtr> r = ParseRegex("isLocatedIn|hasPhone");
+  RpqNfa nfa = BuildNfa(**r);
+  NodeId a1 = g.FindNode("a1");
+  std::vector<NodeId> reached = EvalReachableFrom(g, nfa, a1);
+  EXPECT_EQ(reached.size(), 2u);  // c1 and p1.
+}
+
+TEST(RpqNfaTest, ReachabilityAllPairsCountsEndpointSemantics) {
+  // §3: SPARQL-style — pairs only, no path multiplicity. On a cycle,
+  // Transfer+ connects every ordered pair.
+  PropertyGraph g = MakeCycleGraph(4);
+  Result<RegexPtr> r = ParseRegex("Transfer+");
+  RpqNfa nfa = BuildNfa(**r);
+  EXPECT_EQ(EvalReachability(g, nfa).size(), 16u);
+}
+
+TEST(CrpqTest, Figure4AsCrpq) {
+  PropertyGraph g = BuildPaperGraph();
+  CrpqQuery q;
+  q.atoms = {{"x", "isLocatedIn", "g"},
+             {"y", "isLocatedIn", "g"},
+             {"x", "Transfer+", "y"}};
+  q.filters = {{"x", "Account", "isBlocked", Value::String("no")},
+               {"y", "Account", "isBlocked", Value::String("yes")},
+               {"g", "", "name", Value::String("Ankh-Morpork")}};
+  q.output_vars = {"x", "y"};
+  Result<Table> t = EvalCrpq(g, q);
+  ASSERT_TRUE(t.ok()) << t.status();
+  Table table = *t;
+  table.SortRows();
+  ASSERT_EQ(table.num_rows(), 2u);
+  EXPECT_EQ(*table.At(0, "x"), Value::String("a2"));  // Aretha.
+  EXPECT_EQ(*table.At(0, "y"), Value::String("a4"));  // Jay.
+  EXPECT_EQ(*table.At(1, "x"), Value::String("a6"));  // Dave.
+}
+
+TEST(CrpqTest, SharedVariableJoin) {
+  PropertyGraph g = BuildPaperGraph();
+  CrpqQuery q;
+  // x transfers to y, y transfers to z: composition via join on y.
+  q.atoms = {{"x", "Transfer", "y"}, {"y", "Transfer", "z"}};
+  q.output_vars = {"x", "z"};
+  Result<Table> t = EvalCrpq(g, q);
+  ASSERT_TRUE(t.ok());
+  // Same pairs as Transfer/Transfer composition.
+  CrpqQuery q2;
+  q2.atoms = {{"x", "Transfer/Transfer", "z"}};
+  q2.output_vars = {"x", "z"};
+  Result<Table> t2 = EvalCrpq(g, q2);
+  ASSERT_TRUE(t2.ok());
+  Table a = *t;
+  Table b = *t2;
+  a.SortRows();
+  b.SortRows();
+  EXPECT_EQ(a.rows(), b.rows());
+}
+
+TEST(CrpqTest, OutputVariableMustBeBound) {
+  PropertyGraph g = BuildPaperGraph();
+  CrpqQuery q;
+  q.atoms = {{"x", "Transfer", "y"}};
+  q.output_vars = {"ghost"};
+  EXPECT_EQ(EvalCrpq(g, q).status().code(), StatusCode::kSemanticError);
+}
+
+TEST(CrpqTest, SameVariableBothEndpoints) {
+  PropertyGraph g = BuildPaperGraph();
+  CrpqQuery q;
+  // Nodes on a Transfer cycle of length exactly 4.
+  q.atoms = {{"x", "Transfer/Transfer/Transfer/Transfer", "x"}};
+  q.output_vars = {"x"};
+  Result<Table> t = EvalCrpq(g, q);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 4u);  // a2, a3, a4, a6.
+}
+
+}  // namespace
+}  // namespace baseline
+}  // namespace gpml

@@ -1,0 +1,165 @@
+#include "eval/binding.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+#include "semantics/normalize.h"
+
+namespace gpml {
+namespace {
+
+Analysis AnalyzeQuery(const std::string& text) {
+  Result<GraphPattern> g = ParseGraphPattern(text);
+  EXPECT_TRUE(g.ok());
+  Result<GraphPattern> n = Normalize(*g);
+  EXPECT_TRUE(n.ok());
+  Result<Analysis> a = Analyze(*n);
+  EXPECT_TRUE(a.ok()) << a.status();
+  return *a;
+}
+
+TEST(VarTableTest, InterningAndLookup) {
+  Analysis a = AnalyzeQuery("MATCH (x)-[e:T]->(y)");
+  VarTable vars(a);
+  EXPECT_GE(vars.Find("x"), 0);
+  EXPECT_GE(vars.Find("e"), 0);
+  EXPECT_EQ(vars.Find("ghost"), -1);
+  EXPECT_EQ(vars.name(vars.Find("x")), "x");
+  // Total: x, e, y + the anonymous reduced node/edge ids.
+  EXPECT_EQ(vars.size(), 5);
+}
+
+TEST(VarTableTest, ReducedMapsAnonymousToShared) {
+  Analysis a = AnalyzeQuery("MATCH ()-[:T]->()");
+  VarTable vars(a);
+  int n1 = vars.Find("$n1");
+  int e1 = vars.Find("$e1");
+  int n2 = vars.Find("$n2");
+  ASSERT_GE(n1, 0);
+  ASSERT_GE(e1, 0);
+  EXPECT_EQ(vars.Reduced(n1), vars.anon_node_id());
+  EXPECT_EQ(vars.Reduced(n2), vars.anon_node_id());
+  EXPECT_EQ(vars.Reduced(e1), vars.anon_edge_id());
+  // Named variables reduce to themselves.
+  Analysis a2 = AnalyzeQuery("MATCH (x)");
+  VarTable vars2(a2);
+  EXPECT_EQ(vars2.Reduced(vars2.Find("x")), vars2.Find("x"));
+}
+
+TEST(BindingChainTest, ExtendAndMaterialize) {
+  BindingChain chain;
+  chain = Extend(chain, {0, ElementRef::Node(5)});
+  chain = Extend(chain, {1, ElementRef::Edge(2)}, Traversal::kBackward);
+  chain = Extend(chain, {0, ElementRef::Node(6)});
+  EXPECT_EQ(chain->size, 3u);
+  std::vector<BindingLink> links = Materialize(chain);
+  ASSERT_EQ(links.size(), 3u);
+  EXPECT_EQ(links[0].binding.element.id, 5u);
+  EXPECT_EQ(links[1].traversal, Traversal::kBackward);
+  EXPECT_EQ(links[2].binding.element.id, 6u);
+}
+
+TEST(BindingChainTest, StructuralSharing) {
+  BindingChain base = Extend(nullptr, {0, ElementRef::Node(1)});
+  BindingChain left = Extend(base, {1, ElementRef::Node(2)});
+  BindingChain right = Extend(base, {1, ElementRef::Node(3)});
+  EXPECT_EQ(Materialize(left)[0].binding.element.id, 1u);
+  EXPECT_EQ(Materialize(right)[0].binding.element.id, 1u);
+  EXPECT_EQ(left->prev.get(), right->prev.get());
+}
+
+TEST(EnvChainTest, LookupFindsLatest) {
+  EnvChain env;
+  env = ExtendEnv(env, 0, ElementRef::Node(1), 0);
+  env = ExtendEnv(env, 1, ElementRef::Node(2), 0);
+  env = ExtendEnv(env, 0, ElementRef::Node(3), 7);
+  const EnvLink* e0 = LookupEnv(env, 0);
+  ASSERT_NE(e0, nullptr);
+  EXPECT_EQ(e0->element.id, 3u);
+  EXPECT_EQ(e0->serial, 7u);
+  EXPECT_EQ(LookupEnv(env, 1)->element.id, 2u);
+  EXPECT_EQ(LookupEnv(env, 9), nullptr);
+}
+
+TEST(PathBindingTest, ElementsOfAndLastOf) {
+  PathBinding pb;
+  pb.reduced = {{0, ElementRef::Node(1)},
+                {1, ElementRef::Edge(0)},
+                {0, ElementRef::Node(2)}};
+  EXPECT_EQ(pb.ElementsOf(0).size(), 2u);
+  EXPECT_EQ(pb.LastOf(0)->id, 2u);
+  EXPECT_EQ(pb.LastOf(7), nullptr);
+}
+
+TEST(PathBindingTest, SameReducedIncludesTags) {
+  PathBinding a;
+  a.reduced = {{0, ElementRef::Node(1)}};
+  PathBinding b = a;
+  EXPECT_TRUE(a.SameReduced(b));
+  b.tags = {1};
+  EXPECT_FALSE(a.SameReduced(b));
+  EXPECT_NE(a.ReducedHash(), b.ReducedHash());
+}
+
+TEST(ReduceChainTest, AdjacentAnonymousRunsCollapse) {
+  Analysis an = AnalyzeQuery("MATCH ()-[:T]->()");
+  VarTable vars(an);
+  int n1 = vars.Find("$n1");
+  int e1 = vars.Find("$e1");
+  int n2 = vars.Find("$n2");
+  BindingChain chain;
+  chain = Extend(chain, {n1, ElementRef::Node(0)});
+  chain = Extend(chain, {e1, ElementRef::Edge(0)});
+  chain = Extend(chain, {n2, ElementRef::Node(1)});
+  // Simulate an adjacent anonymous node (same graph node) after n2.
+  chain = Extend(chain, {n1, ElementRef::Node(1)});
+  PathBinding pb = ReduceChain(chain, vars, {});
+  // Run (n2, n1) collapses to one anonymous binding.
+  ASSERT_EQ(pb.reduced.size(), 3u);
+  EXPECT_EQ(pb.reduced[0].var, vars.anon_node_id());
+  EXPECT_EQ(pb.reduced[1].var, vars.anon_edge_id());
+  EXPECT_EQ(pb.reduced[2].var, vars.anon_node_id());
+}
+
+TEST(ReduceChainTest, NamedBindingsSurviveRuns) {
+  Analysis an = AnalyzeQuery("MATCH (a)-[:T]->(b)");
+  VarTable vars(an);
+  int a = vars.Find("a");
+  int e = vars.Find("$e1");
+  int b = vars.Find("b");
+  BindingChain chain;
+  chain = Extend(chain, {a, ElementRef::Node(0)});
+  chain = Extend(chain, {e, ElementRef::Edge(0)});
+  chain = Extend(chain, {b, ElementRef::Node(1)});
+  chain = Extend(chain, {a, ElementRef::Node(1)});  // Named in same run.
+  PathBinding pb = ReduceChain(chain, vars, {});
+  ASSERT_EQ(pb.reduced.size(), 4u);
+  EXPECT_EQ(pb.reduced[2].var, b);
+  EXPECT_EQ(pb.reduced[3].var, a);
+}
+
+TEST(ReduceChainTest, PathReconstruction) {
+  Analysis an = AnalyzeQuery("MATCH (a)-[:T]->(b)");
+  VarTable vars(an);
+  BindingChain chain;
+  chain = Extend(chain, {vars.Find("a"), ElementRef::Node(4)});
+  chain = Extend(chain, {vars.Find("$e1"), ElementRef::Edge(9)},
+                 Traversal::kBackward);
+  chain = Extend(chain, {vars.Find("b"), ElementRef::Node(7)});
+  PathBinding pb = ReduceChain(chain, vars, {});
+  EXPECT_EQ(pb.path.Start(), 4u);
+  EXPECT_EQ(pb.path.End(), 7u);
+  EXPECT_EQ(pb.path.Length(), 1u);
+  EXPECT_EQ(pb.path.traversals()[0], Traversal::kBackward);
+}
+
+TEST(ReduceChainTest, EmptyChain) {
+  Analysis an = AnalyzeQuery("MATCH (a)");
+  VarTable vars(an);
+  PathBinding pb = ReduceChain(nullptr, vars, {});
+  EXPECT_TRUE(pb.reduced.empty());
+  EXPECT_TRUE(pb.path.IsEmpty());
+}
+
+}  // namespace
+}  // namespace gpml

@@ -1,0 +1,93 @@
+#include "catalog/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/sample_graph.h"
+
+namespace gpml {
+namespace {
+
+Table MakeAccountsTable() {
+  Table t{Schema({{"ID", ValueType::kString, false},
+                  {"owner", ValueType::kString, true}})};
+  EXPECT_TRUE(t.Append({Value::String("a1"), Value::String("Scott")}).ok());
+  EXPECT_TRUE(t.Append({Value::String("a2"), Value::String("Aretha")}).ok());
+  return t;
+}
+
+TEST(SchemaTest, FindColumnAndToString) {
+  Schema s({{"ID", ValueType::kString, false},
+            {"amount", ValueType::kInt, true}});
+  EXPECT_EQ(s.FindColumn("ID"), 0);
+  EXPECT_EQ(s.FindColumn("amount"), 1);
+  EXPECT_EQ(s.FindColumn("nope"), -1);
+  EXPECT_EQ(s.ToString(), "ID STRING, amount INT");
+}
+
+TEST(SchemaTest, RowValidation) {
+  Schema s({{"ID", ValueType::kString, false},
+            {"amount", ValueType::kInt, true}});
+  EXPECT_TRUE(s.ValidateRow({Value::String("x"), Value::Int(1)}).ok());
+  EXPECT_TRUE(s.ValidateRow({Value::String("x"), Value::Null()}).ok());
+  EXPECT_FALSE(s.ValidateRow({Value::Null(), Value::Int(1)}).ok());
+  EXPECT_FALSE(s.ValidateRow({Value::String("x")}).ok());
+  EXPECT_FALSE(
+      s.ValidateRow({Value::String("x"), Value::String("oops")}).ok());
+}
+
+TEST(TableTest, AppendAtAndSort) {
+  Table t = MakeAccountsTable();
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(*t.At(0, "owner"), Value::String("Scott"));
+  EXPECT_FALSE(t.At(0, "ghost").ok());
+  EXPECT_FALSE(t.At(9, "owner").ok());
+  t.SortRows();
+  EXPECT_EQ(*t.At(0, "ID"), Value::String("a1"));
+}
+
+TEST(TableTest, DeduplicateRows) {
+  Table t{Schema({{"x", ValueType::kInt, true}})};
+  t.AppendUnchecked({Value::Int(2)});
+  t.AppendUnchecked({Value::Int(1)});
+  t.AppendUnchecked({Value::Int(2)});
+  t.DeduplicateRows();
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(*t.At(0, "x"), Value::Int(1));
+}
+
+TEST(TableTest, ToStringRendersHeader) {
+  Table t = MakeAccountsTable();
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("ID"), std::string::npos);
+  EXPECT_NE(s.find("Scott"), std::string::npos);
+}
+
+TEST(CatalogTest, TableRegistration) {
+  Catalog c;
+  EXPECT_TRUE(c.AddTable("Account", MakeAccountsTable()).ok());
+  EXPECT_TRUE(c.HasTable("Account"));
+  EXPECT_FALSE(c.HasTable("Nope"));
+  EXPECT_EQ(c.AddTable("Account", MakeAccountsTable()).code(),
+            StatusCode::kAlreadyExists);
+  Result<const Table*> t = c.GetTable("Account");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->num_rows(), 2u);
+  EXPECT_FALSE(c.GetTable("Nope").ok());
+  EXPECT_EQ(c.TableNames(), std::vector<std::string>{"Account"});
+}
+
+TEST(CatalogTest, GraphRegistration) {
+  Catalog c;
+  EXPECT_TRUE(c.AddGraph("bank", BuildPaperGraph()).ok());
+  EXPECT_TRUE(c.HasGraph("bank"));
+  EXPECT_EQ(c.AddGraph("bank", BuildPaperGraph()).code(),
+            StatusCode::kAlreadyExists);
+  auto g = c.GetGraph("bank");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ((*g)->num_nodes(), 14u);
+  EXPECT_FALSE(c.GetGraph("other").ok());
+  EXPECT_EQ(c.GraphNames(), std::vector<std::string>{"bank"});
+}
+
+}  // namespace
+}  // namespace gpml

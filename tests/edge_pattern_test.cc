@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+#include "graph/sample_graph.h"
+#include "test_util.h"
+
+namespace gpml {
+namespace {
+
+using testing_util::Rows;
+
+// E6: the full Figure 5 edge-pattern orientation table, evaluated on a
+// 3-node fixture with one directed edge u->v and one undirected edge u~w.
+
+class EdgePatternTest : public ::testing::Test {
+ protected:
+  EdgePatternTest() {
+    GraphBuilder b;
+    b.AddNode("u", {"N"});
+    b.AddNode("v", {"N"});
+    b.AddNode("w", {"N"});
+    b.AddDirectedEdge("d", "u", "v", {"D"});
+    b.AddUndirectedEdge("a", "u", "w", {"U"});
+    g_ = std::move(std::move(b).Build()).value();
+  }
+  PropertyGraph g_;
+};
+
+TEST_F(EdgePatternTest, PointingRight) {
+  EXPECT_EQ(Rows(g_, "MATCH (x)-[e]->(y)", "x, e, y"),
+            (std::vector<std::string>{"u|d|v"}));
+}
+
+TEST_F(EdgePatternTest, PointingLeft) {
+  EXPECT_EQ(Rows(g_, "MATCH (x)<-[e]-(y)", "x, e, y"),
+            (std::vector<std::string>{"v|d|u"}));
+}
+
+TEST_F(EdgePatternTest, Undirected) {
+  // Each undirected edge is traversable from both endpoints.
+  EXPECT_EQ(Rows(g_, "MATCH (x)~[e]~(y)", "x, e, y"),
+            (std::vector<std::string>{"u|a|w", "w|a|u"}));
+}
+
+TEST_F(EdgePatternTest, LeftOrUndirected) {
+  EXPECT_EQ(Rows(g_, "MATCH (x)<~[e]~(y)", "x, e, y"),
+            (std::vector<std::string>{"u|a|w", "v|d|u", "w|a|u"}));
+}
+
+TEST_F(EdgePatternTest, UndirectedOrRight) {
+  EXPECT_EQ(Rows(g_, "MATCH (x)~[e]~>(y)", "x, e, y"),
+            (std::vector<std::string>{"u|a|w", "u|d|v", "w|a|u"}));
+}
+
+TEST_F(EdgePatternTest, LeftOrRight) {
+  // §4.2: a directionless directed match returns each directed edge twice,
+  // once per traversal direction.
+  EXPECT_EQ(Rows(g_, "MATCH (x)<-[e]->(y)", "x, e, y"),
+            (std::vector<std::string>{"u|d|v", "v|d|u"}));
+}
+
+TEST_F(EdgePatternTest, AnyDirection) {
+  EXPECT_EQ(Rows(g_, "MATCH (x)-[e]-(y)", "x, e, y"),
+            (std::vector<std::string>{"u|a|w", "u|d|v", "v|d|u", "w|a|u"}));
+}
+
+TEST_F(EdgePatternTest, AbbreviationsMatchFullForms) {
+  const char* pairs[][2] = {
+      {"MATCH (x)->(y)", "MATCH (x)-[]->(y)"},
+      {"MATCH (x)<-(y)", "MATCH (x)<-[]-(y)"},
+      {"MATCH (x)~(y)", "MATCH (x)~[]~(y)"},
+      {"MATCH (x)<~(y)", "MATCH (x)<~[]~(y)"},
+      {"MATCH (x)~>(y)", "MATCH (x)~[]~>(y)"},
+      {"MATCH (x)<->(y)", "MATCH (x)<-[]->(y)"},
+      {"MATCH (x)-(y)", "MATCH (x)-[]-(y)"},
+  };
+  for (const auto& p : pairs) {
+    EXPECT_EQ(Rows(g_, p[0], "x, y"), Rows(g_, p[1], "x, y"))
+        << p[0] << " vs " << p[1];
+  }
+}
+
+TEST_F(EdgePatternTest, LabelFilterOnEdge) {
+  EXPECT_EQ(Rows(g_, "MATCH (x)-[e:D]-(y)", "x, y"),
+            (std::vector<std::string>{"u|v", "v|u"}));
+  EXPECT_EQ(Rows(g_, "MATCH (x)-[e:U]-(y)", "x, y"),
+            (std::vector<std::string>{"u|w", "w|u"}));
+  EXPECT_TRUE(Rows(g_, "MATCH (x)-[e:Z]-(y)", "x").empty());
+}
+
+TEST_F(EdgePatternTest, DirectedSelfLoopMatchesBothWays) {
+  GraphBuilder b;
+  b.AddNode("s", {"N"});
+  b.AddDirectedEdge("loop", "s", "s", {"D"});
+  PropertyGraph g = std::move(std::move(b).Build()).value();
+  // Forward and backward traversals produce the same reduced binding.
+  EXPECT_EQ(Rows(g, "MATCH (x)-[e]-(y)", "x, e, y"),
+            (std::vector<std::string>{"s|loop|s"}));
+  EXPECT_EQ(Rows(g, "MATCH (x)-[e]->(y)", "x, e, y"),
+            (std::vector<std::string>{"s|loop|s"}));
+}
+
+TEST_F(EdgePatternTest, UndirectedSelfLoop) {
+  GraphBuilder b;
+  b.AddNode("s", {"N"});
+  b.AddUndirectedEdge("loop", "s", "s", {"U"});
+  PropertyGraph g = std::move(std::move(b).Build()).value();
+  EXPECT_EQ(Rows(g, "MATCH (x)~[e]~(y)", "x, e, y"),
+            (std::vector<std::string>{"s|loop|s"}));
+  EXPECT_TRUE(Rows(g, "MATCH (x)-[e]->(y)", "x").empty());
+}
+
+TEST_F(EdgePatternTest, PaperTransferDirections) {
+  PropertyGraph paper = BuildPaperGraph();
+  // §4.2: source of every transfer reaching Aretha.
+  EXPECT_EQ(Rows(paper,
+                 "MATCH (y WHERE y.owner='Aretha')<-[e:Transfer]-(x)",
+                 "x, e"),
+            (std::vector<std::string>{"a3|t2"}));
+}
+
+}  // namespace
+}  // namespace gpml

@@ -1,0 +1,135 @@
+#include "eval/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generator.h"
+#include "graph/graph_builder.h"
+#include "graph/sample_graph.h"
+#include "test_util.h"
+
+namespace gpml {
+namespace {
+
+using testing_util::MatchStatusOf;
+using testing_util::Rows;
+
+TEST(EngineTest, ParseErrorsPropagate) {
+  PropertyGraph g = BuildPaperGraph();
+  Engine engine(g);
+  Result<MatchOutput> out = engine.Match("MATCH (x");
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kSyntaxError);
+}
+
+TEST(EngineTest, SemanticErrorsPropagate) {
+  PropertyGraph g = BuildPaperGraph();
+  EXPECT_EQ(MatchStatusOf(g, "MATCH (x)-[x]->(y)").code(),
+            StatusCode::kSemanticError);
+}
+
+TEST(EngineTest, TerminationErrorsPropagate) {
+  PropertyGraph g = BuildPaperGraph();
+  EXPECT_EQ(MatchStatusOf(g, "MATCH (a)->*(b)").code(),
+            StatusCode::kNonTerminating);
+}
+
+TEST(EngineTest, EmptyGraphYieldsNoRows) {
+  GraphBuilder b;
+  PropertyGraph g = std::move(std::move(b).Build()).value();
+  Engine engine(g);
+  Result<MatchOutput> out = engine.Match("MATCH (x)");
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->rows.empty());
+}
+
+TEST(EngineTest, MatchAllNodes) {
+  PropertyGraph g = BuildPaperGraph();
+  Engine engine(g);
+  Result<MatchOutput> out = engine.Match("MATCH (x)");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->rows.size(), 14u);
+}
+
+TEST(EngineTest, MinimalNodePatternMatchesEverythingOnce) {
+  PropertyGraph g = BuildPaperGraph();
+  Engine engine(g);
+  // MATCH () — no variable, still 14 bindings (one per node).
+  Result<MatchOutput> out = engine.Match("MATCH ()");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->rows.size(), 14u);
+}
+
+TEST(EngineTest, MaxRowsGuard) {
+  PropertyGraph g = MakeCompleteGraph(6);
+  EngineOptions options;
+  options.max_rows = 10;
+  // Cross product of two unconstrained decls: 6*... exceeds 10 rows.
+  Status st = MatchStatusOf(g, "MATCH (a)->(b), (c)->(d)", options);
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(EngineTest, MaxMatchesGuard) {
+  PropertyGraph g = MakeCompleteGraph(8);
+  EngineOptions options;
+  options.matcher.max_matches = 50;
+  Status st =
+      MatchStatusOf(g, "MATCH TRAIL (a)-[:Transfer]->*(b)", options);
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(EngineTest, MaxStepsGuard) {
+  PropertyGraph g = MakeCompleteGraph(8);
+  EngineOptions options;
+  options.matcher.max_steps = 1000;
+  Status st =
+      MatchStatusOf(g, "MATCH TRAIL (a)-[:Transfer]->*(b)", options);
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(EngineTest, RowScopeSingletonAndGroupAccess) {
+  PropertyGraph g = BuildPaperGraph();
+  Engine engine(g);
+  Result<MatchOutput> out = engine.Match(
+      "MATCH (a WHERE a.owner='Jay')-[t:Transfer]->{2}(b)");
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->rows.size(), 2u);  // a4->a6->{a3,a5}.
+  const MatchOutput& mo = *out;
+  RowScope scope(mo, mo.rows[0]);
+  int a_id = mo.vars->Find("a");
+  int t_id = mo.vars->Find("t");
+  ASSERT_GE(a_id, 0);
+  ASSERT_GE(t_id, 0);
+  EXPECT_TRUE(scope.LookupSingleton(a_id).has_value());
+  EXPECT_EQ(scope.CollectGroup(t_id).size(), 2u);
+}
+
+TEST(EngineTest, ZeroWidthLoopGuard) {
+  // [()]* cannot spin: the implementation admits at most the zero-iteration
+  // solution (documented divergence in DESIGN.md).
+  PropertyGraph g = MakeChainGraph(2);
+  Engine engine(g);
+  Result<MatchOutput> out = engine.Match("MATCH TRAIL (a)[()]*(b)");
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(out->rows.size(), 2u);  // a=b for each node.
+}
+
+TEST(EngineTest, AnchoredSeedingByLabel) {
+  // First node pattern with a plain label restricts seeds; results must be
+  // identical to the unanchored equivalent with a postfilter.
+  PropertyGraph g = BuildPaperGraph();
+  EXPECT_EQ(Rows(g, "MATCH (x:Phone)~[e]~(y)", "x, e, y"),
+            Rows(g, "MATCH (x)~[e]~(y) WHERE x.number IS NOT NULL "
+                    "AND x.isBlocked IS NOT NULL",
+                 "x, e, y"));
+}
+
+TEST(EngineTest, RepeatedVariableAcrossQuantifierJoins) {
+  // §6: (a) ... (a) — the same account starts and ends the path.
+  PropertyGraph g = BuildPaperGraph();
+  std::vector<std::string> rows = Rows(
+      g, "MATCH (a WHERE a.owner='Jay')[-[:Transfer]->]{4}(a)", "a");
+  EXPECT_EQ(rows, (std::vector<std::string>{"a4"}));
+}
+
+}  // namespace
+}  // namespace gpml

@@ -1,0 +1,196 @@
+#include "eval/expr_eval.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "graph/sample_graph.h"
+#include "parser/parser.h"
+#include "semantics/normalize.h"
+
+namespace gpml {
+namespace {
+
+/// A hand-rolled scope for unit-testing expression evaluation.
+class FakeScope : public EvalScope {
+ public:
+  std::map<int, ElementRef> singletons;
+  std::map<int, std::vector<ElementRef>> groups;
+  std::map<int, const Path*> paths;
+
+  std::optional<ElementRef> LookupSingleton(int var) const override {
+    auto it = singletons.find(var);
+    if (it == singletons.end()) return std::nullopt;
+    return it->second;
+  }
+  std::vector<ElementRef> CollectGroup(int var) const override {
+    auto it = groups.find(var);
+    return it == groups.end() ? std::vector<ElementRef>{} : it->second;
+  }
+  const Path* LookupPath(int var) const override {
+    auto it = paths.find(var);
+    return it == paths.end() ? nullptr : it->second;
+  }
+};
+
+class ExprEvalTest : public ::testing::Test {
+ protected:
+  ExprEvalTest() : g_(BuildPaperGraph()) {
+    // Variables: x (node), e (edge), t (group edge), p (path).
+    Result<GraphPattern> parsed = ParseGraphPattern(
+        "MATCH p = (x)-[e]->() [()-[t]->()]{1,3} ()");
+    Result<GraphPattern> norm = Normalize(*parsed);
+    Result<Analysis> analysis = Analyze(*norm);
+    vars_ = std::make_unique<VarTable>(*analysis);
+    scope_.singletons[vars_->Find("x")] =
+        ElementRef::Node(g_.FindNode("a4"));
+    scope_.singletons[vars_->Find("e")] =
+        ElementRef::Edge(g_.FindEdge("t4"));
+    scope_.groups[vars_->Find("t")] = {
+        ElementRef::Edge(g_.FindEdge("t1")),
+        ElementRef::Edge(g_.FindEdge("t2")),
+        ElementRef::Edge(g_.FindEdge("t6"))};
+  }
+
+  Value Eval(const std::string& text) {
+    Result<ExprPtr> e = ParseExpression(text);
+    EXPECT_TRUE(e.ok()) << e.status();
+    Result<EvalValue> v = EvalExpr(**e, g_, *vars_, scope_);
+    EXPECT_TRUE(v.ok()) << text << " -> " << v.status();
+    return ToOutputValue(*v, g_);
+  }
+
+  TriBool Pred(const std::string& text) {
+    Result<ExprPtr> e = ParseExpression(text);
+    EXPECT_TRUE(e.ok()) << e.status();
+    Result<TriBool> v = EvalPredicate(**e, g_, *vars_, scope_);
+    EXPECT_TRUE(v.ok()) << text << " -> " << v.status();
+    return v.ok() ? *v : TriBool::kUnknown;
+  }
+
+  PropertyGraph g_;
+  std::unique_ptr<VarTable> vars_;
+  FakeScope scope_;
+};
+
+TEST_F(ExprEvalTest, Literals) {
+  EXPECT_EQ(Eval("42"), Value::Int(42));
+  EXPECT_EQ(Eval("5M"), Value::Int(5'000'000));
+  EXPECT_EQ(Eval("'hi'"), Value::String("hi"));
+  EXPECT_EQ(Eval("TRUE"), Value::Bool(true));
+  EXPECT_TRUE(Eval("NULL").is_null());
+}
+
+TEST_F(ExprEvalTest, PropertyAccess) {
+  EXPECT_EQ(Eval("x.owner"), Value::String("Jay"));
+  EXPECT_EQ(Eval("e.amount"), Value::Int(10'000'000));
+  EXPECT_TRUE(Eval("x.nonexistent").is_null());
+}
+
+TEST_F(ExprEvalTest, UnboundVariableIsNull) {
+  EXPECT_TRUE(Eval("ghost").is_null());
+  EXPECT_TRUE(Eval("ghost.prop").is_null());
+  EXPECT_EQ(Pred("ghost.prop = 1"), TriBool::kUnknown);
+}
+
+TEST_F(ExprEvalTest, Comparisons) {
+  EXPECT_EQ(Pred("x.owner = 'Jay'"), TriBool::kTrue);
+  EXPECT_EQ(Pred("x.owner <> 'Jay'"), TriBool::kFalse);
+  EXPECT_EQ(Pred("e.amount > 5M"), TriBool::kTrue);
+  EXPECT_EQ(Pred("e.amount <= 5M"), TriBool::kFalse);
+  EXPECT_EQ(Pred("x.missing = 1"), TriBool::kUnknown);
+}
+
+TEST_F(ExprEvalTest, BooleanConnectives) {
+  EXPECT_EQ(Pred("TRUE AND FALSE"), TriBool::kFalse);
+  EXPECT_EQ(Pred("TRUE OR x.missing = 1"), TriBool::kTrue);
+  EXPECT_EQ(Pred("FALSE OR x.missing = 1"), TriBool::kUnknown);
+  EXPECT_EQ(Pred("NOT (x.missing = 1)"), TriBool::kUnknown);
+  EXPECT_EQ(Pred("NOT FALSE"), TriBool::kTrue);
+}
+
+TEST_F(ExprEvalTest, Arithmetic) {
+  EXPECT_EQ(Eval("e.amount / 2 + 1"), Value::Double(5'000'001));
+  EXPECT_EQ(Eval("2 * 3 - 4"), Value::Int(2));
+  EXPECT_EQ(Eval("-e.amount"), Value::Int(-10'000'000));
+}
+
+TEST_F(ExprEvalTest, IsNull) {
+  EXPECT_EQ(Pred("x.missing IS NULL"), TriBool::kTrue);
+  EXPECT_EQ(Pred("x.owner IS NULL"), TriBool::kFalse);
+  EXPECT_EQ(Pred("x.owner IS NOT NULL"), TriBool::kTrue);
+  EXPECT_EQ(Pred("ghost IS NULL"), TriBool::kTrue);
+}
+
+TEST_F(ExprEvalTest, AggregatesOverGroups) {
+  // t group: t1 (8M), t2 (10M), t6 (4M).
+  EXPECT_EQ(Eval("COUNT(t)"), Value::Int(3));
+  EXPECT_EQ(Eval("COUNT(t.*)"), Value::Int(3));
+  EXPECT_EQ(Eval("SUM(t.amount)"), Value::Int(22'000'000));
+  EXPECT_EQ(Eval("MIN(t.amount)"), Value::Int(4'000'000));
+  EXPECT_EQ(Eval("MAX(t.amount)"), Value::Int(10'000'000));
+  EXPECT_EQ(Eval("AVG(t.amount)"),
+            Value::Double(22'000'000.0 / 3.0));
+}
+
+TEST_F(ExprEvalTest, CountDistinct) {
+  scope_.groups[vars_->Find("t")].push_back(
+      ElementRef::Edge(g_.FindEdge("t1")));  // Duplicate member.
+  EXPECT_EQ(Eval("COUNT(t)"), Value::Int(4));
+  EXPECT_EQ(Eval("COUNT(DISTINCT t)"), Value::Int(3));
+}
+
+TEST_F(ExprEvalTest, ListAgg) {
+  EXPECT_EQ(Eval("LISTAGG(t.date, '; ')"),
+            Value::String("1/1/2020; 2/1/2020; 7/1/2020"));
+  // LISTAGG over bare elements renders their names.
+  EXPECT_EQ(Eval("LISTAGG(t, ',')"), Value::String("t1,t2,t6"));
+}
+
+TEST_F(ExprEvalTest, EmptyGroupAggregates) {
+  scope_.groups[vars_->Find("t")].clear();
+  EXPECT_EQ(Eval("COUNT(t)"), Value::Int(0));
+  EXPECT_TRUE(Eval("SUM(t.amount)").is_null());
+  EXPECT_TRUE(Eval("AVG(t.amount)").is_null());
+  EXPECT_TRUE(Eval("MIN(t.amount)").is_null());
+}
+
+TEST_F(ExprEvalTest, GraphicalPredicates) {
+  EXPECT_EQ(Pred("e IS DIRECTED"), TriBool::kTrue);
+  EXPECT_EQ(Pred("x IS SOURCE OF e"), TriBool::kTrue);  // a4 -t4-> a6.
+  EXPECT_EQ(Pred("x IS DESTINATION OF e"), TriBool::kFalse);
+}
+
+TEST_F(ExprEvalTest, SameAndAllDifferent) {
+  EXPECT_EQ(Pred("SAME(x, x)"), TriBool::kTrue);
+  EXPECT_EQ(Pred("ALL_DIFFERENT(x, e)"), TriBool::kTrue);
+  // Unbound argument: UNKNOWN.
+  EXPECT_EQ(Pred("SAME(x, ghost)"), TriBool::kUnknown);
+}
+
+TEST_F(ExprEvalTest, ElementEquality) {
+  EXPECT_EQ(Pred("x = x"), TriBool::kTrue);
+  EXPECT_EQ(Pred("x <> x"), TriBool::kFalse);
+}
+
+TEST_F(ExprEvalTest, PathFunctions) {
+  Path p(g_.FindNode("a1"));
+  p.Append(g_.FindEdge("t1"), Traversal::kForward, g_.FindNode("a3"));
+  scope_.paths[vars_->Find("p")] = &p;
+  EXPECT_EQ(Eval("PATH_LENGTH(p)"), Value::Int(1));
+  EXPECT_EQ(Eval("p"), Value::String("path(a1,t1,a3)"));
+}
+
+TEST_F(ExprEvalTest, OutputRendering) {
+  EXPECT_EQ(Eval("x"), Value::String("a4"));
+  EXPECT_EQ(Eval("e"), Value::String("t4"));
+}
+
+TEST_F(ExprEvalTest, DivisionByZeroIsError) {
+  Result<ExprPtr> e = ParseExpression("1 / 0");
+  Result<EvalValue> v = EvalExpr(**e, g_, *vars_, scope_);
+  EXPECT_FALSE(v.ok());
+}
+
+}  // namespace
+}  // namespace gpml

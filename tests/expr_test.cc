@@ -1,0 +1,90 @@
+#include "ast/expr.h"
+
+#include <gtest/gtest.h>
+
+namespace gpml {
+namespace {
+
+TEST(ExprTest, FactoryKinds) {
+  EXPECT_EQ(Expr::Lit(Value::Int(1))->kind, Expr::Kind::kLiteral);
+  EXPECT_EQ(Expr::Var("x")->kind, Expr::Kind::kVarRef);
+  EXPECT_EQ(Expr::Prop("x", "owner")->kind, Expr::Kind::kPropertyAccess);
+  EXPECT_EQ(Expr::Not(Expr::Var("x"))->kind, Expr::Kind::kNot);
+  EXPECT_EQ(Expr::IsDirected("e")->kind, Expr::Kind::kIsDirected);
+  EXPECT_EQ(Expr::PathLength("p")->kind, Expr::Kind::kPathLength);
+}
+
+TEST(ExprTest, PrintingPrecedence) {
+  // (1 + 2) * 3 needs parens; 1 + 2 * 3 does not.
+  ExprPtr sum = Expr::Binary(BinaryOp::kAdd, Expr::Lit(Value::Int(1)),
+                             Expr::Lit(Value::Int(2)));
+  ExprPtr mul =
+      Expr::Binary(BinaryOp::kMul, sum, Expr::Lit(Value::Int(3)));
+  EXPECT_EQ(mul->ToString(), "(1 + 2) * 3");
+
+  ExprPtr mul2 = Expr::Binary(BinaryOp::kMul, Expr::Lit(Value::Int(2)),
+                              Expr::Lit(Value::Int(3)));
+  ExprPtr sum2 = Expr::Binary(BinaryOp::kAdd, Expr::Lit(Value::Int(1)), mul2);
+  EXPECT_EQ(sum2->ToString(), "1 + 2 * 3");
+}
+
+TEST(ExprTest, PrintingStringsQuoted) {
+  ExprPtr e = Expr::Binary(BinaryOp::kEq, Expr::Prop("x", "owner"),
+                           Expr::Lit(Value::String("Jay")));
+  EXPECT_EQ(e->ToString(), "x.owner = 'Jay'");
+}
+
+TEST(ExprTest, PrintingAggregates) {
+  ExprPtr e = Expr::Aggregate(AggFunc::kSum, Expr::Prop("t", "amount"));
+  EXPECT_EQ(e->ToString(), "SUM(t.amount)");
+  e = Expr::Aggregate(AggFunc::kCount, Expr::Prop("e", "*"), true);
+  EXPECT_EQ(e->ToString(), "COUNT(DISTINCT e.*)");
+  e = Expr::Aggregate(AggFunc::kListAgg, Expr::Prop("e", "ID"), false, ", ");
+  EXPECT_EQ(e->ToString(), "LISTAGG(e.ID, ', ')");
+}
+
+TEST(ExprTest, PrintingPredicates) {
+  EXPECT_EQ(Expr::IsSourceOf("s", "e")->ToString(), "s IS SOURCE OF e");
+  EXPECT_EQ(Expr::IsDestinationOf("d", "e")->ToString(),
+            "d IS DESTINATION OF e");
+  EXPECT_EQ(Expr::Same({"p", "q"})->ToString(), "SAME(p, q)");
+  EXPECT_EQ(Expr::AllDifferent({"a", "b", "c"})->ToString(),
+            "ALL_DIFFERENT(a, b, c)");
+  EXPECT_EQ(Expr::IsNull(Expr::Var("x"), false)->ToString(), "x IS NULL");
+  EXPECT_EQ(Expr::IsNull(Expr::Var("x"), true)->ToString(), "x IS NOT NULL");
+}
+
+TEST(ExprTest, ContainsAggregate) {
+  ExprPtr plain = Expr::Binary(BinaryOp::kGt, Expr::Prop("t", "amount"),
+                               Expr::Lit(Value::Int(1)));
+  EXPECT_FALSE(plain->ContainsAggregate());
+  ExprPtr agg = Expr::Binary(
+      BinaryOp::kGt, Expr::Aggregate(AggFunc::kSum, Expr::Prop("t", "amount")),
+      Expr::Lit(Value::Int(1)));
+  EXPECT_TRUE(agg->ContainsAggregate());
+}
+
+TEST(ExprTest, CollectVariables) {
+  ExprPtr e = Expr::Binary(
+      BinaryOp::kAnd,
+      Expr::Binary(BinaryOp::kEq, Expr::Prop("x", "a"), Expr::Var("y")),
+      Expr::Same({"p", "q"}));
+  std::vector<std::string> vars;
+  e->CollectVariables(&vars);
+  EXPECT_EQ(vars, (std::vector<std::string>{"x", "y", "p", "q"}));
+}
+
+TEST(ExprTest, StructuralEquality) {
+  ExprPtr a = Expr::Binary(BinaryOp::kEq, Expr::Prop("x", "o"),
+                           Expr::Lit(Value::Int(1)));
+  ExprPtr b = Expr::Binary(BinaryOp::kEq, Expr::Prop("x", "o"),
+                           Expr::Lit(Value::Int(1)));
+  ExprPtr c = Expr::Binary(BinaryOp::kNeq, Expr::Prop("x", "o"),
+                           Expr::Lit(Value::Int(1)));
+  EXPECT_TRUE(Expr::Equal(a, b));
+  EXPECT_FALSE(Expr::Equal(a, c));
+  EXPECT_FALSE(Expr::Equal(a, nullptr));
+}
+
+}  // namespace
+}  // namespace gpml

@@ -1,0 +1,108 @@
+#include "gql/session.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/sample_graph.h"
+
+namespace gpml {
+namespace {
+
+// E20 (GQL side): sessions, RETURN projection, binding tables.
+
+class GqlSessionTest : public ::testing::Test {
+ protected:
+  GqlSessionTest() : session_(catalog_) {
+    EXPECT_TRUE(catalog_.AddGraph("bank", BuildPaperGraph()).ok());
+    EXPECT_TRUE(session_.UseGraph("bank").ok());
+  }
+  Catalog catalog_;
+  Session session_;
+};
+
+TEST_F(GqlSessionTest, RequiresGraphSelection) {
+  Session fresh(catalog_);
+  EXPECT_EQ(fresh.Execute("MATCH (x) RETURN x").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(GqlSessionTest, UnknownGraph) {
+  Session fresh(catalog_);
+  EXPECT_EQ(fresh.UseGraph("nope").code(), StatusCode::kNotFound);
+}
+
+TEST_F(GqlSessionTest, ReturnProjection) {
+  Result<Table> t = session_.Execute(
+      "MATCH (x:Account WHERE x.isBlocked='yes') RETURN x.owner AS owner");
+  ASSERT_TRUE(t.ok()) << t.status();
+  ASSERT_EQ(t->num_rows(), 1u);
+  EXPECT_EQ(*t->At(0, "owner"), Value::String("Jay"));
+}
+
+TEST_F(GqlSessionTest, DefaultProjectionListsAllNamedVariables) {
+  Result<Table> t =
+      session_.Execute("MATCH (a WHERE a.owner='Jay')-[e:Transfer]->(b)");
+  ASSERT_TRUE(t.ok()) << t.status();
+  ASSERT_EQ(t->num_rows(), 1u);
+  EXPECT_EQ(*t->At(0, "a"), Value::String("a4"));
+  EXPECT_EQ(*t->At(0, "e"), Value::String("t4"));
+  EXPECT_EQ(*t->At(0, "b"), Value::String("a6"));
+}
+
+TEST_F(GqlSessionTest, ReturnDistinct) {
+  Result<Table> all = session_.Execute(
+      "MATCH (a:Account)-[:isLocatedIn]->(c) RETURN c.name AS n");
+  Result<Table> distinct = session_.Execute(
+      "MATCH (a:Account)-[:isLocatedIn]->(c) RETURN DISTINCT c.name AS n");
+  ASSERT_TRUE(all.ok());
+  ASSERT_TRUE(distinct.ok());
+  EXPECT_EQ(all->num_rows(), 6u);
+  EXPECT_EQ(distinct->num_rows(), 2u);
+}
+
+TEST_F(GqlSessionTest, ReturnPathVariable) {
+  Result<Table> t = session_.Execute(
+      "MATCH ANY SHORTEST p = (a WHERE a.owner='Dave')-[:Transfer]->*"
+      "(b WHERE b.owner='Aretha') RETURN p, PATH_LENGTH(p) AS len");
+  ASSERT_TRUE(t.ok()) << t.status();
+  ASSERT_EQ(t->num_rows(), 1u);
+  EXPECT_EQ(*t->At(0, "p"), Value::String("path(a6,t5,a3,t2,a2)"));
+  EXPECT_EQ(*t->At(0, "len"), Value::Int(2));
+}
+
+TEST_F(GqlSessionTest, GroupVariableProjection) {
+  // Default projection renders group variables as comma-joined lists.
+  Result<Table> t = session_.Execute(
+      "MATCH (a WHERE a.owner='Jay')[-[b:Transfer]->]{2}(c)");
+  ASSERT_TRUE(t.ok()) << t.status();
+  ASSERT_EQ(t->num_rows(), 2u);
+  Table table = *t;
+  table.SortRows();
+  EXPECT_EQ(*table.At(0, "b"), Value::String("t4,t5"));
+  EXPECT_EQ(*table.At(1, "b"), Value::String("t4,t6"));
+}
+
+TEST_F(GqlSessionTest, AggregateInReturn) {
+  Result<Table> t = session_.Execute(
+      "MATCH (a WHERE a.owner='Jay')[-[b:Transfer]->]{4}(a) "
+      "RETURN SUM(b.amount) AS total, COUNT(b) AS hops");
+  ASSERT_TRUE(t.ok()) << t.status();
+  ASSERT_EQ(t->num_rows(), 1u);
+  EXPECT_EQ(*t->At(0, "total"), Value::Int(40'000'000));
+  EXPECT_EQ(*t->At(0, "hops"), Value::Int(4));
+}
+
+TEST_F(GqlSessionTest, ErrorsSurfaceThroughExecute) {
+  EXPECT_EQ(session_.Execute("MATCH (x").status().code(),
+            StatusCode::kSyntaxError);
+  EXPECT_EQ(session_.Execute("MATCH (a)->*(b) RETURN a").status().code(),
+            StatusCode::kNonTerminating);
+}
+
+TEST_F(GqlSessionTest, MatchExposesRawOutput) {
+  Result<MatchOutput> out = session_.Match("MATCH (x:Phone)");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->rows.size(), 4u);
+}
+
+}  // namespace
+}  // namespace gpml

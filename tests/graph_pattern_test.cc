@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "graph/sample_graph.h"
+#include "test_util.h"
+
+namespace gpml {
+namespace {
+
+using testing_util::CountRows;
+using testing_util::Rows;
+
+// E8: graph patterns — comma-joined path patterns (§4.3, §6.5).
+
+TEST(GraphPatternTest, SharedVariableJoins) {
+  PropertyGraph g = BuildPaperGraph();
+  // §4.3: split the phone/transfer path into two path patterns sharing s.
+  std::vector<std::string> split = Rows(
+      g,
+      "MATCH (p:Phone WHERE p.number=222)~[:hasPhone]~(s:Account), "
+      "(s)-[t:Transfer WHERE t.amount>1M]->(d)",
+      "p, s, t, d");
+  std::vector<std::string> single = Rows(
+      g,
+      "MATCH (p:Phone WHERE p.number=222)~[:hasPhone]~(s:Account)"
+      "-[t:Transfer WHERE t.amount>1M]->(d)",
+      "p, s, t, d");
+  EXPECT_EQ(split, single);
+  EXPECT_FALSE(split.empty());
+}
+
+TEST(GraphPatternTest, PaperThreeLeggedPattern) {
+  PropertyGraph g = BuildPaperGraph();
+  // §4.3's three path patterns out of s (phone filter adapted: the paper
+  // graph has no blocked phone, so anchor on number 111).
+  std::vector<std::string> rows = Rows(
+      g,
+      "MATCH (s:Account)-[:signInWithIP]-(), "
+      "(s)-[t:Transfer WHERE t.amount>1M]->(), "
+      "(s)~[:hasPhone]~(p:Phone WHERE p.number=111)",
+      "s, t, p");
+  // Accounts with sign-ins: a1, a5. Both hold phone p1 (111). Transfers
+  // >1M: a1-t1, a5-t8.
+  EXPECT_EQ(rows, (std::vector<std::string>{"a1|t1|p1", "a5|t8|p1"}));
+}
+
+TEST(GraphPatternTest, CrossProductWhenDisjoint) {
+  PropertyGraph g = BuildPaperGraph();
+  // No shared variables: |City| x |IP| = 1 * 2.
+  EXPECT_EQ(CountRows(g, "MATCH (c:City), (i:IP)"), 2u);
+}
+
+TEST(GraphPatternTest, TriangleByVariableReuse) {
+  PropertyGraph g = BuildPaperGraph();
+  // §4.2: the triangle query. The paper graph contains the a1->a3->a5->a1
+  // triangle (t1, t7, t8), seen from each of its three rotations.
+  EXPECT_EQ(Rows(g,
+                 "MATCH (s)-[:Transfer]->(s1)-[:Transfer]->(s2)"
+                 "-[:Transfer]->(s)",
+                 "s, s1, s2"),
+            (std::vector<std::string>{"a1|a3|a5", "a3|a5|a1", "a5|a1|a3"}));
+}
+
+TEST(GraphPatternTest, FourCycleByVariableReuse) {
+  PropertyGraph g = BuildPaperGraph();
+  // The a2->a4->a6->a3->a2 cycle, from each of 4 rotations; plus the
+  // 3-cycle a1->a3->a5->a1 does not match (length 4 pattern).
+  std::vector<std::string> rows =
+      Rows(g,
+           "MATCH (s)-[:Transfer]->(a)-[:Transfer]->(b)-[:Transfer]->(c)"
+           "-[:Transfer]->(s)",
+           "s");
+  EXPECT_EQ(rows.size(), 4u);
+}
+
+TEST(GraphPatternTest, JoinRespectsPostfilterAcrossDecls) {
+  PropertyGraph g = BuildPaperGraph();
+  std::vector<std::string> rows = Rows(
+      g,
+      "MATCH (x:Account)-[:isLocatedIn]->(c), (y:Account)-[:isLocatedIn]->(c)"
+      " WHERE x.owner='Scott' AND ALL_DIFFERENT(x, y)",
+      "y");
+  // Scott (a1) is in Zembla (c1) with a3 and a5.
+  EXPECT_EQ(rows, (std::vector<std::string>{"a3", "a5"}));
+}
+
+TEST(GraphPatternTest, PathVariablesPerDeclaration) {
+  PropertyGraph g = BuildPaperGraph();
+  Engine engine(g);
+  Result<MatchOutput> out = engine.Match(
+      "MATCH p = (a WHERE a.owner='Jay')-[:Transfer]->(b), "
+      "q = (b)-[:Transfer]->(c)");
+  ASSERT_TRUE(out.ok()) << out.status();
+  ASSERT_EQ(out->rows.size(), 2u);  // a4->a6 then a6->{a3,a5}.
+  std::vector<std::string> rows =
+      testing_util::Rows(g,
+                         "MATCH p = (a WHERE a.owner='Jay')-[:Transfer]->(b), "
+                         "q = (b)-[:Transfer]->(c)",
+                         "p, q");
+  EXPECT_EQ(rows, (std::vector<std::string>{
+                      "path(a4,t4,a6)|path(a6,t5,a3)",
+                      "path(a4,t4,a6)|path(a6,t6,a5)"}));
+}
+
+TEST(GraphPatternTest, ThreeWayJoinChain) {
+  PropertyGraph g = BuildPaperGraph();
+  std::vector<std::string> joined = Rows(
+      g, "MATCH (a WHERE a.owner='Scott')-[:Transfer]->(b), "
+         "(b)-[:Transfer]->(c), (c)-[:Transfer]->(d)",
+      "a, b, c, d");
+  std::vector<std::string> single = Rows(
+      g, "MATCH (a WHERE a.owner='Scott')-[:Transfer]->(b)-[:Transfer]->(c)"
+         "-[:Transfer]->(d)",
+      "a, b, c, d");
+  EXPECT_EQ(joined, single);
+  EXPECT_FALSE(joined.empty());
+}
+
+TEST(GraphPatternTest, JoinOnMultipleSharedVariables) {
+  PropertyGraph g = BuildPaperGraph();
+  // Both x and c shared across decls.
+  std::vector<std::string> rows = Rows(
+      g,
+      "MATCH (x:Account)-[:isLocatedIn]->(c:City), "
+      "(x)-[:Transfer]->(y)-[:isLocatedIn]->(c)",
+      "x, y, c");
+  // x,y both in Ankh-Morpork with a transfer x->y: a2->a4 and a4->a6.
+  EXPECT_EQ(rows, (std::vector<std::string>{"a2|a4|c2", "a4|a6|c2"}));
+}
+
+}  // namespace
+}  // namespace gpml

@@ -1,0 +1,195 @@
+// Property-style invariant sweeps over randomized graphs (TEST_P): the
+// algebraic laws the standard implies, checked independently of any
+// specific expected result. Complements differential_test.cc (which checks
+// evaluator agreement) with *internal* consistency of the production
+// engine.
+
+#include <set>
+#include <gtest/gtest.h>
+
+#include "eval/engine.h"
+#include "graph/generator.h"
+#include "test_util.h"
+
+namespace gpml {
+namespace {
+
+class InvariantTest : public ::testing::TestWithParam<int> {
+ protected:
+  InvariantTest()
+      : g_(MakeRandomGraph(12, 30, 3, 0.25,
+                           static_cast<uint64_t>(GetParam()))) {}
+
+  std::vector<PathBinding> Bindings(const std::string& query) {
+    Engine engine(g_);
+    Result<MatchOutput> out = engine.Match(query);
+    EXPECT_TRUE(out.ok()) << query << " -> " << out.status();
+    std::vector<PathBinding> result;
+    if (!out.ok()) return result;
+    for (const ResultRow& row : out->rows) {
+      result.push_back(*row.bindings[0]);
+    }
+    return result;
+  }
+
+  PropertyGraph g_;
+};
+
+TEST_P(InvariantTest, TrailResultsAreTrails) {
+  for (const PathBinding& pb : Bindings("MATCH TRAIL (x)-[e]->*(y)")) {
+    EXPECT_TRUE(pb.path.IsTrail()) << pb.path.ToString(g_);
+  }
+}
+
+TEST_P(InvariantTest, AcyclicResultsAreAcyclic) {
+  for (const PathBinding& pb : Bindings("MATCH ACYCLIC (x)-[e]->*(y)")) {
+    EXPECT_TRUE(pb.path.IsAcyclic()) << pb.path.ToString(g_);
+  }
+}
+
+TEST_P(InvariantTest, SimpleResultsAreSimple) {
+  for (const PathBinding& pb : Bindings("MATCH SIMPLE (x)-[e]->*(y)")) {
+    EXPECT_TRUE(pb.path.IsSimple()) << pb.path.ToString(g_);
+  }
+}
+
+TEST_P(InvariantTest, AcyclicSubsetOfTrailSubsetOfAll) {
+  // ACYCLIC paths ⊆ TRAIL paths (over the same pattern).
+  std::set<std::string> trails;
+  for (const PathBinding& pb : Bindings("MATCH TRAIL (x)-[e]->*(y)")) {
+    trails.insert(pb.path.ToString(g_));
+  }
+  for (const PathBinding& pb : Bindings("MATCH ACYCLIC (x)-[e]->*(y)")) {
+    EXPECT_TRUE(trails.count(pb.path.ToString(g_)) > 0)
+        << pb.path.ToString(g_);
+  }
+}
+
+TEST_P(InvariantTest, AllShortestSubsetAndMinimal) {
+  // Every ALL SHORTEST result is a TRAIL-enumerable path? Not necessarily
+  // (shortest may repeat edges only when beneficial — it never is for
+  // shortest). Shortest paths never repeat an edge, so they are trails.
+  std::map<std::pair<NodeId, NodeId>, uint32_t> min_len;
+  std::vector<PathBinding> shortest =
+      Bindings("MATCH ALL SHORTEST (x)-[e:L0]->*(y)");
+  for (const PathBinding& pb : shortest) {
+    auto key = std::make_pair(pb.path.Start(), pb.path.End());
+    auto it = min_len.find(key);
+    if (it == min_len.end()) {
+      min_len[key] = static_cast<uint32_t>(pb.path.Length());
+    } else {
+      EXPECT_EQ(it->second, pb.path.Length())
+          << "two different lengths in one ALL SHORTEST partition";
+    }
+  }
+  // Minimality: TRAIL enumeration can produce no shorter path.
+  for (const PathBinding& pb : Bindings("MATCH TRAIL (x)-[e:L0]->*(y)")) {
+    auto key = std::make_pair(pb.path.Start(), pb.path.End());
+    auto it = min_len.find(key);
+    ASSERT_NE(it, min_len.end())
+        << "partition found by TRAIL but not by ALL SHORTEST";
+    EXPECT_LE(it->second, pb.path.Length());
+  }
+}
+
+TEST_P(InvariantTest, AnyShortestPicksOnePerPartition) {
+  std::set<std::pair<NodeId, NodeId>> seen;
+  for (const PathBinding& pb :
+       Bindings("MATCH ANY SHORTEST (x)-[e]->*(y)")) {
+    auto key = std::make_pair(pb.path.Start(), pb.path.End());
+    EXPECT_TRUE(seen.insert(key).second)
+        << "two ANY SHORTEST results in one partition";
+  }
+}
+
+TEST_P(InvariantTest, SelectorNeverCreatesResults) {
+  // Adding ANY SHORTEST to a query with matches keeps ≥1 per partition and
+  // adds none (§5.1's selector-vs-restrictor observation, half 1).
+  std::set<std::pair<NodeId, NodeId>> all_partitions;
+  for (const PathBinding& pb : Bindings("MATCH TRAIL (x)-[e:L1]->*(y)")) {
+    all_partitions.insert({pb.path.Start(), pb.path.End()});
+  }
+  std::set<std::pair<NodeId, NodeId>> selected_partitions;
+  for (const PathBinding& pb :
+       Bindings("MATCH ANY SHORTEST (x)-[e:L1]->*(y)")) {
+    selected_partitions.insert({pb.path.Start(), pb.path.End()});
+  }
+  EXPECT_EQ(all_partitions, selected_partitions)
+      << "selectors preserve exactly the satisfiable partitions";
+}
+
+TEST_P(InvariantTest, ShortestKGroupContainsAllShortest) {
+  std::set<std::string> k1;
+  for (const PathBinding& pb :
+       Bindings("MATCH SHORTEST 1 GROUP (x)-[e:L0]->*(y)")) {
+    k1.insert(pb.path.ToString(g_));
+  }
+  std::set<std::string> all_shortest;
+  for (const PathBinding& pb :
+       Bindings("MATCH ALL SHORTEST (x)-[e:L0]->*(y)")) {
+    all_shortest.insert(pb.path.ToString(g_));
+  }
+  EXPECT_EQ(k1, all_shortest) << "SHORTEST 1 GROUP ≡ ALL SHORTEST (Fig. 8)";
+}
+
+TEST_P(InvariantTest, UnionIsDeduplicatedUnionOfBranches) {
+  // Results of A | B as a path set == path set of A plus path set of B.
+  std::set<std::string> left, right, both;
+  for (const PathBinding& pb : Bindings("MATCH (x)-[e:L0]->(y)")) {
+    left.insert(pb.path.ToString(g_));
+  }
+  for (const PathBinding& pb : Bindings("MATCH (x)-[e:L1]->(y)")) {
+    right.insert(pb.path.ToString(g_));
+  }
+  for (const PathBinding& pb :
+       Bindings("MATCH (x)[-[e:L0]->(y) | -[e:L1]->(y)]")) {
+    both.insert(pb.path.ToString(g_));
+  }
+  std::set<std::string> expected = left;
+  expected.insert(right.begin(), right.end());
+  EXPECT_EQ(both, expected);
+}
+
+TEST_P(InvariantTest, AlternationCountIsSumOfBranches) {
+  size_t left = Bindings("MATCH (x)-[e:L0]->(y)").size();
+  size_t right = Bindings("MATCH (x)-[e:L1]->(y)").size();
+  size_t both =
+      Bindings("MATCH (x)[-[e:L0]->(y) |+| -[e:L1]->(y)]").size();
+  EXPECT_EQ(both, left + right);
+}
+
+TEST_P(InvariantTest, QuantifierRangeIsUnionOfExactCounts) {
+  size_t ranged = Bindings("MATCH (x)-[:L0]->{1,3}(y)").size();
+  std::set<std::string> distinct;
+  for (int k = 1; k <= 3; ++k) {
+    for (const PathBinding& pb :
+         Bindings("MATCH (x)-[:L0]->{" + std::to_string(k) + "}(y)")) {
+      distinct.insert(pb.path.ToString(g_));
+    }
+  }
+  EXPECT_EQ(ranged, distinct.size());
+}
+
+TEST_P(InvariantTest, ReducedBindingsAreUniquePerQuery) {
+  std::vector<PathBinding> bindings =
+      Bindings("MATCH (x)[-[e:L0]->(y) | -[e:L0|L1]->(y)]");
+  for (size_t i = 0; i < bindings.size(); ++i) {
+    for (size_t j = i + 1; j < bindings.size(); ++j) {
+      EXPECT_FALSE(bindings[i].SameReduced(bindings[j]))
+          << "duplicate reduced binding survived deduplication";
+    }
+  }
+}
+
+TEST_P(InvariantTest, PostfilterIsSubset) {
+  size_t unfiltered = Bindings("MATCH (x)-[e]->(y)").size();
+  size_t filtered =
+      Bindings("MATCH (x)-[e]->(y) WHERE e.w > 50").size();
+  EXPECT_LE(filtered, unfiltered);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InvariantTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace gpml

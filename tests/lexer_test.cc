@@ -1,0 +1,118 @@
+#include "parser/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace gpml {
+namespace {
+
+std::vector<TokenKind> Kinds(const std::string& s) {
+  Result<std::vector<Token>> tokens = Tokenize(s);
+  EXPECT_TRUE(tokens.ok()) << tokens.status();
+  std::vector<TokenKind> out;
+  for (const Token& t : *tokens) out.push_back(t.kind);
+  return out;
+}
+
+using K = TokenKind;
+
+TEST(LexerTest, Identifiers) {
+  auto ks = Kinds("MATCH owner _x a1");
+  EXPECT_EQ(ks, (std::vector<K>{K::kIdent, K::kIdent, K::kIdent, K::kIdent,
+                                K::kEnd}));
+}
+
+TEST(LexerTest, IntegerLiterals) {
+  Result<std::vector<Token>> ts = Tokenize("42 5M 10K 0");
+  ASSERT_TRUE(ts.ok());
+  EXPECT_EQ((*ts)[0].int_value, 42);
+  EXPECT_EQ((*ts)[1].int_value, 5'000'000);
+  EXPECT_EQ((*ts)[2].int_value, 10'000);
+  EXPECT_EQ((*ts)[3].int_value, 0);
+}
+
+TEST(LexerTest, MagnitudeSuffixNotPartOfIdentifier) {
+  // "5Max" is 5 then identifier Max, not 5M then ax.
+  Result<std::vector<Token>> ts = Tokenize("5Max");
+  ASSERT_TRUE(ts.ok());
+  EXPECT_EQ((*ts)[0].kind, TokenKind::kInt);
+  EXPECT_EQ((*ts)[0].int_value, 5);
+  EXPECT_EQ((*ts)[1].text, "Max");
+}
+
+TEST(LexerTest, DoubleLiterals) {
+  Result<std::vector<Token>> ts = Tokenize("3.25 1.5M");
+  ASSERT_TRUE(ts.ok());
+  EXPECT_DOUBLE_EQ((*ts)[0].double_value, 3.25);
+  EXPECT_DOUBLE_EQ((*ts)[1].double_value, 1'500'000.0);
+}
+
+TEST(LexerTest, StringLiteralsWithEscapes) {
+  Result<std::vector<Token>> ts = Tokenize("'Ankh-Morpork' 'O''Neil'");
+  ASSERT_TRUE(ts.ok());
+  EXPECT_EQ((*ts)[0].string_value, "Ankh-Morpork");
+  EXPECT_EQ((*ts)[1].string_value, "O'Neil");
+}
+
+TEST(LexerTest, UnterminatedStringIsError) {
+  EXPECT_FALSE(Tokenize("'oops").ok());
+}
+
+TEST(LexerTest, EdgePatternOperators) {
+  EXPECT_EQ(Kinds("<-[e]-"), (std::vector<K>{K::kArrowLeft, K::kLBracket,
+                                             K::kIdent, K::kRBracket,
+                                             K::kMinus, K::kEnd}));
+  EXPECT_EQ(Kinds("-[e]->"), (std::vector<K>{K::kMinus, K::kLBracket,
+                                             K::kIdent, K::kRBracket,
+                                             K::kArrowRight, K::kEnd}));
+  EXPECT_EQ(Kinds("~[e]~>"), (std::vector<K>{K::kTilde, K::kLBracket,
+                                             K::kIdent, K::kRBracket,
+                                             K::kTildeRight, K::kEnd}));
+  EXPECT_EQ(Kinds("<~[e]~"), (std::vector<K>{K::kLeftTilde, K::kLBracket,
+                                             K::kIdent, K::kRBracket,
+                                             K::kTilde, K::kEnd}));
+}
+
+TEST(LexerTest, AbbreviatedEdgeOperators) {
+  EXPECT_EQ(Kinds("<-> <- -> <~ ~> ~ -"),
+            (std::vector<K>{K::kLeftRight, K::kArrowLeft, K::kArrowRight,
+                            K::kLeftTilde, K::kTildeRight, K::kTilde,
+                            K::kMinus, K::kEnd}));
+}
+
+TEST(LexerTest, ComparisonOperators) {
+  EXPECT_EQ(Kinds("= <> < <= > >="),
+            (std::vector<K>{K::kEq, K::kNeq, K::kLt, K::kLe, K::kGt, K::kGe,
+                            K::kEnd}));
+}
+
+TEST(LexerTest, MultisetAlternationToken) {
+  EXPECT_EQ(Kinds("a |+| b"), (std::vector<K>{K::kIdent, K::kPipePlusPipe,
+                                              K::kIdent, K::kEnd}));
+  // Without the bars it is a plain plus.
+  EXPECT_EQ(Kinds("a | + |"),
+            (std::vector<K>{K::kIdent, K::kPipe, K::kPlus, K::kPipe,
+                            K::kEnd}));
+}
+
+TEST(LexerTest, QuantifierPunctuation) {
+  EXPECT_EQ(Kinds("{2,5} * + ?"),
+            (std::vector<K>{K::kLBrace, K::kInt, K::kComma, K::kInt,
+                            K::kRBrace, K::kStar, K::kPlus, K::kQuestion,
+                            K::kEnd}));
+}
+
+TEST(LexerTest, OffsetsRecorded) {
+  Result<std::vector<Token>> ts = Tokenize("ab cd");
+  ASSERT_TRUE(ts.ok());
+  EXPECT_EQ((*ts)[0].offset, 0u);
+  EXPECT_EQ((*ts)[1].offset, 3u);
+}
+
+TEST(LexerTest, UnexpectedCharacter) {
+  Result<std::vector<Token>> ts = Tokenize("a @ b");
+  EXPECT_FALSE(ts.ok());
+  EXPECT_EQ(ts.status().code(), StatusCode::kSyntaxError);
+}
+
+}  // namespace
+}  // namespace gpml

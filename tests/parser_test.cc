@@ -1,0 +1,327 @@
+#include "parser/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/print.h"
+
+namespace gpml {
+namespace {
+
+GraphPattern MustParse(const std::string& text) {
+  Result<GraphPattern> g = ParseGraphPattern(text);
+  EXPECT_TRUE(g.ok()) << text << " -> " << g.status();
+  return g.ok() ? *g : GraphPattern{};
+}
+
+const PathPattern& Pattern(const GraphPattern& g, size_t i = 0) {
+  return *g.paths[i].pattern;
+}
+
+TEST(ParserTest, MinimalNodePattern) {
+  GraphPattern g = MustParse("MATCH ()");
+  ASSERT_EQ(g.paths.size(), 1u);
+  const PathPattern& p = Pattern(g);
+  ASSERT_EQ(p.elements.size(), 1u);
+  EXPECT_EQ(p.elements[0].kind, PathElement::Kind::kNode);
+  EXPECT_TRUE(p.elements[0].node.var.empty());
+}
+
+TEST(ParserTest, NodeWithVarLabelWhere) {
+  GraphPattern g =
+      MustParse("MATCH (x:Account WHERE x.isBlocked='no')");
+  const NodePattern& n = Pattern(g).elements[0].node;
+  EXPECT_EQ(n.var, "x");
+  ASSERT_NE(n.labels, nullptr);
+  EXPECT_EQ(n.labels->ToString(), "Account");
+  ASSERT_NE(n.where, nullptr);
+  EXPECT_EQ(n.where->ToString(), "x.isBlocked = 'no'");
+}
+
+TEST(ParserTest, LabelExpressionOperators) {
+  GraphPattern g = MustParse("MATCH (x:Account|IP) (y:!%) (z:(A&B)|C)");
+  const PathPattern& p = Pattern(g);
+  EXPECT_EQ(p.elements[0].node.labels->ToString(), "Account|IP");
+  EXPECT_EQ(p.elements[1].node.labels->ToString(), "!%");
+  EXPECT_EQ(p.elements[2].node.labels->ToString(), "A&B|C");
+}
+
+TEST(ParserTest, AllSevenEdgeOrientations) {
+  struct Case {
+    const char* text;
+    EdgeOrientation orientation;
+  };
+  const Case cases[] = {
+      {"MATCH (a)<-[e]-(b)", EdgeOrientation::kLeft},
+      {"MATCH (a)~[e]~(b)", EdgeOrientation::kUndirected},
+      {"MATCH (a)-[e]->(b)", EdgeOrientation::kRight},
+      {"MATCH (a)<~[e]~(b)", EdgeOrientation::kLeftOrUndirected},
+      {"MATCH (a)~[e]~>(b)", EdgeOrientation::kUndirectedOrRight},
+      {"MATCH (a)<-[e]->(b)", EdgeOrientation::kLeftOrRight},
+      {"MATCH (a)-[e]-(b)", EdgeOrientation::kAny},
+  };
+  for (const Case& c : cases) {
+    GraphPattern g = MustParse(c.text);
+    const PathPattern& p = Pattern(g);
+    ASSERT_EQ(p.elements.size(), 3u) << c.text;
+    EXPECT_EQ(p.elements[1].edge.orientation, c.orientation) << c.text;
+    EXPECT_EQ(p.elements[1].edge.var, "e") << c.text;
+  }
+}
+
+TEST(ParserTest, AbbreviatedEdgeOrientations) {
+  struct Case {
+    const char* text;
+    EdgeOrientation orientation;
+  };
+  const Case cases[] = {
+      {"MATCH (a)<-(b)", EdgeOrientation::kLeft},
+      {"MATCH (a)~(b)", EdgeOrientation::kUndirected},
+      {"MATCH (a)->(b)", EdgeOrientation::kRight},
+      {"MATCH (a)<~(b)", EdgeOrientation::kLeftOrUndirected},
+      {"MATCH (a)~>(b)", EdgeOrientation::kUndirectedOrRight},
+      {"MATCH (a)<->(b)", EdgeOrientation::kLeftOrRight},
+      {"MATCH (a)-(b)", EdgeOrientation::kAny},
+  };
+  for (const Case& c : cases) {
+    GraphPattern g = MustParse(c.text);
+    const PathPattern& p = Pattern(g);
+    ASSERT_EQ(p.elements.size(), 3u) << c.text;
+    EXPECT_EQ(p.elements[1].kind, PathElement::Kind::kEdge) << c.text;
+    EXPECT_EQ(p.elements[1].edge.orientation, c.orientation) << c.text;
+  }
+}
+
+TEST(ParserTest, EdgeWithLabelAndWhere) {
+  GraphPattern g =
+      MustParse("MATCH -[e:Transfer WHERE e.amount>5M]->");
+  const EdgePattern& e = Pattern(g).elements[0].edge;
+  EXPECT_EQ(e.var, "e");
+  EXPECT_EQ(e.labels->ToString(), "Transfer");
+  EXPECT_EQ(e.where->ToString(), "e.amount > 5000000");
+}
+
+TEST(ParserTest, QuantifiersOnEdges) {
+  GraphPattern g = MustParse("MATCH (a)-[:Transfer]->{2,5}(b)");
+  const PathElement& q = Pattern(g).elements[1];
+  EXPECT_EQ(q.kind, PathElement::Kind::kQuantified);
+  EXPECT_TRUE(q.bare_edge);
+  EXPECT_EQ(q.min, 2u);
+  EXPECT_EQ(*q.max, 5u);
+}
+
+TEST(ParserTest, StarPlusQuestionQuantifiers) {
+  GraphPattern g = MustParse("MATCH (a)->*(b)->+(c) (x)[->(y)]?");
+  const PathPattern& p = Pattern(g);
+  EXPECT_EQ(p.elements[1].min, 0u);
+  EXPECT_FALSE(p.elements[1].max.has_value());
+  EXPECT_EQ(p.elements[3].min, 1u);
+  EXPECT_FALSE(p.elements[3].max.has_value());
+  EXPECT_EQ(p.elements[6].kind, PathElement::Kind::kOptional);
+}
+
+TEST(ParserTest, OpenEndedAndExactQuantifier) {
+  GraphPattern g = MustParse("MATCH (a)->{3,}(b)->{4}(c)");
+  const PathPattern& p = Pattern(g);
+  EXPECT_EQ(p.elements[1].min, 3u);
+  EXPECT_FALSE(p.elements[1].max.has_value());
+  EXPECT_EQ(p.elements[3].min, 4u);
+  EXPECT_EQ(*p.elements[3].max, 4u);
+}
+
+TEST(ParserTest, BadQuantifierBounds) {
+  EXPECT_FALSE(ParseGraphPattern("MATCH (a)->{5,2}(b)").ok());
+}
+
+TEST(ParserTest, ParenthesizedPatternWithWhere) {
+  GraphPattern g = MustParse(
+      "MATCH [(a:Account)-[:Transfer]->(b:Account) WHERE a.owner=b.owner]"
+      "{2,5}");
+  const PathElement& q = Pattern(g).elements[0];
+  EXPECT_EQ(q.kind, PathElement::Kind::kQuantified);
+  EXPECT_FALSE(q.bare_edge);
+  ASSERT_NE(q.where, nullptr);
+  EXPECT_EQ(q.where->ToString(), "a.owner = b.owner");
+}
+
+TEST(ParserTest, ParenthesizedWithRestrictor) {
+  GraphPattern g =
+      MustParse("MATCH [TRAIL (x)-[e]->*(y) WHERE COUNT(e.*) > 1]");
+  const PathElement& par = Pattern(g).elements[0];
+  EXPECT_EQ(par.kind, PathElement::Kind::kParen);
+  EXPECT_EQ(par.restrictor, Restrictor::kTrail);
+  EXPECT_NE(par.where, nullptr);
+}
+
+TEST(ParserTest, RoundParenthesizedPathPattern) {
+  GraphPattern g = MustParse("MATCH ((a)-[e]->(b))");
+  EXPECT_EQ(Pattern(g).elements[0].kind, PathElement::Kind::kParen);
+}
+
+TEST(ParserTest, PathVariable) {
+  GraphPattern g = MustParse("MATCH p = (a)-[:Transfer]->(b)");
+  EXPECT_EQ(g.paths[0].path_var, "p");
+}
+
+TEST(ParserTest, RestrictorsAtHead) {
+  EXPECT_EQ(MustParse("MATCH TRAIL (a)->*(b)").paths[0].restrictor,
+            Restrictor::kTrail);
+  EXPECT_EQ(MustParse("MATCH ACYCLIC (a)->*(b)").paths[0].restrictor,
+            Restrictor::kAcyclic);
+  EXPECT_EQ(MustParse("MATCH SIMPLE (a)->*(b)").paths[0].restrictor,
+            Restrictor::kSimple);
+}
+
+TEST(ParserTest, Selectors) {
+  EXPECT_EQ(MustParse("MATCH ANY SHORTEST (a)->*(b)").paths[0].selector.kind,
+            Selector::Kind::kAnyShortest);
+  EXPECT_EQ(MustParse("MATCH ALL SHORTEST (a)->*(b)").paths[0].selector.kind,
+            Selector::Kind::kAllShortest);
+  EXPECT_EQ(MustParse("MATCH ANY (a)->*(b)").paths[0].selector.kind,
+            Selector::Kind::kAny);
+  Selector s = MustParse("MATCH ANY 3 (a)->*(b)").paths[0].selector;
+  EXPECT_EQ(s.kind, Selector::Kind::kAnyK);
+  EXPECT_EQ(s.k, 3);
+  s = MustParse("MATCH SHORTEST 2 (a)->*(b)").paths[0].selector;
+  EXPECT_EQ(s.kind, Selector::Kind::kShortestK);
+  EXPECT_EQ(s.k, 2);
+  s = MustParse("MATCH SHORTEST 2 GROUP (a)->*(b)").paths[0].selector;
+  EXPECT_EQ(s.kind, Selector::Kind::kShortestKGroup);
+}
+
+TEST(ParserTest, SelectorWithRestrictorAndPathVar) {
+  GraphPattern g =
+      MustParse("MATCH ALL SHORTEST TRAIL p = (a)-[t:Transfer]->*(b)");
+  EXPECT_EQ(g.paths[0].selector.kind, Selector::Kind::kAllShortest);
+  EXPECT_EQ(g.paths[0].restrictor, Restrictor::kTrail);
+  EXPECT_EQ(g.paths[0].path_var, "p");
+}
+
+TEST(ParserTest, PathPatternUnionAndAlternation) {
+  GraphPattern g = MustParse("MATCH (c:City) | (c:Country)");
+  EXPECT_EQ(Pattern(g).kind, PathPattern::Kind::kUnion);
+  EXPECT_EQ(Pattern(g).alternatives.size(), 2u);
+
+  g = MustParse("MATCH (c:City) |+| (c:Country)");
+  EXPECT_EQ(Pattern(g).kind, PathPattern::Kind::kAlternation);
+}
+
+TEST(ParserTest, UnionOfQuantifiedEdges) {
+  // §4.5: MATCH ->{1,5} | ->{3,7}.
+  GraphPattern g = MustParse("MATCH ->{1,5} | ->{3,7}");
+  ASSERT_EQ(Pattern(g).kind, PathPattern::Kind::kUnion);
+  EXPECT_EQ(Pattern(g).alternatives.size(), 2u);
+}
+
+TEST(ParserTest, MultiplePathPatterns) {
+  GraphPattern g = MustParse(
+      "MATCH (s:Account)-[:signInWithIP]-(), "
+      "(s)-[t:Transfer WHERE t.amount>1M]->(), "
+      "(s)~[:hasPhone]~(p:Phone WHERE p.isBlocked='yes')");
+  EXPECT_EQ(g.paths.size(), 3u);
+}
+
+TEST(ParserTest, PostfilterWhere) {
+  GraphPattern g = MustParse("MATCH (x:Account) WHERE x.isBlocked='no'");
+  ASSERT_NE(g.where, nullptr);
+  EXPECT_EQ(g.where->ToString(), "x.isBlocked = 'no'");
+}
+
+TEST(ParserTest, ReturnClause) {
+  Result<MatchStatement> s =
+      ParseStatement("MATCH (x) RETURN x.owner AS o, COUNT(x) AS n");
+  ASSERT_TRUE(s.ok()) << s.status();
+  EXPECT_TRUE(s->has_return);
+  ASSERT_EQ(s->return_items.size(), 2u);
+  EXPECT_EQ(s->return_items[0].alias, "o");
+  EXPECT_EQ(s->return_items[1].alias, "n");
+}
+
+TEST(ParserTest, ReturnDistinct) {
+  Result<MatchStatement> s = ParseStatement("MATCH (x) RETURN DISTINCT x");
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(s->return_distinct);
+}
+
+TEST(ParserTest, LessThanVersusArrowLeft) {
+  // `a.w <-1` must parse as a.w < -1, not as an edge arrow.
+  Result<ExprPtr> e = ParseExpression("a.w <-1");
+  ASSERT_TRUE(e.ok()) << e.status();
+  EXPECT_EQ((*e)->ToString(), "a.w < 0 - 1");
+}
+
+TEST(ParserTest, ExpressionPrecedence) {
+  Result<ExprPtr> e = ParseExpression("1 + 2 * 3 > 6 AND NOT FALSE");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->ToString(), "1 + 2 * 3 > 6 AND NOT false");
+}
+
+TEST(ParserTest, GraphicalPredicates) {
+  Result<ExprPtr> e = ParseExpression("e IS DIRECTED");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->kind, Expr::Kind::kIsDirected);
+
+  e = ParseExpression("s IS SOURCE OF e");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->kind, Expr::Kind::kIsSourceOf);
+
+  e = ParseExpression("d IS DESTINATION OF e");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->kind, Expr::Kind::kIsDestinationOf);
+
+  e = ParseExpression("SAME(p, q, r)");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->vars.size(), 3u);
+
+  e = ParseExpression("ALL_DIFFERENT(p, q)");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->kind, Expr::Kind::kAllDifferent);
+}
+
+TEST(ParserTest, IsNullForms) {
+  Result<ExprPtr> e = ParseExpression("x.prop IS NULL");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->kind, Expr::Kind::kIsNull);
+  EXPECT_FALSE((*e)->negated);
+  e = ParseExpression("x.prop IS NOT NULL");
+  ASSERT_TRUE(e.ok());
+  EXPECT_TRUE((*e)->negated);
+}
+
+TEST(ParserTest, Aggregates) {
+  Result<ExprPtr> e = ParseExpression("SUM(t.amount) > 10M");
+  ASSERT_TRUE(e.ok());
+  e = ParseExpression("COUNT(e.*) / (COUNT(e.*) + 1) > 1");
+  ASSERT_TRUE(e.ok()) << e.status();
+  e = ParseExpression("COUNT(DISTINCT e) = COUNT(e)");
+  ASSERT_TRUE(e.ok());
+  e = ParseExpression("LISTAGG(e.ID, ', ')");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->separator, ", ");
+}
+
+TEST(ParserTest, KeywordsAreCaseInsensitive) {
+  EXPECT_TRUE(ParseGraphPattern("match trail (a)->*(b) where a.x=1").ok());
+  EXPECT_TRUE(ParseGraphPattern("MATCH any shortest (a)->*(b)").ok());
+}
+
+TEST(ParserTest, SyntaxErrors) {
+  EXPECT_FALSE(ParseGraphPattern("MATCH").ok());
+  EXPECT_FALSE(ParseGraphPattern("MATCH (a").ok());
+  EXPECT_FALSE(ParseGraphPattern("MATCH (a) extra").ok());
+  EXPECT_FALSE(ParseGraphPattern("(a)->(b)").ok());  // Missing MATCH.
+  EXPECT_FALSE(ParseGraphPattern("MATCH (a)-[e]").ok());
+  EXPECT_FALSE(ParseExpression("1 +").ok());
+  EXPECT_FALSE(ParseExpression("FOO(x)").ok());
+}
+
+TEST(ParserTest, ColumnsList) {
+  Result<std::vector<ReturnItem>> items =
+      ParseColumns("x.owner AS A, y.owner AS B, COUNT(e) AS hops");
+  ASSERT_TRUE(items.ok());
+  ASSERT_EQ(items->size(), 3u);
+  EXPECT_EQ((*items)[0].alias, "A");
+  EXPECT_EQ((*items)[2].alias, "hops");
+}
+
+}  // namespace
+}  // namespace gpml

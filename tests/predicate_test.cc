@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+#include "graph/sample_graph.h"
+#include "test_util.h"
+
+namespace gpml {
+namespace {
+
+using testing_util::Rows;
+
+// E12: graphical predicates (§4.7).
+
+class PredicateTest : public ::testing::Test {
+ protected:
+  PredicateTest() {
+    GraphBuilder b;
+    b.AddNode("u", {"N"});
+    b.AddNode("v", {"N"});
+    b.AddDirectedEdge("d", "u", "v", {"E"});
+    b.AddUndirectedEdge("a", "u", "v", {"E"});
+    g_ = std::move(std::move(b).Build()).value();
+  }
+  PropertyGraph g_;
+};
+
+TEST_F(PredicateTest, IsDirected) {
+  EXPECT_EQ(Rows(g_, "MATCH (x)-[e]-(y) WHERE e IS DIRECTED", "e"),
+            (std::vector<std::string>{"d", "d"}));
+  EXPECT_EQ(Rows(g_, "MATCH (x)-[e]-(y) WHERE NOT e IS DIRECTED", "e"),
+            (std::vector<std::string>{"a", "a"}));
+}
+
+TEST_F(PredicateTest, IsSourceOf) {
+  // -[e]- is ambiguous about orientation; the postfilter pins it.
+  EXPECT_EQ(
+      Rows(g_, "MATCH (x)-[e]-(y) WHERE x IS SOURCE OF e", "x, e, y"),
+      (std::vector<std::string>{"u|d|v"}));
+}
+
+TEST_F(PredicateTest, IsDestinationOf) {
+  EXPECT_EQ(
+      Rows(g_, "MATCH (x)-[e]-(y) WHERE x IS DESTINATION OF e", "x, e, y"),
+      (std::vector<std::string>{"v|d|u"}));
+}
+
+TEST_F(PredicateTest, UndirectedEdgeHasNoSource) {
+  EXPECT_TRUE(
+      Rows(g_, "MATCH (x)~[e]~(y) WHERE x IS SOURCE OF e", "x").empty());
+}
+
+TEST_F(PredicateTest, SamePredicate) {
+  PropertyGraph g = BuildPaperGraph();
+  // Triangle query via SAME instead of variable reuse.
+  std::vector<std::string> direct = Rows(
+      g, "MATCH (s)-[:Transfer]->(s1)-[:Transfer]->(s2)-[:Transfer]->(s)",
+      "s, s1, s2");
+  std::vector<std::string> same = Rows(
+      g,
+      "MATCH (s)-[:Transfer]->(s1)-[:Transfer]->(s2)-[:Transfer]->(s3) "
+      "WHERE SAME(s, s3)",
+      "s, s1, s2");
+  EXPECT_EQ(direct, same);
+  EXPECT_EQ(direct, (std::vector<std::string>{"a1|a3|a5", "a3|a5|a1",
+                                              "a5|a1|a3"}))
+      << "the a1->a3->a5->a1 Transfer triangle from its three rotations";
+  // The 4-cycle a2->a4->a6->a3->a2 via SAME on a fresh end variable.
+  EXPECT_EQ(
+      Rows(g,
+           "MATCH (s)-[:Transfer]->(a)-[:Transfer]->(b)-[:Transfer]->(c)"
+           "-[:Transfer]->(s2) WHERE SAME(s, s2)",
+           "s")
+          .size(),
+      4u);
+}
+
+TEST_F(PredicateTest, AllDifferent) {
+  PropertyGraph g = BuildPaperGraph();
+  std::vector<std::string> rows = Rows(
+      g,
+      "MATCH (x)-[:Transfer]->(y)-[:Transfer]->(z) "
+      "WHERE ALL_DIFFERENT(x, y, z)",
+      "x, y, z");
+  for (const std::string& r : rows) {
+    // No repeated account in any row.
+    std::vector<std::string> parts = Split(r, '|');
+    EXPECT_NE(parts[0], parts[1]);
+    EXPECT_NE(parts[1], parts[2]);
+    EXPECT_NE(parts[0], parts[2]);
+  }
+  // a5->a1->a3 qualifies; a3->a5 then a5->a1: also fine. The 2-walks that
+  // return to the start (none here since no 2-cycles) would be excluded.
+  EXPECT_FALSE(rows.empty());
+}
+
+TEST_F(PredicateTest, EqualityOfElementReferences) {
+  PropertyGraph g = BuildPaperGraph();
+  // GQL permits x = y on elements; SAME is the portable form (§4.7).
+  EXPECT_EQ(
+      Rows(g, "MATCH (x:City), (y:Country) WHERE x = y", "x"),
+      (std::vector<std::string>{"c2"}));
+  EXPECT_EQ(
+      Rows(g, "MATCH (x:City), (y:Country) WHERE SAME(x, y)", "x"),
+      (std::vector<std::string>{"c2"}));
+}
+
+TEST_F(PredicateTest, IsNullOnMissingProperty) {
+  PropertyGraph g = BuildPaperGraph();
+  // Accounts have no 'name' property; countries do.
+  EXPECT_EQ(Rows(g, "MATCH (x:Country) WHERE x.name IS NOT NULL", "x").size(),
+            2u);
+  EXPECT_EQ(
+      Rows(g, "MATCH (x:Account) WHERE x.name IS NULL", "x").size(), 6u);
+}
+
+TEST_F(PredicateTest, OrientationPredicatesInPostfilterOfAnyEdge) {
+  // §4.2: "Even if the edge pattern is ambiguous about the orientation of
+  // e, we may wish to refer to this orientation in a postfilter."
+  PropertyGraph g = BuildPaperGraph();
+  std::vector<std::string> rows = Rows(
+      g,
+      "MATCH (s WHERE s.owner='Scott')-[e:Transfer]-(o) "
+      "WHERE s IS SOURCE OF e",
+      "e, o");
+  EXPECT_EQ(rows, (std::vector<std::string>{"t1|a3"}));
+  rows = Rows(g,
+              "MATCH (s WHERE s.owner='Scott')-[e:Transfer]-(o) "
+              "WHERE s IS DESTINATION OF e",
+              "e, o");
+  EXPECT_EQ(rows, (std::vector<std::string>{"t8|a5"}));
+}
+
+}  // namespace
+}  // namespace gpml

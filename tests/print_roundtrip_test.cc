@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "ast/print.h"
+#include "parser/parser.h"
+
+namespace gpml {
+namespace {
+
+/// Structural equality of path patterns (spot-check fields that matter).
+bool PatternsEqual(const PathPattern& a, const PathPattern& b);
+
+bool ElementsEqual(const PathElement& a, const PathElement& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case PathElement::Kind::kNode:
+      return a.node.var == b.node.var &&
+             LabelExpr::Equal(a.node.labels, b.node.labels) &&
+             Expr::Equal(a.node.where, b.node.where);
+    case PathElement::Kind::kEdge:
+      return a.edge.var == b.edge.var &&
+             a.edge.orientation == b.edge.orientation &&
+             LabelExpr::Equal(a.edge.labels, b.edge.labels) &&
+             Expr::Equal(a.edge.where, b.edge.where);
+    case PathElement::Kind::kParen:
+    case PathElement::Kind::kOptional:
+      return a.restrictor == b.restrictor && Expr::Equal(a.where, b.where) &&
+             PatternsEqual(*a.sub, *b.sub);
+    case PathElement::Kind::kQuantified:
+      return a.min == b.min && a.max == b.max &&
+             a.restrictor == b.restrictor && Expr::Equal(a.where, b.where) &&
+             a.bare_edge == b.bare_edge && PatternsEqual(*a.sub, *b.sub);
+  }
+  return false;
+}
+
+bool PatternsEqual(const PathPattern& a, const PathPattern& b) {
+  if (a.kind != b.kind) return false;
+  if (a.kind == PathPattern::Kind::kConcat) {
+    if (a.elements.size() != b.elements.size()) return false;
+    for (size_t i = 0; i < a.elements.size(); ++i) {
+      if (!ElementsEqual(a.elements[i], b.elements[i])) return false;
+    }
+    return true;
+  }
+  if (a.alternatives.size() != b.alternatives.size()) return false;
+  for (size_t i = 0; i < a.alternatives.size(); ++i) {
+    if (!PatternsEqual(*a.alternatives[i], *b.alternatives[i])) return false;
+  }
+  return true;
+}
+
+class RoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTripTest, ParsePrintParse) {
+  const std::string text = GetParam();
+  Result<GraphPattern> first = ParseGraphPattern(text);
+  ASSERT_TRUE(first.ok()) << text << " -> " << first.status();
+  std::string printed = Print(*first);
+  Result<GraphPattern> second = ParseGraphPattern(printed);
+  ASSERT_TRUE(second.ok()) << printed << " -> " << second.status();
+  ASSERT_EQ(first->paths.size(), second->paths.size());
+  for (size_t i = 0; i < first->paths.size(); ++i) {
+    const PathPatternDecl& d1 = first->paths[i];
+    const PathPatternDecl& d2 = second->paths[i];
+    EXPECT_EQ(d1.selector.kind, d2.selector.kind) << printed;
+    EXPECT_EQ(d1.restrictor, d2.restrictor) << printed;
+    EXPECT_EQ(d1.path_var, d2.path_var) << printed;
+    EXPECT_TRUE(PatternsEqual(*d1.pattern, *d2.pattern)) << printed;
+  }
+  EXPECT_TRUE(Expr::Equal(first->where, second->where)) << printed;
+  // Printing must be a fixpoint.
+  EXPECT_EQ(printed, Print(*second));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperQueries, RoundTripTest,
+    ::testing::Values(
+        "MATCH (x)",
+        "MATCH (x:Account WHERE x.isBlocked='no')",
+        "MATCH -[e:Transfer WHERE e.amount>5M]->",
+        "MATCH ~[e]~",
+        "MATCH (x)-[:Transfer]->()-[:isLocatedIn]->(y)",
+        "MATCH (y WHERE y.owner='Aretha')<-[e:Transfer]-(x)",
+        "MATCH (s)-[e]->(m)-[f]->(t)",
+        "MATCH (p:Phone WHERE p.isBlocked='yes')~[e:hasPhone]~(a1:Account)"
+        "-[t:Transfer WHERE t.amount>1M]->(a2)",
+        "MATCH (s)-[:Transfer]->(s1)-[:Transfer]->(s2)-[:Transfer]->(s)",
+        "MATCH p = (s)-[:Transfer]->(s1)-[:Transfer]->(s2)-[:Transfer]->(s)",
+        "MATCH (a:Account)-[:Transfer]->{2,5}(b:Account)",
+        "MATCH [(a:Account)-[:Transfer]->(b:Account) WHERE "
+        "a.owner=b.owner]{2,5}",
+        "MATCH (a:Account) [()-[t:Transfer]->() WHERE t.amount>1M]{2,5} "
+        "(b:Account) WHERE SUM(t.amount)>10M",
+        "MATCH (c:City) | (c:Country)",
+        "MATCH (c:City) |+| (c:Country)",
+        "MATCH ->{1,5} | ->{3,7}",
+        "MATCH [(x)->(y)] | [(x)->(z)]",
+        "MATCH (x) [->(y)]?",
+        "MATCH (x:Account)-[:Transfer]->(y:Account) [-(:hasPhone)-(p)]? "
+        "WHERE y.isBlocked='yes' OR p.isBlocked='yes'",
+        "MATCH TRAIL p = (a WHERE a.owner='Dave')-[t:Transfer]->*"
+        "(b WHERE b.owner='Aretha')",
+        "MATCH ANY SHORTEST p = (a WHERE a.owner='Dave')-[t:Transfer]->*"
+        "(b WHERE b.owner='Aretha')",
+        "MATCH ALL SHORTEST TRAIL p = (a)-[t:Transfer]->*(b)-[r:Transfer]->*"
+        "(c)",
+        "MATCH SHORTEST 2 GROUP (a)->*(b)",
+        "MATCH ANY 3 (a)->*(b)",
+        "MATCH ALL SHORTEST [TRAIL (x)-[e]->*(y) WHERE "
+        "COUNT(e.*)/(COUNT(e.*)+1) > 1]",
+        "MATCH TRAIL (a WHERE a.owner='Jay') "
+        "[-[b:Transfer WHERE b.amount>5M]->]+ (a) "
+        "[-[:isLocatedIn]->(c:City) | -[:isLocatedIn]->(c:Country)]",
+        "MATCH (s:Account)-[:signInWithIP]-(), "
+        "(s)-[t:Transfer WHERE t.amount>1M]->(), "
+        "(s)~[:hasPhone]~(p:Phone WHERE p.isBlocked='yes')",
+        "MATCH (x)<->(y)<~(z)~>(w)",
+        "MATCH (n:!%)",
+        "MATCH (n:(A&B)|!C)"));
+
+}  // namespace
+}  // namespace gpml

@@ -1,0 +1,136 @@
+#include "eval/reference_eval.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generator.h"
+#include "graph/sample_graph.h"
+#include "parser/parser.h"
+#include "semantics/normalize.h"
+
+namespace gpml {
+namespace {
+
+struct Prepared {
+  GraphPattern normalized;
+  std::unique_ptr<VarTable> vars;
+};
+
+Prepared Prepare(const std::string& text) {
+  Prepared p;
+  Result<GraphPattern> parsed = ParseGraphPattern(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status();
+  Result<GraphPattern> normalized = Normalize(*parsed);
+  EXPECT_TRUE(normalized.ok());
+  p.normalized = *normalized;
+  Result<Analysis> analysis = Analyze(p.normalized);
+  EXPECT_TRUE(analysis.ok()) << analysis.status();
+  p.vars = std::make_unique<VarTable>(*analysis);
+  return p;
+}
+
+TEST(ExpansionTest, BoundedQuantifierCounts) {
+  PropertyGraph g = MakeChainGraph(3);
+  Prepared p = Prepare("MATCH (a)[()-[t:T]->()]{1,3}(b)");
+  ReferenceOptions options;
+  Result<std::vector<RigidPattern>> rigids =
+      ExpandPattern(p.normalized.paths[0], *p.vars, g, options);
+  ASSERT_TRUE(rigids.ok());
+  EXPECT_EQ(rigids->size(), 3u);  // n = 1, 2, 3.
+}
+
+TEST(ExpansionTest, UnionMultipliesPerIteration) {
+  PropertyGraph g = MakeChainGraph(3);
+  Prepared p = Prepare("MATCH (a)[()-[t:X]->() | ()-[t:Y]->()]{2}(b)");
+  ReferenceOptions options;
+  Result<std::vector<RigidPattern>> rigids =
+      ExpandPattern(p.normalized.paths[0], *p.vars, g, options);
+  ASSERT_TRUE(rigids.ok());
+  // Each of the two iterations independently picks a branch: 2^2.
+  EXPECT_EQ(rigids->size(), 4u);
+}
+
+TEST(ExpansionTest, OptionalAddsEmptyAlternative) {
+  PropertyGraph g = MakeChainGraph(3);
+  Prepared p = Prepare("MATCH (x)[->(y)]?");
+  ReferenceOptions options;
+  Result<std::vector<RigidPattern>> rigids =
+      ExpandPattern(p.normalized.paths[0], *p.vars, g, options);
+  ASSERT_TRUE(rigids.ok());
+  EXPECT_EQ(rigids->size(), 2u);
+  // One of them has a single item (just the x node).
+  bool has_short = false;
+  for (const RigidPattern& rp : *rigids) {
+    if (rp.items.size() == 1) has_short = true;
+  }
+  EXPECT_TRUE(has_short);
+}
+
+TEST(ExpansionTest, GuardAgainstExplosion) {
+  PropertyGraph g = MakeChainGraph(3);
+  Prepared p = Prepare("MATCH (a)[()-[t:X]->() | ()-[t:Y]->()]{12}(b)");
+  ReferenceOptions options;
+  options.max_rigid_patterns = 100;  // 2^12 would exceed this.
+  Result<std::vector<RigidPattern>> rigids =
+      ExpandPattern(p.normalized.paths[0], *p.vars, g, options);
+  EXPECT_FALSE(rigids.ok());
+  EXPECT_EQ(rigids.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ExpansionTest, AlternationAddsTags) {
+  PropertyGraph g = MakeChainGraph(3);
+  Prepared p = Prepare("MATCH (c:A) |+| (c:B)");
+  ReferenceOptions options;
+  Result<std::vector<RigidPattern>> rigids =
+      ExpandPattern(p.normalized.paths[0], *p.vars, g, options);
+  ASSERT_TRUE(rigids.ok());
+  ASSERT_EQ(rigids->size(), 2u);
+  EXPECT_NE((*rigids)[0].tags, (*rigids)[1].tags);
+}
+
+TEST(ReferenceEvalTest, SimpleEdgeQuery) {
+  PropertyGraph g = MakeChainGraph(4);
+  Prepared p = Prepare("MATCH (x)-[e:Transfer]->(y)");
+  Result<MatchSet> m =
+      RunReference(g, p.normalized.paths[0], *p.vars, {});
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_EQ(m->bindings.size(), 3u);
+}
+
+TEST(ReferenceEvalTest, TrailAutoCapSufficesForPaperQuery) {
+  PropertyGraph g = BuildPaperGraph();
+  Prepared p = Prepare(
+      "MATCH TRAIL (a WHERE a.owner='Dave')-[t:Transfer]->*"
+      "(b WHERE b.owner='Aretha')");
+  Result<MatchSet> m =
+      RunReference(g, p.normalized.paths[0], *p.vars, {});
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_EQ(m->bindings.size(), 3u);
+}
+
+TEST(ReferenceEvalTest, SelectorAppliedAfterDedup) {
+  PropertyGraph g = BuildPaperGraph();
+  Prepared p = Prepare(
+      "MATCH ALL SHORTEST (a WHERE a.owner='Dave')-[t:Transfer]->*"
+      "(b WHERE b.owner='Aretha')");
+  Result<MatchSet> m =
+      RunReference(g, p.normalized.paths[0], *p.vars, {});
+  ASSERT_TRUE(m.ok()) << m.status();
+  ASSERT_EQ(m->bindings.size(), 1u);
+  EXPECT_EQ(m->bindings[0].path.ToString(g), "path(a6,t5,a3,t2,a2)");
+}
+
+TEST(ReferenceEvalTest, RigidPatternPrintingShowsAnnotations) {
+  PropertyGraph g = BuildPaperGraph();
+  Prepared p = Prepare("MATCH (a)[-[b:Transfer]->]{2}(a)");
+  ReferenceOptions options;
+  Result<std::vector<RigidPattern>> rigids =
+      ExpandPattern(p.normalized.paths[0], *p.vars, g, options);
+  ASSERT_TRUE(rigids.ok());
+  ASSERT_EQ(rigids->size(), 1u);
+  std::string s = (*rigids)[0].ToString(*p.vars);
+  EXPECT_NE(s.find("b^1:Transfer"), std::string::npos) << s;
+  EXPECT_NE(s.find("b^2:Transfer"), std::string::npos) << s;
+}
+
+}  // namespace
+}  // namespace gpml

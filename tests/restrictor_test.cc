@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "eval/restrictor.h"
+#include "graph/generator.h"
+#include "graph/sample_graph.h"
+#include "test_util.h"
+
+namespace gpml {
+namespace {
+
+using testing_util::Paths;
+using testing_util::Rows;
+
+// E13: restrictors (Figure 7, §5.1).
+
+TEST(RestrictorTest, PaperTrailDaveToAretha) {
+  PropertyGraph g = BuildPaperGraph();
+  EXPECT_EQ(
+      Paths(g,
+            "MATCH TRAIL p = (a WHERE a.owner='Dave')-[t:Transfer]->*"
+            "(b WHERE b.owner='Aretha')"),
+      (std::vector<std::string>{
+          "path(a6,t5,a3,t2,a2)",
+          "path(a6,t5,a3,t7,a5,t8,a1,t1,a3,t2,a2)",
+          "path(a6,t6,a5,t8,a1,t1,a3,t2,a2)"}))
+      << "exactly the three §5.1 trails";
+}
+
+TEST(RestrictorTest, PaperAcyclicDaveToAretha) {
+  // §5.1: the 10-edge trail repeats node a3, so ACYCLIC drops it.
+  PropertyGraph g = BuildPaperGraph();
+  EXPECT_EQ(
+      Paths(g,
+            "MATCH ACYCLIC p = (a WHERE a.owner='Dave')-[t:Transfer]->*"
+            "(b WHERE b.owner='Aretha')"),
+      (std::vector<std::string>{"path(a6,t5,a3,t2,a2)",
+                                "path(a6,t6,a5,t8,a1,t1,a3,t2,a2)"}));
+}
+
+TEST(RestrictorTest, SimpleAllowsClosingCycle) {
+  PropertyGraph g = BuildPaperGraph();
+  // Transfer cycle a4->a6->a3->a2->a4: SIMPLE (first=last), not ACYCLIC.
+  std::vector<std::string> simple = Paths(
+      g, "MATCH SIMPLE p = (a WHERE a.owner='Jay')-[t:Transfer]->+(a)");
+  EXPECT_EQ(simple,
+            (std::vector<std::string>{
+                "path(a4,t4,a6,t5,a3,t2,a2,t3,a4)",
+                "path(a4,t4,a6,t6,a5,t8,a1,t1,a3,t2,a2,t3,a4)"}))
+      << "both simple cycles through Jay's account";
+  std::vector<std::string> acyclic = Paths(
+      g, "MATCH ACYCLIC p = (a WHERE a.owner='Jay')-[t:Transfer]->+(a)");
+  EXPECT_TRUE(acyclic.empty());
+}
+
+TEST(RestrictorTest, TrailAllowsNodeRepeats) {
+  PropertyGraph g = BuildPaperGraph();
+  // The 10-edge Dave->Aretha trail repeats a3 but no edge.
+  std::vector<std::string> rows =
+      Paths(g,
+            "MATCH TRAIL p = (a WHERE a.owner='Dave')-[t:Transfer]->*"
+            "(b WHERE b.owner='Aretha')");
+  EXPECT_NE(std::find(rows.begin(), rows.end(),
+                      "path(a6,t5,a3,t7,a5,t8,a1,t1,a3,t2,a2)"),
+            rows.end());
+}
+
+TEST(RestrictorTest, SelectorKeepsResultWhereRestrictorEmpties) {
+  // §5.1's closing observation, on the Charles→Mike→Scott query (the paper
+  // names the first owner "Natalia"; Figure 1 has no such account — the
+  // answer path pins a5 = Charles, see EXPERIMENTS.md).
+  PropertyGraph g = BuildPaperGraph();
+  const std::string body =
+      "p = (x:Account WHERE x.owner='Charles')->{1,10}"
+      "(q:Account WHERE q.owner='Mike')->{1,10}"
+      "(r:Account WHERE r.owner='Scott')";
+  // Unrestricted: the paper's solution path exists.
+  std::vector<std::string> all = Paths(g, "MATCH " + body);
+  EXPECT_NE(std::find(all.begin(), all.end(),
+                      "path(a5,t8,a1,t1,a3,t7,a5,t8,a1)"),
+            all.end());
+  // ALL SHORTEST keeps at least one result...
+  EXPECT_FALSE(Paths(g, "MATCH ALL SHORTEST " + body).empty());
+  // ...while TRAIL has none (every solution repeats t8).
+  EXPECT_TRUE(Paths(g, "MATCH TRAIL " + body).empty());
+}
+
+TEST(RestrictorTest, WholePathRestrictorChecks) {
+  // SatisfiesRestrictor agrees with Path::IsTrail/IsAcyclic/IsSimple.
+  PropertyGraph g = MakeCycleGraph(3);
+  Path cycle(0);
+  cycle.Append(0, Traversal::kForward, 1);
+  cycle.Append(1, Traversal::kForward, 2);
+  cycle.Append(2, Traversal::kForward, 0);
+  EXPECT_TRUE(SatisfiesRestrictor(cycle, Restrictor::kNone));
+  EXPECT_TRUE(SatisfiesRestrictor(cycle, Restrictor::kTrail));
+  EXPECT_FALSE(SatisfiesRestrictor(cycle, Restrictor::kAcyclic));
+  EXPECT_TRUE(SatisfiesRestrictor(cycle, Restrictor::kSimple));
+}
+
+TEST(RestrictorTest, TrailEnumerationBoundedByEdges) {
+  // On the complete graph K4 every TRAIL has at most 12 edges; the search
+  // terminates and every result is a genuine trail.
+  PropertyGraph g = MakeCompleteGraph(4);
+  Engine engine(g);
+  Result<MatchOutput> out = engine.Match(
+      "MATCH TRAIL p = (a WHERE a.owner='u0')-[:Transfer]->*"
+      "(b WHERE b.owner='u1')");
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_GT(out->rows.size(), 0u);
+  for (const ResultRow& row : out->rows) {
+    EXPECT_TRUE(row.bindings[0]->path.IsTrail());
+  }
+}
+
+TEST(RestrictorTest, AcyclicEnumerationBoundedByNodes) {
+  PropertyGraph g = MakeCompleteGraph(5);
+  Engine engine(g);
+  Result<MatchOutput> out = engine.Match(
+      "MATCH ACYCLIC p = (a WHERE a.owner='u0')-[:Transfer]->*"
+      "(b WHERE b.owner='u1')");
+  ASSERT_TRUE(out.ok()) << out.status();
+  // Acyclic u0->...->u1 paths in K5: orderings of intermediate nodes:
+  // 1 + 3 + 3*2 + 3*2*1 = 16.
+  EXPECT_EQ(out->rows.size(), 16u);
+  for (const ResultRow& row : out->rows) {
+    EXPECT_TRUE(row.bindings[0]->path.IsAcyclic());
+  }
+}
+
+TEST(RestrictorTest, ParenthesizedRestrictorScopesSegmentOnly) {
+  // TRAIL on the middle segment only: the outer edges may repeat an edge
+  // used outside the scope.
+  PropertyGraph g = MakeCycleGraph(3);
+  std::vector<std::string> rows = Rows(
+      g, "MATCH (a WHERE a.owner='u0') [TRAIL ()-[:Transfer]->*()] "
+         "(b WHERE b.owner='u2')",
+      "a, b");
+  EXPECT_EQ(rows, (std::vector<std::string>{"v0|v2"}));
+}
+
+TEST(RestrictorTest, SimpleInteriorRevisitForbidden) {
+  // v0->v1->v2->v0->... : SIMPLE forbids continuing after closing.
+  PropertyGraph g = MakeCycleGraph(3);
+  std::vector<std::string> rows = Paths(
+      g, "MATCH SIMPLE p = (a WHERE a.owner='u0')-[:Transfer]->+(b)");
+  EXPECT_EQ(rows, (std::vector<std::string>{
+                      "path(v0,t0,v1)", "path(v0,t0,v1,t1,v2)",
+                      "path(v0,t0,v1,t1,v2,t2,v0)"}));
+}
+
+}  // namespace
+}  // namespace gpml

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "graph/generator.h"
+#include "graph/graph_builder.h"
+#include "graph/sample_graph.h"
+#include "test_util.h"
+
+namespace gpml {
+namespace {
+
+using testing_util::Paths;
+using testing_util::Rows;
+
+// E14: selectors (Figure 8, §5.1).
+
+TEST(SelectorTest, AnyShortestPaperExample) {
+  PropertyGraph g = BuildPaperGraph();
+  EXPECT_EQ(Paths(g,
+                  "MATCH ANY SHORTEST p = (a WHERE a.owner='Dave')"
+                  "-[t:Transfer]->*(b WHERE b.owner='Aretha')"),
+            (std::vector<std::string>{"path(a6,t5,a3,t2,a2)"}));
+}
+
+TEST(SelectorTest, AllShortestOnDiamond) {
+  // Each diamond doubles the number of shortest paths: 2^k.
+  PropertyGraph g = MakeDiamondChain(3);
+  std::vector<std::string> rows =
+      Paths(g,
+            "MATCH ALL SHORTEST p = (a WHERE a.owner='s0')"
+            "-[:Transfer]->*(b WHERE b.owner='s3')");
+  EXPECT_EQ(rows.size(), 8u);
+}
+
+TEST(SelectorTest, AnyPicksExactlyOnePerPartition) {
+  PropertyGraph g = MakeDiamondChain(3);
+  EXPECT_EQ(Paths(g,
+                  "MATCH ANY p = (a WHERE a.owner='s0')-[:Transfer]->*"
+                  "(b WHERE b.owner='s3')")
+                .size(),
+            1u);
+}
+
+TEST(SelectorTest, AnyKRespectsK) {
+  PropertyGraph g = MakeDiamondChain(3);  // 8 source-sink paths.
+  EXPECT_EQ(Paths(g,
+                  "MATCH ANY 3 p = (a WHERE a.owner='s0')-[:Transfer]->*"
+                  "(b WHERE b.owner='s3')")
+                .size(),
+            3u);
+  // More than available: all are retained (Figure 8).
+  EXPECT_EQ(Paths(g,
+                  "MATCH ANY 20 p = (a WHERE a.owner='s0')-[:Transfer]->*"
+                  "(b WHERE b.owner='s3')")
+                .size(),
+            8u);
+}
+
+TEST(SelectorTest, ShortestKOrdersByLength) {
+  // Grid: corner-to-corner shortest paths have length w+h-2; SHORTEST k
+  // must prefer them over longer walks.
+  PropertyGraph g = MakeGridGraph(3, 3);
+  std::vector<std::string> rows =
+      Paths(g,
+            "MATCH SHORTEST 6 p = (a WHERE a.owner='u0')-[:Transfer]->*"
+            "(b WHERE b.owner='u8')");
+  ASSERT_EQ(rows.size(), 6u);
+  for (const std::string& r : rows) {
+    // All six C(4,2)=6 shortest corner paths have 4 edges = 5 nodes:
+    // count commas: 4 edges + 5 nodes = 9 items, 8 commas.
+    EXPECT_EQ(std::count(r.begin(), r.end(), ','), 8) << r;
+  }
+}
+
+TEST(SelectorTest, ShortestKGroupKeepsWholeLengthGroups) {
+  PropertyGraph g = BuildPaperGraph();
+  // Dave->Aretha: lengths 2 (one path), then longer groups.
+  std::vector<std::string> one_group =
+      Paths(g,
+            "MATCH SHORTEST 1 GROUP p = (a WHERE a.owner='Dave')"
+            "-[t:Transfer]->*(b WHERE b.owner='Aretha')");
+  EXPECT_EQ(one_group,
+            (std::vector<std::string>{"path(a6,t5,a3,t2,a2)"}));
+
+  std::vector<std::string> two_groups =
+      Paths(g,
+            "MATCH SHORTEST 2 GROUP p = (a WHERE a.owner='Dave')"
+            "-[t:Transfer]->*(b WHERE b.owner='Aretha')");
+  EXPECT_EQ(two_groups.size(), 2u);
+  EXPECT_NE(std::find(two_groups.begin(), two_groups.end(),
+                      "path(a6,t6,a5,t8,a1,t1,a3,t2,a2)"),
+            two_groups.end())
+      << "second length group is the 4-edge path";
+}
+
+TEST(SelectorTest, PartitionsAreIndependent) {
+  // ALL SHORTEST partitions by endpoints: every (start,end) pair reachable
+  // keeps its own shortest paths, with per-partition lengths (Figure 8).
+  PropertyGraph g = MakeChainGraph(4);
+  std::vector<std::string> rows =
+      Rows(g, "MATCH ALL SHORTEST (a)-[:Transfer]->*(b)", "a, b");
+  // On a chain, every ordered reachable pair has exactly one path.
+  EXPECT_EQ(rows.size(), 10u);  // 4 zero-length + 3 + 2 + 1.
+}
+
+TEST(SelectorTest, SelectorAppliesAfterRestrictor) {
+  // §5.1: ALL SHORTEST TRAIL — shortest among trails. Dave->Aretha->Mike.
+  PropertyGraph g = BuildPaperGraph();
+  EXPECT_EQ(
+      Paths(g,
+            "MATCH ALL SHORTEST TRAIL p = (a WHERE a.owner='Dave')"
+            "-[t:Transfer]->*(b WHERE b.owner='Aretha')"
+            "-[r:Transfer]->*(c WHERE c.owner='Mike')"),
+      (std::vector<std::string>{
+          "path(a6,t5,a3,t2,a2,t3,a4,t4,a6,t6,a5,t8,a1,t1,a3)",
+          "path(a6,t6,a5,t8,a1,t1,a3,t2,a2,t3,a4,t4,a6,t5,a3)"}))
+      << "the two 7-edge trails of §5.1; the shorter non-trail is excluded";
+}
+
+TEST(SelectorTest, ShortestWithCyclesTerminates) {
+  PropertyGraph g = MakeCycleGraph(5);
+  std::vector<std::string> rows =
+      Paths(g,
+            "MATCH ANY SHORTEST p = (a WHERE a.owner='u0')-[:Transfer]->*"
+            "(b WHERE b.owner='u3')");
+  EXPECT_EQ(rows, (std::vector<std::string>{
+                      "path(v0,t0,v1,t1,v2,t2,v3)"}));
+}
+
+TEST(SelectorTest, AllShortestDeterministicOnTies) {
+  // Two parallel edges of equal length: ALL SHORTEST keeps both.
+  PropertyGraph g = [] {
+    GraphBuilder b;
+    b.AddNode("u", {"N"});
+    b.AddNode("v", {"N"});
+    b.AddDirectedEdge("e1", "u", "v", {"T"});
+    b.AddDirectedEdge("e2", "u", "v", {"T"});
+    return std::move(std::move(b).Build()).value();
+  }();
+  std::vector<std::string> rows =
+      Paths(g, "MATCH ALL SHORTEST p = (a)-[:T]->+(b)");
+  EXPECT_EQ(rows, (std::vector<std::string>{"path(u,e1,v)", "path(u,e2,v)"}));
+}
+
+}  // namespace
+}  // namespace gpml

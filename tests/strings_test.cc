@@ -1,0 +1,38 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace gpml {
+namespace {
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"a"}, ","), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(StringsTest, Split) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+}
+
+TEST(StringsTest, CaseConversion) {
+  EXPECT_EQ(ToLower("MaTcH"), "match");
+  EXPECT_EQ(ToUpper("trail"), "TRAIL");
+}
+
+TEST(StringsTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("MATCH", "match"));
+  EXPECT_TRUE(EqualsIgnoreCase("Shortest", "SHORTEST"));
+  EXPECT_FALSE(EqualsIgnoreCase("MATCH", "MATCHES"));
+  EXPECT_FALSE(EqualsIgnoreCase("a", "b"));
+}
+
+TEST(StringsTest, HashCombineSpreads) {
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+  EXPECT_NE(HashCombine(0, 0), 0u);
+}
+
+}  // namespace
+}  // namespace gpml

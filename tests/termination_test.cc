@@ -1,0 +1,116 @@
+#include "semantics/termination.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+#include "semantics/normalize.h"
+
+namespace gpml {
+namespace {
+
+// E17: the static termination rules of §5 and §5.3.
+
+Status CheckText(const std::string& text) {
+  Result<GraphPattern> g = ParseGraphPattern(text);
+  EXPECT_TRUE(g.ok()) << g.status();
+  Result<GraphPattern> n = Normalize(*g);
+  EXPECT_TRUE(n.ok()) << n.status();
+  Result<Analysis> a = Analyze(*n);
+  EXPECT_TRUE(a.ok()) << a.status();
+  return CheckTermination(*n, *a);
+}
+
+TEST(TerminationTest, UnboundedWithoutScopeRejected) {
+  Status st = CheckText("MATCH (a)-[t:Transfer]->*(b)");
+  EXPECT_EQ(st.code(), StatusCode::kNonTerminating);
+}
+
+TEST(TerminationTest, PlusWithoutScopeRejected) {
+  EXPECT_EQ(CheckText("MATCH (a)-[t:Transfer]->+(b)").code(),
+            StatusCode::kNonTerminating);
+}
+
+TEST(TerminationTest, OpenRangeWithoutScopeRejected) {
+  EXPECT_EQ(CheckText("MATCH (a)->{3,}(b)").code(),
+            StatusCode::kNonTerminating);
+}
+
+TEST(TerminationTest, BoundedQuantifierFine) {
+  EXPECT_TRUE(CheckText("MATCH (a)->{1,10}(b)").ok());
+}
+
+TEST(TerminationTest, RestrictorAtHeadBounds) {
+  EXPECT_TRUE(CheckText("MATCH TRAIL (a)-[t]->*(b)").ok());
+  EXPECT_TRUE(CheckText("MATCH ACYCLIC (a)-[t]->*(b)").ok());
+  EXPECT_TRUE(CheckText("MATCH SIMPLE (a)-[t]->*(b)").ok());
+}
+
+TEST(TerminationTest, SelectorAtHeadBounds) {
+  EXPECT_TRUE(CheckText("MATCH ANY SHORTEST (a)-[t]->*(b)").ok());
+  EXPECT_TRUE(CheckText("MATCH ALL SHORTEST (a)-[t]->*(b)").ok());
+  EXPECT_TRUE(CheckText("MATCH SHORTEST 3 GROUP (a)-[t]->*(b)").ok());
+}
+
+TEST(TerminationTest, ParenRestrictorBoundsInnerQuantifier) {
+  // §5.3's repaired query: restrictor inside the parens, quantifier within.
+  EXPECT_TRUE(CheckText("MATCH [TRAIL (x)-[e]->*(y)]").ok());
+}
+
+TEST(TerminationTest, PerIterationRestrictorDoesNotBoundItsOwnQuantifier) {
+  // [TRAIL body]* bounds each iteration's segment, not the loop: the number
+  // of iterations stays unbounded.
+  EXPECT_EQ(CheckText("MATCH [TRAIL (x)-[e]->(y)]*").code(),
+            StatusCode::kNonTerminating);
+}
+
+TEST(TerminationTest, MultipleDeclsCheckedIndependently) {
+  Status st = CheckText("MATCH TRAIL (a)->*(b), (c)-[t]->*(d)");
+  EXPECT_EQ(st.code(), StatusCode::kNonTerminating)
+      << "second declaration has no restrictor/selector";
+}
+
+// --- §5.3: prefilter aggregates over effectively-unbounded groups ---------
+
+TEST(TerminationTest, PrefilterAggregateOverUnboundedGroupRejected) {
+  // The paper's example: ALL SHORTEST [(x)-[e]->*(y) WHERE COUNT(e.*)...].
+  Status st = CheckText(
+      "MATCH ALL SHORTEST [(x)-[e]->*(y) WHERE "
+      "COUNT(e.*)/(COUNT(e.*)+1) > 1]");
+  EXPECT_EQ(st.code(), StatusCode::kNonTerminating);
+  EXPECT_NE(st.message().find("§5.3"), std::string::npos);
+}
+
+TEST(TerminationTest, PostfilterAggregateAllowed) {
+  // Moving the predicate to the final WHERE makes e effectively bounded.
+  EXPECT_TRUE(CheckText("MATCH ALL SHORTEST (x)-[e]->*(y) WHERE "
+                        "COUNT(e.*)/(COUNT(e.*)+1) > 1")
+                  .ok());
+}
+
+TEST(TerminationTest, StaticBoundMakesPrefilterLegal) {
+  EXPECT_TRUE(CheckText("MATCH ALL SHORTEST [(x)-[e]->{0,10}(y) WHERE "
+                        "COUNT(e.*)/(COUNT(e.*)+1) > 1]")
+                  .ok());
+}
+
+TEST(TerminationTest, RestrictorMakesPrefilterLegal) {
+  // The paper's other repair: TRAIL inside the parenthesized pattern.
+  EXPECT_TRUE(CheckText("MATCH ALL SHORTEST [TRAIL (x)-[e]->*(y) WHERE "
+                        "COUNT(e.*)/(COUNT(e.*)+1) > 1]")
+                  .ok());
+}
+
+TEST(TerminationTest, IterationPredicateOverBoundedGroupAllowed) {
+  EXPECT_TRUE(
+      CheckText("MATCH (a)[()-[t]->() WHERE t.amount>1M]{2,5}(b)").ok());
+}
+
+TEST(TerminationTest, AvgOnUnboundedGroupPrefilterRejected) {
+  // §7.2's research-question query shape (KEEP aside): AVG over unbounded e.
+  Status st =
+      CheckText("MATCH ANY SHORTEST [(x)-[e]->*(y) WHERE AVG(e.a) < 1]");
+  EXPECT_EQ(st.code(), StatusCode::kNonTerminating);
+}
+
+}  // namespace
+}  // namespace gpml

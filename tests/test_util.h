@@ -1,0 +1,76 @@
+#ifndef GPML_TESTS_TEST_UTIL_H_
+#define GPML_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+#include "eval/engine.h"
+#include "gql/result_table.h"
+#include "parser/parser.h"
+
+namespace gpml {
+namespace testing_util {
+
+/// Runs `match_text` and projects `columns` ("x, y.owner, p"), returning
+/// rows rendered as "v1|v2|..." strings, sorted for order-insensitive
+/// comparison. Errors surface as a single "ERROR: ..." row so assertions
+/// show the message.
+inline std::vector<std::string> Rows(const PropertyGraph& g,
+                                     const std::string& match_text,
+                                     const std::string& columns,
+                                     EngineOptions options = {}) {
+  Engine engine(g, options);
+  Result<MatchOutput> out = engine.Match(match_text);
+  if (!out.ok()) return {"ERROR: " + out.status().ToString()};
+  Result<std::vector<ReturnItem>> items = ParseColumns(columns);
+  if (!items.ok()) return {"ERROR: " + items.status().ToString()};
+  Result<Table> table = ProjectRows(*out, g, *items, /*distinct=*/false);
+  if (!table.ok()) return {"ERROR: " + table.status().ToString()};
+  std::vector<std::string> rows;
+  rows.reserve(table->num_rows());
+  for (const Row& r : table->rows()) {
+    std::vector<std::string> cells;
+    cells.reserve(r.size());
+    for (const Value& v : r) cells.push_back(v.ToString());
+    rows.push_back(Join(cells, "|"));
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+/// Number of result rows of a match (post-join, post-postfilter).
+inline size_t CountRows(const PropertyGraph& g, const std::string& match_text,
+                        EngineOptions options = {}) {
+  Engine engine(g, options);
+  Result<MatchOutput> out = engine.Match(match_text);
+  if (!out.ok()) {
+    ADD_FAILURE() << match_text << " -> " << out.status();
+    return 0;
+  }
+  return out->rows.size();
+}
+
+/// The status of running a match (for error-path assertions).
+inline Status MatchStatusOf(const PropertyGraph& g,
+                            const std::string& match_text,
+                            EngineOptions options = {}) {
+  Engine engine(g, options);
+  Result<MatchOutput> out = engine.Match(match_text);
+  return out.ok() ? Status::OK() : out.status();
+}
+
+/// Sorted path renderings of the declaration's path variable `p`.
+inline std::vector<std::string> Paths(const PropertyGraph& g,
+                                      const std::string& match_text,
+                                      EngineOptions options = {}) {
+  return Rows(g, match_text, "p", options);
+}
+
+}  // namespace testing_util
+}  // namespace gpml
+
+#endif  // GPML_TESTS_TEST_UTIL_H_

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "graph/sample_graph.h"
+#include "test_util.h"
+
+namespace gpml {
+namespace {
+
+using testing_util::CountRows;
+using testing_util::Rows;
+
+// E10: path pattern union (set) vs multiset alternation (§4.5).
+
+TEST(UnionTest, PaperCityCountryUnionDeduplicates) {
+  PropertyGraph g = BuildPaperGraph();
+  // §4.5: union produces one binding to c1 and one to c2.
+  EXPECT_EQ(Rows(g, "MATCH (c:City) | (c:Country)", "c"),
+            (std::vector<std::string>{"c1", "c2"}));
+}
+
+TEST(UnionTest, PaperCityCountryAlternationKeepsMultiplicity) {
+  PropertyGraph g = BuildPaperGraph();
+  // §4.5: alternation returns three results — c1 once, c2 twice.
+  EXPECT_EQ(Rows(g, "MATCH (c:City) |+| (c:Country)", "c"),
+            (std::vector<std::string>{"c1", "c2", "c2"}));
+}
+
+TEST(UnionTest, OverlappingQuantifiersDeduplicate) {
+  PropertyGraph g = BuildPaperGraph();
+  // §4.5: ->{1,5} | ->{3,7} ≡ ->{1,7} under union.
+  EXPECT_EQ(CountRows(g, "MATCH ->{1,5} | ->{3,7}"),
+            CountRows(g, "MATCH ->{1,7}"));
+}
+
+TEST(UnionTest, OverlappingQuantifiersAlternationDoesNot) {
+  PropertyGraph g = BuildPaperGraph();
+  size_t union_count = CountRows(g, "MATCH ->{1,5} | ->{3,7}");
+  size_t alt_count = CountRows(g, "MATCH ->{1,5} |+| ->{3,7}");
+  size_t overlap = CountRows(g, "MATCH ->{3,5}");
+  EXPECT_EQ(alt_count, union_count + overlap);
+}
+
+TEST(UnionTest, UnionEquivalentToLabelDisjunction) {
+  PropertyGraph g = BuildPaperGraph();
+  // §6.5: the running query's union form equals the label-disjunction form.
+  EXPECT_EQ(
+      Rows(g,
+           "MATCH (a)[-[:isLocatedIn]->(c:City) | "
+           "-[:isLocatedIn]->(c:Country)]",
+           "a, c"),
+      Rows(g, "MATCH (a)-[:isLocatedIn]->(c:City|Country)", "a, c"));
+}
+
+TEST(UnionTest, AlternationDistinguishesEqualBindings) {
+  PropertyGraph g = BuildPaperGraph();
+  // c2 is both City and Country: identical reduced bindings from the two
+  // branches survive separately under |+|.
+  size_t union_rows = CountRows(
+      g, "MATCH (a)[-[:isLocatedIn]->(c:City) | -[:isLocatedIn]->"
+         "(c:Country)]");
+  size_t alt_rows = CountRows(
+      g, "MATCH (a)[-[:isLocatedIn]->(c:City) |+| -[:isLocatedIn]->"
+         "(c:Country)]");
+  // Accounts a2,a4,a6 point to c2 (City&Country) — 3 duplicated rows.
+  EXPECT_EQ(union_rows, 6u);
+  EXPECT_EQ(alt_rows, 9u);
+}
+
+TEST(UnionTest, ThreeWayUnion) {
+  PropertyGraph g = BuildPaperGraph();
+  EXPECT_EQ(Rows(g, "MATCH (c:City) | (c:Country) | (c:Phone)", "c").size(),
+            6u);
+}
+
+TEST(UnionTest, ConditionalVariablesAcrossBranches) {
+  PropertyGraph g = BuildPaperGraph();
+  // §4.6's legal union: x binds in both branches, y/z in one each.
+  size_t n = CountRows(g, "MATCH [(x)->(y:City)] | [(x)->(z:Phone)]");
+  // isLocatedIn edges into c2 (City): 3; hasPhone is undirected, not ->.
+  // signInWithIP targets are IPs. So y-branch: li2,li4,li6 -> 3 rows;
+  // z-branch: none (phones have only undirected edges).
+  EXPECT_EQ(n, 3u);
+}
+
+TEST(UnionTest, UnionBranchesWithDifferentLengths) {
+  PropertyGraph g = BuildPaperGraph();
+  // One-edge branch vs two-edge branch.
+  std::vector<std::string> rows = Rows(
+      g,
+      "MATCH (a WHERE a.owner='Scott')"
+      "[-[:Transfer]->(b) | -[:Transfer]->()-[:Transfer]->(b)]",
+      "b");
+  EXPECT_EQ(rows, (std::vector<std::string>{"a2", "a3", "a5"}));
+}
+
+}  // namespace
+}  // namespace gpml

@@ -1,0 +1,112 @@
+#include "common/value.h"
+
+#include <gtest/gtest.h>
+
+namespace gpml {
+namespace {
+
+TEST(TriBoolTest, NotTruthTable) {
+  EXPECT_EQ(TriNot(TriBool::kTrue), TriBool::kFalse);
+  EXPECT_EQ(TriNot(TriBool::kFalse), TriBool::kTrue);
+  EXPECT_EQ(TriNot(TriBool::kUnknown), TriBool::kUnknown);
+}
+
+TEST(TriBoolTest, AndTruthTable) {
+  EXPECT_EQ(TriAnd(TriBool::kTrue, TriBool::kTrue), TriBool::kTrue);
+  EXPECT_EQ(TriAnd(TriBool::kTrue, TriBool::kFalse), TriBool::kFalse);
+  EXPECT_EQ(TriAnd(TriBool::kFalse, TriBool::kUnknown), TriBool::kFalse);
+  EXPECT_EQ(TriAnd(TriBool::kTrue, TriBool::kUnknown), TriBool::kUnknown);
+  EXPECT_EQ(TriAnd(TriBool::kUnknown, TriBool::kUnknown), TriBool::kUnknown);
+}
+
+TEST(TriBoolTest, OrTruthTable) {
+  EXPECT_EQ(TriOr(TriBool::kFalse, TriBool::kFalse), TriBool::kFalse);
+  EXPECT_EQ(TriOr(TriBool::kTrue, TriBool::kUnknown), TriBool::kTrue);
+  EXPECT_EQ(TriOr(TriBool::kFalse, TriBool::kUnknown), TriBool::kUnknown);
+  EXPECT_EQ(TriOr(TriBool::kUnknown, TriBool::kUnknown), TriBool::kUnknown);
+}
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_TRUE(Value::Bool(true).bool_value());
+  EXPECT_EQ(Value::Int(42).int_value(), 42);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).double_value(), 2.5);
+  EXPECT_EQ(Value::String("hi").string_value(), "hi");
+  EXPECT_TRUE(Value::Int(1).is_numeric());
+  EXPECT_TRUE(Value::Double(1).is_numeric());
+  EXPECT_FALSE(Value::String("1").is_numeric());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Bool(false).ToString(), "false");
+  EXPECT_EQ(Value::Int(5'000'000).ToString(), "5000000");
+  EXPECT_EQ(Value::String("Ankh-Morpork").ToString(), "Ankh-Morpork");
+}
+
+TEST(ValueTest, NumericCrossTypeEquality) {
+  EXPECT_EQ(Value::Int(1), Value::Double(1.0));
+  EXPECT_NE(Value::Int(1), Value::Double(1.5));
+  EXPECT_NE(Value::Int(1), Value::String("1"));
+  // Equal values must hash equal (dedup correctness).
+  EXPECT_EQ(Value::Int(1).Hash(), Value::Double(1.0).Hash());
+}
+
+TEST(ValueTest, NullComparisonsAreUnknown) {
+  EXPECT_EQ(Value::SqlEquals(Value::Null(), Value::Int(1)),
+            TriBool::kUnknown);
+  EXPECT_EQ(Value::SqlEquals(Value::Null(), Value::Null()),
+            TriBool::kUnknown);
+  EXPECT_EQ(Value::SqlEquals(Value::Int(1), Value::Int(1)), TriBool::kTrue);
+  EXPECT_EQ(Value::SqlEquals(Value::Int(1), Value::Int(2)), TriBool::kFalse);
+}
+
+TEST(ValueTest, TypeMismatchEqualsIsFalse) {
+  EXPECT_EQ(Value::SqlEquals(Value::String("1"), Value::Int(1)),
+            TriBool::kFalse);
+  EXPECT_EQ(Value::SqlEquals(Value::Bool(true), Value::Int(1)),
+            TriBool::kFalse);
+}
+
+TEST(ValueTest, SqlCompare) {
+  EXPECT_EQ(*Value::SqlCompare(Value::Int(1), Value::Int(2)), -1);
+  EXPECT_EQ(*Value::SqlCompare(Value::Double(2.0), Value::Int(2)), 0);
+  EXPECT_EQ(*Value::SqlCompare(Value::String("b"), Value::String("a")), 1);
+  EXPECT_FALSE(Value::SqlCompare(Value::Null(), Value::Int(1)).ok());
+  EXPECT_FALSE(Value::SqlCompare(Value::String("x"), Value::Int(1)).ok());
+}
+
+TEST(ValueTest, Arithmetic) {
+  EXPECT_EQ(*Value::Add(Value::Int(2), Value::Int(3)), Value::Int(5));
+  EXPECT_EQ(*Value::Subtract(Value::Int(2), Value::Int(3)), Value::Int(-1));
+  EXPECT_EQ(*Value::Multiply(Value::Int(4), Value::Int(3)), Value::Int(12));
+  EXPECT_EQ(*Value::Divide(Value::Int(3), Value::Int(2)),
+            Value::Double(1.5));
+  EXPECT_EQ(*Value::Add(Value::Int(1), Value::Double(0.5)),
+            Value::Double(1.5));
+}
+
+TEST(ValueTest, ArithmeticNullPropagates) {
+  EXPECT_TRUE(Value::Add(Value::Null(), Value::Int(1))->is_null());
+  EXPECT_TRUE(Value::Divide(Value::Int(1), Value::Null())->is_null());
+}
+
+TEST(ValueTest, ArithmeticErrors) {
+  EXPECT_FALSE(Value::Divide(Value::Int(1), Value::Int(0)).ok());
+  EXPECT_FALSE(Value::Multiply(Value::String("a"), Value::Int(2)).ok());
+}
+
+TEST(ValueTest, StringConcatenationViaAdd) {
+  EXPECT_EQ(*Value::Add(Value::String("a"), Value::String("b")),
+            Value::String("ab"));
+}
+
+TEST(ValueTest, Ordering) {
+  EXPECT_LT(Value::Int(1), Value::Int(2));
+  EXPECT_LT(Value::Int(1), Value::Double(1.5));
+  // Cross-type ordering is by type tag (stable, for sorting rows).
+  EXPECT_LT(Value::Null(), Value::Bool(false));
+}
+
+}  // namespace
+}  // namespace gpml
