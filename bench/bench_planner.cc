@@ -1,0 +1,123 @@
+// Planner effectiveness on the Figure 4 fraud-query workload: seeded start
+// nodes and matcher steps with the statistics-driven planner on vs off, at
+// increasing graph scale. Unlike the timing benchmarks this is a plain
+// executable (no google-benchmark dependency) with a checked contract: it
+// exits non-zero if the planner fails to strictly reduce both counters or
+// changes any row count, so it doubles as a ctest regression gate.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "eval/engine.h"
+#include "graph/generator.h"
+
+namespace gpml {
+namespace {
+
+struct Workload {
+  const char* name;
+  std::string query;
+};
+
+struct Measurement {
+  size_t rows = 0;
+  EngineMetrics metrics;
+  double millis = 0;
+};
+
+Measurement Measure(const PropertyGraph& g, const std::string& query,
+                    bool use_planner, bool* ok) {
+  Measurement m;
+  EngineOptions options;
+  options.use_planner = use_planner;
+  options.metrics = &m.metrics;
+  Engine engine(g, options);
+  auto start = std::chrono::steady_clock::now();
+  Result<MatchOutput> out = engine.Match(query);
+  auto end = std::chrono::steady_clock::now();
+  m.millis = std::chrono::duration<double, std::milli>(end - start).count();
+  if (!out.ok()) {
+    std::fprintf(stderr, "query failed (%s): %s\n  %s\n",
+                 use_planner ? "planner on" : "planner off",
+                 query.c_str(), out.status().ToString().c_str());
+    *ok = false;
+    return m;
+  }
+  m.rows = out->rows.size();
+  return m;
+}
+
+int RunBench() {
+  const Workload workloads[] = {
+      {"fig4_fraud_any",
+       "MATCH (x:Account WHERE x.isBlocked='no')-[:isLocatedIn]->"
+       "(g:City WHERE g.name='Ankh-Morpork')<-[:isLocatedIn]-"
+       "(y:Account WHERE y.isBlocked='yes'), "
+       "ANY (x)-[:Transfer]->+(y)"},
+      {"fig4_fraud_shortest_witness",
+       "MATCH (x:Account WHERE x.isBlocked='no')-[:isLocatedIn]->"
+       "(g:City WHERE g.name='Ankh-Morpork')<-[:isLocatedIn]-"
+       "(y:Account WHERE y.isBlocked='yes'), "
+       "ANY SHORTEST p = (x)-[:Transfer]->+(y)"},
+      {"fig4_colocation_join",
+       "MATCH (x:Account WHERE x.isBlocked='no')-[:isLocatedIn]->"
+       "(g:City WHERE g.name='Ankh-Morpork')<-[:isLocatedIn]-"
+       "(y:Account WHERE y.isBlocked='yes'), "
+       "(x)-[t:Transfer]->(y2:Account), (y2)-[t2:Transfer]->(y)"},
+  };
+
+  bool ok = true;
+  std::printf(
+      "%-28s %8s | %10s %10s | %12s %12s | %9s %9s | %6s\n",
+      "workload", "accounts", "seeds:off", "seeds:on", "steps:off",
+      "steps:on", "ms:off", "ms:on", "rows");
+  for (int accounts : {100, 300}) {
+    FraudGraphOptions options;
+    options.num_accounts = accounts;
+    options.num_cities = std::max(2, accounts / 100);
+    PropertyGraph g = MakeFraudGraph(options);
+    for (const Workload& w : workloads) {
+      Measurement off = Measure(g, w.query, /*use_planner=*/false, &ok);
+      Measurement on = Measure(g, w.query, /*use_planner=*/true, &ok);
+      std::printf(
+          "%-28s %8d | %10zu %10zu | %12zu %12zu | %9.2f %9.2f | %6zu\n",
+          w.name, accounts, off.metrics.seeded_nodes, on.metrics.seeded_nodes,
+          off.metrics.matcher_steps, on.metrics.matcher_steps, off.millis,
+          on.millis, on.rows);
+      if (on.rows != off.rows) {
+        std::fprintf(stderr,
+                     "FAIL %s@%d: planner changed row count (%zu vs %zu)\n",
+                     w.name, accounts, on.rows, off.rows);
+        ok = false;
+      }
+      if (on.metrics.seeded_nodes >= off.metrics.seeded_nodes) {
+        std::fprintf(stderr,
+                     "FAIL %s@%d: planner did not reduce seeded nodes "
+                     "(%zu vs %zu)\n",
+                     w.name, accounts, on.metrics.seeded_nodes,
+                     off.metrics.seeded_nodes);
+        ok = false;
+      }
+      if (on.metrics.matcher_steps >= off.metrics.matcher_steps) {
+        std::fprintf(stderr,
+                     "FAIL %s@%d: planner did not reduce matcher steps "
+                     "(%zu vs %zu)\n",
+                     w.name, accounts, on.metrics.matcher_steps,
+                     off.metrics.matcher_steps);
+        ok = false;
+      }
+    }
+  }
+  std::printf(ok ? "planner contract holds: strictly fewer seeds and steps, "
+                   "identical rows\n"
+                 : "planner contract VIOLATED (see stderr)\n");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace gpml
+
+int main() { return gpml::RunBench(); }

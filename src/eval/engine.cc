@@ -1,10 +1,13 @@
 #include "eval/engine.h"
 
+#include <algorithm>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "eval/nfa.h"
 #include "parser/parser.h"
+#include "planner/explain.h"
+#include "planner/stats.h"
 #include "semantics/normalize.h"
 #include "semantics/termination.h"
 
@@ -127,26 +130,104 @@ Result<MatchOutput> Engine::Match(const std::string& match_text) const {
   return Match(pattern);
 }
 
+Result<planner::Plan> Engine::PlanNormalized(const GraphPattern& normalized,
+                                             const VarTable& vars) const {
+  if (!options_.use_planner) {
+    return planner::DirectPlan(normalized, vars);
+  }
+  std::shared_ptr<const planner::GraphStats> stats =
+      planner::GetStats(graph_);
+  return planner::PlanPattern(normalized, vars, *stats);
+}
+
+Result<Engine::Prepared> Engine::Prepare(const GraphPattern& pattern) const {
+  Prepared p;
+  GPML_ASSIGN_OR_RETURN(p.normalized, Normalize(pattern));
+  GPML_ASSIGN_OR_RETURN(Analysis analysis, Analyze(p.normalized));
+  GPML_RETURN_IF_ERROR(CheckTermination(p.normalized, analysis));
+  p.vars = std::make_shared<const VarTable>(analysis);
+  return p;
+}
+
+Result<planner::Plan> Engine::Plan(const GraphPattern& pattern) const {
+  GPML_ASSIGN_OR_RETURN(Prepared p, Prepare(pattern));
+  return PlanNormalized(p.normalized, *p.vars);
+}
+
+Result<std::string> Engine::Explain(const std::string& match_text) const {
+  GPML_ASSIGN_OR_RETURN(GraphPattern pattern, ParseGraphPattern(match_text));
+  return Explain(pattern);
+}
+
+Result<std::string> Engine::Explain(const GraphPattern& pattern) const {
+  GPML_ASSIGN_OR_RETURN(Prepared p, Prepare(pattern));
+  GPML_ASSIGN_OR_RETURN(planner::Plan plan,
+                        PlanNormalized(p.normalized, *p.vars));
+  return planner::ExplainPlan(plan, *p.vars);
+}
+
 Result<MatchOutput> Engine::Match(const GraphPattern& pattern) const {
   MatchOutput out;
-  GPML_ASSIGN_OR_RETURN(out.normalized, Normalize(pattern));
-  GPML_ASSIGN_OR_RETURN(Analysis analysis, Analyze(out.normalized));
-  GPML_RETURN_IF_ERROR(CheckTermination(out.normalized, analysis));
-  out.vars = std::make_shared<VarTable>(analysis);
+  GPML_ASSIGN_OR_RETURN(Prepared prepared, Prepare(pattern));
+  out.normalized = std::move(prepared.normalized);
+  out.vars = std::move(prepared.vars);
 
-  // Evaluate every path declaration independently (§6.5), then join.
+  if (options_.metrics != nullptr) *options_.metrics = {};
+
+  GPML_ASSIGN_OR_RETURN(planner::Plan plan,
+                        PlanNormalized(out.normalized, *out.vars));
+
+  // Evaluate every path declaration independently (§6.5) in plan order,
+  // then join. The planner may mirror a declaration (anchor at its right
+  // end) or seed it from the bindings of earlier declarations; both are
+  // result-preserving (see docs/planner.md).
+  const size_t num_decls = plan.decls.size();
+  out.path_vars.assign(num_decls, -1);
   bool first = true;
   std::vector<ResultRow> rows;
-  for (size_t d = 0; d < out.normalized.paths.size(); ++d) {
-    const PathPatternDecl& decl = out.normalized.paths[d];
-    out.path_vars.push_back(
-        decl.path_var.empty() ? -1 : out.vars->Find(decl.path_var));
+  for (const planner::DeclPlan& dp : plan.decls) {
+    const PathPatternDecl& decl = dp.decl;
+    out.path_vars[static_cast<size_t>(dp.decl_index)] =
+        decl.path_var.empty() ? -1 : out.vars->Find(decl.path_var);
 
     GPML_ASSIGN_OR_RETURN(Program program,
                           CompilePattern(decl, *out.vars));
+
+    // Restricted seeding: the anchor variable is already bound by earlier
+    // declarations, so only those nodes can start a joinable match.
+    std::vector<NodeId> seed_filter;
+    bool use_filter = !first && dp.seed_bound_var >= 0;
+    if (use_filter) {
+      std::unordered_set<NodeId> distinct;
+      for (const ResultRow& row : rows) {
+        for (size_t i = row.bindings.size(); i-- > 0;) {
+          const ElementRef* el = row.bindings[i]->LastOf(dp.seed_bound_var);
+          if (el != nullptr) {
+            if (el->is_node()) distinct.insert(el->id);
+            break;
+          }
+        }
+      }
+      seed_filter.assign(distinct.begin(), distinct.end());
+      std::sort(seed_filter.begin(), seed_filter.end());
+    }
+
+    MatchStats match_stats;
     GPML_ASSIGN_OR_RETURN(
-        MatchSet match, RunPattern(graph_, program, *out.vars,
-                                   options_.matcher));
+        MatchSet match,
+        RunPattern(graph_, program, *out.vars, options_.matcher,
+                   use_filter ? &seed_filter : nullptr, &match_stats));
+    if (dp.reversed) planner::UnreverseMatchSet(&match);
+
+    if (options_.metrics != nullptr) {
+      EngineMetrics& m = *options_.metrics;
+      ++m.decls;
+      m.seeded_nodes += match_stats.seeds;
+      m.matcher_steps += match_stats.steps;
+      if (dp.reversed) ++m.reversed_decls;
+      if (use_filter) ++m.seed_filtered_decls;
+    }
+
     std::vector<std::shared_ptr<const PathBinding>> bindings;
     bindings.reserve(match.bindings.size());
     for (PathBinding& pb : match.bindings) {
@@ -164,24 +245,26 @@ Result<MatchOutput> Engine::Match(const GraphPattern& pattern) const {
       continue;
     }
 
-    // Join variables: named non-group singletons declared both in this
-    // declaration and in any earlier one.
-    std::vector<int> join_vars;
-    for (int v = 0; v < out.vars->size(); ++v) {
-      const VarInfo& info = out.vars->info(v);
-      if (info.anonymous || info.group || info.conditional) continue;
-      if (info.kind == VarInfo::Kind::kPath) continue;
-      bool in_this = false;
-      bool in_earlier = false;
-      for (int di : info.decls) {
-        if (di == static_cast<int>(d)) in_this = true;
-        if (di < static_cast<int>(d)) in_earlier = true;
-      }
-      if (in_this && in_earlier) join_vars.push_back(v);
-    }
     GPML_ASSIGN_OR_RETURN(
-        rows, JoinDecl(std::move(rows), bindings, join_vars,
+        rows, JoinDecl(std::move(rows), bindings, dp.join_vars,
                        options_.max_rows));
+  }
+
+  // Row bindings were accumulated in plan execution order; restore source
+  // declaration order so hosts and RowScope index them by declaration.
+  bool reordered = false;
+  for (size_t i = 0; i < num_decls; ++i) {
+    if (plan.decls[i].decl_index != static_cast<int>(i)) reordered = true;
+  }
+  if (reordered) {
+    for (ResultRow& row : rows) {
+      std::vector<std::shared_ptr<const PathBinding>> ordered(num_decls);
+      for (size_t i = 0; i < num_decls; ++i) {
+        ordered[static_cast<size_t>(plan.decls[i].decl_index)] =
+            std::move(row.bindings[i]);
+      }
+      row.bindings = std::move(ordered);
+    }
   }
 
   // Match mode (§7.1 Language Opportunity): DIFFERENT EDGES requires all

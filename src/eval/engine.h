@@ -11,13 +11,34 @@
 #include "eval/expr_eval.h"
 #include "eval/matcher.h"
 #include "graph/property_graph.h"
+#include "planner/planner.h"
 #include "semantics/analyze.h"
 
 namespace gpml {
 
+/// Execution counters of one Engine::Match call, aggregated over all path
+/// declarations. Filled when EngineOptions::metrics points here; the
+/// planner benchmarks compare these with the planner on and off.
+struct EngineMetrics {
+  size_t decls = 0;                // Path declarations executed.
+  size_t seeded_nodes = 0;         // Start nodes seeded, summed over decls.
+  size_t matcher_steps = 0;        // Matcher instructions executed.
+  size_t reversed_decls = 0;       // Declarations run against the mirrored
+                                   // pattern (right-end anchor).
+  size_t seed_filtered_decls = 0;  // Declarations seeded from the bindings
+                                   // of earlier declarations.
+};
+
 struct EngineOptions {
   MatcherOptions matcher;
   size_t max_rows = 1u << 20;  // Join-output guard.
+  /// Statistics-driven planning: anchor-end selection (running a pattern
+  /// from its more selective endpoint, mirrored when that is the right one),
+  /// join ordering, and seed lists restricted to already-bound variables.
+  /// Off reproduces the unplanned engine exactly (differential testing).
+  bool use_planner = true;
+  /// When non-null, reset and filled on every Match call.
+  EngineMetrics* metrics = nullptr;
 };
 
 /// One solution of a graph pattern: a path binding per path declaration
@@ -74,10 +95,31 @@ class Engine {
   /// Same, starting from a parsed (unnormalized) pattern.
   Result<MatchOutput> Match(const GraphPattern& pattern) const;
 
+  /// The execution plan the engine would use for this pattern: normalize,
+  /// analyze, then run the statistics-driven planner (or the direct plan
+  /// when use_planner is off).
+  Result<planner::Plan> Plan(const GraphPattern& pattern) const;
+
+  /// Human-readable EXPLAIN of the plan (see planner/explain.h for the
+  /// format); both hosts surface this for EXPLAIN statements.
+  Result<std::string> Explain(const std::string& match_text) const;
+  Result<std::string> Explain(const GraphPattern& pattern) const;
+
   const PropertyGraph& graph() const { return graph_; }
   const EngineOptions& options() const { return options_; }
 
  private:
+  /// The shared front half of Match/Plan/Explain: normalize (§6.2), analyze
+  /// (§4.4/§4.6/§4.7), termination-check (§5), intern variables.
+  struct Prepared {
+    GraphPattern normalized;
+    std::shared_ptr<const VarTable> vars;
+  };
+  Result<Prepared> Prepare(const GraphPattern& pattern) const;
+
+  Result<planner::Plan> PlanNormalized(const GraphPattern& normalized,
+                                       const VarTable& vars) const;
+
   const PropertyGraph& graph_;
   EngineOptions options_;
 };

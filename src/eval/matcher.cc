@@ -129,11 +129,18 @@ class SearchScope : public EvalScope {
 class Matcher {
  public:
   Matcher(const PropertyGraph& g, const Program& program, const VarTable& vars,
-          const MatcherOptions& options)
-      : g_(g), program_(program), vars_(vars), options_(options) {}
+          const MatcherOptions& options,
+          const std::vector<NodeId>* seed_filter, MatchStats* stats)
+      : g_(g),
+        program_(program),
+        vars_(vars),
+        options_(options),
+        seed_filter_(seed_filter),
+        stats_(stats) {}
 
   Result<MatchSet> Run() {
     Status st = program_.selector.IsNone() ? RunDfs() : RunBfs();
+    if (stats_ != nullptr) stats_->steps = steps_;
     if (!st.ok()) return st;
 
     MatchSet out;
@@ -156,9 +163,18 @@ class Matcher {
     return Status::OK();
   }
 
-  /// Seeds: start nodes. When the first check is a plain-label node pattern,
-  /// only nodes with that label can match, so seed from the label index.
-  std::vector<NodeId> Seeds() const {
+  /// Seeds: start nodes. An explicit seed filter (planner-restricted start
+  /// list) takes precedence; otherwise, when the first check is a plain-label
+  /// node pattern, only nodes with that label can match, so seed from the
+  /// label index.
+  std::vector<NodeId> Seeds() {
+    std::vector<NodeId> seeds = ComputeSeeds();
+    if (stats_ != nullptr) stats_->seeds = seeds.size();
+    return seeds;
+  }
+
+  std::vector<NodeId> ComputeSeeds() const {
+    if (seed_filter_ != nullptr) return *seed_filter_;
     int pc = program_.start;
     while (true) {
       const Instr& in = program_.code[static_cast<size_t>(pc)];
@@ -579,6 +595,8 @@ class Matcher {
   const Program& program_;
   const VarTable& vars_;
   const MatcherOptions& options_;
+  const std::vector<NodeId>* seed_filter_;
+  MatchStats* stats_;
 
   size_t steps_ = 0;
   uint64_t serial_gen_ = 0;
@@ -591,8 +609,10 @@ class Matcher {
 
 Result<MatchSet> RunPattern(const PropertyGraph& g, const Program& program,
                             const VarTable& vars,
-                            const MatcherOptions& options) {
-  Matcher m(g, program, vars, options);
+                            const MatcherOptions& options,
+                            const std::vector<NodeId>* seed_filter,
+                            MatchStats* stats) {
+  Matcher m(g, program, vars, options, seed_filter, stats);
   return m.Run();
 }
 

@@ -27,6 +27,13 @@ struct MatchSet {
   std::vector<PathBinding> bindings;
 };
 
+/// Execution counters of one RunPattern call (planner benchmarks, EXPLAIN
+/// ANALYZE-style reporting).
+struct MatchStats {
+  size_t seeds = 0;  // Start nodes seeded.
+  size_t steps = 0;  // Interpreter instructions executed.
+};
+
 /// Runs one compiled pattern over the graph: every admissible start node is
 /// seeded, matches are collected, reduced, deduplicated, and the selector
 /// (if any) is applied per endpoint partition (§5.1).
@@ -35,9 +42,17 @@ struct MatchSet {
 /// termination rules guarantee finiteness through restrictors); patterns
 /// with a selector run a level-order BFS that emits matches in increasing
 /// path length with per-product-state pruning sound for each selector kind.
+///
+/// `seed_filter`, when non-null, replaces the default seeding (label index
+/// or all nodes) with the given start nodes — the planner passes the values
+/// an earlier declaration bound to the pattern's first variable, which is
+/// sound because the join discards every other start. `stats`, when
+/// non-null, receives execution counters.
 Result<MatchSet> RunPattern(const PropertyGraph& g, const Program& program,
                             const VarTable& vars,
-                            const MatcherOptions& options);
+                            const MatcherOptions& options,
+                            const std::vector<NodeId>* seed_filter = nullptr,
+                            MatchStats* stats = nullptr);
 
 }  // namespace gpml
 

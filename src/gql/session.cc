@@ -2,6 +2,7 @@
 
 #include "gql/result_table.h"
 #include "parser/parser.h"
+#include "planner/explain.h"
 
 namespace gpml {
 
@@ -13,6 +14,11 @@ Status Session::UseGraph(const std::string& name) {
 Result<Table> Session::Execute(const std::string& statement) const {
   if (graph_ == nullptr) {
     return Status::InvalidArgument("no graph selected; call UseGraph first");
+  }
+  std::string rest;
+  if (planner::StripExplainPrefix(statement, &rest)) {
+    GPML_ASSIGN_OR_RETURN(std::string text, Explain(rest));
+    return planner::ExplainTable(text);
   }
   GPML_ASSIGN_OR_RETURN(MatchStatement stmt, ParseStatement(statement));
   Engine engine(*graph_, options_);
@@ -30,6 +36,18 @@ Result<MatchOutput> Session::Match(const std::string& match_text) const {
   }
   Engine engine(*graph_, options_);
   return engine.Match(match_text);
+}
+
+Result<std::string> Session::Explain(const std::string& statement) const {
+  if (graph_ == nullptr) {
+    return Status::InvalidArgument("no graph selected; call UseGraph first");
+  }
+  std::string text = statement;
+  std::string rest;
+  if (planner::StripExplainPrefix(text, &rest)) text = rest;
+  GPML_ASSIGN_OR_RETURN(MatchStatement stmt, ParseStatement(text));
+  Engine engine(*graph_, options_);
+  return engine.Explain(stmt.pattern);
 }
 
 }  // namespace gpml

@@ -28,11 +28,18 @@ class Session {
   /// Selects the working graph (GQL's USE <graph>).
   Status UseGraph(const std::string& name);
 
-  /// Parses and runs a full statement against the current graph.
+  /// Parses and runs a full statement against the current graph. A leading
+  /// EXPLAIN keyword returns the planner's plan rendering as a one-column
+  /// "plan" table instead of executing the match (any RETURN clause is
+  /// parsed but not evaluated).
   Result<Table> Execute(const std::string& statement) const;
 
   /// Runs just the MATCH part, exposing row-level results.
   Result<MatchOutput> Match(const std::string& match_text) const;
+
+  /// The planner's EXPLAIN text for the MATCH part of `statement` (a
+  /// leading EXPLAIN keyword is accepted and ignored).
+  Result<std::string> Explain(const std::string& statement) const;
 
   const PropertyGraph* graph() const { return graph_.get(); }
 

@@ -6,6 +6,23 @@
 
 namespace gpml {
 
+Path Path::Reversed() const {
+  Path out;
+  out.nodes_.assign(nodes_.rbegin(), nodes_.rend());
+  out.edges_.assign(edges_.rbegin(), edges_.rend());
+  out.traversals_.reserve(traversals_.size());
+  for (size_t i = traversals_.size(); i-- > 0;) {
+    Traversal t = traversals_[i];
+    if (t == Traversal::kForward) {
+      t = Traversal::kBackward;
+    } else if (t == Traversal::kBackward) {
+      t = Traversal::kForward;
+    }
+    out.traversals_.push_back(t);
+  }
+  return out;
+}
+
 void Path::Concatenate(const Path& tail) {
   if (tail.IsEmpty()) return;
   if (IsEmpty()) {

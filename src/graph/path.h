@@ -46,6 +46,11 @@ class Path {
   /// Concatenates `tail` whose Start() must equal this path's End().
   void Concatenate(const Path& tail);
 
+  /// The mirror path: same nodes and edges walked End() -> Start(), with
+  /// each traversal direction flipped (undirected stays undirected). Used by
+  /// the planner to restore pattern order after matching a reversed pattern.
+  Path Reversed() const;
+
   /// True if no edge appears twice (the TRAIL restrictor, Fig. 7).
   bool IsTrail() const;
   /// True if no node appears twice (the ACYCLIC restrictor, Fig. 7).

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -11,6 +12,10 @@
 #include "common/value.h"
 
 namespace gpml {
+
+namespace planner {
+struct GraphStats;  // planner/stats.h; cached on the graph, see below.
+}  // namespace planner
 
 /// Dense integer handle of a node within one PropertyGraph.
 using NodeId = uint32_t;
@@ -42,7 +47,15 @@ struct ElementRef {
 
 struct ElementRefHash {
   size_t operator()(const ElementRef& r) const {
-    return (static_cast<size_t>(r.kind) << 32) ^ r.id;
+    // splitmix64 finalizer over (kind, id). Computed in uint64_t so the mix
+    // is well-defined (and doesn't collapse) when size_t is 32 bits.
+    uint64_t x = (static_cast<uint64_t>(r.kind) << 32) | r.id;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<size_t>(x);
   }
 };
 
@@ -133,6 +146,19 @@ class PropertyGraph {
   /// Human-readable one-line description ("6 nodes, 8 edges").
   std::string Summary() const;
 
+  /// Slot for the planner's graph statistics, computed lazily on first use
+  /// (see planner::GetStats). The graph is immutable, so a cached derivation
+  /// never goes stale. Accessors use atomic shared_ptr operations: concurrent
+  /// read-only matching over one shared graph stays race-free even when two
+  /// threads compute the stats at once (last store wins, both results are
+  /// equivalent).
+  std::shared_ptr<const planner::GraphStats> stats_cache() const {
+    return std::atomic_load(&stats_cache_);
+  }
+  void set_stats_cache(std::shared_ptr<const planner::GraphStats> s) const {
+    std::atomic_store(&stats_cache_, std::move(s));
+  }
+
  private:
   friend class GraphBuilder;
 
@@ -145,6 +171,7 @@ class PropertyGraph {
   std::unordered_map<std::string, EdgeId> edge_by_name_;
   std::unordered_map<std::string, std::vector<NodeId>> nodes_by_label_;
   std::unordered_map<std::string, std::vector<EdgeId>> edges_by_label_;
+  mutable std::shared_ptr<const planner::GraphStats> stats_cache_;
 };
 
 }  // namespace gpml

@@ -4,6 +4,7 @@
 
 #include "gql/result_table.h"
 #include "parser/parser.h"
+#include "planner/explain.h"
 
 namespace gpml {
 
@@ -12,6 +13,11 @@ Result<Table> GraphTable(const Catalog& catalog, const GraphTableQuery& query,
   GPML_ASSIGN_OR_RETURN(std::shared_ptr<const PropertyGraph> graph,
                         catalog.GetGraph(query.graph));
   Engine engine(*graph, options);
+  std::string rest;
+  if (planner::StripExplainPrefix(query.match, &rest)) {
+    GPML_ASSIGN_OR_RETURN(std::string text, engine.Explain(rest));
+    return planner::ExplainTable(text);
+  }
   GPML_ASSIGN_OR_RETURN(MatchOutput output, engine.Match(query.match));
   GPML_ASSIGN_OR_RETURN(std::vector<ReturnItem> items,
                         ParseColumns(query.columns));

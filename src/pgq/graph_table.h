@@ -28,6 +28,10 @@ struct GraphTableQuery {
   std::string columns;
 };
 
+/// Runs the query. When `query.match` starts with an EXPLAIN keyword
+/// ("EXPLAIN MATCH ..."), returns the planner's plan rendering as a
+/// one-column "plan" table instead of executing (the COLUMNS list is
+/// ignored).
 Result<Table> GraphTable(const Catalog& catalog, const GraphTableQuery& query,
                          EngineOptions options = {});
 

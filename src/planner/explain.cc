@@ -1,0 +1,166 @@
+#include "planner/explain.h"
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace gpml {
+namespace planner {
+
+namespace {
+
+std::string FormatEstimate(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string JoinVarNames(const std::vector<int>& vars_ids,
+                         const VarTable& vars) {
+  std::vector<std::string> names;
+  names.reserve(vars_ids.size());
+  for (int v : vars_ids) names.push_back(vars.name(v));
+  return Join(names, ",");
+}
+
+/// The value of a `key=` token in a step line; empty when absent.
+std::string TokenValue(const std::string& line, const std::string& key) {
+  size_t pos = line.find(" " + key);
+  if (pos == std::string::npos) return "";
+  pos += key.size() + 1;
+  // `selector=` extends to end of line (its value may contain spaces).
+  if (key == "selector=") return line.substr(pos);
+  size_t end = line.find(' ', pos);
+  if (end == std::string::npos) end = line.size();
+  return line.substr(pos, end - pos);
+}
+
+}  // namespace
+
+std::string ExplainPlan(const Plan& plan, const VarTable& vars,
+                        const GraphStats* stats) {
+  std::ostringstream os;
+  os << "plan: " << plan.decls.size() << " declaration(s), planner="
+     << (plan.planner_used ? "on" : "off") << "\n";
+  for (size_t i = 0; i < plan.decls.size(); ++i) {
+    const DeclPlan& dp = plan.decls[i];
+    os << "step " << (i + 1) << ": decl=" << dp.decl_index
+       << " dir=" << (dp.reversed ? "reversed" : "forward")
+       << " anchor=" << (dp.reversed ? "right" : "left") << " var="
+       << (dp.anchor_var >= 0 ? vars.name(dp.anchor_var) : std::string("_"))
+       // A bound step's seed count is the number of distinct join values,
+       // known only at run time; printing the static estimate here would
+       // read as if the restriction weren't applied.
+       << " seeds~"
+       << (dp.seed_bound_var >= 0 ? std::string("*")
+                                  : FormatEstimate(dp.anchor.enumerated))
+       << " source=";
+    if (dp.seed_bound_var >= 0) {
+      os << "bound:" << vars.name(dp.seed_bound_var);
+    } else if (!dp.anchor.label.empty()) {
+      os << "label:" << dp.anchor.label;
+    } else {
+      os << "all";
+    }
+    std::string selector = dp.decl.selector.ToString();
+    os << " fanout~" << FormatEstimate(dp.anchor.fanout) << " join=["
+       << JoinVarNames(dp.join_vars, vars) << "]"
+       << " selector=" << (selector.empty() ? "none" : selector) << "\n";
+  }
+  if (stats != nullptr) {
+    os << "-- graph stats --\n" << stats->ToString();
+  }
+  return os.str();
+}
+
+Result<ExplainedPlan> ParseExplain(const std::string& text) {
+  ExplainedPlan out;
+  std::istringstream is(text);
+  std::string line;
+  bool saw_header = false;
+  size_t declared = 0;
+  while (std::getline(is, line)) {
+    if (line.rfind("plan: ", 0) == 0) {
+      saw_header = true;
+      declared = static_cast<size_t>(std::atoi(line.c_str() + 6));
+      out.planner_on = line.find("planner=on") != std::string::npos;
+      continue;
+    }
+    if (line.rfind("-- graph stats --", 0) == 0) break;
+    if (line.rfind("step ", 0) != 0) continue;
+    ExplainedDecl d;
+    d.step = std::atoi(line.c_str() + 5);
+    std::string decl = TokenValue(line, "decl=");
+    if (decl.empty()) {
+      return Status::InvalidArgument("EXPLAIN step line missing decl=: " +
+                                     line);
+    }
+    d.decl_index = std::atoi(decl.c_str());
+    d.reversed = TokenValue(line, "dir=") == "reversed";
+    d.anchor = TokenValue(line, "anchor=");
+    d.var = TokenValue(line, "var=");
+    std::string seeds = TokenValue(line, "seeds~");
+    d.seeds = seeds == "*" ? -1 : std::atof(seeds.c_str());
+    d.source = TokenValue(line, "source=");
+    std::string join = TokenValue(line, "join=");
+    if (join.size() >= 2 && join.front() == '[' && join.back() == ']') {
+      std::string inner = join.substr(1, join.size() - 2);
+      if (!inner.empty()) {
+        for (const std::string& name : Split(inner, ',')) {
+          d.join_vars.push_back(name);
+        }
+      }
+    }
+    d.selector = TokenValue(line, "selector=");
+    out.decls.push_back(std::move(d));
+  }
+  if (!saw_header) {
+    return Status::InvalidArgument("EXPLAIN text has no plan: header");
+  }
+  if (out.decls.size() != declared) {
+    return Status::InvalidArgument("EXPLAIN header declares " +
+                                   std::to_string(declared) +
+                                   " declaration(s) but " +
+                                   std::to_string(out.decls.size()) +
+                                   " step line(s) found");
+  }
+  return out;
+}
+
+Table ExplainTable(const std::string& text) {
+  Table table(Schema({{"plan", ValueType::kString, false}}));
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    table.AppendUnchecked({Value::String(line)});
+  }
+  return table;
+}
+
+bool StripExplainPrefix(const std::string& statement, std::string* rest) {
+  size_t i = 0;
+  while (i < statement.size() &&
+         std::isspace(static_cast<unsigned char>(statement[i]))) {
+    ++i;
+  }
+  static const char kKeyword[] = "EXPLAIN";
+  size_t k = 0;
+  while (k < 7 && i + k < statement.size() &&
+         std::toupper(static_cast<unsigned char>(statement[i + k])) ==
+             kKeyword[k]) {
+    ++k;
+  }
+  if (k != 7) return false;
+  size_t after = i + 7;
+  if (after < statement.size() &&
+      !std::isspace(static_cast<unsigned char>(statement[after]))) {
+    return false;  // Identifier merely starting with "explain".
+  }
+  *rest = statement.substr(after);
+  return true;
+}
+
+}  // namespace planner
+}  // namespace gpml

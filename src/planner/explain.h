@@ -1,0 +1,63 @@
+#ifndef GPML_PLANNER_EXPLAIN_H_
+#define GPML_PLANNER_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/table.h"
+#include "common/result.h"
+#include "planner/planner.h"
+
+namespace gpml {
+namespace planner {
+
+/// Renders a plan as stable, line-oriented text, one `step` line per
+/// declaration in execution order:
+///
+///   plan: 2 declaration(s), planner=on
+///   step 1: decl=0 dir=forward anchor=left var=x seeds~2 source=label:Account
+///       fanout~1.5 join=[] selector=none
+///   step 2: decl=1 dir=reversed anchor=right var=y seeds~3 source=bound:y
+///       fanout~2 join=[x,y] selector=ALL SHORTEST
+///
+/// (each step is a single line; wrapped here for readability). When `stats`
+/// is non-null a `-- graph stats --` section is appended. The format is
+/// parsed back by ParseExplain, which keeps renderer and parser honest.
+std::string ExplainPlan(const Plan& plan, const VarTable& vars,
+                        const GraphStats* stats = nullptr);
+
+/// A step line of an EXPLAIN rendering, decoded.
+struct ExplainedDecl {
+  int step = -1;        // 1-based execution position.
+  int decl_index = -1;  // Source declaration index.
+  bool reversed = false;
+  std::string anchor;   // "left" or "right".
+  std::string var;      // Anchor variable name; "_" when none.
+  double seeds = 0;     // Estimated enumerated seeds; -1 ("*") for bound
+                        // steps, whose seed count is a run-time join size.
+  std::string source;   // "all", "label:<L>", or "bound:<var>".
+  std::vector<std::string> join_vars;
+  std::string selector;
+};
+
+struct ExplainedPlan {
+  bool planner_on = false;
+  std::vector<ExplainedDecl> decls;
+};
+
+/// Parses ExplainPlan output back into its decisions (roundtrip tests,
+/// tooling). Ignores the optional stats section.
+Result<ExplainedPlan> ParseExplain(const std::string& text);
+
+/// Renders a plan text as a one-column table ("plan", one row per line) —
+/// the shape both hosts return for EXPLAIN statements.
+Table ExplainTable(const std::string& text);
+
+/// If `statement` starts with the EXPLAIN keyword (case-insensitive, after
+/// whitespace), strips it into `*rest` and returns true.
+bool StripExplainPrefix(const std::string& statement, std::string* rest);
+
+}  // namespace planner
+}  // namespace gpml
+
+#endif  // GPML_PLANNER_EXPLAIN_H_

@@ -1,0 +1,497 @@
+#include "planner/planner.h"
+
+#include <algorithm>
+#include <set>
+
+namespace gpml {
+namespace planner {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Pattern mirroring
+// ---------------------------------------------------------------------------
+
+EdgeOrientation MirrorOrientation(EdgeOrientation o) {
+  switch (o) {
+    case EdgeOrientation::kLeft: return EdgeOrientation::kRight;
+    case EdgeOrientation::kRight: return EdgeOrientation::kLeft;
+    case EdgeOrientation::kLeftOrUndirected:
+      return EdgeOrientation::kUndirectedOrRight;
+    case EdgeOrientation::kUndirectedOrRight:
+      return EdgeOrientation::kLeftOrUndirected;
+    case EdgeOrientation::kUndirected:
+    case EdgeOrientation::kLeftOrRight:
+    case EdgeOrientation::kAny:
+      return o;  // Symmetric.
+  }
+  return o;
+}
+
+PathElement ReverseElement(const PathElement& e) {
+  PathElement out = e;
+  switch (e.kind) {
+    case PathElement::Kind::kNode:
+      break;
+    case PathElement::Kind::kEdge:
+      out.edge.orientation = MirrorOrientation(e.edge.orientation);
+      break;
+    case PathElement::Kind::kParen:
+    case PathElement::Kind::kQuantified:
+    case PathElement::Kind::kOptional:
+      out.sub = ReversePathPattern(e.sub);
+      break;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Reversal safety
+// ---------------------------------------------------------------------------
+
+void CollectDeclaredVars(const PathPattern& p, std::set<std::string>* out) {
+  switch (p.kind) {
+    case PathPattern::Kind::kConcat:
+      for (const PathElement& e : p.elements) {
+        switch (e.kind) {
+          case PathElement::Kind::kNode:
+            if (!e.node.var.empty()) out->insert(e.node.var);
+            break;
+          case PathElement::Kind::kEdge:
+            if (!e.edge.var.empty()) out->insert(e.edge.var);
+            break;
+          case PathElement::Kind::kParen:
+          case PathElement::Kind::kQuantified:
+          case PathElement::Kind::kOptional:
+            CollectDeclaredVars(*e.sub, out);
+            break;
+        }
+      }
+      break;
+    case PathPattern::Kind::kUnion:
+    case PathPattern::Kind::kAlternation:
+      for (const PathPatternPtr& alt : p.alternatives) {
+        CollectDeclaredVars(*alt, out);
+      }
+      break;
+  }
+}
+
+bool WhereLocal(const ExprPtr& where, const std::set<std::string>& allowed) {
+  if (where == nullptr) return true;
+  std::vector<std::string> refs;
+  where->CollectVariables(&refs);
+  for (const std::string& r : refs) {
+    if (allowed.count(r) == 0) return false;
+  }
+  return true;
+}
+
+bool ReversalSafeWalk(const PathPattern& p) {
+  switch (p.kind) {
+    case PathPattern::Kind::kAlternation:
+      // |+| provenance tags are recorded in traversal order; mirroring
+      // permutes nested tag sequences in a way plain reversal can't undo.
+      return false;
+    case PathPattern::Kind::kUnion:
+      for (const PathPatternPtr& alt : p.alternatives) {
+        if (!ReversalSafeWalk(*alt)) return false;
+      }
+      return true;
+    case PathPattern::Kind::kConcat:
+      for (const PathElement& e : p.elements) {
+        switch (e.kind) {
+          case PathElement::Kind::kNode:
+            if (!WhereLocal(e.node.where, {e.node.var})) return false;
+            break;
+          case PathElement::Kind::kEdge:
+            if (!WhereLocal(e.edge.where, {e.edge.var})) return false;
+            break;
+          case PathElement::Kind::kParen:
+          case PathElement::Kind::kQuantified:
+          case PathElement::Kind::kOptional: {
+            if (!ReversalSafeWalk(*e.sub)) return false;
+            std::set<std::string> declared;
+            CollectDeclaredVars(*e.sub, &declared);
+            if (!WhereLocal(e.where, declared)) return false;
+            break;
+          }
+        }
+      }
+      return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Endpoint extraction and estimation
+// ---------------------------------------------------------------------------
+
+const NodePattern* EndNodeOf(const PathPattern& p, bool last) {
+  if (p.kind != PathPattern::Kind::kConcat || p.elements.empty()) {
+    return nullptr;  // Union endpoints differ per branch: not extractable.
+  }
+  const PathElement& e = last ? p.elements.back() : p.elements.front();
+  switch (e.kind) {
+    case PathElement::Kind::kNode:
+      return &e.node;
+    case PathElement::Kind::kParen:
+      return EndNodeOf(*e.sub, last);
+    case PathElement::Kind::kQuantified:
+      // With at least one mandatory iteration the path's end node is the
+      // body's end node; with min=0 the quantifier can vanish entirely.
+      return e.min >= 1 ? EndNodeOf(*e.sub, last) : nullptr;
+    case PathElement::Kind::kEdge:
+    case PathElement::Kind::kOptional:
+      return nullptr;
+  }
+  return nullptr;
+}
+
+/// Expected first-hop fanout of the endpoint: how many adjacencies survive
+/// the adjacent edge pattern's label and orientation, per surviving seed.
+/// Falls back to per-label (or graph-wide) average degree when the adjacent
+/// edge or the label-path frequencies can't pin it down.
+double EndpointFanout(const PathPattern& p, bool right_end,
+                      const SeedEstimate& est, const GraphStats& stats) {
+  double fallback = est.label.empty() ? stats.AvgDegreeOverall()
+                                      : stats.AvgDegree(est.label);
+  if (p.kind != PathPattern::Kind::kConcat || p.elements.size() < 2) {
+    return fallback;
+  }
+  const PathElement& e =
+      right_end ? p.elements[p.elements.size() - 2] : p.elements[1];
+  if (e.kind != PathElement::Kind::kEdge) return fallback;
+  if (e.edge.labels == nullptr || e.edge.labels->kind != LabelExpr::Kind::kName)
+    return fallback;
+  if (est.label.empty()) return fallback;
+  double denom = static_cast<double>(stats.NodeLabelCount(est.label));
+  if (denom <= 0) return fallback;
+
+  // Orientation as seen when walking away from this endpoint.
+  EdgeOrientation o = right_end ? MirrorOrientation(e.edge.orientation)
+                                : e.edge.orientation;
+  bool forward = o == EdgeOrientation::kRight ||
+                 o == EdgeOrientation::kUndirectedOrRight ||
+                 o == EdgeOrientation::kLeftOrRight ||
+                 o == EdgeOrientation::kAny;
+  bool backward = o == EdgeOrientation::kLeft ||
+                  o == EdgeOrientation::kLeftOrUndirected ||
+                  o == EdgeOrientation::kLeftOrRight ||
+                  o == EdgeOrientation::kAny;
+  bool undirected = o == EdgeOrientation::kUndirected ||
+                    o == EdgeOrientation::kLeftOrUndirected ||
+                    o == EdgeOrientation::kUndirectedOrRight ||
+                    o == EdgeOrientation::kAny;
+
+  // label_path_counts mixes directed and undirected edges (the latter in
+  // both orders); subtract the undirected share to cost each admissible
+  // traversal kind with exactly the edges it can cross.
+  const std::string& el = e.edge.labels->name;
+  double out_all = 0, out_und = 0, in_all = 0, in_und = 0;
+  for (const auto& [key, c] : stats.label_path_counts) {
+    if (std::get<1>(key) != el) continue;
+    if (std::get<0>(key) == est.label) out_all += c;
+    if (std::get<2>(key) == est.label) in_all += c;
+  }
+  for (const auto& [key, c] : stats.undirected_label_path_counts) {
+    if (std::get<1>(key) != el) continue;
+    if (std::get<0>(key) == est.label) out_und += c;
+    if (std::get<2>(key) == est.label) in_und += c;
+  }
+  double count = 0;
+  if (forward) count += out_all - out_und;
+  if (backward) count += in_all - in_und;
+  if (undirected) count += out_und;  // Both orders recorded: one suffices.
+  return count / denom;
+}
+
+SeedEstimate EstimateEndpoint(const NodePattern* np, const GraphStats& stats,
+                              const PlannerConfig& config) {
+  SeedEstimate est;
+  double n = static_cast<double>(stats.num_nodes);
+  if (np == nullptr) {
+    est.enumerated = n;
+    est.survivors = n;
+    return est;
+  }
+  est.has_node = true;
+  // Mirror the matcher's seeding rule: a plain label name seeds from the
+  // label index, anything else scans all nodes.
+  if (np->labels != nullptr && np->labels->kind == LabelExpr::Kind::kName) {
+    est.label = np->labels->name;
+    est.enumerated = static_cast<double>(stats.NodeLabelCount(est.label));
+  } else {
+    est.enumerated = n;
+  }
+  est.survivors = EstimateLabelCardinality(np->labels, stats) *
+                  PredicateSelectivity(np->where, config);
+  est.survivors = std::min(est.survivors, est.enumerated);
+  return est;
+}
+
+// ---------------------------------------------------------------------------
+// Join variables
+// ---------------------------------------------------------------------------
+
+/// Named unconditional non-group singletons declared both in decl
+/// `decl_index` and in any already-planned declaration — the same rule the
+/// engine's hash join uses.
+std::vector<int> JoinVars(const VarTable& vars, int decl_index,
+                          const std::set<int>& processed) {
+  std::vector<int> out;
+  for (int v = 0; v < vars.size(); ++v) {
+    const VarInfo& info = vars.info(v);
+    if (info.anonymous || info.group || info.conditional) continue;
+    if (info.kind == VarInfo::Kind::kPath) continue;
+    bool in_this = false;
+    bool in_processed = false;
+    for (int d : info.decls) {
+      if (d == decl_index) in_this = true;
+      if (processed.count(d) > 0) in_processed = true;
+    }
+    if (in_this && in_processed) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public helpers
+// ---------------------------------------------------------------------------
+
+PathPatternPtr ReversePathPattern(const PathPatternPtr& p) {
+  if (p == nullptr) return nullptr;
+  switch (p->kind) {
+    case PathPattern::Kind::kConcat: {
+      std::vector<PathElement> elements;
+      elements.reserve(p->elements.size());
+      for (auto it = p->elements.rbegin(); it != p->elements.rend(); ++it) {
+        elements.push_back(ReverseElement(*it));
+      }
+      return PathPattern::Concat(std::move(elements));
+    }
+    case PathPattern::Kind::kUnion:
+    case PathPattern::Kind::kAlternation: {
+      std::vector<PathPatternPtr> alts;
+      alts.reserve(p->alternatives.size());
+      for (const PathPatternPtr& alt : p->alternatives) {
+        alts.push_back(ReversePathPattern(alt));
+      }
+      return p->kind == PathPattern::Kind::kUnion
+                 ? PathPattern::Union(std::move(alts))
+                 : PathPattern::Alternation(std::move(alts));
+    }
+  }
+  return p;
+}
+
+bool ReversalSafe(const PathPatternDecl& decl) {
+  switch (decl.selector.kind) {
+    case Selector::Kind::kNone:
+    case Selector::Kind::kAllShortest:
+    case Selector::Kind::kShortestKGroup:
+      break;  // Full enumeration or a deterministic subset: direction-free.
+    default:
+      return false;  // ANY-family selectors pick direction-dependent
+                     // witnesses; mirroring would change results.
+  }
+  return ReversalSafeWalk(*decl.pattern);
+}
+
+void UnreverseMatchSet(MatchSet* match) {
+  for (PathBinding& pb : match->bindings) {
+    std::reverse(pb.reduced.begin(), pb.reduced.end());
+    std::reverse(pb.tags.begin(), pb.tags.end());
+    pb.path = pb.path.Reversed();
+  }
+}
+
+double EstimateLabelCardinality(const LabelExprPtr& labels,
+                                const GraphStats& stats) {
+  double n = static_cast<double>(stats.num_nodes);
+  if (labels == nullptr) return n;
+  switch (labels->kind) {
+    case LabelExpr::Kind::kName:
+      return static_cast<double>(stats.NodeLabelCount(labels->name));
+    case LabelExpr::Kind::kWildcard:
+      return static_cast<double>(stats.num_labeled_nodes);
+    case LabelExpr::Kind::kNot:
+      return std::max(n - EstimateLabelCardinality(labels->left, stats), 0.0);
+    case LabelExpr::Kind::kAnd:
+      return std::min(EstimateLabelCardinality(labels->left, stats),
+                      EstimateLabelCardinality(labels->right, stats));
+    case LabelExpr::Kind::kOr:
+      return std::min(n, EstimateLabelCardinality(labels->left, stats) +
+                             EstimateLabelCardinality(labels->right, stats));
+  }
+  return n;
+}
+
+double PredicateSelectivity(const ExprPtr& where,
+                            const PlannerConfig& config) {
+  if (where == nullptr) return 1.0;
+  switch (where->kind) {
+    case Expr::Kind::kBinary:
+      switch (where->op) {
+        case BinaryOp::kAnd:
+          return PredicateSelectivity(where->lhs, config) *
+                 PredicateSelectivity(where->rhs, config);
+        case BinaryOp::kOr: {
+          double a = PredicateSelectivity(where->lhs, config);
+          double b = PredicateSelectivity(where->rhs, config);
+          return std::min(1.0, a + b - a * b);
+        }
+        case BinaryOp::kEq:
+          return config.eq_selectivity;
+        case BinaryOp::kNeq:
+          return config.neq_selectivity;
+        case BinaryOp::kLt:
+        case BinaryOp::kLe:
+        case BinaryOp::kGt:
+        case BinaryOp::kGe:
+          return config.range_selectivity;
+        default:
+          return config.default_selectivity;
+      }
+    case Expr::Kind::kNot:
+      return std::max(0.0, 1.0 - PredicateSelectivity(where->lhs, config));
+    case Expr::Kind::kIsNull:
+      return where->negated ? config.neq_selectivity : config.eq_selectivity;
+    case Expr::Kind::kLiteral:
+      return 1.0;  // TRUE/FALSE literals are rare; don't special-case.
+    default:
+      return config.default_selectivity;
+  }
+}
+
+const NodePattern* FirstNodeOf(const PathPattern& p) {
+  return EndNodeOf(p, /*last=*/false);
+}
+
+const NodePattern* LastNodeOf(const PathPattern& p) {
+  return EndNodeOf(p, /*last=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// Planning
+// ---------------------------------------------------------------------------
+
+Plan DirectPlan(const GraphPattern& normalized, const VarTable& vars) {
+  Plan plan;
+  std::set<int> processed;
+  for (size_t d = 0; d < normalized.paths.size(); ++d) {
+    DeclPlan dp;
+    dp.decl_index = static_cast<int>(d);
+    dp.decl = normalized.paths[d];
+    dp.join_vars = JoinVars(vars, dp.decl_index, processed);
+    processed.insert(dp.decl_index);
+    plan.decls.push_back(std::move(dp));
+  }
+  return plan;
+}
+
+Result<Plan> PlanPattern(const GraphPattern& normalized, const VarTable& vars,
+                         const GraphStats& stats,
+                         const PlannerConfig& config) {
+  Plan plan;
+  plan.planner_used = true;
+  const size_t n = normalized.paths.size();
+
+  struct Cand {
+    const NodePattern* first = nullptr;
+    const NodePattern* last = nullptr;
+    SeedEstimate left, right;
+    int left_var = -1, right_var = -1;
+    bool safe = false;
+  };
+  std::vector<Cand> cands(n);
+  for (size_t d = 0; d < n; ++d) {
+    const PathPatternDecl& decl = normalized.paths[d];
+    Cand& c = cands[d];
+    c.first = FirstNodeOf(*decl.pattern);
+    c.last = LastNodeOf(*decl.pattern);
+    c.left = EstimateEndpoint(c.first, stats, config);
+    c.right = EstimateEndpoint(c.last, stats, config);
+    c.left.fanout = EndpointFanout(*decl.pattern, false, c.left, stats);
+    c.right.fanout = EndpointFanout(*decl.pattern, true, c.right, stats);
+    if (c.first != nullptr) c.left_var = vars.Find(c.first->var);
+    if (c.last != nullptr) c.right_var = vars.Find(c.last->var);
+    c.safe = ReversalSafe(decl);
+  }
+
+  std::set<int> processed;
+  std::vector<bool> done(n, false);
+  while (processed.size() < n) {
+    // Greedy pick: prefer declarations whose anchor endpoint is already
+    // bound (restricted seed list), then ones sharing any join variable
+    // (selective hash join), then the cheapest remaining; original index
+    // breaks ties so equal-cost declarations keep source order.
+    int best = -1;
+    int best_class = 3;
+    double best_cost = 0;
+    std::vector<int> best_join;
+    for (size_t d = 0; d < n; ++d) {
+      if (done[d]) continue;
+      const Cand& c = cands[d];
+      std::vector<int> join =
+          JoinVars(vars, static_cast<int>(d), processed);
+      auto is_join_var = [&join](int v) {
+        return v >= 0 &&
+               std::find(join.begin(), join.end(), v) != join.end();
+      };
+      bool left_bound = is_join_var(c.left_var);
+      bool right_bound = is_join_var(c.right_var) && c.safe;
+      int cls = (left_bound || right_bound) ? 0 : (join.empty() ? 2 : 1);
+      double cost = c.left.Cost();
+      if (c.safe) cost = std::min(cost, c.right.Cost());
+      if (best < 0 || cls < best_class ||
+          (cls == best_class && cost < best_cost)) {
+        best = static_cast<int>(d);
+        best_class = cls;
+        best_cost = cost;
+        best_join = std::move(join);
+      }
+    }
+
+    const Cand& c = cands[static_cast<size_t>(best)];
+    const PathPatternDecl& decl = normalized.paths[static_cast<size_t>(best)];
+    auto is_join_var = [&best_join](int v) {
+      return v >= 0 && std::find(best_join.begin(), best_join.end(), v) !=
+                           best_join.end();
+    };
+    bool left_bound = is_join_var(c.left_var);
+    bool right_bound = is_join_var(c.right_var);
+
+    DeclPlan dp;
+    dp.decl_index = best;
+    dp.join_vars = best_join;
+    // Direction: a bound end wins outright (its seed list is the join
+    // bindings, typically tiny); otherwise the statistically cheaper end,
+    // with hysteresis toward the written direction.
+    if (c.safe && right_bound && !left_bound) {
+      dp.reversed = true;
+    } else if (c.safe && !left_bound && !right_bound) {
+      dp.reversed = c.right.Cost() * config.reverse_margin < c.left.Cost();
+    }
+    dp.anchor = dp.reversed ? c.right : c.left;
+    dp.other = dp.reversed ? c.left : c.right;
+    dp.anchor_var = dp.reversed ? c.right_var : c.left_var;
+    if (is_join_var(dp.anchor_var)) dp.seed_bound_var = dp.anchor_var;
+    if (dp.reversed) {
+      dp.decl = decl;
+      dp.decl.pattern = ReversePathPattern(decl.pattern);
+    } else {
+      dp.decl = decl;
+    }
+
+    done[static_cast<size_t>(best)] = true;
+    processed.insert(best);
+    plan.decls.push_back(std::move(dp));
+  }
+  return plan;
+}
+
+}  // namespace planner
+}  // namespace gpml

@@ -1,0 +1,164 @@
+#include "planner/stats.h"
+
+#include <sstream>
+
+namespace gpml {
+namespace planner {
+
+namespace {
+
+/// One shared "no label" key so unlabeled elements still participate in the
+/// label-path frequency table.
+const std::string kNoLabel = "";
+
+const std::vector<std::string>& LabelsOrNone(
+    const std::vector<std::string>& labels,
+    const std::vector<std::string>& none) {
+  return labels.empty() ? none : labels;
+}
+
+}  // namespace
+
+size_t GraphStats::NodeLabelCount(const std::string& label) const {
+  auto it = node_label_counts.find(label);
+  return it == node_label_counts.end() ? 0 : it->second;
+}
+
+size_t GraphStats::EdgeLabelCount(const std::string& label) const {
+  auto it = edge_label_counts.find(label);
+  return it == edge_label_counts.end() ? 0 : it->second;
+}
+
+size_t GraphStats::LabelPathCount(const std::string& src_label,
+                                  const std::string& edge_label,
+                                  const std::string& dst_label) const {
+  auto it =
+      label_path_counts.find(std::make_tuple(src_label, edge_label, dst_label));
+  return it == label_path_counts.end() ? 0 : it->second;
+}
+
+size_t GraphStats::UndirectedLabelPathCount(const std::string& src_label,
+                                            const std::string& edge_label,
+                                            const std::string& dst_label) const {
+  auto it = undirected_label_path_counts.find(
+      std::make_tuple(src_label, edge_label, dst_label));
+  return it == undirected_label_path_counts.end() ? 0 : it->second;
+}
+
+double GraphStats::AvgDegree(const std::string& label) const {
+  auto it = degree_by_label.find(label);
+  if (it == degree_by_label.end()) return AvgDegreeOverall();
+  return it->second.avg_out + it->second.avg_in + it->second.avg_undirected;
+}
+
+double GraphStats::AvgDegreeOverall() const {
+  if (num_nodes == 0) return 0;
+  // Every edge produces two adjacency entries (forward+backward or the two
+  // undirected endpoints).
+  return 2.0 * static_cast<double>(num_edges) /
+         static_cast<double>(num_nodes);
+}
+
+std::string GraphStats::ToString() const {
+  std::ostringstream os;
+  os << "graph stats: " << num_nodes << " nodes (" << num_labeled_nodes
+     << " labeled), " << num_edges << " edges (" << num_labeled_edges
+     << " labeled)\n";
+  for (const auto& [label, count] : node_label_counts) {
+    os << "  node label " << label << ": " << count;
+    auto it = degree_by_label.find(label);
+    if (it != degree_by_label.end()) {
+      os << " (avg deg out=" << it->second.avg_out
+         << " in=" << it->second.avg_in
+         << " undir=" << it->second.avg_undirected << ")";
+    }
+    os << "\n";
+  }
+  for (const auto& [label, count] : edge_label_counts) {
+    os << "  edge label " << label << ": " << count << "\n";
+  }
+  for (const auto& [key, count] : label_path_counts) {
+    os << "  path (" << (std::get<0>(key).empty() ? "*" : std::get<0>(key))
+       << ")-[" << (std::get<1>(key).empty() ? "*" : std::get<1>(key)) << "]->("
+       << (std::get<2>(key).empty() ? "*" : std::get<2>(key))
+       << "): " << count << "\n";
+  }
+  return os.str();
+}
+
+GraphStats ComputeStats(const PropertyGraph& g) {
+  GraphStats s;
+  s.num_nodes = g.num_nodes();
+  s.num_edges = g.num_edges();
+
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    const NodeData& nd = g.node(n);
+    if (!nd.labels.empty()) ++s.num_labeled_nodes;
+    for (const std::string& l : nd.labels) ++s.node_label_counts[l];
+  }
+
+  // Per-label degree accumulators keyed like node_label_counts.
+  std::map<std::string, LabelDegree> degree_sums;
+
+  const std::vector<std::string> none = {kNoLabel};
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const EdgeData& ed = g.edge(e);
+    if (!ed.labels.empty()) ++s.num_labeled_edges;
+    for (const std::string& l : ed.labels) ++s.edge_label_counts[l];
+
+    const auto& u_labels = LabelsOrNone(g.node(ed.u).labels, none);
+    const auto& v_labels = LabelsOrNone(g.node(ed.v).labels, none);
+    const auto& e_labels = LabelsOrNone(ed.labels, none);
+    for (const std::string& el : e_labels) {
+      for (const std::string& ul : u_labels) {
+        for (const std::string& vl : v_labels) {
+          ++s.label_path_counts[std::make_tuple(ul, el, vl)];
+          if (!ed.directed) {
+            ++s.label_path_counts[std::make_tuple(vl, el, ul)];
+            ++s.undirected_label_path_counts[std::make_tuple(ul, el, vl)];
+            ++s.undirected_label_path_counts[std::make_tuple(vl, el, ul)];
+          }
+        }
+      }
+    }
+
+    for (const std::string& ul : u_labels) {
+      if (ed.directed) {
+        degree_sums[ul].avg_out += 1;
+      } else {
+        degree_sums[ul].avg_undirected += 1;
+      }
+    }
+    for (const std::string& vl : v_labels) {
+      if (ed.directed) {
+        degree_sums[vl].avg_in += 1;
+      } else {
+        degree_sums[vl].avg_undirected += 1;
+      }
+    }
+  }
+
+  for (auto& [label, sums] : degree_sums) {
+    if (label == kNoLabel) continue;
+    double n = static_cast<double>(s.NodeLabelCount(label));
+    if (n == 0) continue;  // Edge-only label; no node denominator.
+    LabelDegree d;
+    d.avg_out = sums.avg_out / n;
+    d.avg_in = sums.avg_in / n;
+    d.avg_undirected = sums.avg_undirected / n;
+    s.degree_by_label[label] = d;
+  }
+  return s;
+}
+
+std::shared_ptr<const GraphStats> GetStats(const PropertyGraph& g) {
+  if (std::shared_ptr<const GraphStats> cached = g.stats_cache()) {
+    return cached;
+  }
+  auto stats = std::make_shared<const GraphStats>(ComputeStats(g));
+  g.set_stats_cache(stats);
+  return stats;
+}
+
+}  // namespace planner
+}  // namespace gpml

@@ -1,0 +1,83 @@
+#ifndef GPML_PLANNER_STATS_H_
+#define GPML_PLANNER_STATS_H_
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "graph/property_graph.h"
+
+namespace gpml {
+namespace planner {
+
+/// Average adjacency fanout of the nodes carrying one label, split by how
+/// the incident edge would be traversed when leaving the node.
+struct LabelDegree {
+  double avg_out = 0;         // Directed out-edges (forward traversal).
+  double avg_in = 0;          // Directed in-edges (backward traversal).
+  double avg_undirected = 0;  // Undirected incident edges.
+};
+
+/// Summary statistics of one PropertyGraph, collected in a single pass and
+/// cached on the graph (see GetStats). Everything the planner's cost model
+/// consumes: per-label cardinalities for seed estimation, label-path
+/// frequencies and per-label degrees for expansion estimation.
+struct GraphStats {
+  size_t num_nodes = 0;
+  size_t num_edges = 0;
+  size_t num_labeled_nodes = 0;  // Nodes with at least one label (`%`).
+  size_t num_labeled_edges = 0;
+
+  std::map<std::string, size_t> node_label_counts;
+  std::map<std::string, size_t> edge_label_counts;
+
+  /// Frequencies of (source-node-label, edge-label, target-node-label)
+  /// one-step paths. Directed edges contribute their (u-label, e-label,
+  /// v-label) combinations; undirected edges contribute both orders. Elements
+  /// with several labels contribute one entry per label combination.
+  std::map<std::tuple<std::string, std::string, std::string>, size_t>
+      label_path_counts;
+
+  /// The undirected-edge share of label_path_counts (both orders), kept
+  /// separately so the planner can cost each edge-pattern orientation with
+  /// exactly the traversals it admits (a `~[ ]~` pattern never crosses a
+  /// directed edge, and `-[ ]->` never an undirected one).
+  std::map<std::tuple<std::string, std::string, std::string>, size_t>
+      undirected_label_path_counts;
+
+  /// Average degrees of the nodes carrying each label.
+  std::map<std::string, LabelDegree> degree_by_label;
+
+  /// 0 when the label is unknown.
+  size_t NodeLabelCount(const std::string& label) const;
+  size_t EdgeLabelCount(const std::string& label) const;
+  size_t LabelPathCount(const std::string& src_label,
+                        const std::string& edge_label,
+                        const std::string& dst_label) const;
+  size_t UndirectedLabelPathCount(const std::string& src_label,
+                                  const std::string& edge_label,
+                                  const std::string& dst_label) const;
+
+  /// Average total fanout (out + in + undirected) of nodes with `label`;
+  /// falls back to the graph-wide average for unknown labels.
+  double AvgDegree(const std::string& label) const;
+  /// Graph-wide average adjacency-list length.
+  double AvgDegreeOverall() const;
+
+  /// Multi-line human-readable rendering (EXPLAIN VERBOSE, tests).
+  std::string ToString() const;
+};
+
+/// Collects GraphStats in one pass over nodes and edges.
+GraphStats ComputeStats(const PropertyGraph& g);
+
+/// The cached stats of `g`: computed on first call, stored in the graph's
+/// derived-data slot, shared by every subsequent planner invocation.
+std::shared_ptr<const GraphStats> GetStats(const PropertyGraph& g);
+
+}  // namespace planner
+}  // namespace gpml
+
+#endif  // GPML_PLANNER_STATS_H_

@@ -1,0 +1,208 @@
+// EXPLAIN coverage: the rendering is stable and parseable (ParseExplain
+// roundtrips every planning decision), and both hosts surface it — GQL
+// sessions via a leading EXPLAIN keyword, SQL/PGQ via "EXPLAIN MATCH ..."
+// inside GRAPH_TABLE.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "eval/engine.h"
+#include "gql/session.h"
+#include "graph/sample_graph.h"
+#include "parser/parser.h"
+#include "pgq/graph_table.h"
+#include "planner/explain.h"
+#include "planner/planner.h"
+#include "planner/stats.h"
+#include "semantics/normalize.h"
+
+namespace gpml {
+namespace {
+
+const char* kFraudQuery =
+    "MATCH (x:Account WHERE x.isBlocked='no')-[:isLocatedIn]->"
+    "(c:City WHERE c.name='Ankh-Morpork')<-[:isLocatedIn]-"
+    "(y:Account WHERE y.isBlocked='yes'), "
+    "ANY (x)-[:Transfer]->+(y)";
+
+Catalog PaperCatalog() {
+  Catalog catalog;
+  EXPECT_TRUE(catalog.AddGraph("bank", BuildPaperGraph()).ok());
+  return catalog;
+}
+
+TEST(ExplainTest, RoundtripsThePlan) {
+  PropertyGraph g = BuildPaperGraph();
+  Engine engine(g);
+  Result<GraphPattern> pattern = ParseGraphPattern(kFraudQuery);
+  ASSERT_TRUE(pattern.ok());
+  Result<planner::Plan> plan = engine.Plan(*pattern);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  Result<std::string> text = engine.Explain(kFraudQuery);
+  ASSERT_TRUE(text.ok()) << text.status();
+
+  Result<planner::ExplainedPlan> parsed = planner::ParseExplain(*text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status() << "\n" << *text;
+  EXPECT_TRUE(parsed->planner_on);
+  ASSERT_EQ(parsed->decls.size(), plan->decls.size());
+
+  // Re-derive the variable table to name-check parsed fields.
+  Result<GraphPattern> normalized = Normalize(*pattern);
+  ASSERT_TRUE(normalized.ok());
+  Result<Analysis> analysis = Analyze(*normalized);
+  ASSERT_TRUE(analysis.ok());
+  VarTable vars(*analysis);
+
+  for (size_t i = 0; i < plan->decls.size(); ++i) {
+    const planner::DeclPlan& dp = plan->decls[i];
+    const planner::ExplainedDecl& ed = parsed->decls[i];
+    EXPECT_EQ(ed.step, static_cast<int>(i) + 1);
+    EXPECT_EQ(ed.decl_index, dp.decl_index);
+    EXPECT_EQ(ed.reversed, dp.reversed);
+    EXPECT_EQ(ed.anchor, dp.reversed ? "right" : "left");
+    if (dp.anchor_var >= 0) {
+      EXPECT_EQ(ed.var, vars.name(dp.anchor_var));
+    } else {
+      EXPECT_EQ(ed.var, "_");
+    }
+    if (dp.seed_bound_var >= 0) {
+      EXPECT_EQ(ed.seeds, -1) << "bound steps render seeds~*";
+    } else {
+      EXPECT_NEAR(ed.seeds, dp.anchor.enumerated,
+                  1e-6 + 1e-6 * dp.anchor.enumerated);
+    }
+    if (dp.seed_bound_var >= 0) {
+      EXPECT_EQ(ed.source, "bound:" + vars.name(dp.seed_bound_var));
+    } else if (!dp.anchor.label.empty()) {
+      EXPECT_EQ(ed.source, "label:" + dp.anchor.label);
+    } else {
+      EXPECT_EQ(ed.source, "all");
+    }
+    ASSERT_EQ(ed.join_vars.size(), dp.join_vars.size());
+    for (size_t j = 0; j < dp.join_vars.size(); ++j) {
+      EXPECT_EQ(ed.join_vars[j], vars.name(dp.join_vars[j]));
+    }
+    std::string selector = dp.decl.selector.ToString();
+    EXPECT_EQ(ed.selector, selector.empty() ? "none" : selector);
+  }
+}
+
+TEST(ExplainTest, FraudQueryPlanDecisions) {
+  PropertyGraph g = BuildPaperGraph();
+  Engine engine(g);
+  Result<std::string> text = engine.Explain(kFraudQuery);
+  ASSERT_TRUE(text.ok());
+  Result<planner::ExplainedPlan> parsed = planner::ParseExplain(*text);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->decls.size(), 2u);
+  // The selective co-location decl runs first from the Account label index;
+  // the transfer chain is seeded from the bound x values.
+  EXPECT_EQ(parsed->decls[0].decl_index, 0);
+  EXPECT_EQ(parsed->decls[0].source, "label:Account");
+  EXPECT_EQ(parsed->decls[1].decl_index, 1);
+  EXPECT_EQ(parsed->decls[1].source, "bound:x");
+  EXPECT_EQ(parsed->decls[1].join_vars,
+            (std::vector<std::string>{"x", "y"}));
+}
+
+TEST(ExplainTest, PlannerOffIsReported) {
+  PropertyGraph g = BuildPaperGraph();
+  EngineOptions options;
+  options.use_planner = false;
+  Engine engine(g, options);
+  Result<std::string> text = engine.Explain(kFraudQuery);
+  ASSERT_TRUE(text.ok());
+  Result<planner::ExplainedPlan> parsed = planner::ParseExplain(*text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed->planner_on);
+  EXPECT_EQ(parsed->decls[1].source, "all");
+}
+
+TEST(ExplainTest, VerboseIncludesGraphStats) {
+  PropertyGraph g = BuildPaperGraph();
+  Engine engine(g);
+  Result<GraphPattern> pattern = ParseGraphPattern(kFraudQuery);
+  ASSERT_TRUE(pattern.ok());
+  Result<planner::Plan> plan = engine.Plan(*pattern);
+  ASSERT_TRUE(plan.ok());
+  Result<GraphPattern> normalized = Normalize(*pattern);
+  ASSERT_TRUE(normalized.ok());
+  Result<Analysis> analysis = Analyze(*normalized);
+  ASSERT_TRUE(analysis.ok());
+  VarTable vars(*analysis);
+  auto stats = planner::GetStats(g);
+  std::string text = planner::ExplainPlan(*plan, vars, stats.get());
+  EXPECT_NE(text.find("-- graph stats --"), std::string::npos);
+  EXPECT_NE(text.find("node label Account: 6"), std::string::npos);
+  // The stats section must not confuse the parser.
+  Result<planner::ExplainedPlan> parsed = planner::ParseExplain(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->decls.size(), 2u);
+}
+
+TEST(ExplainTest, GqlSessionExplainStatement) {
+  Catalog catalog = PaperCatalog();
+  Session session(catalog);
+  ASSERT_TRUE(session.UseGraph("bank").ok());
+  Result<Table> table =
+      session.Execute(std::string("EXPLAIN ") + kFraudQuery);
+  ASSERT_TRUE(table.ok()) << table.status();
+  ASSERT_EQ(table->schema().num_columns(), 1u);
+  EXPECT_EQ(table->schema().column(0).name, "plan");
+  ASSERT_GE(table->num_rows(), 3u);  // Header + one step per declaration.
+  EXPECT_EQ(table->row(0)[0].ToString().rfind("plan: 2 declaration", 0), 0u);
+
+  // The string-level API agrees with the table rendering.
+  Result<std::string> text = session.Explain(kFraudQuery);
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("source=bound:x"), std::string::npos);
+}
+
+TEST(ExplainTest, GraphTableExplain) {
+  Catalog catalog = PaperCatalog();
+  GraphTableQuery query;
+  query.graph = "bank";
+  query.match = std::string("EXPLAIN ") + kFraudQuery;
+  query.columns = "x.owner AS owner";  // Ignored under EXPLAIN.
+  Result<Table> table = GraphTable(catalog, query);
+  ASSERT_TRUE(table.ok()) << table.status();
+  ASSERT_EQ(table->schema().num_columns(), 1u);
+  EXPECT_EQ(table->schema().column(0).name, "plan");
+  ASSERT_GE(table->num_rows(), 3u);
+
+  // The SQL surface form carries EXPLAIN through ParseGraphTableCall.
+  Result<GraphTableQuery> sql = ParseGraphTableCall(
+      "SELECT * FROM GRAPH_TABLE(bank, EXPLAIN MATCH "
+      "(x:Account)-[:Transfer]->(y) COLUMNS (x.owner AS owner))");
+  ASSERT_TRUE(sql.ok()) << sql.status();
+  Result<Table> table2 = GraphTable(catalog, *sql);
+  ASSERT_TRUE(table2.ok()) << table2.status();
+  EXPECT_EQ(table2->schema().column(0).name, "plan");
+}
+
+TEST(ExplainTest, StripExplainPrefix) {
+  std::string rest;
+  EXPECT_TRUE(planner::StripExplainPrefix("EXPLAIN MATCH (x)", &rest));
+  EXPECT_EQ(rest, " MATCH (x)");
+  EXPECT_TRUE(planner::StripExplainPrefix("  explain MATCH (x)", &rest));
+  EXPECT_TRUE(planner::StripExplainPrefix("EXPLAIN", &rest));
+  EXPECT_FALSE(planner::StripExplainPrefix("EXPLAINER MATCH (x)", &rest));
+  EXPECT_FALSE(planner::StripExplainPrefix("MATCH (x)", &rest));
+}
+
+TEST(ExplainTest, ParseExplainRejectsGarbage) {
+  EXPECT_FALSE(planner::ParseExplain("no plan here").ok());
+  EXPECT_FALSE(
+      planner::ParseExplain("plan: 2 declaration(s), planner=on\n"
+                            "step 1: decl=0 dir=forward anchor=left var=x "
+                            "seeds~1 source=all fanout~0 join=[] "
+                            "selector=none\n")
+          .ok())
+      << "header/step count mismatch must be rejected";
+}
+
+}  // namespace
+}  // namespace gpml

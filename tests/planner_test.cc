@@ -1,0 +1,403 @@
+// Tests for the statistics-driven planner: GraphStats collection and
+// caching, cost-model estimates, anchor/direction selection on skewed
+// graphs, seed-list restriction, and — most importantly — differential
+// equality: the planner must never change results, only how they are found.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "eval/engine.h"
+#include "eval/reference_eval.h"
+#include "graph/generator.h"
+#include "graph/graph_builder.h"
+#include "graph/sample_graph.h"
+#include "parser/parser.h"
+#include "planner/planner.h"
+#include "planner/stats.h"
+#include "semantics/normalize.h"
+#include "tests/test_util.h"
+
+namespace gpml {
+namespace {
+
+using planner::GraphStats;
+
+EngineOptions PlannerOn() {
+  EngineOptions o;
+  o.use_planner = true;
+  return o;
+}
+
+EngineOptions PlannerOff() {
+  EngineOptions o;
+  o.use_planner = false;
+  return o;
+}
+
+/// A graph where the right end of (a:Src)-[:E]->(b:Dst) is far more
+/// selective than the left: many sources funnel into two sinks.
+PropertyGraph SkewedGraph(int sources = 40) {
+  GraphBuilder b;
+  b.AddNode("d1", {"Dst"});
+  b.AddNode("d2", {"Dst"});
+  for (int i = 0; i < sources; ++i) {
+    std::string name = "s" + std::to_string(i);
+    b.AddNode(name, {"Src"});
+    b.AddDirectedEdge("e" + std::to_string(i), name, i % 2 ? "d1" : "d2",
+                      {"E"});
+  }
+  Result<PropertyGraph> g = std::move(b).Build();
+  EXPECT_TRUE(g.ok());
+  return std::move(*g);
+}
+
+// --- GraphStats -------------------------------------------------------------
+
+TEST(GraphStatsTest, PaperGraphCounts) {
+  PropertyGraph g = BuildPaperGraph();
+  GraphStats s = planner::ComputeStats(g);
+  EXPECT_EQ(s.num_nodes, g.num_nodes());
+  EXPECT_EQ(s.num_edges, g.num_edges());
+  EXPECT_EQ(s.NodeLabelCount("Account"), 6u);
+  EXPECT_EQ(s.NodeLabelCount("City"), 1u);      // c2 only.
+  EXPECT_EQ(s.NodeLabelCount("Country"), 2u);   // c1 and c2.
+  EXPECT_EQ(s.NodeLabelCount("Phone"), 4u);
+  EXPECT_EQ(s.NodeLabelCount("Nope"), 0u);
+  EXPECT_EQ(s.EdgeLabelCount("Transfer"), 8u);
+  EXPECT_EQ(s.EdgeLabelCount("isLocatedIn"), 6u);
+  EXPECT_EQ(s.EdgeLabelCount("hasPhone"), 6u);
+  EXPECT_EQ(s.EdgeLabelCount("signInWithIP"), 2u);
+  // Every node in the paper graph carries a label.
+  EXPECT_EQ(s.num_labeled_nodes, g.num_nodes());
+}
+
+TEST(GraphStatsTest, LabelPathFrequencies) {
+  PropertyGraph g = BuildPaperGraph();
+  GraphStats s = planner::ComputeStats(g);
+  // All 8 transfers run Account -> Account.
+  EXPECT_EQ(s.LabelPathCount("Account", "Transfer", "Account"), 8u);
+  EXPECT_EQ(s.LabelPathCount("Account", "Transfer", "City"), 0u);
+  // a2, a4, a6 are located in c2 (City & Country): the label-combination
+  // expansion counts the City and the Country combination separately.
+  EXPECT_EQ(s.LabelPathCount("Account", "isLocatedIn", "City"), 3u);
+  EXPECT_EQ(s.LabelPathCount("Account", "isLocatedIn", "Country"), 6u);
+  // hasPhone is undirected: counted in both orders, and tracked in the
+  // undirected split so orientation costing can exclude directed edges.
+  EXPECT_EQ(s.LabelPathCount("Account", "hasPhone", "Phone"), 6u);
+  EXPECT_EQ(s.LabelPathCount("Phone", "hasPhone", "Account"), 6u);
+  EXPECT_EQ(s.UndirectedLabelPathCount("Account", "hasPhone", "Phone"), 6u);
+  EXPECT_EQ(s.UndirectedLabelPathCount("Account", "Transfer", "Account"), 0u);
+}
+
+TEST(GraphStatsTest, DegreesOnSkewedGraph) {
+  PropertyGraph g = SkewedGraph(40);
+  GraphStats s = planner::ComputeStats(g);
+  ASSERT_EQ(s.NodeLabelCount("Src"), 40u);
+  ASSERT_EQ(s.NodeLabelCount("Dst"), 2u);
+  const planner::LabelDegree& src = s.degree_by_label.at("Src");
+  const planner::LabelDegree& dst = s.degree_by_label.at("Dst");
+  EXPECT_DOUBLE_EQ(src.avg_out, 1.0);
+  EXPECT_DOUBLE_EQ(src.avg_in, 0.0);
+  EXPECT_DOUBLE_EQ(dst.avg_out, 0.0);
+  EXPECT_DOUBLE_EQ(dst.avg_in, 20.0);
+}
+
+TEST(GraphStatsTest, CachedOnTheGraph) {
+  PropertyGraph g = BuildPaperGraph();
+  auto first = planner::GetStats(g);
+  auto second = planner::GetStats(g);
+  EXPECT_EQ(first.get(), second.get()) << "stats must be computed once";
+  EXPECT_EQ(first->num_nodes, g.num_nodes());
+}
+
+// --- Cost model -------------------------------------------------------------
+
+TEST(CostModelTest, LabelCardinalities) {
+  PropertyGraph g = BuildPaperGraph();
+  GraphStats s = planner::ComputeStats(g);
+  double n = static_cast<double>(s.num_nodes);
+  EXPECT_DOUBLE_EQ(planner::EstimateLabelCardinality(nullptr, s), n);
+  EXPECT_DOUBLE_EQ(
+      planner::EstimateLabelCardinality(LabelExpr::Name("Account"), s), 6.0);
+  EXPECT_DOUBLE_EQ(planner::EstimateLabelCardinality(
+                       LabelExpr::Or(LabelExpr::Name("Account"),
+                                     LabelExpr::Name("Phone")),
+                       s),
+                   10.0);
+  EXPECT_DOUBLE_EQ(planner::EstimateLabelCardinality(
+                       LabelExpr::And(LabelExpr::Name("City"),
+                                      LabelExpr::Name("Country")),
+                       s),
+                   1.0);
+  EXPECT_DOUBLE_EQ(planner::EstimateLabelCardinality(
+                       LabelExpr::Not(LabelExpr::Name("Account")), s),
+                   n - 6.0);
+  EXPECT_DOUBLE_EQ(
+      planner::EstimateLabelCardinality(LabelExpr::Wildcard(), s), n);
+}
+
+TEST(CostModelTest, PredicateSelectivities) {
+  planner::PlannerConfig config;
+  auto eq = Expr::Binary(BinaryOp::kEq, Expr::Prop("x", "owner"),
+                         Expr::Lit(Value::String("Jay")));
+  auto lt = Expr::Binary(BinaryOp::kLt, Expr::Prop("x", "amount"),
+                         Expr::Lit(Value::Int(5)));
+  EXPECT_DOUBLE_EQ(planner::PredicateSelectivity(nullptr, config), 1.0);
+  EXPECT_DOUBLE_EQ(planner::PredicateSelectivity(eq, config),
+                   config.eq_selectivity);
+  EXPECT_DOUBLE_EQ(planner::PredicateSelectivity(lt, config),
+                   config.range_selectivity);
+  EXPECT_DOUBLE_EQ(
+      planner::PredicateSelectivity(Expr::Binary(BinaryOp::kAnd, eq, lt),
+                                    config),
+      config.eq_selectivity * config.range_selectivity);
+}
+
+// --- Anchor / direction selection -------------------------------------------
+
+Result<planner::Plan> PlanFor(const PropertyGraph& g, const std::string& query,
+                              EngineOptions options = PlannerOn()) {
+  Engine engine(g, options);
+  Result<GraphPattern> pattern = ParseGraphPattern(query);
+  EXPECT_TRUE(pattern.ok()) << pattern.status();
+  return engine.Plan(*pattern);
+}
+
+TEST(AnchorSelectionTest, ReversesTowardSelectiveEnd) {
+  PropertyGraph g = SkewedGraph(40);
+  Result<planner::Plan> plan = PlanFor(g, "MATCH (a:Src)-[:E]->(b:Dst)");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  ASSERT_EQ(plan->decls.size(), 1u);
+  EXPECT_TRUE(plan->decls[0].reversed)
+      << "2 Dst seeds must beat 40 Src seeds";
+  EXPECT_EQ(plan->decls[0].anchor.label, "Dst");
+}
+
+TEST(AnchorSelectionTest, KeepsWrittenDirectionWhenLeftIsSelective) {
+  PropertyGraph g = SkewedGraph(40);
+  Result<planner::Plan> plan = PlanFor(g, "MATCH (b:Dst)<-[:E]-(a:Src)");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_FALSE(plan->decls[0].reversed);
+  EXPECT_EQ(plan->decls[0].anchor.label, "Dst");
+}
+
+TEST(AnchorSelectionTest, NondeterministicSelectorIsNotReversed) {
+  PropertyGraph g = SkewedGraph(40);
+  Result<planner::Plan> plan =
+      PlanFor(g, "MATCH ANY (a:Src)-[:E]->+(b:Dst)");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_FALSE(plan->decls[0].reversed)
+      << "ANY picks direction-dependent witnesses; reversal must be gated";
+}
+
+TEST(AnchorSelectionTest, CrossElementPredicateIsNotReversed) {
+  PropertyGraph g = SkewedGraph(40);
+  // b's predicate references a: in the mirrored order it would be evaluated
+  // before a is bound.
+  Result<planner::Plan> plan = PlanFor(
+      g, "MATCH (a:Src)-[:E]->(b:Dst WHERE a.owner = b.owner)");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_FALSE(plan->decls[0].reversed);
+}
+
+TEST(AnchorSelectionTest, DeterministicSelectorMayReverse) {
+  PropertyGraph g = SkewedGraph(40);
+  Result<planner::Plan> plan =
+      PlanFor(g, "MATCH ALL SHORTEST (a:Src)-[:E]->+(b:Dst)");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_TRUE(plan->decls[0].reversed);
+}
+
+TEST(AnchorSelectionTest, PlannerOffNeverReverses) {
+  PropertyGraph g = SkewedGraph(40);
+  Result<planner::Plan> plan =
+      PlanFor(g, "MATCH (a:Src)-[:E]->(b:Dst)", PlannerOff());
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_FALSE(plan->planner_used);
+  EXPECT_FALSE(plan->decls[0].reversed);
+}
+
+TEST(PatternMirrorTest, DoubleReversalIsIdentity) {
+  Result<GraphPattern> parsed = ParseGraphPattern(
+      "MATCH (a:Src WHERE a.x = 1)<~[e:E|F]~[(c)-[:G]->(d)]{1,3}(b:Dst)");
+  ASSERT_TRUE(parsed.ok());
+  Result<GraphPattern> normalized = Normalize(*parsed);
+  ASSERT_TRUE(normalized.ok());
+  const PathPatternPtr& p = normalized->paths[0].pattern;
+  PathPatternPtr twice =
+      planner::ReversePathPattern(planner::ReversePathPattern(p));
+  // Structural spot checks: same element count and same endpoints.
+  ASSERT_EQ(twice->kind, p->kind);
+  ASSERT_EQ(twice->elements.size(), p->elements.size());
+  EXPECT_EQ(planner::FirstNodeOf(*twice)->var, planner::FirstNodeOf(*p)->var);
+  EXPECT_EQ(planner::LastNodeOf(*twice)->var, planner::LastNodeOf(*p)->var);
+  for (size_t i = 0; i < p->elements.size(); ++i) {
+    EXPECT_EQ(twice->elements[i].kind, p->elements[i].kind);
+    if (p->elements[i].kind == PathElement::Kind::kEdge) {
+      EXPECT_EQ(twice->elements[i].edge.orientation,
+                p->elements[i].edge.orientation);
+    }
+  }
+}
+
+// --- Join ordering and seed restriction -------------------------------------
+
+TEST(JoinOrderTest, SelectiveDeclRunsFirst) {
+  PropertyGraph g = BuildPaperGraph();
+  // As written, the expensive unanchored reachability decl comes first; the
+  // planner must run the selective co-location decl first and then seed the
+  // chain from the bound x values.
+  Result<planner::Plan> plan = PlanFor(
+      g,
+      "MATCH ANY (x)-[:Transfer]->+(y), "
+      "(x:Account WHERE x.isBlocked='no')-[:isLocatedIn]->(c:City)");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  ASSERT_EQ(plan->decls.size(), 2u);
+  EXPECT_EQ(plan->decls[0].decl_index, 1);
+  EXPECT_EQ(plan->decls[1].decl_index, 0);
+  EXPECT_EQ(plan->decls[1].seed_bound_var,
+            plan->decls[1].anchor_var);
+  ASSERT_GE(plan->decls[1].seed_bound_var, 0);
+}
+
+TEST(JoinOrderTest, SeedRestrictionShrinksSeededNodes) {
+  PropertyGraph g = BuildPaperGraph();
+  const std::string query =
+      "MATCH (x:Account WHERE x.isBlocked='no')-[:isLocatedIn]->"
+      "(c:City WHERE c.name='Ankh-Morpork')<-[:isLocatedIn]-"
+      "(y:Account WHERE y.isBlocked='yes'), "
+      "ANY (x)-[:Transfer]->+(y)";
+
+  EngineMetrics on_metrics, off_metrics;
+  EngineOptions on = PlannerOn();
+  on.metrics = &on_metrics;
+  EngineOptions off = PlannerOff();
+  off.metrics = &off_metrics;
+
+  Engine e_on(g, on);
+  ASSERT_TRUE(e_on.Match(query).ok());
+  Engine e_off(g, off);
+  ASSERT_TRUE(e_off.Match(query).ok());
+  EXPECT_GE(on_metrics.seed_filtered_decls, 1u);
+  EXPECT_LT(on_metrics.seeded_nodes, off_metrics.seeded_nodes);
+  EXPECT_LT(on_metrics.matcher_steps, off_metrics.matcher_steps);
+  // And identical results.
+  EXPECT_EQ(testing_util::Rows(g, query, "x, y", on),
+            testing_util::Rows(g, query, "x, y", off));
+}
+
+// --- Differential: planner on == planner off == reference -------------------
+
+const char* kDifferentialQueries[] = {
+    "MATCH (x:Account)-[t:Transfer]->(y:Account)",
+    "MATCH (x)-[t:Transfer]->(y:Account WHERE y.owner='Jay')",
+    "MATCH p = (x:Account WHERE x.isBlocked='no')-[:Transfer]->"
+    "(y:Account WHERE y.isBlocked='yes')",
+    "MATCH (x:Account)-[:isLocatedIn]->(c:City)",
+    "MATCH TRAIL (x:Account)-[:Transfer]->{1,3}(y:Account)",
+    "MATCH ACYCLIC (x)-[:Transfer]->+(y:Account WHERE y.owner='Dave')",
+    "MATCH ALL SHORTEST (x:Account)-[:Transfer]->+(y:Account "
+    "WHERE y.owner='Mike')",
+    "MATCH (x:Account)[-[:Transfer]->(z) | <-[:Transfer]-(z)](y)",
+    "MATCH (a:Account)~[:hasPhone]~(p:Phone)~[:hasPhone]~(b:Account "
+    "WHERE b.owner='Scott')",
+    "MATCH (x:Account)-[:Transfer]->(y)-[:Transfer]->"
+    "(z:Account WHERE z.isBlocked='yes')",
+    "MATCH (x:Account WHERE x.isBlocked='no')-[:isLocatedIn]->(c:City)"
+    "<-[:isLocatedIn]-(y:Account WHERE y.isBlocked='yes'), "
+    "ANY (x)-[:Transfer]->+(y)",
+    "MATCH ACYCLIC (x)-[:Transfer]->+(y), (x:Account WHERE x.owner='Aretha')",
+    "MATCH DIFFERENT EDGES (x)-[:Transfer]->(y), (y)-[:Transfer]->(z)",
+    "MATCH (x:Account) [-[:Transfer]->(y:Account)]? WHERE x.owner <> 'Jay'",
+};
+
+/// Canonical rendering of full result rows (all bindings, sorted).
+std::vector<std::string> CanonRows(const PropertyGraph& g,
+                                   const std::string& query,
+                                   const EngineOptions& options) {
+  Engine engine(g, options);
+  Result<MatchOutput> out = engine.Match(query);
+  if (!out.ok()) return {"ERROR: " + out.status().ToString()};
+  std::vector<std::string> rows;
+  rows.reserve(out->rows.size());
+  for (const ResultRow& row : out->rows) {
+    std::string s;
+    for (const auto& pb : row.bindings) {
+      s += pb->ToString(g, *out->vars) + " ; ";
+    }
+    rows.push_back(std::move(s));
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+TEST(PlannerDifferentialTest, PaperGraph) {
+  PropertyGraph g = BuildPaperGraph();
+  for (const char* query : kDifferentialQueries) {
+    std::vector<std::string> on = CanonRows(g, query, PlannerOn());
+    ASSERT_TRUE(on.empty() || on[0].rfind("ERROR:", 0) != 0)
+        << query << " -> " << on[0];
+    EXPECT_EQ(on, CanonRows(g, query, PlannerOff())) << query;
+  }
+}
+
+TEST(PlannerDifferentialTest, RandomGraphs) {
+  const char* queries[] = {
+      "MATCH (x:L0)-[:L1]->(y:L1)",
+      "MATCH (x:L0)-[e]->(y:L2 WHERE y.w < 40)",
+      "MATCH TRAIL (x:L0)-[:L0]->{1,2}(y)",
+      "MATCH ALL SHORTEST (x:L0)-[:L1]->+(y:L2)",
+      "MATCH (x:L0)-[:L1]->(y), (y)-[:L2]->(z:L2)",
+  };
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    PropertyGraph g = MakeRandomGraph(24, 60, 3, 0.25, seed);
+    for (const char* query : queries) {
+      EXPECT_EQ(CanonRows(g, query, PlannerOn()),
+                CanonRows(g, query, PlannerOff()))
+          << "seed " << seed << ": " << query;
+    }
+  }
+}
+
+TEST(PlannerDifferentialTest, AgainstReferenceEvaluator) {
+  PropertyGraph g = BuildPaperGraph();
+  const char* queries[] = {
+      "MATCH (x)-[t:Transfer]->(y:Account WHERE y.owner='Jay')",
+      "MATCH ACYCLIC (x)-[:Transfer]->+(y:Account WHERE y.owner='Dave')",
+      "MATCH ALL SHORTEST (x:Account)-[:Transfer]->+(y:Account "
+      "WHERE y.owner='Mike')",
+  };
+  for (const char* query : queries) {
+    Result<GraphPattern> parsed = ParseGraphPattern(query);
+    ASSERT_TRUE(parsed.ok());
+    Result<GraphPattern> normalized = Normalize(*parsed);
+    ASSERT_TRUE(normalized.ok());
+    Result<Analysis> analysis = Analyze(*normalized);
+    ASSERT_TRUE(analysis.ok());
+    VarTable vars(*analysis);
+    Result<MatchSet> ref =
+        RunReference(g, normalized->paths[0], vars, ReferenceOptions{});
+    ASSERT_TRUE(ref.ok()) << query << " -> " << ref.status();
+    std::vector<std::string> ref_rows;
+    for (const PathBinding& pb : ref->bindings) {
+      ref_rows.push_back(pb.ToString(g, vars));
+    }
+    std::sort(ref_rows.begin(), ref_rows.end());
+
+    Engine engine(g, PlannerOn());
+    Result<MatchOutput> out = engine.Match(query);
+    ASSERT_TRUE(out.ok()) << query << " -> " << out.status();
+    std::vector<std::string> engine_rows;
+    for (const ResultRow& row : out->rows) {
+      engine_rows.push_back(row.bindings[0]->ToString(g, *out->vars));
+    }
+    std::sort(engine_rows.begin(), engine_rows.end());
+    EXPECT_EQ(engine_rows, ref_rows) << query;
+  }
+}
+
+}  // namespace
+}  // namespace gpml
