@@ -1,6 +1,7 @@
 #include "eval/engine.h"
 
 #include <algorithm>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -149,9 +150,42 @@ Result<Engine::Prepared> Engine::Prepare(const GraphPattern& pattern) const {
   return p;
 }
 
-Result<planner::Plan> Engine::Plan(const GraphPattern& pattern) const {
+size_t Engine::ResolvedThreads() const {
+  if (options_.num_threads != 0) return options_.num_threads;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+Result<std::shared_ptr<const planner::CachedPlan>> Engine::PreparePlan(
+    const GraphPattern& pattern, bool* cache_hit) const {
+  *cache_hit = false;
+  std::string fingerprint;
+  if (options_.use_plan_cache) {
+    fingerprint = planner::PlanFingerprint(pattern, options_.use_planner);
+    if (std::shared_ptr<const planner::CachedPlan> cached =
+            planner::LookupPlan(graph_, fingerprint)) {
+      *cache_hit = true;
+      return cached;
+    }
+  }
+  auto entry = std::make_shared<planner::CachedPlan>();
   GPML_ASSIGN_OR_RETURN(Prepared p, Prepare(pattern));
-  return PlanNormalized(p.normalized, *p.vars);
+  entry->normalized = std::move(p.normalized);
+  entry->vars = std::move(p.vars);
+  GPML_ASSIGN_OR_RETURN(entry->plan,
+                        PlanNormalized(entry->normalized, *entry->vars));
+  std::shared_ptr<const planner::CachedPlan> shared = std::move(entry);
+  if (options_.use_plan_cache) {
+    planner::StorePlan(graph_, fingerprint, shared);
+  }
+  return shared;
+}
+
+Result<planner::Plan> Engine::Plan(const GraphPattern& pattern) const {
+  bool cache_hit = false;
+  GPML_ASSIGN_OR_RETURN(std::shared_ptr<const planner::CachedPlan> prepared,
+                        PreparePlan(pattern, &cache_hit));
+  return prepared->plan;
 }
 
 Result<std::string> Engine::Explain(const std::string& match_text) const {
@@ -160,22 +194,39 @@ Result<std::string> Engine::Explain(const std::string& match_text) const {
 }
 
 Result<std::string> Engine::Explain(const GraphPattern& pattern) const {
-  GPML_ASSIGN_OR_RETURN(Prepared p, Prepare(pattern));
-  GPML_ASSIGN_OR_RETURN(planner::Plan plan,
-                        PlanNormalized(p.normalized, *p.vars));
-  return planner::ExplainPlan(plan, *p.vars);
+  bool cache_hit = false;
+  GPML_ASSIGN_OR_RETURN(std::shared_ptr<const planner::CachedPlan> prepared,
+                        PreparePlan(pattern, &cache_hit));
+  planner::ExplainExec exec;
+  exec.threads = ResolvedThreads();
+  exec.cached = cache_hit;
+  return planner::ExplainPlan(prepared->plan, *prepared->vars,
+                              /*stats=*/nullptr, &exec);
 }
 
 Result<MatchOutput> Engine::Match(const GraphPattern& pattern) const {
   MatchOutput out;
-  GPML_ASSIGN_OR_RETURN(Prepared prepared, Prepare(pattern));
-  out.normalized = std::move(prepared.normalized);
-  out.vars = std::move(prepared.vars);
-
   if (options_.metrics != nullptr) *options_.metrics = {};
 
-  GPML_ASSIGN_OR_RETURN(planner::Plan plan,
-                        PlanNormalized(out.normalized, *out.vars));
+  bool cache_hit = false;
+  GPML_ASSIGN_OR_RETURN(std::shared_ptr<const planner::CachedPlan> prepared,
+                        PreparePlan(pattern, &cache_hit));
+  out.normalized = prepared->normalized;
+  out.vars = prepared->vars;
+  const planner::Plan& plan = prepared->plan;
+
+  const size_t num_workers = ResolvedThreads();
+  MatcherOptions matcher_options = options_.matcher;
+  matcher_options.num_threads = num_workers;
+
+  if (options_.metrics != nullptr) {
+    options_.metrics->threads = num_workers;
+    if (cache_hit) {
+      options_.metrics->plan_cache_hits = 1;
+    } else {
+      options_.metrics->plan_cache_misses = 1;
+    }
+  }
 
   // Evaluate every path declaration independently (§6.5) in plan order,
   // then join. The planner may mirror a declaration (anchor at its right
@@ -215,7 +266,7 @@ Result<MatchOutput> Engine::Match(const GraphPattern& pattern) const {
     MatchStats match_stats;
     GPML_ASSIGN_OR_RETURN(
         MatchSet match,
-        RunPattern(graph_, program, *out.vars, options_.matcher,
+        RunPattern(graph_, program, *out.vars, matcher_options,
                    use_filter ? &seed_filter : nullptr, &match_stats));
     if (dp.reversed) planner::UnreverseMatchSet(&match);
 

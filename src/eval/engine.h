@@ -11,6 +11,7 @@
 #include "eval/expr_eval.h"
 #include "eval/matcher.h"
 #include "graph/property_graph.h"
+#include "planner/plan_cache.h"
 #include "planner/planner.h"
 #include "semantics/analyze.h"
 
@@ -19,6 +20,12 @@ namespace gpml {
 /// Execution counters of one Engine::Match call, aggregated over all path
 /// declarations. Filled when EngineOptions::metrics points here; the
 /// planner benchmarks compare these with the planner on and off.
+///
+/// Deliberately plain size_t fields (the benchmarks depend on the struct
+/// staying POD): nothing increments them during execution. Worker shards
+/// count into shard-local MatchStats and the totals are merged into this
+/// struct once per declaration, after all shards have joined — so a
+/// num_threads > 1 run never races on these fields.
 struct EngineMetrics {
   size_t decls = 0;                // Path declarations executed.
   size_t seeded_nodes = 0;         // Start nodes seeded, summed over decls.
@@ -27,6 +34,10 @@ struct EngineMetrics {
                                    // pattern (right-end anchor).
   size_t seed_filtered_decls = 0;  // Declarations seeded from the bindings
                                    // of earlier declarations.
+  size_t threads = 0;              // Resolved worker count of this call.
+  size_t plan_cache_hits = 0;      // 1 when the compiled plan came from the
+                                   // graph's plan cache, else 0.
+  size_t plan_cache_misses = 0;    // 1 on a fresh compile, else 0.
 };
 
 struct EngineOptions {
@@ -37,6 +48,18 @@ struct EngineOptions {
   /// join ordering, and seed lists restricted to already-bound variables.
   /// Off reproduces the unplanned engine exactly (differential testing).
   bool use_planner = true;
+  /// Seed-partitioned parallel matching: per-declaration seed lists are
+  /// sharded over this many worker threads and the per-shard match sets are
+  /// merged in seed-index order, so results are byte-identical to the
+  /// sequential run (see docs/parallel.md). 0 resolves to
+  /// std::thread::hardware_concurrency(); 1 runs the exact sequential
+  /// engine. Overrides MatcherOptions::num_threads.
+  size_t num_threads = 0;
+  /// Compiled-plan reuse: cache (normalized pattern, vars, plan) on the
+  /// graph keyed by (graph identity token, pattern fingerprint) so repeated
+  /// queries skip normalize/analyze/plan (see planner/plan_cache.h). The
+  /// cache is shared by every engine/host over the same graph.
+  bool use_plan_cache = true;
   /// When non-null, reset and filled on every Match call.
   EngineMetrics* metrics = nullptr;
 };
@@ -108,6 +131,10 @@ class Engine {
   const PropertyGraph& graph() const { return graph_; }
   const EngineOptions& options() const { return options_; }
 
+  /// The worker count Match will actually use: options().num_threads, with
+  /// 0 resolved to the hardware concurrency (at least 1).
+  size_t ResolvedThreads() const;
+
  private:
   /// The shared front half of Match/Plan/Explain: normalize (§6.2), analyze
   /// (§4.4/§4.6/§4.7), termination-check (§5), intern variables.
@@ -119,6 +146,12 @@ class Engine {
 
   Result<planner::Plan> PlanNormalized(const GraphPattern& normalized,
                                        const VarTable& vars) const;
+
+  /// The compiled plan for `pattern`: served from the graph's plan cache
+  /// when enabled (`*cache_hit` reports which), computed-and-published
+  /// otherwise. The entry is immutable and shared with the cache.
+  Result<std::shared_ptr<const planner::CachedPlan>> PreparePlan(
+      const GraphPattern& pattern, bool* cache_hit) const;
 
   const PropertyGraph& graph_;
   EngineOptions options_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <optional>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -123,75 +124,89 @@ class SearchScope : public EvalScope {
 };
 
 // ---------------------------------------------------------------------------
-// The matcher
+// Seed computation (shared by all shards; computed once per RunPattern)
+// ---------------------------------------------------------------------------
+
+/// Seeds: start nodes. An explicit seed filter (planner-restricted start
+/// list) takes precedence; otherwise, when the first check is a plain-label
+/// node pattern, only nodes with that label can match, so seed from the
+/// label index.
+std::vector<NodeId> ComputeSeeds(const PropertyGraph& g,
+                                 const Program& program,
+                                 const std::vector<NodeId>* seed_filter) {
+  if (seed_filter != nullptr) return *seed_filter;
+  int pc = program.start;
+  while (true) {
+    const Instr& in = program.code[static_cast<size_t>(pc)];
+    if (in.op == Instr::Op::kScopeBegin || in.op == Instr::Op::kJump ||
+        in.op == Instr::Op::kFrameBegin || in.op == Instr::Op::kTag) {
+      pc = in.next;
+      continue;
+    }
+    if (in.op == Instr::Op::kNodeCheck && in.node->labels != nullptr &&
+        in.node->labels->kind == LabelExpr::Kind::kName) {
+      return g.NodesWithLabel(in.node->labels->name);
+    }
+    break;
+  }
+  std::vector<NodeId> all(g.num_nodes());
+  for (NodeId i = 0; i < g.num_nodes(); ++i) all[i] = i;
+  return all;
+}
+
+// ---------------------------------------------------------------------------
+// The matcher: one shard's search over a contiguous block of the seed list
 // ---------------------------------------------------------------------------
 
 class Matcher {
  public:
+  /// `budget` == nullptr (single-shard runs) keeps the limits in plain
+  /// local counters — the exact historical per-step check, no atomics in
+  /// the interpreter loop. With a shared budget (parallel shards), steps
+  /// are charged in batches of `charge_stride` to keep the hot loop off the
+  /// shared cache line (overshoot bounded by one batch per shard).
   Matcher(const PropertyGraph& g, const Program& program, const VarTable& vars,
-          const MatcherOptions& options,
-          const std::vector<NodeId>* seed_filter, MatchStats* stats)
+          const MatcherOptions& options, const NodeId* seeds,
+          size_t num_seeds, SharedBudget* budget, size_t charge_stride)
       : g_(g),
         program_(program),
         vars_(vars),
         options_(options),
-        seed_filter_(seed_filter),
-        stats_(stats) {}
+        seeds_(seeds),
+        num_seeds_(num_seeds),
+        budget_(budget),
+        charge_stride_(charge_stride) {}
 
-  Result<MatchSet> Run() {
-    Status st = program_.selector.IsNone() ? RunDfs() : RunBfs();
-    if (stats_ != nullptr) stats_->steps = steps_;
-    if (!st.ok()) return st;
-
-    MatchSet out;
-    out.bindings = std::move(results_);
-    // DFS results were sorted by length; BFS results arrive level-ordered —
-    // either way ApplySelector's precondition holds.
-    ApplySelector(program_.selector, &out.bindings);
-    return out;
+  Status Run() {
+    return program_.selector.IsNone() ? RunDfs() : RunBfs();
   }
+
+  /// Raw accepted bindings in discovery order, deduplicated within this
+  /// shard (DFS: seed order; BFS: level order). Sorting, cross-shard
+  /// deduplication, and the selector are applied by the caller's merge.
+  std::vector<PathBinding> TakeResults() { return std::move(results_); }
+
+  size_t steps() const { return steps_; }
 
  private:
   // --- shared helpers ------------------------------------------------------
 
   Status Budget() {
-    if (++steps_ > options_.max_steps) {
-      return Status::ResourceExhausted(
-          "match search exceeded max_steps; tighten the pattern or raise "
-          "MatcherOptions::max_steps");
+    ++steps_;
+    if (budget_ == nullptr) {
+      if (steps_ > options_.max_steps) {
+        return Status::ResourceExhausted(
+            "match search exceeded max_steps; tighten the pattern or raise "
+            "MatcherOptions::max_steps");
+      }
+      return Status::OK();
+    }
+    if (++pending_steps_ >= charge_stride_) {
+      size_t n = pending_steps_;
+      pending_steps_ = 0;
+      return budget_->ChargeSteps(n);
     }
     return Status::OK();
-  }
-
-  /// Seeds: start nodes. An explicit seed filter (planner-restricted start
-  /// list) takes precedence; otherwise, when the first check is a plain-label
-  /// node pattern, only nodes with that label can match, so seed from the
-  /// label index.
-  std::vector<NodeId> Seeds() {
-    std::vector<NodeId> seeds = ComputeSeeds();
-    if (stats_ != nullptr) stats_->seeds = seeds.size();
-    return seeds;
-  }
-
-  std::vector<NodeId> ComputeSeeds() const {
-    if (seed_filter_ != nullptr) return *seed_filter_;
-    int pc = program_.start;
-    while (true) {
-      const Instr& in = program_.code[static_cast<size_t>(pc)];
-      if (in.op == Instr::Op::kScopeBegin || in.op == Instr::Op::kJump ||
-          in.op == Instr::Op::kFrameBegin || in.op == Instr::Op::kTag) {
-        pc = in.next;
-        continue;
-      }
-      if (in.op == Instr::Op::kNodeCheck && in.node->labels != nullptr &&
-          in.node->labels->kind == LabelExpr::Kind::kName) {
-        return g_.NodesWithLabel(in.node->labels->name);
-      }
-      break;
-    }
-    std::vector<NodeId> all(g_.num_nodes());
-    for (NodeId i = 0; i < g_.num_nodes(); ++i) all[i] = i;
-    return all;
   }
 
   State MakeStart(NodeId s) const {
@@ -435,20 +450,23 @@ class Matcher {
     }
     it->second.push_back(results_.size());
     results_.push_back(std::move(pb));
-    if (results_.size() > options_.max_matches) {
-      return Status::ResourceExhausted(
-          "match set exceeded max_matches; add restrictors/selectors or "
-          "raise MatcherOptions::max_matches");
+    if (budget_ == nullptr) {
+      if (results_.size() > options_.max_matches) {
+        return Status::ResourceExhausted(
+            "match set exceeded max_matches; add restrictors/selectors or "
+            "raise MatcherOptions::max_matches");
+      }
+      return Status::OK();
     }
-    return Status::OK();
+    return budget_->ChargeMatch();
   }
 
   // --- DFS route (no selector) --------------------------------------------
 
   Status RunDfs() {
-    for (NodeId s : Seeds()) {
+    for (size_t i = 0; i < num_seeds_; ++i) {
       std::vector<State> stack;
-      GPML_RETURN_IF_ERROR(AdvanceEpsilon(MakeStart(s), &stack));
+      GPML_RETURN_IF_ERROR(AdvanceEpsilon(MakeStart(seeds_[i]), &stack));
       while (!stack.empty()) {
         State cur = std::move(stack.back());
         stack.pop_back();
@@ -463,7 +481,6 @@ class Matcher {
         }
       }
     }
-    SortResults();
     return Status::OK();
   }
 
@@ -472,6 +489,8 @@ class Matcher {
   /// Pruning key: product state plus everything that influences future
   /// admissibility or result identity (named environment with iteration
   /// currency, open-frame contents, restrictor memories, provenance tags).
+  /// The key hashes the start node, so visit budgets are per start node and
+  /// seed-partitioned shards prune exactly like the sequential frontier.
   size_t StateKey(const State& state) const {
     size_t h = 0x9ddfea08eb382d69ULL;
     h = HashCombine(h, static_cast<size_t>(state.pc));
@@ -553,8 +572,8 @@ class Matcher {
 
   Status RunBfs() {
     std::vector<State> frontier;
-    for (NodeId s : Seeds()) {
-      GPML_RETURN_IF_ERROR(AdvanceEpsilon(MakeStart(s), &frontier));
+    for (size_t i = 0; i < num_seeds_; ++i) {
+      GPML_RETURN_IF_ERROR(AdvanceEpsilon(MakeStart(seeds_[i]), &frontier));
     }
     while (!frontier.empty()) {
       std::vector<State> next_frontier;
@@ -578,13 +597,6 @@ class Matcher {
     return Status::OK();
   }
 
-  void SortResults() {
-    std::stable_sort(results_.begin(), results_.end(),
-                     [](const PathBinding& a, const PathBinding& b) {
-                       return a.path.Length() < b.path.Length();
-                     });
-  }
-
   struct Visits {
     size_t count = 0;
     uint32_t min_level = 0;
@@ -595,15 +607,118 @@ class Matcher {
   const Program& program_;
   const VarTable& vars_;
   const MatcherOptions& options_;
-  const std::vector<NodeId>* seed_filter_;
-  MatchStats* stats_;
+  const NodeId* seeds_;
+  size_t num_seeds_;
+  SharedBudget* budget_;  // nullptr: local exact limits (single shard).
+  const size_t charge_stride_;
 
   size_t steps_ = 0;
+  size_t pending_steps_ = 0;
   uint64_t serial_gen_ = 0;
   std::vector<PathBinding> results_;
   std::unordered_map<size_t, std::vector<size_t>> seen_;
   std::unordered_map<size_t, Visits> visits_;
 };
+
+// ---------------------------------------------------------------------------
+// Shard orchestration and deterministic merge
+// ---------------------------------------------------------------------------
+
+struct ShardOutcome {
+  Status status = Status::OK();
+  std::vector<PathBinding> results;
+  size_t steps = 0;
+};
+
+/// Steps charged per shared-budget access in parallel shards. The budget can
+/// overshoot by at most `kParallelChargeStride * shards` steps, traded for
+/// keeping the interpreter loop off the contended atomic.
+constexpr size_t kParallelChargeStride = 256;
+
+void RunShard(const PropertyGraph& g, const Program& program,
+              const VarTable& vars, const MatcherOptions& options,
+              const NodeId* seeds, size_t num_seeds, SharedBudget* budget,
+              size_t charge_stride, ShardOutcome* out) {
+  Matcher m(g, program, vars, options, seeds, num_seeds, budget,
+            charge_stride);
+  out->status = m.Run();
+  out->steps = m.steps();
+  if (out->status.ok()) {
+    out->results = m.TakeResults();
+  } else if (budget != nullptr &&
+             out->status.message() != SharedBudget::kAbortedBySibling) {
+    // A genuine failure: tell sibling shards to stop at their next budget
+    // check instead of finishing doomed work.
+    budget->Abort();
+  }
+}
+
+/// The status RunPattern reports for a sharded run: the first genuine error
+/// in shard (= seed) order; shards that merely stopped because a sibling
+/// exhausted the shared budget are skipped in favor of the real cause.
+Status MergeStatuses(const std::vector<ShardOutcome>& outcomes) {
+  const Status* first_error = nullptr;
+  for (const ShardOutcome& o : outcomes) {
+    if (o.status.ok()) continue;
+    if (first_error == nullptr) first_error = &o.status;
+    if (o.status.message() != SharedBudget::kAbortedBySibling) {
+      return o.status;
+    }
+  }
+  return first_error == nullptr ? Status::OK() : *first_error;
+}
+
+/// Concatenates shard results in shard order (= seed-index order), removes
+/// cross-shard duplicates keeping the first occurrence, stable-sorts by path
+/// length, and applies the selector — exactly the sequential pipeline:
+/// sequential discovery order equals the shard-order concatenation because
+/// shards are contiguous seed blocks (DFS emits per seed, BFS per level with
+/// seeds in order within each level, and equal bindings always have equal
+/// path length, so the keep-first choice is order-independent too).
+MatchSet MergeShards(std::vector<ShardOutcome> outcomes,
+                     const Program& program, bool cross_shard_dedup) {
+  std::vector<PathBinding> all;
+  size_t total = 0;
+  for (const ShardOutcome& o : outcomes) total += o.results.size();
+  all.reserve(total);
+  for (ShardOutcome& o : outcomes) {
+    std::move(o.results.begin(), o.results.end(), std::back_inserter(all));
+  }
+
+  if (cross_shard_dedup) {
+    std::vector<PathBinding> uniq;
+    uniq.reserve(all.size());
+    std::unordered_map<size_t, std::vector<size_t>> seen;
+    for (PathBinding& pb : all) {
+      size_t h = pb.ReducedHash();
+      auto [it, inserted] = seen.emplace(h, std::vector<size_t>());
+      bool duplicate = false;
+      for (size_t idx : it->second) {
+        if (uniq[idx].SameReduced(pb)) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (duplicate) continue;
+      it->second.push_back(uniq.size());
+      uniq.push_back(std::move(pb));
+    }
+    all = std::move(uniq);
+  }
+
+  // DFS results sort by length here (historically SortResults); BFS results
+  // are already level-ordered, so the stable sort is the identity — either
+  // way ApplySelector's nondecreasing-length precondition holds.
+  std::stable_sort(all.begin(), all.end(),
+                   [](const PathBinding& a, const PathBinding& b) {
+                     return a.path.Length() < b.path.Length();
+                   });
+
+  MatchSet out;
+  out.bindings = std::move(all);
+  ApplySelector(program.selector, &out.bindings);
+  return out;
+}
 
 }  // namespace
 
@@ -612,8 +727,61 @@ Result<MatchSet> RunPattern(const PropertyGraph& g, const Program& program,
                             const MatcherOptions& options,
                             const std::vector<NodeId>* seed_filter,
                             MatchStats* stats) {
-  Matcher m(g, program, vars, options, seed_filter, stats);
-  return m.Run();
+  std::vector<NodeId> seeds = ComputeSeeds(g, program, seed_filter);
+
+  // Fan out only when every worker gets a meaningful block: thread
+  // spawn/join costs tens of microseconds, which would dominate small
+  // queries (the shard count never changes results, only latency).
+  const size_t threads = std::max<size_t>(1, options.num_threads);
+  const size_t per_shard = std::max<size_t>(1, options.min_seeds_per_shard);
+  const size_t shards =
+      std::max<size_t>(1, std::min(threads, seeds.size() / per_shard));
+
+  SharedBudget budget(options.max_steps, options.max_matches);
+  std::vector<ShardOutcome> outcomes(shards);
+  bool seeds_distinct = true;
+
+  if (shards == 1) {
+    // Single shard: plain local budget counters, no atomics, and
+    // RecordAccept's dedup is already global — exactly the historical
+    // sequential engine.
+    RunShard(g, program, vars, options, seeds.data(), seeds.size(),
+             /*budget=*/nullptr, /*charge_stride=*/1, &outcomes[0]);
+  } else {
+    // Equal bindings always share their start node (reduction keeps the
+    // first node binding), so cross-shard duplicates exist only if the
+    // seed list itself repeats a node — possible only through an external
+    // seed_filter; the label index, full scan, and the planner's bound
+    // lists are distinct by construction.
+    std::unordered_set<NodeId> distinct(seeds.begin(), seeds.end());
+    seeds_distinct = distinct.size() == seeds.size();
+
+    // Contiguous seed blocks preserve seed-index order across the merge.
+    std::vector<std::thread> workers;
+    workers.reserve(shards);
+    const size_t base = seeds.size() / shards;
+    const size_t extra = seeds.size() % shards;
+    size_t offset = 0;
+    for (size_t i = 0; i < shards; ++i) {
+      size_t count = base + (i < extra ? 1 : 0);
+      workers.emplace_back(RunShard, std::cref(g), std::cref(program),
+                           std::cref(vars), std::cref(options),
+                           seeds.data() + offset, count, &budget,
+                           kParallelChargeStride, &outcomes[i]);
+      offset += count;
+    }
+    for (std::thread& t : workers) t.join();
+  }
+
+  if (stats != nullptr) {
+    stats->seeds = seeds.size();
+    stats->shards = shards;
+    stats->steps = 0;
+    for (const ShardOutcome& o : outcomes) stats->steps += o.steps;
+  }
+  GPML_RETURN_IF_ERROR(MergeStatuses(outcomes));
+  return MergeShards(std::move(outcomes), program,
+                     /*cross_shard_dedup=*/shards > 1 && !seeds_distinct);
 }
 
 }  // namespace gpml

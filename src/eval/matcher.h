@@ -1,6 +1,7 @@
 #ifndef GPML_EVAL_MATCHER_H_
 #define GPML_EVAL_MATCHER_H_
 
+#include <atomic>
 #include <cstddef>
 #include <vector>
 
@@ -15,9 +16,81 @@ namespace gpml {
 /// bound pathological instances (enumeration on dense graphs is inherently
 /// exponential, §8's complexity discussion) and surface as
 /// kResourceExhausted instead of runaway memory/time.
+///
+/// The limits apply to the whole RunPattern call, never per worker: with
+/// `num_threads > 1` all seed shards draw from one shared atomic budget
+/// (see SharedBudget), so a parallel run can never execute more than the
+/// configured number of steps plus one charge batch per shard.
 struct MatcherOptions {
   size_t max_matches = 1u << 20;       // Accepted bindings (pre-selector).
   size_t max_steps = 200u << 20;       // Executed instructions.
+  /// Seed-partitioned worker threads. 1 (the default) runs the exact
+  /// sequential engine; N > 1 shards the seed list into N contiguous blocks
+  /// searched concurrently and merged back in seed-index order, which makes
+  /// results byte-identical to the sequential run (see docs/parallel.md).
+  size_t num_threads = 1;
+  /// Minimum seeds per worker shard: seed lists shorter than
+  /// 2 * min_seeds_per_shard never fan out, so small queries skip the
+  /// thread spawn/join overhead entirely (a query's result is independent
+  /// of the shard count, so this is purely a latency knob). Tests set 1 to
+  /// force sharding on tiny graphs.
+  size_t min_seeds_per_shard = 16;
+};
+
+/// One shared step/match budget drawn on by every seed shard of a RunPattern
+/// call. Sequential runs charge every step individually, so the limit fires
+/// at exactly the same instruction as the historical per-run counters;
+/// parallel shards charge in small batches to keep the hot loop off the
+/// shared cache line (bounded overshoot: one batch per shard).
+class SharedBudget {
+ public:
+  SharedBudget(size_t max_steps, size_t max_matches)
+      : max_steps_(max_steps), max_matches_(max_matches) {}
+
+  /// The message of the status a shard receives when a *sibling* shard
+  /// exhausted the budget first: it stops early without a limit violation of
+  /// its own, and RunPattern reports the sibling's genuine error instead.
+  static constexpr const char* kAbortedBySibling =
+      "search aborted: shared budget exhausted by a sibling shard";
+
+  /// Charges `n` executed instructions; kResourceExhausted once the total
+  /// exceeds max_steps.
+  Status ChargeSteps(size_t n) {
+    if (exhausted_.load(std::memory_order_relaxed)) {
+      return Status::ResourceExhausted(kAbortedBySibling);
+    }
+    if (steps_.fetch_add(n, std::memory_order_relaxed) + n > max_steps_) {
+      exhausted_.store(true, std::memory_order_relaxed);
+      return Status::ResourceExhausted(
+          "match search exceeded max_steps; tighten the pattern or raise "
+          "MatcherOptions::max_steps");
+    }
+    return Status::OK();
+  }
+
+  /// Charges one accepted (post-dedup) binding against max_matches.
+  Status ChargeMatch() {
+    if (matches_.fetch_add(1, std::memory_order_relaxed) + 1 > max_matches_) {
+      exhausted_.store(true, std::memory_order_relaxed);
+      return Status::ResourceExhausted(
+          "match set exceeded max_matches; add restrictors/selectors or "
+          "raise MatcherOptions::max_matches");
+    }
+    return Status::OK();
+  }
+
+  /// Tells sibling shards to stop at their next budget check (set when a
+  /// shard fails for a non-budget reason, e.g. an expression type error).
+  void Abort() { exhausted_.store(true, std::memory_order_relaxed); }
+
+  size_t steps() const { return steps_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<size_t> steps_{0};
+  std::atomic<size_t> matches_{0};
+  std::atomic<bool> exhausted_{false};
+  const size_t max_steps_;
+  const size_t max_matches_;
 };
 
 /// The multiset of reduced path bindings of one path pattern declaration,
@@ -28,10 +101,13 @@ struct MatchSet {
 };
 
 /// Execution counters of one RunPattern call (planner benchmarks, EXPLAIN
-/// ANALYZE-style reporting).
+/// ANALYZE-style reporting). Filled once after all shards join — workers
+/// count locally and the totals are merged at the end, so the struct stays
+/// plain data with no synchronization.
 struct MatchStats {
-  size_t seeds = 0;  // Start nodes seeded.
-  size_t steps = 0;  // Interpreter instructions executed.
+  size_t seeds = 0;   // Start nodes seeded.
+  size_t steps = 0;   // Interpreter instructions executed (summed over shards).
+  size_t shards = 0;  // Worker shards the seed list was split into.
 };
 
 /// Runs one compiled pattern over the graph: every admissible start node is
@@ -42,6 +118,12 @@ struct MatchStats {
 /// termination rules guarantee finiteness through restrictors); patterns
 /// with a selector run a level-order BFS that emits matches in increasing
 /// path length with per-product-state pruning sound for each selector kind.
+///
+/// With `options.num_threads > 1` the seed list is split into contiguous
+/// blocks, one per worker; per-seed searches are independent (the paper's
+/// per-start-node determinism, §4–§6), and the per-shard results are merged
+/// back in seed-index order, globally deduplicated, and selector-filtered,
+/// reproducing the sequential output exactly (differential-tested).
 ///
 /// `seed_filter`, when non-null, replaces the default seeding (label index
 /// or all nodes) with the given start nodes — the planner passes the values

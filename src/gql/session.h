@@ -43,6 +43,13 @@ class Session {
 
   const PropertyGraph* graph() const { return graph_.get(); }
 
+  /// Engine options applied to every statement (planner, worker threads,
+  /// plan cache, evaluation budgets); adjustable between statements. The
+  /// plan cache itself lives on the graph, so compiled plans survive both
+  /// option changes and session teardown.
+  const EngineOptions& options() const { return options_; }
+  void set_options(EngineOptions options) { options_ = options; }
+
  private:
   const Catalog& catalog_;
   EngineOptions options_;

@@ -35,7 +35,7 @@ PropertyGraph MakeChainGraph(int n) {
   for (int i = 0; i + 1 < n; ++i) {
     AddTransfer(&b, i, N(i), N(i + 1), (i % 2 == 0 ? 10 : 4) * kMillion);
   }
-  return std::move(std::move(b).Build()).value();
+  return std::move(b).Build().value();
 }
 
 PropertyGraph MakeCycleGraph(int n) {
@@ -44,7 +44,7 @@ PropertyGraph MakeCycleGraph(int n) {
   for (int i = 0; i < n; ++i) {
     AddTransfer(&b, i, N(i), N((i + 1) % n), (i % 2 == 0 ? 10 : 4) * kMillion);
   }
-  return std::move(std::move(b).Build()).value();
+  return std::move(b).Build().value();
 }
 
 PropertyGraph MakeCompleteGraph(int n) {
@@ -57,7 +57,7 @@ PropertyGraph MakeCompleteGraph(int n) {
       AddTransfer(&b, e++, N(i), N(j), 10 * kMillion);
     }
   }
-  return std::move(std::move(b).Build()).value();
+  return std::move(b).Build().value();
 }
 
 PropertyGraph MakeDiamondChain(int k) {
@@ -84,7 +84,7 @@ PropertyGraph MakeDiamondChain(int k) {
     AddTransfer(&b, e++, s, bo, 10 * kMillion);
     AddTransfer(&b, e++, bo, nxt, 10 * kMillion);
   }
-  return std::move(std::move(b).Build()).value();
+  return std::move(b).Build().value();
 }
 
 PropertyGraph MakeGridGraph(int w, int h) {
@@ -105,7 +105,7 @@ PropertyGraph MakeGridGraph(int w, int h) {
                                  10 * kMillion);
     }
   }
-  return std::move(std::move(b).Build()).value();
+  return std::move(b).Build().value();
 }
 
 PropertyGraph MakeFraudGraph(const FraudGraphOptions& options) {
@@ -165,7 +165,7 @@ PropertyGraph MakeFraudGraph(const FraudGraphOptions& options) {
                         "ip" + std::to_string(ip(rng)), {"signInWithIP"});
     }
   }
-  return std::move(std::move(b).Build()).value();
+  return std::move(b).Build().value();
 }
 
 PropertyGraph MakeRandomGraph(int num_nodes, int num_edges, int num_labels,
@@ -192,7 +192,7 @@ PropertyGraph MakeRandomGraph(int num_nodes, int num_edges, int num_labels,
       b.AddDirectedEdge("e" + std::to_string(e), from, to, labels, props);
     }
   }
-  return std::move(std::move(b).Build()).value();
+  return std::move(b).Build().value();
 }
 
 }  // namespace gpml

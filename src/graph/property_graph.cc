@@ -1,8 +1,15 @@
 #include "graph/property_graph.h"
 
 #include <algorithm>
+#include <atomic>
 
 namespace gpml {
+
+uint64_t PropertyGraph::NextIdentityToken() {
+  // Starts at 1 so 0 can mean "no graph" in cache keys and tests.
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 bool ElementData::HasLabel(const std::string& label) const {
   return std::binary_search(labels.begin(), labels.end(), label);

@@ -15,6 +15,7 @@ namespace gpml {
 
 namespace planner {
 struct GraphStats;  // planner/stats.h; cached on the graph, see below.
+struct PlanCache;   // planner/plan_cache.h; cached on the graph, see below.
 }  // namespace planner
 
 /// Dense integer handle of a node within one PropertyGraph.
@@ -146,6 +147,12 @@ class PropertyGraph {
   /// Human-readable one-line description ("6 nodes, 8 edges").
   std::string Summary() const;
 
+  /// Process-unique identity of this graph's contents, assigned at
+  /// construction and carried along by moves (identity follows the data).
+  /// Derived-data caches (plan cache) key on it so an entry can never be
+  /// served for a different graph, even across moved-into slots.
+  uint64_t identity_token() const { return identity_token_; }
+
   /// Slot for the planner's graph statistics, computed lazily on first use
   /// (see planner::GetStats). The graph is immutable, so a cached derivation
   /// never goes stale. Accessors use atomic shared_ptr operations: concurrent
@@ -159,10 +166,25 @@ class PropertyGraph {
     std::atomic_store(&stats_cache_, std::move(s));
   }
 
+  /// Slot for compiled-plan reuse (see planner/plan_cache.h), with the same
+  /// atomic-shared_ptr discipline as the stats slot: the cache object itself
+  /// is an immutable snapshot, inserts publish a copied-and-extended
+  /// snapshot, and racing inserts lose at worst an entry (last store wins),
+  /// costing a future recompute, never a wrong plan.
+  std::shared_ptr<const planner::PlanCache> plan_cache() const {
+    return std::atomic_load(&plan_cache_);
+  }
+  void set_plan_cache(std::shared_ptr<const planner::PlanCache> c) const {
+    std::atomic_store(&plan_cache_, std::move(c));
+  }
+
  private:
   friend class GraphBuilder;
 
   void BuildIndexes();
+
+  /// Monotonic process-wide counter backing identity_token().
+  static uint64_t NextIdentityToken();
 
   std::vector<NodeData> nodes_;
   std::vector<EdgeData> edges_;
@@ -172,6 +194,8 @@ class PropertyGraph {
   std::unordered_map<std::string, std::vector<NodeId>> nodes_by_label_;
   std::unordered_map<std::string, std::vector<EdgeId>> edges_by_label_;
   mutable std::shared_ptr<const planner::GraphStats> stats_cache_;
+  mutable std::shared_ptr<const planner::PlanCache> plan_cache_;
+  uint64_t identity_token_ = NextIdentityToken();
 };
 
 }  // namespace gpml

@@ -31,7 +31,10 @@ struct GraphTableQuery {
 /// Runs the query. When `query.match` starts with an EXPLAIN keyword
 /// ("EXPLAIN MATCH ..."), returns the planner's plan rendering as a
 /// one-column "plan" table instead of executing (the COLUMNS list is
-/// ignored).
+/// ignored). `options` plumbs the engine knobs through the SQL host —
+/// notably num_threads (seed-partitioned parallelism) and use_plan_cache;
+/// cached plans are keyed on the catalog graph's identity, so repeated
+/// GRAPH_TABLE calls (and GQL statements) over the same graph share them.
 Result<Table> GraphTable(const Catalog& catalog, const GraphTableQuery& query,
                          EngineOptions options = {});
 

@@ -21,7 +21,9 @@ std::string JoinVarNames(const std::vector<int>& vars_ids,
                          const VarTable& vars) {
   std::vector<std::string> names;
   names.reserve(vars_ids.size());
-  for (int v : vars_ids) names.push_back(vars.name(v));
+  // Escaping covers the comma, so the list stays unambiguous even for
+  // adversarial variable names.
+  for (int v : vars_ids) names.push_back(EscapeExplainValue(vars.name(v)));
   return Join(names, ",");
 }
 
@@ -39,17 +41,67 @@ std::string TokenValue(const std::string& line, const std::string& key) {
 
 }  // namespace
 
+std::string EscapeExplainValue(const std::string& value, bool keep_spaces) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case ',': out += "\\c"; break;
+      case ' ':
+        if (keep_spaces) {
+          out += ' ';
+        } else {
+          out += "\\s";
+        }
+        break;
+      default: out += c; break;
+    }
+  }
+  return out;
+}
+
+std::string UnescapeExplainValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (size_t i = 0; i < value.size(); ++i) {
+    if (value[i] != '\\' || i + 1 == value.size()) {
+      out += value[i];
+      continue;
+    }
+    switch (value[++i]) {
+      case '\\': out += '\\'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 'c': out += ','; break;
+      case 's': out += ' '; break;
+      default:
+        out += '\\';
+        out += value[i];
+        break;
+    }
+  }
+  return out;
+}
+
 std::string ExplainPlan(const Plan& plan, const VarTable& vars,
-                        const GraphStats* stats) {
+                        const GraphStats* stats, const ExplainExec* exec) {
   std::ostringstream os;
   os << "plan: " << plan.decls.size() << " declaration(s), planner="
      << (plan.planner_used ? "on" : "off") << "\n";
+  if (exec != nullptr) {
+    os << "exec: threads=" << exec->threads
+       << " cached=" << (exec->cached ? "true" : "false") << "\n";
+  }
   for (size_t i = 0; i < plan.decls.size(); ++i) {
     const DeclPlan& dp = plan.decls[i];
     os << "step " << (i + 1) << ": decl=" << dp.decl_index
        << " dir=" << (dp.reversed ? "reversed" : "forward")
        << " anchor=" << (dp.reversed ? "right" : "left") << " var="
-       << (dp.anchor_var >= 0 ? vars.name(dp.anchor_var) : std::string("_"))
+       << (dp.anchor_var >= 0 ? EscapeExplainValue(vars.name(dp.anchor_var))
+                              : std::string("_"))
        // A bound step's seed count is the number of distinct join values,
        // known only at run time; printing the static estimate here would
        // read as if the restriction weren't applied.
@@ -58,16 +110,20 @@ std::string ExplainPlan(const Plan& plan, const VarTable& vars,
                                   : FormatEstimate(dp.anchor.enumerated))
        << " source=";
     if (dp.seed_bound_var >= 0) {
-      os << "bound:" << vars.name(dp.seed_bound_var);
+      os << "bound:" << EscapeExplainValue(vars.name(dp.seed_bound_var));
     } else if (!dp.anchor.label.empty()) {
-      os << "label:" << dp.anchor.label;
+      os << "label:" << EscapeExplainValue(dp.anchor.label);
     } else {
       os << "all";
     }
     std::string selector = dp.decl.selector.ToString();
     os << " fanout~" << FormatEstimate(dp.anchor.fanout) << " join=["
        << JoinVarNames(dp.join_vars, vars) << "]"
-       << " selector=" << (selector.empty() ? "none" : selector) << "\n";
+       << " selector="
+       << (selector.empty()
+               ? std::string("none")
+               : EscapeExplainValue(selector, /*keep_spaces=*/true))
+       << "\n";
   }
   if (stats != nullptr) {
     os << "-- graph stats --\n" << stats->ToString();
@@ -89,6 +145,13 @@ Result<ExplainedPlan> ParseExplain(const std::string& text) {
       continue;
     }
     if (line.rfind("-- graph stats --", 0) == 0) break;
+    if (line.rfind("exec: ", 0) == 0) {
+      out.has_exec = true;
+      out.threads = static_cast<size_t>(
+          std::atoi(TokenValue(line, "threads=").c_str()));
+      out.cached = TokenValue(line, "cached=") == "true";
+      continue;
+    }
     if (line.rfind("step ", 0) != 0) continue;
     ExplainedDecl d;
     d.step = std::atoi(line.c_str() + 5);
@@ -100,20 +163,24 @@ Result<ExplainedPlan> ParseExplain(const std::string& text) {
     d.decl_index = std::atoi(decl.c_str());
     d.reversed = TokenValue(line, "dir=") == "reversed";
     d.anchor = TokenValue(line, "anchor=");
-    d.var = TokenValue(line, "var=");
+    d.var = UnescapeExplainValue(TokenValue(line, "var="));
     std::string seeds = TokenValue(line, "seeds~");
     d.seeds = seeds == "*" ? -1 : std::atof(seeds.c_str());
-    d.source = TokenValue(line, "source=");
+    // The source prefix ("all" / "label:" / "bound:") never contains escape
+    // characters, so unescaping the whole token restores exactly the value
+    // part.
+    d.source = UnescapeExplainValue(TokenValue(line, "source="));
     std::string join = TokenValue(line, "join=");
     if (join.size() >= 2 && join.front() == '[' && join.back() == ']') {
       std::string inner = join.substr(1, join.size() - 2);
       if (!inner.empty()) {
+        // Commas inside names are escaped (\c), so this split is exact.
         for (const std::string& name : Split(inner, ',')) {
-          d.join_vars.push_back(name);
+          d.join_vars.push_back(UnescapeExplainValue(name));
         }
       }
     }
-    d.selector = TokenValue(line, "selector=");
+    d.selector = UnescapeExplainValue(TokenValue(line, "selector="));
     out.decls.push_back(std::move(d));
   }
   if (!saw_header) {

@@ -11,20 +11,42 @@
 namespace gpml {
 namespace planner {
 
+/// Execution-level facts rendered into EXPLAIN alongside the plan: the
+/// resolved worker count and whether the plan was served from the graph's
+/// plan cache.
+struct ExplainExec {
+  size_t threads = 1;
+  bool cached = false;
+};
+
 /// Renders a plan as stable, line-oriented text, one `step` line per
 /// declaration in execution order:
 ///
 ///   plan: 2 declaration(s), planner=on
+///   exec: threads=4 cached=true
 ///   step 1: decl=0 dir=forward anchor=left var=x seeds~2 source=label:Account
 ///       fanout~1.5 join=[] selector=none
 ///   step 2: decl=1 dir=reversed anchor=right var=y seeds~3 source=bound:y
 ///       fanout~2 join=[x,y] selector=ALL SHORTEST
 ///
-/// (each step is a single line; wrapped here for readability). When `stats`
-/// is non-null a `-- graph stats --` section is appended. The format is
-/// parsed back by ParseExplain, which keeps renderer and parser honest.
+/// (each step is a single line; wrapped here for readability). The `exec:`
+/// line appears when `exec` is non-null. When `stats` is non-null a
+/// `-- graph stats --` section is appended. The format is parsed back by
+/// ParseExplain, which keeps renderer and parser honest. Free-form values
+/// (variable names, labels, selectors) are escaped with EscapeExplainValue
+/// so quotes, spaces, and newlines cannot break the line framing.
 std::string ExplainPlan(const Plan& plan, const VarTable& vars,
-                        const GraphStats* stats = nullptr);
+                        const GraphStats* stats = nullptr,
+                        const ExplainExec* exec = nullptr);
+
+/// Escapes a free-form value for embedding as a space-delimited `key=value`
+/// token of an EXPLAIN line: backslash, newline, carriage return, space and
+/// comma become \\ \n \r \s \c. With `keep_spaces` (the final token of a
+/// line, which extends to end of line) spaces stay literal. Unescape inverts
+/// exactly; unknown escapes and a trailing backslash are kept literally.
+std::string EscapeExplainValue(const std::string& value,
+                               bool keep_spaces = false);
+std::string UnescapeExplainValue(const std::string& value);
 
 /// A step line of an EXPLAIN rendering, decoded.
 struct ExplainedDecl {
@@ -42,6 +64,9 @@ struct ExplainedDecl {
 
 struct ExplainedPlan {
   bool planner_on = false;
+  bool has_exec = false;   // An `exec:` line was present.
+  size_t threads = 0;      // From the exec line; 0 when absent.
+  bool cached = false;     // From the exec line; false when absent.
   std::vector<ExplainedDecl> decls;
 };
 

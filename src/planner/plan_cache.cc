@@ -1,0 +1,41 @@
+#include "planner/plan_cache.h"
+
+#include "ast/print.h"
+
+namespace gpml {
+namespace planner {
+
+std::string PlanFingerprint(const GraphPattern& pattern, bool use_planner) {
+  // Print covers mode, every declaration (selector, restrictor, path var,
+  // pattern) and the postfilter WHERE; parse(Print(x)) == x structurally, so
+  // the rendering is injective on parseable patterns.
+  std::string fp = Print(pattern);
+  fp += use_planner ? "|planner=on" : "|planner=off";
+  return fp;
+}
+
+std::shared_ptr<const CachedPlan> LookupPlan(const PropertyGraph& g,
+                                             const std::string& fingerprint) {
+  std::shared_ptr<const PlanCache> cache = g.plan_cache();
+  if (cache == nullptr || cache->graph_token != g.identity_token()) {
+    return nullptr;
+  }
+  auto it = cache->entries.find(fingerprint);
+  return it == cache->entries.end() ? nullptr : it->second;
+}
+
+void StorePlan(const PropertyGraph& g, const std::string& fingerprint,
+               std::shared_ptr<const CachedPlan> entry) {
+  std::shared_ptr<const PlanCache> cur = g.plan_cache();
+  auto next = std::make_shared<PlanCache>();
+  next->graph_token = g.identity_token();
+  if (cur != nullptr && cur->graph_token == g.identity_token() &&
+      cur->entries.size() < kPlanCacheMaxEntries) {
+    next->entries = cur->entries;  // Shallow: values are shared immutables.
+  }
+  next->entries[fingerprint] = std::move(entry);
+  g.set_plan_cache(std::move(next));
+}
+
+}  // namespace planner
+}  // namespace gpml

@@ -1,0 +1,71 @@
+#ifndef GPML_PLANNER_PLAN_CACHE_H_
+#define GPML_PLANNER_PLAN_CACHE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "ast/ast.h"
+#include "eval/binding.h"
+#include "graph/property_graph.h"
+#include "planner/planner.h"
+
+namespace gpml {
+namespace planner {
+
+/// Everything Engine::Match derives from a pattern before touching graph
+/// data: the normalized pattern (§6.2), the interned variable table
+/// (§4.4/§4.6/§4.7 analysis), and the statistics-driven Plan. A cache hit
+/// skips normalize, analyze, termination checking, and planning; only
+/// per-declaration compilation and the search itself re-run. The entry is
+/// immutable and shared: the AST inside is shared_ptr-kept, so concurrent
+/// engines can execute from one entry.
+///
+/// Motivated by "Towards Cross-Model Efficiency in SQL/PGQ" (Rotschield &
+/// Peterfreund, 2025): both hosts funnel through the same Engine, so one
+/// cached compilation serves SQL/PGQ GRAPH_TABLE calls and GQL session
+/// statements alike.
+struct CachedPlan {
+  GraphPattern normalized;
+  std::shared_ptr<const VarTable> vars;
+  Plan plan;
+};
+
+/// An immutable snapshot map of fingerprint -> CachedPlan, stored on the
+/// PropertyGraph next to the GraphStats slot (same atomic-shared_ptr
+/// discipline, see PropertyGraph::plan_cache). `graph_token` records which
+/// graph identity the snapshot was built for; Lookup revalidates it so a
+/// snapshot can never serve plans for a different graph.
+struct PlanCache {
+  uint64_t graph_token = 0;
+  std::unordered_map<std::string, std::shared_ptr<const CachedPlan>> entries;
+};
+
+/// Snapshots are rebuilt from scratch when they would exceed this many
+/// entries (epoch flush) — a crude but lock-free bound on ad-hoc query
+/// churn; steady-state workloads repeat far fewer distinct patterns.
+inline constexpr size_t kPlanCacheMaxEntries = 128;
+
+/// Deterministic fingerprint of (pattern, planning mode): the pattern's
+/// surface-syntax rendering — Print roundtrips with the parser, so distinct
+/// patterns render distinctly — plus the planner flag, which selects between
+/// PlanPattern and DirectPlan outputs. The graph half of the cache key is
+/// the identity token carried by the cache snapshot itself.
+std::string PlanFingerprint(const GraphPattern& pattern, bool use_planner);
+
+/// The cached entry of `g` for `fingerprint`, or nullptr on a miss (also
+/// when the stored snapshot belongs to a different graph identity).
+std::shared_ptr<const CachedPlan> LookupPlan(const PropertyGraph& g,
+                                             const std::string& fingerprint);
+
+/// Publishes `entry` under `fingerprint` by copy-on-write: loads the current
+/// snapshot, copies it extended with the entry, and stores it back. Racing
+/// publishers may overwrite each other's entry (last store wins); that only
+/// costs a later recompute, never correctness.
+void StorePlan(const PropertyGraph& g, const std::string& fingerprint,
+               std::shared_ptr<const CachedPlan> entry);
+
+}  // namespace planner
+}  // namespace gpml
+
+#endif  // GPML_PLANNER_PLAN_CACHE_H_

@@ -3,6 +3,7 @@
 // sessions via a leading EXPLAIN keyword, SQL/PGQ via "EXPLAIN MATCH ..."
 // inside GRAPH_TABLE.
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -191,6 +192,97 @@ TEST(ExplainTest, StripExplainPrefix) {
   EXPECT_TRUE(planner::StripExplainPrefix("EXPLAIN", &rest));
   EXPECT_FALSE(planner::StripExplainPrefix("EXPLAINER MATCH (x)", &rest));
   EXPECT_FALSE(planner::StripExplainPrefix("MATCH (x)", &rest));
+}
+
+TEST(ExplainTest, EscapeRoundtripsAdversarialValues) {
+  const char* cases[] = {
+      "plain",      "with space",  "a,b",     "line\nbreak",
+      "back\\slash", "quote\"d",   "trail\\", "cr\rlf\n mix, \\s",
+  };
+  for (const char* v : cases) {
+    std::string escaped = planner::EscapeExplainValue(v);
+    EXPECT_EQ(escaped.find(' '), std::string::npos) << v;
+    EXPECT_EQ(escaped.find('\n'), std::string::npos) << v;
+    EXPECT_EQ(escaped.find(','), std::string::npos) << v;
+    EXPECT_EQ(planner::UnescapeExplainValue(escaped), v);
+
+    // The end-of-line form keeps spaces but still never emits newlines.
+    std::string eol = planner::EscapeExplainValue(v, /*keep_spaces=*/true);
+    EXPECT_EQ(eol.find('\n'), std::string::npos) << v;
+    EXPECT_EQ(planner::UnescapeExplainValue(eol), v);
+  }
+  // Unknown escapes and a trailing backslash survive unescaping literally.
+  EXPECT_EQ(planner::UnescapeExplainValue("a\\qb"), "a\\qb");
+  EXPECT_EQ(planner::UnescapeExplainValue("tail\\"), "tail\\");
+}
+
+TEST(ExplainTest, AdversarialLabelRoundtripsThroughParseExplain) {
+  // A label containing quotes, a comma, spaces, and a newline — rendered
+  // into a step line, it must neither break the line framing nor parse back
+  // changed. (Labels are unconstrained strings at the graph level even
+  // though the pattern parser only produces tame ones.)
+  Result<GraphPattern> pattern = ParseGraphPattern("MATCH (x)-[e]->(y)");
+  ASSERT_TRUE(pattern.ok());
+  Result<GraphPattern> normalized = Normalize(*pattern);
+  ASSERT_TRUE(normalized.ok());
+  Result<Analysis> analysis = Analyze(*normalized);
+  ASSERT_TRUE(analysis.ok());
+  VarTable vars(*analysis);
+
+  const std::string weird = "City \"of\"\nAnkh, Morpork\\step 9: decl=0";
+  planner::Plan plan;
+  plan.planner_used = true;
+  planner::DeclPlan dp;
+  dp.decl_index = 0;
+  dp.anchor_var = vars.Find("x");
+  dp.anchor.enumerated = 3;
+  dp.anchor.fanout = 1.5;
+  dp.anchor.label = weird;
+  dp.decl = normalized->paths[0];
+  plan.decls.push_back(std::move(dp));
+
+  std::string text = planner::ExplainPlan(plan, vars);
+  // Header plus exactly one (unbroken) step line.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+
+  Result<planner::ExplainedPlan> parsed = planner::ParseExplain(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status() << "\n" << text;
+  ASSERT_EQ(parsed->decls.size(), 1u);
+  EXPECT_EQ(parsed->decls[0].source, "label:" + weird);
+  EXPECT_EQ(parsed->decls[0].var, "x");
+  EXPECT_EQ(parsed->decls[0].selector, "none");
+}
+
+TEST(ExplainTest, ExecLineRoundtrips) {
+  PropertyGraph g = BuildPaperGraph();
+  Engine engine(g);
+  Result<GraphPattern> pattern = ParseGraphPattern(kFraudQuery);
+  ASSERT_TRUE(pattern.ok());
+  Result<planner::Plan> plan = engine.Plan(*pattern);
+  ASSERT_TRUE(plan.ok());
+  Result<GraphPattern> normalized = Normalize(*pattern);
+  ASSERT_TRUE(normalized.ok());
+  Result<Analysis> analysis = Analyze(*normalized);
+  ASSERT_TRUE(analysis.ok());
+  VarTable vars(*analysis);
+
+  planner::ExplainExec exec;
+  exec.threads = 16;
+  exec.cached = true;
+  std::string text = planner::ExplainPlan(*plan, vars, nullptr, &exec);
+  EXPECT_NE(text.find("exec: threads=16 cached=true"), std::string::npos);
+
+  Result<planner::ExplainedPlan> parsed = planner::ParseExplain(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_TRUE(parsed->has_exec);
+  EXPECT_EQ(parsed->threads, 16u);
+  EXPECT_TRUE(parsed->cached);
+
+  // Without the exec argument the line is absent and parsing reports so.
+  std::string bare = planner::ExplainPlan(*plan, vars);
+  Result<planner::ExplainedPlan> parsed_bare = planner::ParseExplain(bare);
+  ASSERT_TRUE(parsed_bare.ok());
+  EXPECT_FALSE(parsed_bare->has_exec);
 }
 
 TEST(ExplainTest, ParseExplainRejectsGarbage) {
