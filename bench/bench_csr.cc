@@ -1,0 +1,351 @@
+// Interned-CSR storage contracts on the fraud-300 workloads, run under
+// ctest as a regression gate (see docs/storage.md):
+//
+//  1. Expansion throughput (enforced only in optimized, unsanitized
+//     builds): on the expansion-heavy fraud-300 graph (300 accounts, 100
+//     transfers per account — high-degree nodes with mixed edge labels)
+//     the CSR path must deliver >= 3x matcher throughput, geometric mean
+//     over the expansion workloads. Throughput is legacy-equivalent
+//     matcher steps per second: the instruction count the use_csr=false
+//     oracle executes for the workload, divided by each configuration's
+//     wall time — both sides do the same logical work, the CSR side just
+//     never visits the records the label filter would reject.
+//  2. Byte-identity (always enforced): identical rows in identical order
+//     across {csr on/off} x {threads 1, 8} x {planner on/off}.
+//  3. Index-backed seeding (always enforced): on the equality-predicate
+//     workload, (label, prop) = value index seeding strictly reduces
+//     seeded starts vs label-scan seeding, rows stay identical, and
+//     EXPLAIN surfaces the choice as source=index:<label>.<prop>.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "eval/engine.h"
+#include "graph/generator.h"
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define GPML_BENCH_SANITIZED 1
+#endif
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define GPML_BENCH_SANITIZED 1
+#endif
+#endif
+
+namespace gpml {
+namespace {
+
+/// The expansion-heavy fraud-300 configuration: every Account node has
+/// ~200 Transfer adjacencies next to a handful of isLocatedIn/hasPhone/
+/// signInWithIP records, so expansion along a selective edge label is
+/// dominated by label rejects on the legacy path.
+PropertyGraph MakeExpansionGraph() {
+  FraudGraphOptions options;
+  options.num_accounts = 300;
+  options.num_cities = 3;
+  options.transfers_per_account = 100;
+  return MakeFraudGraph(options);
+}
+
+/// The regular fraud-300 graph (bench_parallel's configuration) for the
+/// byte-identity matrix and the seeding gate.
+PropertyGraph MakeMatrixGraph() {
+  FraudGraphOptions options;
+  options.num_accounts = 300;
+  options.num_cities = 3;
+  return MakeFraudGraph(options);
+}
+
+struct Workload {
+  const char* name;
+  std::string query;
+};
+
+const Workload kExpansionWorkloads[] = {
+    {"paper_sec2_shared_phone",
+     "MATCH (p:Phone)~[:hasPhone]~(s:Account)-[t:Transfer]->"
+     "(d:Account)~[:hasPhone]~(p)"},
+    {"located_in_ankh_morpork",
+     "MATCH (a:Account)-[:isLocatedIn]->(c:City WHERE "
+     "c.name='Ankh-Morpork')"},
+    {"city_account_blocked_phone",
+     "MATCH (c:City)<-[:isLocatedIn]-(a:Account)~[:hasPhone]~"
+     "(p:Phone WHERE p.isBlocked='yes')"},
+};
+
+const Workload kMatrixWorkloads[] = {
+    {"paper_sec2_shared_phone",
+     "MATCH (p:Phone)~[:hasPhone]~(s:Account)-[t:Transfer]->"
+     "(d:Account)~[:hasPhone]~(p)"},
+    {"fig4_fraud_any",
+     "MATCH (x:Account WHERE x.isBlocked='no')-[:isLocatedIn]->"
+     "(g:City WHERE g.name='Ankh-Morpork')<-[:isLocatedIn]-"
+     "(y:Account WHERE y.isBlocked='yes'), "
+     "ANY (x)-[:Transfer]->+(y)"},
+    {"trail_transfers",
+     "MATCH TRAIL (a:Account WHERE a.owner='u0')-[:Transfer]->{1,3}"
+     "(b:Account WHERE b.isBlocked='yes')"},
+};
+
+const Workload kSeedingWorkload = {
+    "blocked_to_unblocked_transfer",
+    "MATCH (x:Account WHERE x.isBlocked='yes')-[:Transfer]->"
+    "(y:Account WHERE y.isBlocked='no')"};
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+std::vector<std::string> CanonRows(const MatchOutput& out,
+                                   const PropertyGraph& g) {
+  std::vector<std::string> rows;
+  rows.reserve(out.rows.size());
+  for (const ResultRow& row : out.rows) {
+    std::string s;
+    for (const auto& pb : row.bindings) {
+      s += pb->ToString(g, *out.vars);
+      s += " | ";
+    }
+    rows.push_back(std::move(s));
+  }
+  return rows;
+}
+
+struct Measurement {
+  std::vector<std::string> rows;
+  EngineMetrics metrics;
+  double millis = 0;
+};
+
+Measurement Measure(const PropertyGraph& g, const std::string& query,
+                    const EngineOptions& base, bool* ok, int reps = 5) {
+  Measurement m;
+  EngineOptions options = base;
+  options.metrics = &m.metrics;
+  Engine engine(g, options);
+  Result<MatchOutput> warm = engine.Match(query);  // Plan cache + stats.
+  if (!warm.ok()) {
+    std::fprintf(stderr, "query failed: %s\n  %s\n", query.c_str(),
+                 warm.status().ToString().c_str());
+    *ok = false;
+    return m;
+  }
+  for (int rep = 0; rep < reps; ++rep) {
+    auto start = std::chrono::steady_clock::now();
+    Result<MatchOutput> out = engine.Match(query);
+    double ms = MillisSince(start);
+    if (!out.ok()) {
+      *ok = false;
+      return m;
+    }
+    if (rep == 0 || ms < m.millis) m.millis = ms;
+    if (rep == 0) m.rows = CanonRows(*out, g);
+  }
+  return m;
+}
+
+bool ThroughputGateActive() {
+#ifdef GPML_BENCH_SANITIZED
+  std::printf("throughput gate: SKIPPED (sanitizer build distorts timings)\n");
+  return false;
+#elif !defined(NDEBUG)
+  std::printf("throughput gate: SKIPPED (unoptimized build)\n");
+  return false;
+#else
+  return true;
+#endif
+}
+
+int RunBench() {
+  bool ok = true;
+  bench::JsonReport report("csr");
+
+  // --- 1. expansion throughput --------------------------------------------
+  {
+    PropertyGraph g = MakeExpansionGraph();
+    std::printf("expansion graph: %s\n", g.Summary().c_str());
+    const bool enforce = ThroughputGateActive();
+    double log_ratio_sum = 0;
+    size_t measured = 0;
+
+    std::printf("%-28s | %10s %10s | %12s %12s | %7s\n", "workload", "ms:off",
+                "ms:on", "steps/s:off", "steps/s:on", "ratio");
+    for (const Workload& w : kExpansionWorkloads) {
+      EngineOptions base;
+      base.use_planner = false;  // Pure matcher comparison.
+      base.num_threads = 1;
+      base.use_csr = false;
+      Measurement off = Measure(g, w.query, base, &ok);
+      base.use_csr = true;
+      Measurement on = Measure(g, w.query, base, &ok);
+      if (!ok) break;
+
+      // Legacy-equivalent steps per second: same logical work (the oracle's
+      // instruction count), each side's own wall time.
+      double work = static_cast<double>(off.metrics.matcher_steps);
+      double thr_off = work / (off.millis / 1e3);
+      double thr_on = work / (on.millis / 1e3);
+      double ratio = on.millis > 0 ? off.millis / on.millis : 0;
+      std::printf("%-28s | %10.3f %10.3f | %12.3g %12.3g | %6.2fx\n", w.name,
+                  off.millis, on.millis, thr_off, thr_on, ratio);
+      report.Add(std::string(w.name) + ":csr=off", off.millis,
+                 off.metrics.seeded_nodes, off.metrics.matcher_steps,
+                 off.rows.size());
+      report.Add(std::string(w.name) + ":csr=on", on.millis,
+                 on.metrics.seeded_nodes, on.metrics.matcher_steps,
+                 on.rows.size(), {{"throughput_ratio", ratio}});
+
+      if (off.rows != on.rows) {
+        std::fprintf(stderr, "FAIL %s: csr changed rows (%zu vs %zu)\n",
+                     w.name, on.rows.size(), off.rows.size());
+        ok = false;
+      }
+      if (on.metrics.matcher_steps >= off.metrics.matcher_steps) {
+        std::fprintf(stderr,
+                     "FAIL %s: csr did not reduce considered records "
+                     "(%zu vs %zu)\n",
+                     w.name, on.metrics.matcher_steps,
+                     off.metrics.matcher_steps);
+        ok = false;
+      }
+      if (enforce && ratio < 1.5) {
+        std::fprintf(stderr, "FAIL %s: csr throughput ratio %.2fx < 1.5x\n",
+                     w.name, ratio);
+        ok = false;
+      }
+      log_ratio_sum += std::log(std::max(ratio, 1e-9));
+      ++measured;
+    }
+    if (ok && measured > 0) {
+      double geomean = std::exp(log_ratio_sum / static_cast<double>(measured));
+      std::printf("expansion throughput: %.2fx geometric mean (gate: 3x)\n",
+                  geomean);
+      if (enforce && geomean < 3.0) {
+        std::fprintf(stderr,
+                     "FAIL expansion throughput %.2fx < 3x geometric mean\n",
+                     geomean);
+        ok = false;
+      }
+    }
+  }
+
+  // --- 2. byte-identity matrix --------------------------------------------
+  {
+    PropertyGraph g = MakeMatrixGraph();
+    for (const Workload& w : kMatrixWorkloads) {
+      std::vector<std::string> baseline;
+      bool have_baseline = false;
+      for (bool csr : {true, false}) {
+        for (size_t threads : {size_t{1}, size_t{8}}) {
+          for (bool planner : {true, false}) {
+            EngineOptions base;
+            base.use_csr = csr;
+            base.num_threads = threads;
+            base.use_planner = planner;
+            // Force real sharding even on short seed lists.
+            base.matcher.min_seeds_per_shard = 1;
+            Measurement m = Measure(g, w.query, base, &ok, /*reps=*/1);
+            if (!ok) break;
+            if (!have_baseline) {
+              baseline = m.rows;
+              have_baseline = true;
+            } else if (m.rows != baseline) {
+              std::fprintf(stderr,
+                           "FAIL %s: rows differ at csr=%d threads=%zu "
+                           "planner=%d (%zu vs %zu rows)\n",
+                           w.name, csr ? 1 : 0, threads, planner ? 1 : 0,
+                           m.rows.size(), baseline.size());
+              ok = false;
+            }
+          }
+        }
+      }
+      if (have_baseline) {
+        std::printf(
+            "byte-identity %-28s: %4zu rows identical over "
+            "{csr on/off} x {threads 1,8} x {planner on/off}\n",
+            w.name, baseline.size());
+      }
+    }
+  }
+
+  // --- 3. index-backed seeding --------------------------------------------
+  {
+    PropertyGraph g = MakeMatrixGraph();
+    EngineOptions base;
+    base.num_threads = 1;
+    base.use_seed_index = false;
+    Measurement scan = Measure(g, kSeedingWorkload.query, base, &ok);
+    base.use_seed_index = true;
+    Measurement indexed = Measure(g, kSeedingWorkload.query, base, &ok);
+    if (ok) {
+      std::printf(
+          "seeding %-28s: label-scan %zu seeds %.3fms, index %zu seeds "
+          "%.3fms\n",
+          kSeedingWorkload.name, scan.metrics.seeded_nodes, scan.millis,
+          indexed.metrics.seeded_nodes, indexed.millis);
+      report.Add(std::string(kSeedingWorkload.name) + ":seed=label",
+                 scan.millis, scan.metrics.seeded_nodes,
+                 scan.metrics.matcher_steps, scan.rows.size());
+      report.Add(std::string(kSeedingWorkload.name) + ":seed=index",
+                 indexed.millis, indexed.metrics.seeded_nodes,
+                 indexed.metrics.matcher_steps, indexed.rows.size());
+      if (indexed.rows != scan.rows) {
+        std::fprintf(stderr, "FAIL seeding: index seeding changed rows\n");
+        ok = false;
+      }
+      if (indexed.metrics.seeded_nodes >= scan.metrics.seeded_nodes) {
+        std::fprintf(stderr,
+                     "FAIL seeding: index did not reduce seeds (%zu vs "
+                     "%zu)\n",
+                     indexed.metrics.seeded_nodes, scan.metrics.seeded_nodes);
+        ok = false;
+      }
+      if (indexed.metrics.matcher_steps >= scan.metrics.matcher_steps) {
+        std::fprintf(stderr,
+                     "FAIL seeding: index did not reduce matcher steps "
+                     "(%zu vs %zu)\n",
+                     indexed.metrics.matcher_steps,
+                     scan.metrics.matcher_steps);
+        ok = false;
+      }
+      if (indexed.metrics.index_seeded_decls == 0) {
+        std::fprintf(stderr, "FAIL seeding: no declaration used the index\n");
+        ok = false;
+      }
+
+      Engine engine(g);
+      Result<std::string> explain = engine.Explain(kSeedingWorkload.query);
+      if (!explain.ok() ||
+          explain->find("source=index:Account.isBlocked") ==
+              std::string::npos) {
+        std::fprintf(stderr,
+                     "FAIL seeding: EXPLAIN does not show "
+                     "source=index:Account.isBlocked:\n%s\n",
+                     explain.ok() ? explain->c_str()
+                                  : explain.status().ToString().c_str());
+        ok = false;
+      } else {
+        std::printf("seed: index=Account.isBlocked (EXPLAIN verified)\n");
+      }
+    }
+  }
+
+  report.Write();
+  std::printf(ok ? "csr contract holds: faster expansion, identical rows, "
+                   "index-backed seeding\n"
+                 : "csr contract VIOLATED (see stderr)\n");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace gpml
+
+int main() { return gpml::RunBench(); }

@@ -19,6 +19,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_util.h"
 #include "eval/engine.h"
 #include "graph/generator.h"
 #include "parser/parser.h"
@@ -135,6 +136,7 @@ bool SpeedupGateActive() {
 
 int RunBench() {
   bool ok = true;
+  bench::JsonReport report("parallel");
   PropertyGraph g = MakeWorkloadGraph();
   const bool enforce_speedup = SpeedupGateActive();
   constexpr int kRepetitions = 3;
@@ -164,6 +166,12 @@ int RunBench() {
     double speedup = best4 > 0 ? best1 / best4 : 0;
     std::printf("%-24s %8d | %10.2f %10.2f | %8.2fx | %6zu\n", w.name, 300,
                 best1, best4, speedup, m4.rows.size());
+    report.Add(std::string(w.name) + ":threads=1", best1,
+               m1.metrics.seeded_nodes, m1.metrics.matcher_steps,
+               m1.rows.size());
+    report.Add(std::string(w.name) + ":threads=4", best4,
+               m4.metrics.seeded_nodes, m4.metrics.matcher_steps,
+               m4.rows.size(), {{"speedup", speedup}});
 
     if (m1.rows != m4.rows) {
       std::fprintf(stderr,
@@ -231,6 +239,8 @@ int RunBench() {
         "plan cache: first compile %.3fms, cached compile %.4fms "
         "(%.0fx faster)\n",
         miss_ms, hit_ms, ratio);
+    report.Add("plan_cache:miss", miss_ms, 0, 0, 0);
+    report.Add("plan_cache:hit", hit_ms, 0, 0, 0, {{"speedup", ratio}});
     if (ratio < 10.0) {
       std::fprintf(stderr,
                    "FAIL plan cache: hit only %.1fx faster than miss "
@@ -240,6 +250,7 @@ int RunBench() {
     }
   }
 
+  report.Write();
   std::printf(ok ? "parallel contract holds: identical ordered rows, "
                    "shared-work sharding, cached compiles\n"
                  : "parallel contract VIOLATED (see stderr)\n");

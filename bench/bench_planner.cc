@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "eval/engine.h"
 #include "graph/generator.h"
 
@@ -70,6 +71,7 @@ int RunBench() {
   };
 
   bool ok = true;
+  bench::JsonReport report("planner");
   std::printf(
       "%-28s %8s | %10s %10s | %12s %12s | %9s %9s | %6s\n",
       "workload", "accounts", "seeds:off", "seeds:on", "steps:off",
@@ -87,6 +89,12 @@ int RunBench() {
           w.name, accounts, off.metrics.seeded_nodes, on.metrics.seeded_nodes,
           off.metrics.matcher_steps, on.metrics.matcher_steps, off.millis,
           on.millis, on.rows);
+      std::string tag =
+          std::string(w.name) + "@" + std::to_string(accounts);
+      report.Add(tag + ":planner=off", off.millis, off.metrics.seeded_nodes,
+                 off.metrics.matcher_steps, off.rows);
+      report.Add(tag + ":planner=on", on.millis, on.metrics.seeded_nodes,
+                 on.metrics.matcher_steps, on.rows);
       if (on.rows != off.rows) {
         std::fprintf(stderr,
                      "FAIL %s@%d: planner changed row count (%zu vs %zu)\n",
@@ -111,6 +119,7 @@ int RunBench() {
       }
     }
   }
+  report.Write();
   std::printf(ok ? "planner contract holds: strictly fewer seeds and steps, "
                    "identical rows\n"
                  : "planner contract VIOLATED (see stderr)\n");

@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "eval/engine.h"
 #include "graph/generator.h"
@@ -26,6 +28,97 @@ inline size_t RunOrDie(const PropertyGraph& g, const std::string& query,
   }
   return out->rows.size();
 }
+
+/// Machine-readable benchmark report: one BENCH_<name>.json file written
+/// next to the human-readable stdout output, so the repo accumulates a perf
+/// trajectory that scripts can diff across commits. One row per measured
+/// workload configuration; `extra` carries benchmark-specific metrics
+/// (speedup ratios, thread counts, ...).
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+  struct Row {
+    std::string workload;
+    double wall_ms = 0;
+    size_t seeds = 0;
+    size_t steps = 0;
+    size_t rows = 0;
+    std::vector<std::pair<std::string, double>> extra;
+  };
+
+  void Add(Row row) { rows_.push_back(std::move(row)); }
+
+  void Add(std::string workload, double wall_ms, size_t seeds, size_t steps,
+           size_t rows,
+           std::vector<std::pair<std::string, double>> extra = {}) {
+    Row r;
+    r.workload = std::move(workload);
+    r.wall_ms = wall_ms;
+    r.seeds = seeds;
+    r.steps = steps;
+    r.rows = rows;
+    r.extra = std::move(extra);
+    Add(std::move(r));
+  }
+
+  /// Writes BENCH_<name>.json into the current directory. IO failure warns
+  /// but does not fail the benchmark contract (CI runs in scratch dirs).
+  bool Write() const {
+    std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"workloads\": [",
+                 Escaped(name_).c_str());
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      std::fprintf(f,
+                   "%s\n    {\"workload\": \"%s\", \"wall_ms\": %.4f, "
+                   "\"seeds\": %zu, \"steps\": %zu, \"rows\": %zu",
+                   i == 0 ? "" : ",", Escaped(r.workload).c_str(), r.wall_ms,
+                   r.seeds, r.steps, r.rows);
+      for (const auto& [key, value] : r.extra) {
+        std::fprintf(f, ", \"%s\": %.4f", Escaped(key).c_str(), value);
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu workload rows)\n", path.c_str(), rows_.size());
+    return true;
+  }
+
+ private:
+  /// JSON string escaping for the identifier-ish names benchmarks use.
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::vector<Row> rows_;
+};
 
 }  // namespace bench
 }  // namespace gpml

@@ -74,6 +74,23 @@ bool LabelExpr::Matches(const std::vector<std::string>& labels) const {
   return false;
 }
 
+void LabelExpr::CollectRequiredNames(
+    std::vector<const std::string*>* out) const {
+  switch (kind) {
+    case Kind::kName:
+      out->push_back(&name);
+      break;
+    case Kind::kAnd:
+      left->CollectRequiredNames(out);
+      right->CollectRequiredNames(out);
+      break;
+    case Kind::kWildcard:
+    case Kind::kNot:
+    case Kind::kOr:
+      break;
+  }
+}
+
 std::string LabelExpr::ToString() const {
   switch (kind) {
     case Kind::kName: return name;

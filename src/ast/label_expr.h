@@ -33,6 +33,13 @@ struct LabelExpr {
   /// `labels` must be sorted (as stored in ElementData).
   bool Matches(const std::vector<std::string>& labels) const;
 
+  /// Appends the names an element *must* carry for this expression to match:
+  /// a plain name is required, and a conjunction requires both sides'
+  /// requirements. Disjunctions, negations and the wildcard contribute
+  /// nothing (no single name is necessary under them). Seeding from any
+  /// required name's label index is therefore sound — every match carries it.
+  void CollectRequiredNames(std::vector<const std::string*>* out) const;
+
   /// Renders with minimal parentheses, e.g. "Account|IP", "!(A&B)".
   std::string ToString() const;
 

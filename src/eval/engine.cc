@@ -138,7 +138,9 @@ Result<planner::Plan> Engine::PlanNormalized(const GraphPattern& normalized,
   }
   std::shared_ptr<const planner::GraphStats> stats =
       planner::GetStats(graph_);
-  return planner::PlanPattern(normalized, vars, *stats);
+  planner::PlannerConfig config;
+  config.use_seed_index = options_.use_seed_index;
+  return planner::PlanPattern(normalized, vars, *stats, config);
 }
 
 Result<Engine::Prepared> Engine::Prepare(const GraphPattern& pattern) const {
@@ -161,7 +163,8 @@ Result<std::shared_ptr<const planner::CachedPlan>> Engine::PreparePlan(
   *cache_hit = false;
   std::string fingerprint;
   if (options_.use_plan_cache) {
-    fingerprint = planner::PlanFingerprint(pattern, options_.use_planner);
+    fingerprint = planner::PlanFingerprint(pattern, options_.use_planner,
+                                           options_.use_seed_index);
     if (std::shared_ptr<const planner::CachedPlan> cached =
             planner::LookupPlan(graph_, fingerprint)) {
       *cache_hit = true;
@@ -174,6 +177,18 @@ Result<std::shared_ptr<const planner::CachedPlan>> Engine::PreparePlan(
   entry->vars = std::move(p.vars);
   GPML_ASSIGN_OR_RETURN(entry->plan,
                         PlanNormalized(entry->normalized, *entry->vars));
+  // Compile and graph-bind every declaration's program now, so cache hits
+  // skip compilation and label-predicate binding as well as planning. The
+  // entry is keyed on the graph identity token, so the bound symbol ids can
+  // never be replayed against a different graph.
+  entry->programs.reserve(entry->plan.decls.size());
+  for (const planner::DeclPlan& dp : entry->plan.decls) {
+    GPML_ASSIGN_OR_RETURN(Program program,
+                          CompilePattern(dp.decl, *entry->vars));
+    BindProgramToGraph(&program, graph_);
+    entry->programs.push_back(
+        std::make_shared<const Program>(std::move(program)));
+  }
   std::shared_ptr<const planner::CachedPlan> shared = std::move(entry);
   if (options_.use_plan_cache) {
     planner::StorePlan(graph_, fingerprint, shared);
@@ -218,6 +233,7 @@ Result<MatchOutput> Engine::Match(const GraphPattern& pattern) const {
   const size_t num_workers = ResolvedThreads();
   MatcherOptions matcher_options = options_.matcher;
   matcher_options.num_threads = num_workers;
+  matcher_options.use_csr = options_.use_csr;
 
   if (options_.metrics != nullptr) {
     options_.metrics->threads = num_workers;
@@ -236,18 +252,24 @@ Result<MatchOutput> Engine::Match(const GraphPattern& pattern) const {
   out.path_vars.assign(num_decls, -1);
   bool first = true;
   std::vector<ResultRow> rows;
-  for (const planner::DeclPlan& dp : plan.decls) {
+  for (size_t plan_pos = 0; plan_pos < num_decls; ++plan_pos) {
+    const planner::DeclPlan& dp = plan.decls[plan_pos];
     const PathPatternDecl& decl = dp.decl;
     out.path_vars[static_cast<size_t>(dp.decl_index)] =
         decl.path_var.empty() ? -1 : out.vars->Find(decl.path_var);
 
-    GPML_ASSIGN_OR_RETURN(Program program,
-                          CompilePattern(decl, *out.vars));
+    // Compiled with the plan (and graph-bound); cache hits reuse it as-is.
+    const Program& program = *prepared->programs[plan_pos];
 
     // Restricted seeding: the anchor variable is already bound by earlier
-    // declarations, so only those nodes can start a joinable match.
+    // declarations, so only those nodes can start a joinable match; failing
+    // that, an anchor with an inline equality predicate seeds from the
+    // (label, prop) = value hash index — both restrictions only drop starts
+    // the pattern's first node check would reject anyway.
     std::vector<NodeId> seed_filter;
+    const std::vector<NodeId>* filter = nullptr;
     bool use_filter = !first && dp.seed_bound_var >= 0;
+    bool use_index = false;
     if (use_filter) {
       std::unordered_set<NodeId> distinct;
       for (const ResultRow& row : rows) {
@@ -261,13 +283,18 @@ Result<MatchOutput> Engine::Match(const GraphPattern& pattern) const {
       }
       seed_filter.assign(distinct.begin(), distinct.end());
       std::sort(seed_filter.begin(), seed_filter.end());
+      filter = &seed_filter;
+    } else if (plan.planner_used && dp.anchor.has_index()) {
+      use_index = true;
+      filter = &graph_.IndexedNodes(dp.anchor.label, dp.anchor.index_prop,
+                                    dp.anchor.index_value);
     }
 
     MatchStats match_stats;
     GPML_ASSIGN_OR_RETURN(
         MatchSet match,
-        RunPattern(graph_, program, *out.vars, matcher_options,
-                   use_filter ? &seed_filter : nullptr, &match_stats));
+        RunPattern(graph_, program, *out.vars, matcher_options, filter,
+                   &match_stats));
     if (dp.reversed) planner::UnreverseMatchSet(&match);
 
     if (options_.metrics != nullptr) {
@@ -277,6 +304,7 @@ Result<MatchOutput> Engine::Match(const GraphPattern& pattern) const {
       m.matcher_steps += match_stats.steps;
       if (dp.reversed) ++m.reversed_decls;
       if (use_filter) ++m.seed_filtered_decls;
+      if (use_index) ++m.index_seeded_decls;
     }
 
     std::vector<std::shared_ptr<const PathBinding>> bindings;

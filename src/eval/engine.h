@@ -38,6 +38,8 @@ struct EngineMetrics {
   size_t plan_cache_hits = 0;      // 1 when the compiled plan came from the
                                    // graph's plan cache, else 0.
   size_t plan_cache_misses = 0;    // 1 on a fresh compile, else 0.
+  size_t index_seeded_decls = 0;   // Declarations seeded from the equality
+                                   // (label, prop) = value hash index.
 };
 
 struct EngineOptions {
@@ -55,11 +57,22 @@ struct EngineOptions {
   /// std::thread::hardware_concurrency(); 1 runs the exact sequential
   /// engine. Overrides MatcherOptions::num_threads.
   size_t num_threads = 0;
-  /// Compiled-plan reuse: cache (normalized pattern, vars, plan) on the
-  /// graph keyed by (graph identity token, pattern fingerprint) so repeated
-  /// queries skip normalize/analyze/plan (see planner/plan_cache.h). The
-  /// cache is shared by every engine/host over the same graph.
+  /// Compiled-plan reuse: cache (normalized pattern, vars, plan, compiled
+  /// programs) on the graph keyed by (graph identity token, pattern
+  /// fingerprint) so repeated queries skip normalize/analyze/plan/compile
+  /// (see planner/plan_cache.h). The cache is shared by every engine/host
+  /// over the same graph.
   bool use_plan_cache = true;
+  /// Interned-storage fast paths (docs/storage.md): label-partitioned CSR
+  /// expansion and compiled symbol-id label predicates in the matcher. Off
+  /// runs the legacy full-adjacency scans with string label matching — the
+  /// differential oracle. Rows are byte-identical either way.
+  bool use_csr = true;
+  /// Planner seeding from the (label, prop) = value equality hash index
+  /// when an anchor endpoint carries a matching inline predicate (EXPLAIN:
+  /// `source=index:<label>.<prop>`). Off falls back to label-scan seeding;
+  /// rows are identical, only the seed list shrinks.
+  bool use_seed_index = true;
   /// When non-null, reset and filled on every Match call.
   EngineMetrics* metrics = nullptr;
 };

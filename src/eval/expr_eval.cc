@@ -27,22 +27,9 @@ Value FromTriBool(TriBool t) {
   return Value::Null();
 }
 
-/// Comparison under SQL semantics; elements compare by identity (GQL-style
-/// element equality, §4.7).
-Result<TriBool> Compare(BinaryOp op, const EvalValue& l, const EvalValue& r) {
-  if (l.kind == EvalValue::Kind::kElement ||
-      r.kind == EvalValue::Kind::kElement) {
-    if (l.kind != r.kind) {
-      if (l.is_null() || r.is_null()) return TriBool::kUnknown;
-      return Status::SemanticError("cannot compare element with value");
-    }
-    bool eq = l.element == r.element;
-    if (op == BinaryOp::kEq) return eq ? TriBool::kTrue : TriBool::kFalse;
-    if (op == BinaryOp::kNeq) return eq ? TriBool::kFalse : TriBool::kTrue;
-    return Status::SemanticError("elements only support = and <>");
-  }
-  const Value& a = l.value;
-  const Value& b = r.value;
+/// Value-vs-value comparison under SQL semantics (the shared tail of
+/// Compare and the borrowed fast path).
+Result<TriBool> CompareValues(BinaryOp op, const Value& a, const Value& b) {
   if (a.is_null() || b.is_null()) return TriBool::kUnknown;
   switch (op) {
     case BinaryOp::kEq: return Value::SqlEquals(a, b);
@@ -63,6 +50,42 @@ Result<TriBool> Compare(BinaryOp op, const EvalValue& l, const EvalValue& r) {
     default: return Status::Internal("not a comparison");
   }
   return res ? TriBool::kTrue : TriBool::kFalse;
+}
+
+/// Comparison under SQL semantics; elements compare by identity (GQL-style
+/// element equality, §4.7).
+Result<TriBool> Compare(BinaryOp op, const EvalValue& l, const EvalValue& r) {
+  if (l.kind == EvalValue::Kind::kElement ||
+      r.kind == EvalValue::Kind::kElement) {
+    if (l.kind != r.kind) {
+      if (l.is_null() || r.is_null()) return TriBool::kUnknown;
+      return Status::SemanticError("cannot compare element with value");
+    }
+    bool eq = l.element == r.element;
+    if (op == BinaryOp::kEq) return eq ? TriBool::kTrue : TriBool::kFalse;
+    if (op == BinaryOp::kNeq) return eq ? TriBool::kFalse : TriBool::kTrue;
+    return Status::SemanticError("elements only support = and <>");
+  }
+  return CompareValues(op, l.value, r.value);
+}
+
+/// Resolves an expression to a borrowed Value when that needs no
+/// construction: literals borrow themselves, property accesses borrow the
+/// graph's column slot (or the shared NULL for unbound/unknown cases,
+/// matching the EvalExpr NULL results exactly). Returns nullptr when the
+/// expression needs full evaluation. This keeps `x.prop <op> literal` —
+/// the dominant predicate shape in the matcher's hot loop — free of Value
+/// (string) copies.
+const Value* BorrowValue(const Expr& expr, const PropertyGraph& g,
+                         const VarTable& vars, const EvalScope& scope) {
+  static const Value kNull = Value::Null();
+  if (expr.kind == Expr::Kind::kLiteral) return &expr.literal;
+  if (expr.kind != Expr::Kind::kPropertyAccess) return nullptr;
+  int id = vars.Find(expr.var);
+  if (id < 0) return &kNull;
+  std::optional<ElementRef> el = scope.LookupSingleton(id);
+  if (!el.has_value()) return &kNull;
+  return &g.GetPropertyFast(*el, expr.property);
 }
 
 /// Scope wrapper that overrides one variable with a specific element while
@@ -212,7 +235,10 @@ Result<EvalValue> EvalExpr(const Expr& expr, const PropertyGraph& g,
       if (id < 0) return EvalValue::Of(Value::Null());
       std::optional<ElementRef> el = scope.LookupSingleton(id);
       if (!el.has_value()) return EvalValue::Of(Value::Null());
-      return EvalValue::Of(g.element(*el).GetProperty(expr.property));
+      // Columnar access: one key-string hash shared across all elements,
+      // then an array index — never the per-element property-map walk. The
+      // mirror is exact (csr_index_test asserts it against the maps).
+      return EvalValue::Of(g.GetPropertyFast(*el, expr.property));
     }
 
     case Expr::Kind::kBinary: {
@@ -239,6 +265,17 @@ Result<EvalValue> EvalExpr(const Expr& expr, const PropertyGraph& g,
         case BinaryOp::kLe:
         case BinaryOp::kGt:
         case BinaryOp::kGe: {
+          // Borrowed fast path: both operands reachable without
+          // constructing EvalValues (no string copies per evaluation).
+          const Value* lb = BorrowValue(*expr.lhs, g, vars, scope);
+          if (lb != nullptr) {
+            const Value* rb = BorrowValue(*expr.rhs, g, vars, scope);
+            if (rb != nullptr) {
+              GPML_ASSIGN_OR_RETURN(TriBool t,
+                                    CompareValues(expr.op, *lb, *rb));
+              return EvalValue::Of(FromTriBool(t));
+            }
+          }
           GPML_ASSIGN_OR_RETURN(EvalValue l,
                                 EvalExpr(*expr.lhs, g, vars, scope));
           GPML_ASSIGN_OR_RETURN(EvalValue r,

@@ -67,6 +67,32 @@ struct FrameState {
   uint32_t edges_at_begin = 0;
 };
 
+/// serials[depth] with inline storage: states are copied on every accepted
+/// edge step, and quantifier nesting deeper than the inline capacity is
+/// rare, so the common copy is a memcpy instead of a vector allocation.
+class Serials {
+ public:
+  void assign(size_t n, uint64_t v) {
+    if (n > kInline) {
+      big_.assign(n, v);
+    } else {
+      big_.clear();
+      for (size_t i = 0; i < kInline; ++i) small_[i] = v;
+    }
+  }
+  uint64_t& operator[](size_t i) {
+    return big_.empty() ? small_[i] : big_[i];
+  }
+  uint64_t operator[](size_t i) const {
+    return big_.empty() ? small_[i] : big_[i];
+  }
+
+ private:
+  static constexpr size_t kInline = 4;
+  uint64_t small_[kInline] = {0, 0, 0, 0};
+  std::vector<uint64_t> big_;
+};
+
 struct State {
   int pc = 0;
   NodeId node = kInvalidId;
@@ -74,7 +100,7 @@ struct State {
   uint32_t edges = 0;
   BindingChain chain;
   EnvChain env;
-  std::vector<uint64_t> serials;  // Index = quantifier depth; [0] == 0.
+  Serials serials;  // Index = quantifier depth; [0] == 0.
   std::vector<FrameState> frames;
   std::vector<ScopeState> scopes;
   std::vector<int32_t> tags;
@@ -128,9 +154,11 @@ class SearchScope : public EvalScope {
 // ---------------------------------------------------------------------------
 
 /// Seeds: start nodes. An explicit seed filter (planner-restricted start
-/// list) takes precedence; otherwise, when the first check is a plain-label
-/// node pattern, only nodes with that label can match, so seed from the
-/// label index.
+/// list) takes precedence; otherwise, when the first check constrains the
+/// node's labels with required conjuncts (a plain name, or any conjunction
+/// containing names), only nodes carrying every conjunct can match, so seed
+/// from the most selective conjunct's label index — a superset of the
+/// matches in the same ascending-id order the full scan would visit them.
 std::vector<NodeId> ComputeSeeds(const PropertyGraph& g,
                                  const Program& program,
                                  const std::vector<NodeId>* seed_filter) {
@@ -143,9 +171,17 @@ std::vector<NodeId> ComputeSeeds(const PropertyGraph& g,
       pc = in.next;
       continue;
     }
-    if (in.op == Instr::Op::kNodeCheck && in.node->labels != nullptr &&
-        in.node->labels->kind == LabelExpr::Kind::kName) {
-      return g.NodesWithLabel(in.node->labels->name);
+    if (in.op == Instr::Op::kNodeCheck && in.node->labels != nullptr) {
+      std::vector<const std::string*> required;
+      in.node->labels->CollectRequiredNames(&required);
+      const std::vector<NodeId>* best = nullptr;
+      for (const std::string* name : required) {
+        const std::vector<NodeId>& candidates = g.NodesWithLabel(*name);
+        if (best == nullptr || candidates.size() < best->size()) {
+          best = &candidates;
+        }
+      }
+      if (best != nullptr) return *best;
     }
     break;
   }
@@ -218,12 +254,50 @@ class Matcher {
     return st;
   }
 
+  /// Label admissibility of a node check: the graph-bound symbol predicate
+  /// when available (bit tests, no strings), else the legacy string match.
+  bool NodeLabelsMatch(const Instr& in, NodeId node) const {
+    if (in.node->labels == nullptr) return true;
+    if (options_.use_csr && in.lpred >= 0) {
+      SymSpan syms = g_.node_label_syms(node);
+      return program_.label_preds[static_cast<size_t>(in.lpred)].Matches(
+          g_.node_label_bits(node), syms.data, syms.count);
+    }
+    return in.node->labels->Matches(g_.node(node).labels);
+  }
+
+  /// Same for an edge step's label expression.
+  bool EdgeLabelsMatch(const Instr& in, EdgeId edge) const {
+    if (in.edge->labels == nullptr) return true;
+    if (options_.use_csr && in.lpred >= 0) {
+      SymSpan syms = g_.edge_label_syms(edge);
+      return program_.label_preds[static_cast<size_t>(in.lpred)].Matches(
+          g_.edge_label_bits(edge), syms.data, syms.count);
+    }
+    return in.edge->labels->Matches(g_.edge(edge).labels);
+  }
+
+  /// The adjacency records an edge step must consider from `node`: with the
+  /// CSR path and a usable label partition, the contiguous bucket of the
+  /// step's (most selective) label symbol; otherwise the full list.
+  /// `*prefiltered` reports that bucket membership already implies the label
+  /// expression (single plain names), so TryEdge skips the re-check.
+  AdjSpan ExpansionRange(const Instr& in, NodeId node,
+                         bool* prefiltered) const {
+    if (options_.use_csr && in.edge_label_sym != kNoLabelPartition) {
+      *prefiltered = in.edge_prefiltered;
+      if (in.edge_label_sym == kInvalidSymbol) return {};  // Unknown label.
+      return g_.csr().Range(node, in.edge_label_sym);
+    }
+    *prefiltered = false;
+    return g_.AdjacencySpan(node);
+  }
+
   /// Checks a node pattern against `node` with `state`'s environment;
   /// returns false to prune. On success appends the binding (out).
   Result<bool> ApplyNodeCheck(const Instr& in, State* state) {
     const NodePattern& np = *in.node;
-    const NodeData& nd = g_.node(state->node);
-    if (np.labels != nullptr && !np.labels->Matches(nd.labels)) return false;
+    if (!NodeLabelsMatch(in, state->node)) return false;
     ElementRef ref = ElementRef::Node(state->node);
 
     // Implicit equi-join (§4.2): a previous binding of the same variable in
@@ -264,31 +338,25 @@ class Matcher {
     return false;
   }
 
-  /// Restrictor admission of a new edge step into `next`; updates scope
-  /// memories in `state` on success.
-  Result<bool> AdmitStep(EdgeId eid, NodeId next, State* state) {
-    for (ScopeState& sc : state->scopes) {
+  /// Restrictor admission of the edge step (eid, next), split into a
+  /// side-effect-free check on the source state and a mutation applied to
+  /// the successor copy — so rejected steps never pay the State copy.
+  /// Together they implement exactly the historical per-scope semantics:
+  /// TRAIL forbids edge repeats, ACYCLIC node repeats, SIMPLE allows one
+  /// repeat of the scope's first node as the final position.
+  static bool CheckRestrictors(const State& state, EdgeId eid, NodeId next) {
+    for (const ScopeState& sc : state.scopes) {
       switch (sc.restrictor) {
         case Restrictor::kTrail:
           if (IdSetContains(sc.edges, eid)) return false;
-          sc.edges = IdSetAdd(sc.edges, eid);
           break;
         case Restrictor::kAcyclic:
           if (IdSetContains(sc.nodes, next)) return false;
-          sc.nodes = IdSetAdd(sc.nodes, next);
           break;
         case Restrictor::kSimple:
-          // One repeat allowed: the scope's first node, and only as the
-          // final position — no further steps once it happened.
           if (sc.start_revisited) return false;
-          if (IdSetContains(sc.nodes, next)) {
-            if (next == sc.start_node) {
-              sc.start_revisited = true;
-            } else {
-              return false;
-            }
-          } else {
-            sc.nodes = IdSetAdd(sc.nodes, next);
+          if (IdSetContains(sc.nodes, next) && next != sc.start_node) {
+            return false;
           }
           break;
         case Restrictor::kNone:
@@ -298,28 +366,59 @@ class Matcher {
     return true;
   }
 
+  /// Applies the step to the successor's scope memories. Pre-condition:
+  /// CheckRestrictors passed on the source state (which shares the same
+  /// persistent id sets), so a SIMPLE repeat here can only be the start
+  /// node closing the path.
+  static void ApplyRestrictors(State* state, EdgeId eid, NodeId next) {
+    for (ScopeState& sc : state->scopes) {
+      switch (sc.restrictor) {
+        case Restrictor::kTrail:
+          sc.edges = IdSetAdd(sc.edges, eid);
+          break;
+        case Restrictor::kAcyclic:
+          sc.nodes = IdSetAdd(sc.nodes, next);
+          break;
+        case Restrictor::kSimple:
+          if (IdSetContains(sc.nodes, next)) {
+            sc.start_revisited = true;
+          } else {
+            sc.nodes = IdSetAdd(sc.nodes, next);
+          }
+          break;
+        case Restrictor::kNone:
+          break;
+      }
+    }
+  }
+
   /// Attempts the edge step `in` from `state` over adjacency `adj`;
-  /// on success returns the successor state.
+  /// on success returns the successor state. `label_prechecked` is set when
+  /// `adj` came from the CSR partition that already guarantees the label
+  /// expression.
   Result<std::optional<State>> TryEdge(const Instr& in, const State& state,
-                                       const Adjacency& adj) {
+                                       const Adjacency& adj,
+                                       bool label_prechecked) {
     const EdgePattern& ep = *in.edge;
     if (!Admits(ep.orientation, adj.traversal)) return std::optional<State>();
-    const EdgeData& ed = g_.edge(adj.edge);
-    if (ep.labels != nullptr && !ep.labels->Matches(ed.labels)) {
+    if (!label_prechecked && !EdgeLabelsMatch(in, adj.edge)) {
       return std::optional<State>();
     }
     ElementRef ref = ElementRef::Edge(adj.edge);
 
-    State next = state;
-
+    // Every rejection test runs against the source state first; the State
+    // copy (persistent-chain refcounts, scope/frame vectors) is paid only
+    // by admitted steps.
     const VarInfo& vi = vars_.info(in.var);
+    bool extend_env = false;
+    uint64_t serial = 0;
     if (!vi.anonymous) {
-      const EnvLink* prev = LookupEnv(next.env, in.var);
-      uint64_t serial = next.serials[static_cast<size_t>(vi.depth)];
+      const EnvLink* prev = LookupEnv(state.env, in.var);
+      serial = state.serials[static_cast<size_t>(vi.depth)];
       if (prev != nullptr && prev->serial == serial) {
         if (!(prev->element == ref)) return std::optional<State>();
       } else {
-        next.env = ExtendEnv(next.env, in.var, ref, serial);
+        extend_env = true;
       }
     }
     if (ep.where != nullptr) {
@@ -328,10 +427,13 @@ class Matcher {
                             EvalPredicate(*ep.where, g_, vars_, scope));
       if (ok != TriBool::kTrue) return std::optional<State>();
     }
-    GPML_ASSIGN_OR_RETURN(bool admitted, AdmitStep(adj.edge, adj.neighbor,
-                                                   &next));
-    if (!admitted) return std::optional<State>();
+    if (!CheckRestrictors(state, adj.edge, adj.neighbor)) {
+      return std::optional<State>();
+    }
 
+    State next = state;
+    if (extend_env) next.env = ExtendEnv(next.env, in.var, ref, serial);
+    ApplyRestrictors(&next, adj.edge, adj.neighbor);
     next.chain = Extend(next.chain, {in.var, ref}, adj.traversal);
     next.node = adj.neighbor;
     next.edges = state.edges + 1;
@@ -340,9 +442,13 @@ class Matcher {
   }
 
   /// Runs epsilon work from `state` until edge steps (appended to `parked`)
-  /// or accepts (recorded). Forks are handled with an explicit worklist.
+  /// or accepts (recorded). Forks are handled with an explicit worklist —
+  /// a member scratch so its capacity persists across the (very frequent)
+  /// calls instead of reallocating per admitted edge. Not reentrant; no
+  /// callee reaches AdvanceEpsilon again.
   Status AdvanceEpsilon(State state, std::vector<State>* parked) {
-    std::vector<State> work;
+    std::vector<State>& work = epsilon_work_;
+    work.clear();
     work.push_back(std::move(state));
     while (!work.empty()) {
       State cur = std::move(work.back());
@@ -471,10 +577,12 @@ class Matcher {
         State cur = std::move(stack.back());
         stack.pop_back();
         const Instr& in = program_.code[static_cast<size_t>(cur.pc)];
-        for (const Adjacency& adj : g_.adjacencies(cur.node)) {
+        bool prefiltered = false;
+        AdjSpan range = ExpansionRange(in, cur.node, &prefiltered);
+        for (const Adjacency& adj : range) {
           GPML_RETURN_IF_ERROR(Budget());
           GPML_ASSIGN_OR_RETURN(std::optional<State> next,
-                                TryEdge(in, cur, adj));
+                                TryEdge(in, cur, adj, prefiltered));
           if (next.has_value()) {
             GPML_RETURN_IF_ERROR(AdvanceEpsilon(std::move(*next), &stack));
           }
@@ -580,10 +688,12 @@ class Matcher {
       for (const State& cur : frontier) {
         if (!AdmitExpansion(cur, cur.edges)) continue;
         const Instr& in = program_.code[static_cast<size_t>(cur.pc)];
-        for (const Adjacency& adj : g_.adjacencies(cur.node)) {
+        bool prefiltered = false;
+        AdjSpan range = ExpansionRange(in, cur.node, &prefiltered);
+        for (const Adjacency& adj : range) {
           GPML_RETURN_IF_ERROR(Budget());
           GPML_ASSIGN_OR_RETURN(std::optional<State> nxt,
-                                TryEdge(in, cur, adj));
+                                TryEdge(in, cur, adj, prefiltered));
           if (nxt.has_value()) {
             GPML_RETURN_IF_ERROR(
                 AdvanceEpsilon(std::move(*nxt), &next_frontier));
@@ -615,6 +725,7 @@ class Matcher {
   size_t steps_ = 0;
   size_t pending_steps_ = 0;
   uint64_t serial_gen_ = 0;
+  std::vector<State> epsilon_work_;  // AdvanceEpsilon scratch.
   std::vector<PathBinding> results_;
   std::unordered_map<size_t, std::vector<size_t>> seen_;
   std::unordered_map<size_t, Visits> visits_;

@@ -35,6 +35,14 @@ struct MatcherOptions {
   /// of the shard count, so this is purely a latency knob). Tests set 1 to
   /// force sharding on tiny graphs.
   size_t min_seeds_per_shard = 16;
+  /// Interned-storage fast paths (see docs/storage.md): expansion over the
+  /// label-partitioned CSR index and label matching through the program's
+  /// compiled symbol predicates. Off runs the legacy full-adjacency scan
+  /// with string label comparison — the differential oracle. Results are
+  /// byte-identical either way (CSR partitions preserve the legacy scan
+  /// order); only the step counts differ, because the CSR path never visits
+  /// the records the label filter would reject.
+  bool use_csr = true;
 };
 
 /// One shared step/match budget drawn on by every seed shard of a RunPattern

@@ -237,4 +237,57 @@ Result<Program> CompilePattern(const PathPatternDecl& decl,
   return c.Compile(decl);
 }
 
+void BindProgramToGraph(Program* program, const PropertyGraph& g) {
+  const SymbolTable& labels = g.label_symbols();
+  const bool use_bits = g.label_bits_usable();
+  program->label_preds.clear();
+
+  auto add_pred = [&](const LabelExprPtr& expr) {
+    program->label_preds.push_back(
+        CompiledLabelPred::Compile(expr, labels, use_bits));
+    return static_cast<int>(program->label_preds.size()) - 1;
+  };
+
+  for (Instr& in : program->code) {
+    in.lpred = -1;
+    in.edge_label_sym = kNoLabelPartition;
+    in.edge_prefiltered = false;
+    if (in.op == Instr::Op::kNodeCheck && in.node->labels != nullptr) {
+      in.lpred = add_pred(in.node->labels);
+    }
+    if (in.op != Instr::Op::kEdgeStep || in.edge->labels == nullptr) continue;
+    in.lpred = add_pred(in.edge->labels);
+
+    // Partition choice: a plain name scans exactly its bucket (membership
+    // implies the match, no per-edge re-check); any other expression with
+    // required conjuncts scans the globally rarest conjunct's bucket and
+    // re-checks the compiled predicate per record.
+    const LabelExpr& expr = *in.edge->labels;
+    if (expr.kind == LabelExpr::Kind::kName) {
+      in.edge_label_sym = labels.Find(expr.name);  // kInvalidSymbol = empty.
+      in.edge_prefiltered = true;
+      continue;
+    }
+    std::vector<const std::string*> required;
+    expr.CollectRequiredNames(&required);
+    if (required.empty()) continue;
+    Symbol best = kNoLabelPartition;
+    size_t best_count = 0;
+    for (const std::string* name : required) {
+      Symbol s = labels.Find(*name);
+      if (s == kInvalidSymbol) {
+        // A required label the graph never uses: nothing can match.
+        best = kInvalidSymbol;
+        break;
+      }
+      size_t count = g.EdgesWithLabel(*name).size();
+      if (best == kNoLabelPartition || count < best_count) {
+        best = s;
+        best_count = count;
+      }
+    }
+    in.edge_label_sym = best;
+  }
+}
+
 }  // namespace gpml

@@ -9,6 +9,10 @@
 
 namespace gpml {
 
+/// Sentinel for Instr::edge_label_sym: no single CSR partition covers this
+/// edge step; expansion scans the full adjacency list.
+inline constexpr Symbol kNoLabelPartition = 0xfffffffeu;
+
 /// One instruction of the compiled pattern program. The matcher interprets
 /// these over the graph: kEdgeStep is the only instruction that consumes a
 /// graph edge; everything else is "epsilon" work (checks, bookkeeping,
@@ -37,6 +41,20 @@ struct Instr {
   const NodePattern* node = nullptr;
   const EdgePattern* edge = nullptr;
   int var = -1;                      // Interned variable id.
+  /// Graph-bound acceleration slots, filled by BindProgramToGraph (and left
+  /// at their defaults on unbound programs, which then run the legacy
+  /// string-matching paths):
+  int lpred = -1;                    // kNodeCheck/kEdgeStep: index into
+                                     // Program::label_preds; -1 = no label
+                                     // constraint or unbound program.
+  Symbol edge_label_sym = kNoLabelPartition;  // kEdgeStep: CSR partition to
+                                     // scan; kNoLabelPartition = full
+                                     // adjacency scan, kInvalidSymbol = the
+                                     // label is unknown to the graph (empty
+                                     // expansion).
+  bool edge_prefiltered = false;     // kEdgeStep: bucket membership already
+                                     // implies the label expression (plain
+                                     // single-name labels), skip the check.
   int depth = 0;                     // Quantifier depth of this position.
   bool quant_frame = false;          // kFrameBegin: iteration frame.
   bool guard_progress = false;       // kFrameEnd: fail on zero-edge loop.
@@ -57,6 +75,11 @@ struct Program {
   bool has_unbounded = false;  // Any {m,} quantifier in the pattern.
   PathPatternPtr root; // Keeps the normalized AST alive (instrs borrow).
 
+  /// Label expressions compiled against one graph's symbol table (see
+  /// BindProgramToGraph); indexed by Instr::lpred. Empty on unbound
+  /// programs.
+  std::vector<CompiledLabelPred> label_preds;
+
   std::string ToString() const;  // Disassembly for tests/debugging.
 };
 
@@ -65,6 +88,16 @@ struct Program {
 /// carried as metadata for the matcher.
 Result<Program> CompilePattern(const PathPatternDecl& decl,
                                const VarTable& vars);
+
+/// Binds `program` to `g`'s interned storage layer: every node/edge label
+/// expression compiles once into a symbol-id predicate, and every edge step
+/// resolves the CSR partition it can scan — the most selective required
+/// label conjunct, or the exact partition (no per-edge label re-check) when
+/// the expression is a single plain name. Programs bound to one graph must
+/// only run over that graph; the plan cache guarantees this by keying
+/// entries on the graph identity token. Unbound programs still execute
+/// correctly through the legacy string paths.
+void BindProgramToGraph(Program* program, const PropertyGraph& g);
 
 }  // namespace gpml
 

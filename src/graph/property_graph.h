@@ -10,6 +10,9 @@
 
 #include "common/result.h"
 #include "common/value.h"
+#include "graph/adjacency.h"
+#include "graph/csr_index.h"
+#include "graph/symbol_table.h"
 
 namespace gpml {
 
@@ -17,13 +20,6 @@ namespace planner {
 struct GraphStats;  // planner/stats.h; cached on the graph, see below.
 struct PlanCache;   // planner/plan_cache.h; cached on the graph, see below.
 }  // namespace planner
-
-/// Dense integer handle of a node within one PropertyGraph.
-using NodeId = uint32_t;
-/// Dense integer handle of an edge within one PropertyGraph.
-using EdgeId = uint32_t;
-
-inline constexpr uint32_t kInvalidId = 0xffffffffu;
 
 /// A reference to a graph element (node or edge) — the codomain of variable
 /// bindings in the execution model of §6.
@@ -60,12 +56,6 @@ struct ElementRefHash {
   }
 };
 
-/// How an edge is traversed within a path: a directed edge can be walked
-/// along its direction (forward) or against it (backward); an undirected
-/// edge has no orientation. Edge patterns of Figure 5 constrain which
-/// traversals are admissible.
-enum class Traversal : uint8_t { kForward, kBackward, kUndirected };
-
 /// Payload common to nodes and edges: external name, label set, properties.
 /// Labels are kept sorted for deterministic printing and fast subset tests.
 struct ElementData {
@@ -88,11 +78,13 @@ struct EdgeData : ElementData {
   NodeId v = kInvalidId;
 };
 
-/// An incident-edge record in a node's adjacency list.
-struct Adjacency {
-  EdgeId edge;
-  NodeId neighbor;       // The endpoint reached by this traversal.
-  Traversal traversal;   // How `edge` is crossed when leaving this node.
+/// A view of one element's interned label set (sorted by symbol id).
+struct SymSpan {
+  const Symbol* data = nullptr;
+  size_t count = 0;
+
+  const Symbol* begin() const { return data; }
+  const Symbol* end() const { return data + count; }
 };
 
 /// A property graph per Definition 2.1: finite node and edge sets, a total
@@ -130,6 +122,78 @@ class PropertyGraph {
   /// forward, directed in-edges backward, undirected incident edges).
   const std::vector<Adjacency>& adjacencies(NodeId n) const {
     return adjacency_[n];
+  }
+
+  /// The same records as `adjacencies(n)` as a span (the matcher's uniform
+  /// expansion-range type; see also CsrIndex::Range).
+  AdjSpan AdjacencySpan(NodeId n) const {
+    return {adjacency_[n].data(), adjacency_[n].size()};
+  }
+
+  // --- interned storage layer (built once in BuildIndexes) -----------------
+
+  /// Label and property-key strings interned to dense symbol ids. Label
+  /// symbols are an id space of their own so label sets pack into 64-bit
+  /// masks on graphs with <= 64 distinct labels.
+  const SymbolTable& label_symbols() const { return label_symbols_; }
+  const SymbolTable& property_symbols() const { return property_symbols_; }
+
+  /// True when every label set fits the uint64 bitmask representation.
+  bool label_bits_usable() const { return label_symbols_.size() <= 64; }
+
+  /// Bitmask of `n`'s labels (bit i = label symbol i); meaningful only when
+  /// label_bits_usable().
+  uint64_t node_label_bits(NodeId n) const { return node_label_bits_[n]; }
+  uint64_t edge_label_bits(EdgeId e) const { return edge_label_bits_[e]; }
+
+  /// `n`'s labels as sorted symbol ids (valid at any universe size).
+  SymSpan node_label_syms(NodeId n) const {
+    return {node_label_syms_.data() + node_label_offsets_[n],
+            node_label_offsets_[n + 1] - node_label_offsets_[n]};
+  }
+  SymSpan edge_label_syms(EdgeId e) const {
+    return {edge_label_syms_.data() + edge_label_offsets_[e],
+            edge_label_offsets_[e + 1] - edge_label_offsets_[e]};
+  }
+
+  /// Label-partitioned adjacency (see graph/csr_index.h): expansion with a
+  /// known edge label is a contiguous range scan.
+  const CsrIndex& csr() const { return csr_; }
+
+  /// Columnar property access: the value of property-key symbol `key` on an
+  /// element, NULL when absent. An array index per access — the interned
+  /// mirror of ElementData::properties (which stays the string-keyed oracle).
+  const Value& NodeColumnValue(Symbol key, NodeId n) const {
+    const std::vector<Value>& col = node_columns_[key];
+    return col.empty() ? kNullValue() : col[n];
+  }
+  const Value& EdgeColumnValue(Symbol key, EdgeId e) const {
+    const std::vector<Value>& col = edge_columns_[key];
+    return col.empty() ? kNullValue() : col[e];
+  }
+
+  /// Property lookup by name through the symbol table and columns: one hash
+  /// of the key string (shared across all elements) plus an array index,
+  /// replacing the per-element std::map walk of ElementData::GetProperty.
+  const Value& GetPropertyFast(const ElementRef& ref,
+                               const std::string& key) const {
+    Symbol s = property_symbols_.Find(key);
+    if (s == kInvalidSymbol) return kNullValue();
+    return ref.is_node() ? NodeColumnValue(s, ref.id)
+                         : EdgeColumnValue(s, ref.id);
+  }
+
+  /// Nodes carrying `label` whose `key` property equals `value` (ascending
+  /// node id) — the equality seed index the planner's index-backed seeding
+  /// consumes. Unknown labels/keys/values yield the empty list.
+  const std::vector<NodeId>& IndexedNodes(const std::string& label,
+                                          const std::string& key,
+                                          const Value& value) const {
+    static const std::vector<NodeId> kEmpty;
+    Symbol ls = label_symbols_.Find(label);
+    Symbol ks = property_symbols_.Find(key);
+    if (ls == kInvalidSymbol || ks == kInvalidSymbol) return kEmpty;
+    return seed_index_.Lookup(ls, ks, value);
   }
 
   /// Lookup by external name; kInvalidId when absent.
@@ -182,6 +246,13 @@ class PropertyGraph {
   friend class GraphBuilder;
 
   void BuildIndexes();
+  void BuildInternedLayer();
+
+  /// Shared NULL for missing-property results.
+  static const Value& kNullValue() {
+    static const Value kNull = Value::Null();
+    return kNull;
+  }
 
   /// Monotonic process-wide counter backing identity_token().
   static uint64_t NextIdentityToken();
@@ -193,6 +264,20 @@ class PropertyGraph {
   std::unordered_map<std::string, EdgeId> edge_by_name_;
   std::unordered_map<std::string, std::vector<NodeId>> nodes_by_label_;
   std::unordered_map<std::string, std::vector<EdgeId>> edges_by_label_;
+
+  // Interned storage layer (tentpole of the CSR PR; see docs/storage.md).
+  SymbolTable label_symbols_;
+  SymbolTable property_symbols_;
+  std::vector<uint32_t> node_label_offsets_;  // size nodes+1.
+  std::vector<Symbol> node_label_syms_;       // Sorted per element.
+  std::vector<uint32_t> edge_label_offsets_;  // size edges+1.
+  std::vector<Symbol> edge_label_syms_;
+  std::vector<uint64_t> node_label_bits_;
+  std::vector<uint64_t> edge_label_bits_;
+  CsrIndex csr_;
+  std::vector<std::vector<Value>> node_columns_;  // [key symbol][node id].
+  std::vector<std::vector<Value>> edge_columns_;  // [key symbol][edge id].
+  PropertySeedIndex seed_index_;
   mutable std::shared_ptr<const planner::GraphStats> stats_cache_;
   mutable std::shared_ptr<const planner::PlanCache> plan_cache_;
   uint64_t identity_token_ = NextIdentityToken();

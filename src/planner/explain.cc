@@ -111,6 +111,10 @@ std::string ExplainPlan(const Plan& plan, const VarTable& vars,
        << " source=";
     if (dp.seed_bound_var >= 0) {
       os << "bound:" << EscapeExplainValue(vars.name(dp.seed_bound_var));
+    } else if (dp.anchor.has_index()) {
+      // Index-backed seeding from the (label, prop) = value hash index.
+      os << "index:" << EscapeExplainValue(dp.anchor.label) << "."
+         << EscapeExplainValue(dp.anchor.index_prop);
     } else if (!dp.anchor.label.empty()) {
       os << "label:" << EscapeExplainValue(dp.anchor.label);
     } else {

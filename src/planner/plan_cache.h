@@ -7,6 +7,7 @@
 
 #include "ast/ast.h"
 #include "eval/binding.h"
+#include "eval/nfa.h"
 #include "graph/property_graph.h"
 #include "planner/planner.h"
 
@@ -29,6 +30,12 @@ struct CachedPlan {
   GraphPattern normalized;
   std::shared_ptr<const VarTable> vars;
   Plan plan;
+  /// One compiled, graph-bound program per plan declaration (in plan
+  /// order): label expressions are already resolved to symbol-id predicates
+  /// and CSR partitions against the owning graph, so a cache hit skips
+  /// pattern compilation and label-predicate binding too. Safe to share:
+  /// matcher shards only read programs.
+  std::vector<std::shared_ptr<const Program>> programs;
 };
 
 /// An immutable snapshot map of fingerprint -> CachedPlan, stored on the
@@ -48,10 +55,12 @@ inline constexpr size_t kPlanCacheMaxEntries = 128;
 
 /// Deterministic fingerprint of (pattern, planning mode): the pattern's
 /// surface-syntax rendering — Print roundtrips with the parser, so distinct
-/// patterns render distinctly — plus the planner flag, which selects between
-/// PlanPattern and DirectPlan outputs. The graph half of the cache key is
-/// the identity token carried by the cache snapshot itself.
-std::string PlanFingerprint(const GraphPattern& pattern, bool use_planner);
+/// patterns render distinctly — plus the planner and seed-index flags,
+/// which select between PlanPattern/DirectPlan outputs and index-backed vs
+/// label-scan seeding decisions. The graph half of the cache key is the
+/// identity token carried by the cache snapshot itself.
+std::string PlanFingerprint(const GraphPattern& pattern, bool use_planner,
+                            bool use_seed_index = true);
 
 /// The cached entry of `g` for `fingerprint`, or nullptr on a miss (also
 /// when the stored snapshot belongs to a different graph identity).

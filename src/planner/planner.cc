@@ -206,6 +206,41 @@ double EndpointFanout(const PathPattern& p, bool right_end,
   return count / denom;
 }
 
+/// A top-level AND-conjunct of `where` of the shape `var.prop = literal`
+/// (either operand order) with a non-null literal; fills prop/value.
+/// Non-null because `= NULL` is never kTrue, and top-level because an
+/// equality under OR/NOT is not necessary for the predicate to hold.
+bool FindEqualityConjunct(const Expr& where, const std::string& var,
+                          std::string* prop, Value* value) {
+  if (where.kind == Expr::Kind::kBinary && where.op == BinaryOp::kAnd) {
+    return FindEqualityConjunct(*where.lhs, var, prop, value) ||
+           FindEqualityConjunct(*where.rhs, var, prop, value);
+  }
+  if (where.kind != Expr::Kind::kBinary || where.op != BinaryOp::kEq) {
+    return false;
+  }
+  const Expr* access = nullptr;
+  const Expr* literal = nullptr;
+  if (where.lhs->kind == Expr::Kind::kPropertyAccess &&
+      where.rhs->kind == Expr::Kind::kLiteral) {
+    access = where.lhs.get();
+    literal = where.rhs.get();
+  } else if (where.rhs->kind == Expr::Kind::kPropertyAccess &&
+             where.lhs->kind == Expr::Kind::kLiteral) {
+    access = where.rhs.get();
+    literal = where.lhs.get();
+  } else {
+    return false;
+  }
+  if (access->var != var || var.empty() || access->property == "*" ||
+      literal->literal.is_null()) {
+    return false;
+  }
+  *prop = access->property;
+  *value = literal->literal;
+  return true;
+}
+
 SeedEstimate EstimateEndpoint(const NodePattern* np, const GraphStats& stats,
                               const PlannerConfig& config) {
   SeedEstimate est;
@@ -216,17 +251,45 @@ SeedEstimate EstimateEndpoint(const NodePattern* np, const GraphStats& stats,
     return est;
   }
   est.has_node = true;
-  // Mirror the matcher's seeding rule: a plain label name seeds from the
-  // label index, anything else scans all nodes.
-  if (np->labels != nullptr && np->labels->kind == LabelExpr::Kind::kName) {
-    est.label = np->labels->name;
-    est.enumerated = static_cast<double>(stats.NodeLabelCount(est.label));
+  // Mirror the matcher's seeding rule: seed from the most selective
+  // required label conjunct (a plain name, or any name a conjunction
+  // requires); anything else scans all nodes.
+  if (np->labels != nullptr) {
+    std::vector<const std::string*> required;
+    np->labels->CollectRequiredNames(&required);
+    const std::string* best = nullptr;
+    size_t best_count = 0;
+    for (const std::string* name : required) {
+      size_t count = stats.NodeLabelCount(*name);
+      if (best == nullptr || count < best_count) {
+        best = name;
+        best_count = count;
+      }
+    }
+    if (best != nullptr) {
+      est.label = *best;
+      est.enumerated = static_cast<double>(best_count);
+    } else {
+      est.enumerated = n;
+    }
   } else {
     est.enumerated = n;
   }
   est.survivors = EstimateLabelCardinality(np->labels, stats) *
                   PredicateSelectivity(np->where, config);
   est.survivors = std::min(est.survivors, est.enumerated);
+
+  // Index-backed seeding: a labeled endpoint with an inline equality
+  // predicate can seed from the (label, prop) = value hash index. The cost
+  // comparison against the label scan is the eq-selectivity discount on the
+  // enumerated seeds; the index is never larger than the label scan, so
+  // this estimate errs conservative.
+  if (config.use_seed_index && !est.label.empty() && np->where != nullptr &&
+      FindEqualityConjunct(*np->where, np->var, &est.index_prop,
+                           &est.index_value)) {
+    est.enumerated *= config.eq_selectivity;
+    est.survivors = std::min(est.survivors, est.enumerated);
+  }
   return est;
 }
 

@@ -23,6 +23,13 @@ struct PlannerConfig {
   /// Mirror the pattern only when the right end is better by this factor
   /// (hysteresis: ties and near-ties keep the written direction).
   double reverse_margin = 1.5;
+  /// Index-backed seeding: when an anchor endpoint carries a label and an
+  /// inline `var.prop = literal` conjunct, seed from the graph's
+  /// (label, prop) = value hash index instead of the label scan. Always at
+  /// most the label-scan seeds (cost-compared via eq_selectivity), and
+  /// result-preserving: the restriction only drops starts the first node
+  /// check would reject anyway. Off for differential comparison.
+  bool use_seed_index = true;
 };
 
 /// Seed-cost estimate of one endpoint of a path pattern declaration.
@@ -32,6 +39,11 @@ struct SeedEstimate {
   double survivors = 0;     // Seeds surviving label + inline predicate.
   double fanout = 0;        // Expected first-hop expansion per survivor.
   std::string label;        // Label-index source ("" = full node scan).
+  std::string index_prop;   // Non-empty: seed from the equality index
+                            // (label, index_prop) = index_value.
+  Value index_value;
+
+  bool has_index() const { return !index_prop.empty(); }
 
   /// The quantity plans are compared on.
   double Cost() const { return enumerated + survivors * (1.0 + fanout); }

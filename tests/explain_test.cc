@@ -77,6 +77,9 @@ TEST(ExplainTest, RoundtripsThePlan) {
     }
     if (dp.seed_bound_var >= 0) {
       EXPECT_EQ(ed.source, "bound:" + vars.name(dp.seed_bound_var));
+    } else if (dp.anchor.has_index()) {
+      EXPECT_EQ(ed.source,
+                "index:" + dp.anchor.label + "." + dp.anchor.index_prop);
     } else if (!dp.anchor.label.empty()) {
       EXPECT_EQ(ed.source, "label:" + dp.anchor.label);
     } else {
@@ -99,14 +102,27 @@ TEST(ExplainTest, FraudQueryPlanDecisions) {
   Result<planner::ExplainedPlan> parsed = planner::ParseExplain(*text);
   ASSERT_TRUE(parsed.ok());
   ASSERT_EQ(parsed->decls.size(), 2u);
-  // The selective co-location decl runs first from the Account label index;
-  // the transfer chain is seeded from the bound x values.
+  // The selective co-location decl runs first, seeded from the equality
+  // index on its inline isBlocked predicate; the transfer chain is seeded
+  // from the bound x values.
   EXPECT_EQ(parsed->decls[0].decl_index, 0);
-  EXPECT_EQ(parsed->decls[0].source, "label:Account");
+  EXPECT_EQ(parsed->decls[0].source, "index:Account.isBlocked");
   EXPECT_EQ(parsed->decls[1].decl_index, 1);
   EXPECT_EQ(parsed->decls[1].source, "bound:x");
   EXPECT_EQ(parsed->decls[1].join_vars,
             (std::vector<std::string>{"x", "y"}));
+}
+
+TEST(ExplainTest, SeedIndexOffFallsBackToLabelScan) {
+  PropertyGraph g = BuildPaperGraph();
+  EngineOptions options;
+  options.use_seed_index = false;
+  Engine engine(g, options);
+  Result<std::string> text = engine.Explain(kFraudQuery);
+  ASSERT_TRUE(text.ok());
+  Result<planner::ExplainedPlan> parsed = planner::ParseExplain(*text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->decls[0].source, "label:Account");
 }
 
 TEST(ExplainTest, PlannerOffIsReported) {
