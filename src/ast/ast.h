@@ -160,6 +160,9 @@ struct MatchStatement {
   bool has_return = false;
   bool return_distinct = false;
   std::vector<ReturnItem> return_items;
+  /// RETURN ... LIMIT n: cap on the projected row count (applied after
+  /// DISTINCT). nullopt = unlimited.
+  std::optional<uint64_t> limit;
 };
 
 }  // namespace gpml

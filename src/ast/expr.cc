@@ -83,6 +83,12 @@ ExprPtr Expr::Lit(Value v) {
   return e;
 }
 
+ExprPtr Expr::Param(std::string name) {
+  auto e = Make(Kind::kParam);
+  e->var = std::move(name);
+  return e;
+}
+
 ExprPtr Expr::Var(std::string name) {
   auto e = Make(Kind::kVarRef);
   e->var = std::move(name);
@@ -168,6 +174,7 @@ ExprPtr Expr::PathLength(std::string path_var) {
 std::string Expr::ToString() const {
   switch (kind) {
     case Kind::kLiteral: return QuoteIfString(literal);
+    case Kind::kParam: return "$" + var;
     case Kind::kVarRef: return var;
     case Kind::kPropertyAccess: return var + "." + property;
     case Kind::kBinary: {

@@ -35,6 +35,8 @@ const char* AggFuncName(AggFunc f);
 struct Expr {
   enum class Kind {
     kLiteral,         // 5000000, 'Ankh-Morpork', TRUE, NULL
+    kParam,           // $amount — placeholder bound per execution (prepared
+                      // queries); `var` holds the bare parameter name.
     kVarRef,          // x                 (element reference)
     kPropertyAccess,  // x.owner ; e.* is property == "*" (COUNT(e.*))
     kBinary,          // lhs op rhs
@@ -68,6 +70,7 @@ struct Expr {
 
   // Factory helpers (the parser and tests build expressions through these).
   static ExprPtr Lit(Value v);
+  static ExprPtr Param(std::string name);
   static ExprPtr Var(std::string name);
   static ExprPtr Prop(std::string var, std::string property);
   static ExprPtr Binary(BinaryOp op, ExprPtr l, ExprPtr r);
@@ -92,7 +95,9 @@ struct Expr {
   /// termination rules and by postfilter planning).
   bool ContainsAggregate() const;
 
-  /// Collects every variable referenced anywhere in the tree.
+  /// Collects every variable referenced anywhere in the tree. Parameter
+  /// names are not variables and are excluded; signature collection walks
+  /// the tree separately (eval/params.h, which also infers constraints).
   void CollectVariables(std::vector<std::string>* out) const;
 };
 

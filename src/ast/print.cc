@@ -147,6 +147,7 @@ std::string Print(const MatchStatement& m) {
       items.push_back(std::move(item));
     }
     s += Join(items, ", ");
+    if (m.limit.has_value()) s += " LIMIT " + std::to_string(*m.limit);
   }
   return s;
 }

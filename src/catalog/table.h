@@ -42,6 +42,11 @@ class Table {
   /// Removes duplicate rows (set semantics); sorts as a side effect.
   void DeduplicateRows();
 
+  /// Keeps only the first `n` rows (LIMIT application).
+  void TruncateRows(size_t n) {
+    if (rows_.size() > n) rows_.resize(n);
+  }
+
   /// ASCII rendering with a header row, à la psql.
   std::string ToString() const;
 

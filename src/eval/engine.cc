@@ -43,11 +43,14 @@ const Path* RowScope::LookupPath(int var) const {
 namespace {
 
 /// Joins the accumulated rows with the next declaration's bindings on the
-/// given join variables (hash join; cross product when none).
+/// given join variables (hash join; cross product when none). Exceeding
+/// `max_rows` is an error under BudgetPolicy::kError; with `truncate` the
+/// rows joined so far are returned and `*truncated` is set.
 Result<std::vector<ResultRow>> JoinDecl(
     std::vector<ResultRow> rows,
     const std::vector<std::shared_ptr<const PathBinding>>& bindings,
-    const std::vector<int>& join_vars, size_t max_rows) {
+    const std::vector<int>& join_vars, size_t max_rows, bool truncate,
+    bool* truncated) {
   auto key_of_binding =
       [&](const PathBinding& pb) -> std::optional<std::vector<ElementRef>> {
     std::vector<ElementRef> key;
@@ -74,7 +77,9 @@ Result<std::vector<ResultRow>> JoinDecl(
   }
 
   std::vector<ResultRow> out;
+  bool stop = false;
   for (ResultRow& row : rows) {
+    if (stop) break;
     std::optional<std::vector<ElementRef>> row_key;
     if (!join_vars.empty()) {
       std::vector<ElementRef> key;
@@ -100,6 +105,12 @@ Result<std::vector<ResultRow>> JoinDecl(
       nr.bindings.push_back(bindings[i]);
       out.push_back(std::move(nr));
       if (out.size() > max_rows) {
+        if (truncate) {
+          out.pop_back();  // Keep exactly max_rows rows.
+          *truncated = true;
+          stop = true;
+          return Status::OK();
+        }
         return Status::ResourceExhausted(
             "joined result exceeded max_rows; refine the pattern or raise "
             "EngineOptions::max_rows");
@@ -108,13 +119,14 @@ Result<std::vector<ResultRow>> JoinDecl(
     };
 
     if (!row_key.has_value()) {
-      for (size_t i = 0; i < bindings.size(); ++i) {
+      for (size_t i = 0; i < bindings.size() && !stop; ++i) {
         GPML_RETURN_IF_ERROR(extend_with(i));
       }
     } else {
       auto it = index.find(hash_key(*row_key));
       if (it == index.end()) continue;
       for (size_t i : it->second) {
+        if (stop) break;
         if (*keys[i] == *row_key) {
           GPML_RETURN_IF_ERROR(extend_with(i));
         }
@@ -124,11 +136,151 @@ Result<std::vector<ResultRow>> JoinDecl(
   return out;
 }
 
+/// Match-mode admission of one joined row (§7.1 Language Opportunity):
+/// DIFFERENT EDGES requires all matched edges across the whole graph
+/// pattern to be pairwise distinct, DIFFERENT NODES likewise for nodes.
+/// Distinctness is over logical bindings: all occurrences of one named
+/// singleton variable are a single binding (equi-joins assert equality,
+/// they must not self-collide), while group-variable iterations and
+/// anonymous positions each count separately — so a walk reusing an edge
+/// across quantifier iterations is rejected under DIFFERENT EDGES.
+bool ModeAdmitsRow(const MatchOutput& ctx, const ResultRow& row) {
+  if (ctx.normalized.mode == MatchMode::kRepeatableElements) return true;
+  bool edges_only = ctx.normalized.mode == MatchMode::kDifferentEdges;
+  std::unordered_set<uint32_t> seen;
+  std::unordered_set<uint64_t> singleton_bindings;
+  for (const auto& pb : row.bindings) {
+    for (const ElementaryBinding& b : pb->reduced) {
+      if (b.element.is_edge() != edges_only) continue;
+      const VarInfo& vi = ctx.vars->info(b.var);
+      if (!vi.group && !vi.anonymous) {
+        uint64_t key =
+            (static_cast<uint64_t>(b.var) << 32) | b.element.id;
+        if (!singleton_bindings.insert(key).second) continue;
+      }
+      if (!seen.insert(b.element.id).second) return false;
+    }
+  }
+  return true;
+}
+
+/// The shared per-row tail of every execution path: match-mode filter, then
+/// the final WHERE postfilter of §5.2. Batch materialization and both
+/// cursor modes run every row through this in the same order, which is what
+/// keeps streamed rows byte-identical to Engine::Match.
+Result<bool> RowSurvives(const MatchOutput& ctx, const PropertyGraph& g,
+                         const ResultRow& row) {
+  if (!ModeAdmitsRow(ctx, row)) return false;
+  if (ctx.normalized.where != nullptr) {
+    RowScope scope(ctx, row);
+    GPML_ASSIGN_OR_RETURN(
+        TriBool ok,
+        EvalPredicate(*ctx.normalized.where, g, *ctx.vars, scope));
+    if (ok != TriBool::kTrue) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Streaming eligibility: fixed-length patterns
+// ---------------------------------------------------------------------------
+
+std::optional<uint64_t> FixedPatternLength(const PathPattern& p);
+
+/// The edge count every match of `e` must have, nullopt when it varies.
+std::optional<uint64_t> FixedElementLength(const PathElement& e) {
+  switch (e.kind) {
+    case PathElement::Kind::kNode:
+      return 0;
+    case PathElement::Kind::kEdge:
+      return 1;
+    case PathElement::Kind::kParen:
+      return FixedPatternLength(*e.sub);
+    case PathElement::Kind::kQuantified: {
+      if (!e.max.has_value() || *e.max != e.min) return std::nullopt;
+      std::optional<uint64_t> sub = FixedPatternLength(*e.sub);
+      if (!sub.has_value()) return std::nullopt;
+      return e.min * *sub;
+    }
+    case PathElement::Kind::kOptional: {
+      std::optional<uint64_t> sub = FixedPatternLength(*e.sub);
+      if (sub.has_value() && *sub == 0) return 0;
+      return std::nullopt;  // 0 or |sub| edges: varies.
+    }
+  }
+  return std::nullopt;
+}
+
+/// The edge count every match of `p` must have, nullopt when it varies.
+/// Matches of a fixed-length pattern all sort equal under the merge's
+/// by-path-length order, so chunked seed-order generation reproduces the
+/// full run's binding order exactly — the streaming cursor's eligibility
+/// test (docs/api.md).
+std::optional<uint64_t> FixedPatternLength(const PathPattern& p) {
+  switch (p.kind) {
+    case PathPattern::Kind::kConcat: {
+      uint64_t total = 0;
+      for (const PathElement& e : p.elements) {
+        std::optional<uint64_t> len = FixedElementLength(e);
+        if (!len.has_value()) return std::nullopt;
+        total += *len;
+      }
+      return total;
+    }
+    case PathPattern::Kind::kUnion:
+    case PathPattern::Kind::kAlternation: {
+      std::optional<uint64_t> common;
+      for (const PathPatternPtr& alt : p.alternatives) {
+        std::optional<uint64_t> len = FixedPatternLength(*alt);
+        if (!len.has_value()) return std::nullopt;
+        if (common.has_value() && *common != *len) return std::nullopt;
+        common = len;
+      }
+      return common.has_value() ? common : std::optional<uint64_t>(0);
+    }
+  }
+  return std::nullopt;
+}
+
+/// Resolves the index-seeding value of an anchor estimate: the planned
+/// literal, or the bind-time value of the $parameter the equality compares
+/// against. nullptr when the parameter is unbound or NULL (the engine then
+/// falls back to label-scan seeding, which is always result-identical).
+const Value* ResolveIndexValue(const planner::SeedEstimate& anchor,
+                               const Params* params) {
+  if (anchor.index_param.empty()) return &anchor.index_value;
+  if (params == nullptr) return nullptr;
+  auto it = params->find(anchor.index_param);
+  if (it == params->end() || it->second.is_null()) return nullptr;
+  return &it->second;
+}
+
+/// First-row chunk of the streaming cursor; chunks grow geometrically so a
+/// full drain pays O(log seeds) chunk overheads while LIMIT 1 touches only
+/// a handful of seeds.
+constexpr size_t kFirstChunkSeeds = 8;
+constexpr size_t kMaxChunkSeeds = 4096;
+
 }  // namespace
 
-Result<MatchOutput> Engine::Match(const std::string& match_text) const {
-  GPML_ASSIGN_OR_RETURN(GraphPattern pattern, ParseGraphPattern(match_text));
-  return Match(pattern);
+// ---------------------------------------------------------------------------
+// Engine: prepare
+// ---------------------------------------------------------------------------
+
+Result<Engine::Analyzed> Engine::AnalyzePattern(
+    const GraphPattern& pattern) const {
+  Analyzed p;
+  GPML_ASSIGN_OR_RETURN(p.normalized, Normalize(pattern));
+  GPML_ASSIGN_OR_RETURN(Analysis analysis, Analyze(p.normalized));
+  GPML_RETURN_IF_ERROR(CheckTermination(p.normalized, analysis));
+  p.vars = std::make_shared<const VarTable>(analysis);
+  return p;
+}
+
+size_t Engine::ResolvedThreads() const {
+  if (options_.num_threads != 0) return options_.num_threads;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
 }
 
 Result<planner::Plan> Engine::PlanNormalized(const GraphPattern& normalized,
@@ -143,26 +295,14 @@ Result<planner::Plan> Engine::PlanNormalized(const GraphPattern& normalized,
   return planner::PlanPattern(normalized, vars, *stats, config);
 }
 
-Result<Engine::Prepared> Engine::Prepare(const GraphPattern& pattern) const {
-  Prepared p;
-  GPML_ASSIGN_OR_RETURN(p.normalized, Normalize(pattern));
-  GPML_ASSIGN_OR_RETURN(Analysis analysis, Analyze(p.normalized));
-  GPML_RETURN_IF_ERROR(CheckTermination(p.normalized, analysis));
-  p.vars = std::make_shared<const VarTable>(analysis);
-  return p;
-}
-
-size_t Engine::ResolvedThreads() const {
-  if (options_.num_threads != 0) return options_.num_threads;
-  unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<size_t>(hw);
-}
-
 Result<std::shared_ptr<const planner::CachedPlan>> Engine::PreparePlan(
     const GraphPattern& pattern, bool* cache_hit) const {
   *cache_hit = false;
   std::string fingerprint;
   if (options_.use_plan_cache) {
+    // The fingerprint is the parameterized pattern text: $name placeholders
+    // render as themselves, so executions differing only in bound values
+    // share one entry — the prepare-once contract.
     fingerprint = planner::PlanFingerprint(pattern, options_.use_planner,
                                            options_.use_seed_index);
     if (std::shared_ptr<const planner::CachedPlan> cached =
@@ -172,7 +312,7 @@ Result<std::shared_ptr<const planner::CachedPlan>> Engine::PreparePlan(
     }
   }
   auto entry = std::make_shared<planner::CachedPlan>();
-  GPML_ASSIGN_OR_RETURN(Prepared p, Prepare(pattern));
+  GPML_ASSIGN_OR_RETURN(Analyzed p, AnalyzePattern(pattern));
   entry->normalized = std::move(p.normalized);
   entry->vars = std::move(p.vars);
   GPML_ASSIGN_OR_RETURN(entry->plan,
@@ -195,6 +335,24 @@ Result<std::shared_ptr<const planner::CachedPlan>> Engine::PreparePlan(
   }
   return shared;
 }
+
+Result<PreparedQuery> Engine::Prepare(const std::string& match_text) const {
+  GPML_ASSIGN_OR_RETURN(GraphPattern pattern, ParseGraphPattern(match_text));
+  return Prepare(pattern);
+}
+
+Result<PreparedQuery> Engine::Prepare(const GraphPattern& pattern) const {
+  bool cache_hit = false;
+  GPML_ASSIGN_OR_RETURN(std::shared_ptr<const planner::CachedPlan> plan,
+                        PreparePlan(pattern, &cache_hit));
+  ParamSignature signature = CollectPatternParams(plan->normalized);
+  return PreparedQuery(graph_, options_, std::move(plan),
+                       std::move(signature), cache_hit);
+}
+
+// ---------------------------------------------------------------------------
+// Engine: plan / explain
+// ---------------------------------------------------------------------------
 
 Result<planner::Plan> Engine::Plan(const GraphPattern& pattern) const {
   bool cache_hit = false;
@@ -219,16 +377,61 @@ Result<std::string> Engine::Explain(const GraphPattern& pattern) const {
                               /*stats=*/nullptr, &exec);
 }
 
+Result<std::string> Engine::ExplainAnalyze(const std::string& match_text,
+                                           const Params& params) const {
+  GPML_ASSIGN_OR_RETURN(GraphPattern pattern, ParseGraphPattern(match_text));
+  return ExplainAnalyze(pattern, params);
+}
+
+Result<std::string> Engine::ExplainAnalyze(const GraphPattern& pattern,
+                                           const Params& params) const {
+  GPML_ASSIGN_OR_RETURN(PreparedQuery prepared, Prepare(pattern));
+  GPML_RETURN_IF_ERROR(ValidateParams(prepared.signature_, params));
+  std::shared_ptr<const Params> shared =
+      params.empty() ? nullptr : std::make_shared<const Params>(params);
+  std::vector<planner::DeclActual> actuals;
+  GPML_ASSIGN_OR_RETURN(
+      MatchOutput out,
+      ExecutePlan(*prepared.plan_, prepared.cache_hit_, std::move(shared),
+                  &actuals));
+  planner::ExplainExec exec;
+  exec.threads = ResolvedThreads();
+  exec.cached = prepared.cache_hit_;
+  exec.analyzed = true;
+  exec.rows = out.rows.size();
+  exec.truncated = out.truncated;
+  return planner::ExplainPlan(prepared.plan_->plan, *prepared.plan_->vars,
+                              /*stats=*/nullptr, &exec, &actuals);
+}
+
+// ---------------------------------------------------------------------------
+// Engine: batch execution (the differential oracle)
+// ---------------------------------------------------------------------------
+
+Result<MatchOutput> Engine::Match(const std::string& match_text) const {
+  GPML_ASSIGN_OR_RETURN(GraphPattern pattern, ParseGraphPattern(match_text));
+  return Match(pattern);
+}
+
 Result<MatchOutput> Engine::Match(const GraphPattern& pattern) const {
+  // The legacy one-shot call is a thin prepare-bind-drain: prepare (or hit
+  // the plan cache), bind the empty parameter set, materialize.
+  GPML_ASSIGN_OR_RETURN(PreparedQuery prepared, Prepare(pattern));
+  return prepared.Execute();
+}
+
+Result<MatchOutput> Engine::ExecutePlan(
+    const planner::CachedPlan& prepared, bool cache_hit,
+    std::shared_ptr<const Params> params,
+    std::vector<planner::DeclActual>* actuals) const {
   MatchOutput out;
   if (options_.metrics != nullptr) *options_.metrics = {};
-
-  bool cache_hit = false;
-  GPML_ASSIGN_OR_RETURN(std::shared_ptr<const planner::CachedPlan> prepared,
-                        PreparePlan(pattern, &cache_hit));
-  out.normalized = prepared->normalized;
-  out.vars = prepared->vars;
-  const planner::Plan& plan = prepared->plan;
+  out.normalized = prepared.normalized;
+  out.vars = prepared.vars;
+  out.params = std::move(params);
+  const planner::Plan& plan = prepared.plan;
+  const bool truncate =
+      options_.on_budget == EngineOptions::BudgetPolicy::kTruncate;
 
   const size_t num_workers = ResolvedThreads();
   MatcherOptions matcher_options = options_.matcher;
@@ -259,13 +462,14 @@ Result<MatchOutput> Engine::Match(const GraphPattern& pattern) const {
         decl.path_var.empty() ? -1 : out.vars->Find(decl.path_var);
 
     // Compiled with the plan (and graph-bound); cache hits reuse it as-is.
-    const Program& program = *prepared->programs[plan_pos];
+    const Program& program = *prepared.programs[plan_pos];
 
     // Restricted seeding: the anchor variable is already bound by earlier
     // declarations, so only those nodes can start a joinable match; failing
     // that, an anchor with an inline equality predicate seeds from the
-    // (label, prop) = value hash index — both restrictions only drop starts
-    // the pattern's first node check would reject anyway.
+    // (label, prop) = value hash index — the value is the planned literal
+    // or the bind-time $parameter binding. Both restrictions only drop
+    // starts the pattern's first node check would reject anyway.
     std::vector<NodeId> seed_filter;
     const std::vector<NodeId>* filter = nullptr;
     bool use_filter = !first && dp.seed_bound_var >= 0;
@@ -285,16 +489,25 @@ Result<MatchOutput> Engine::Match(const GraphPattern& pattern) const {
       std::sort(seed_filter.begin(), seed_filter.end());
       filter = &seed_filter;
     } else if (plan.planner_used && dp.anchor.has_index()) {
-      use_index = true;
-      filter = &graph_.IndexedNodes(dp.anchor.label, dp.anchor.index_prop,
-                                    dp.anchor.index_value);
+      const Value* idx_value =
+          ResolveIndexValue(dp.anchor, out.params.get());
+      if (idx_value != nullptr) {
+        use_index = true;
+        filter = &graph_.IndexedNodes(dp.anchor.label, dp.anchor.index_prop,
+                                      *idx_value);
+      }
+      // A NULL-bound parameter falls back to label-scan seeding: the inline
+      // predicate itself filters (to nothing — `= NULL` is never true).
     }
 
     MatchStats match_stats;
+    bool decl_truncated = false;
     GPML_ASSIGN_OR_RETURN(
         MatchSet match,
         RunPattern(graph_, program, *out.vars, matcher_options, filter,
-                   &match_stats));
+                   &match_stats, out.params.get(), /*shared_budget=*/nullptr,
+                   truncate ? &decl_truncated : nullptr));
+    if (decl_truncated) out.truncated = true;
     if (dp.reversed) planner::UnreverseMatchSet(&match);
 
     if (options_.metrics != nullptr) {
@@ -305,6 +518,15 @@ Result<MatchOutput> Engine::Match(const GraphPattern& pattern) const {
       if (dp.reversed) ++m.reversed_decls;
       if (use_filter) ++m.seed_filtered_decls;
       if (use_index) ++m.index_seeded_decls;
+    }
+    if (actuals != nullptr) {
+      planner::DeclActual a;
+      a.seeds = match_stats.seeds;
+      a.steps = match_stats.steps;
+      a.bindings = match.bindings.size();
+      a.index_seeded = use_index;
+      a.seed_filtered = use_filter;
+      actuals->push_back(a);
     }
 
     std::vector<std::shared_ptr<const PathBinding>> bindings;
@@ -324,9 +546,11 @@ Result<MatchOutput> Engine::Match(const GraphPattern& pattern) const {
       continue;
     }
 
+    bool join_truncated = false;
     GPML_ASSIGN_OR_RETURN(
         rows, JoinDecl(std::move(rows), bindings, dp.join_vars,
-                       options_.max_rows));
+                       options_.max_rows, truncate, &join_truncated));
+    if (join_truncated) out.truncated = true;
   }
 
   // Row bindings were accumulated in plan execution order; restore source
@@ -346,58 +570,256 @@ Result<MatchOutput> Engine::Match(const GraphPattern& pattern) const {
     }
   }
 
-  // Match mode (§7.1 Language Opportunity): DIFFERENT EDGES requires all
-  // matched edges across the whole graph pattern to be pairwise distinct;
-  // DIFFERENT NODES likewise for nodes. The default (REPEATABLE ELEMENTS)
-  // is the paper's homomorphism semantics.
-  if (out.normalized.mode != MatchMode::kRepeatableElements) {
-    // Distinctness is over logical bindings: all occurrences of one named
-    // singleton variable are a single binding (equi-joins assert equality,
-    // they must not self-collide), while group-variable iterations and
-    // anonymous positions each count separately — so a walk reusing an
-    // edge across quantifier iterations is rejected under DIFFERENT EDGES.
-    bool edges_only = out.normalized.mode == MatchMode::kDifferentEdges;
-    std::vector<ResultRow> kept;
-    kept.reserve(rows.size());
-    for (ResultRow& row : rows) {
-      std::unordered_set<uint32_t> seen;
-      std::unordered_set<uint64_t> singleton_bindings;
-      bool ok = true;
-      for (const auto& pb : row.bindings) {
-        for (const ElementaryBinding& b : pb->reduced) {
-          if (b.element.is_edge() != edges_only) continue;
-          const VarInfo& vi = out.vars->info(b.var);
-          if (!vi.group && !vi.anonymous) {
-            uint64_t key = (static_cast<uint64_t>(b.var) << 32) |
-                           b.element.id;
-            if (!singleton_bindings.insert(key).second) continue;
-          }
-          if (!seen.insert(b.element.id).second) {
-            ok = false;
-            break;
-          }
-        }
-        if (!ok) break;
+  // Per-row tail: match-mode filter (§7.1) and the final WHERE (§5.2) —
+  // the same RowSurvives the cursor paths stream through.
+  std::vector<ResultRow> surviving;
+  surviving.reserve(rows.size());
+  for (ResultRow& row : rows) {
+    GPML_ASSIGN_OR_RETURN(bool keep, RowSurvives(out, graph_, row));
+    if (keep) surviving.push_back(std::move(row));
+  }
+  out.rows = std::move(surviving);
+
+  if (options_.metrics != nullptr) {
+    options_.metrics->rows = out.rows.size();
+    options_.metrics->budget_truncated = out.truncated ? 1 : 0;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// PreparedQuery
+// ---------------------------------------------------------------------------
+
+PreparedQuery::PreparedQuery(const PropertyGraph& graph,
+                             EngineOptions options,
+                             std::shared_ptr<const planner::CachedPlan> plan,
+                             ParamSignature signature, bool cache_hit)
+    : graph_(&graph),
+      options_(std::move(options)),
+      plan_(std::move(plan)),
+      signature_(std::move(signature)),
+      cache_hit_(cache_hit) {}
+
+Result<MatchOutput> PreparedQuery::Execute(const Params& params) const {
+  GPML_RETURN_IF_ERROR(ValidateParams(signature_, params));
+  std::shared_ptr<const Params> shared =
+      params.empty() ? nullptr : std::make_shared<const Params>(params);
+  Engine engine(*graph_, options_);
+  return engine.ExecutePlan(*plan_, cache_hit_, std::move(shared),
+                            /*actuals=*/nullptr);
+}
+
+Result<Cursor> PreparedQuery::Open(const Params& params) const {
+  return Open(params, std::nullopt);
+}
+
+Result<Cursor> PreparedQuery::Open(const Params& params,
+                                   std::optional<uint64_t> limit) const {
+  GPML_RETURN_IF_ERROR(ValidateParams(signature_, params));
+  std::shared_ptr<const Params> shared =
+      params.empty() ? nullptr : std::make_shared<const Params>(params);
+  return Cursor(*graph_, options_, plan_, std::move(shared), cache_hit_,
+                limit);
+}
+
+Result<std::string> PreparedQuery::Explain() const {
+  Engine engine(*graph_, options_);
+  planner::ExplainExec exec;
+  exec.threads = engine.ResolvedThreads();
+  exec.cached = cache_hit_;
+  return planner::ExplainPlan(plan_->plan, *plan_->vars, /*stats=*/nullptr,
+                              &exec);
+}
+
+// ---------------------------------------------------------------------------
+// Cursor
+// ---------------------------------------------------------------------------
+
+Cursor::Cursor(const PropertyGraph& graph, EngineOptions options,
+               std::shared_ptr<const planner::CachedPlan> plan,
+               std::shared_ptr<const Params> params, bool cache_hit,
+               std::optional<uint64_t> limit)
+    : graph_(&graph),
+      options_(std::move(options)),
+      plan_(std::move(plan)),
+      cache_hit_(cache_hit),
+      limit_(limit) {
+  context_.normalized = plan_->normalized;
+  context_.vars = plan_->vars;
+  context_.params = std::move(params);
+  const planner::Plan& p = plan_->plan;
+  context_.path_vars.assign(p.decls.size(), -1);
+  for (const planner::DeclPlan& dp : p.decls) {
+    context_.path_vars[static_cast<size_t>(dp.decl_index)] =
+        dp.decl.path_var.empty() ? -1 : context_.vars->Find(dp.decl.path_var);
+  }
+
+  // Streaming eligibility: a single declaration with no selector whose
+  // matches all have one fixed path length. Then per-chunk merge order
+  // (stable by-length sort) is the identity, chunk outputs concatenate in
+  // seed order exactly like the full run's discovery order, and cross-chunk
+  // duplicates cannot exist (distinct seeds; a reduced binding keeps its
+  // start node) — so streamed rows are byte-identical to Execute.
+  if (p.decls.size() == 1 && p.decls[0].decl.selector.IsNone() &&
+      FixedPatternLength(*p.decls[0].decl.pattern).has_value()) {
+    mode_ = Mode::kStream;
+    const planner::DeclPlan& dp = p.decls[0];
+    stream_reversed_ = dp.reversed;
+    const std::vector<NodeId>* filter = nullptr;
+    if (p.planner_used && dp.anchor.has_index()) {
+      const Value* idx_value =
+          ResolveIndexValue(dp.anchor, context_.params.get());
+      if (idx_value != nullptr) {
+        stream_index_seeded_ = true;
+        filter = &graph.IndexedNodes(dp.anchor.label, dp.anchor.index_prop,
+                                     *idx_value);
       }
-      if (ok) kept.push_back(std::move(row));
     }
-    rows = std::move(kept);
+    seeds_ = ComputeSeeds(graph, *plan_->programs[0], filter);
+    chunk_size_ = kFirstChunkSeeds;
+    // One budget across all chunks: the stream can never execute more
+    // steps or accept more matches than a single materializing call.
+    budget_ = std::make_unique<SharedBudget>(options_.matcher.max_steps,
+                                             options_.matcher.max_matches);
   }
 
-  // Final WHERE: the postfilter of §5.2.
-  if (out.normalized.where != nullptr) {
-    std::vector<ResultRow> filtered;
-    for (ResultRow& row : rows) {
-      RowScope scope(out, row);
-      GPML_ASSIGN_OR_RETURN(
-          TriBool ok,
-          EvalPredicate(*out.normalized.where, graph_, *out.vars, scope));
-      if (ok == TriBool::kTrue) filtered.push_back(std::move(row));
+  if (options_.metrics != nullptr) {
+    *options_.metrics = {};
+    Engine engine(*graph_, options_);
+    options_.metrics->threads = engine.ResolvedThreads();
+    if (cache_hit_) {
+      options_.metrics->plan_cache_hits = 1;
+    } else {
+      options_.metrics->plan_cache_misses = 1;
     }
-    rows = std::move(filtered);
+    if (mode_ == Mode::kStream) {
+      options_.metrics->decls = 1;
+      if (stream_reversed_) options_.metrics->reversed_decls = 1;
+      if (stream_index_seeded_) options_.metrics->index_seeded_decls = 1;
+    }
+  }
+}
+
+Status Cursor::FillChunk() {
+  staged_.clear();
+  staged_pos_ = 0;
+  const planner::DeclPlan& dp = plan_->plan.decls[0];
+  const Program& program = *plan_->programs[0];
+
+  const size_t count = std::min(chunk_size_, seeds_.size() - seed_pos_);
+  std::vector<NodeId> chunk(seeds_.begin() + static_cast<long>(seed_pos_),
+                            seeds_.begin() +
+                                static_cast<long>(seed_pos_ + count));
+  seed_pos_ += count;
+  chunk_size_ = std::min(chunk_size_ * 2, kMaxChunkSeeds);
+
+  Engine engine(*graph_, options_);
+  MatcherOptions matcher_options = options_.matcher;
+  matcher_options.num_threads = engine.ResolvedThreads();
+  matcher_options.use_csr = options_.use_csr;
+
+  const bool truncate =
+      options_.on_budget == EngineOptions::BudgetPolicy::kTruncate;
+  MatchStats stats;
+  bool exhausted = false;
+  Result<MatchSet> match =
+      RunPattern(*graph_, program, *context_.vars, matcher_options, &chunk,
+                 &stats, context_.params.get(), budget_.get(),
+                 truncate ? &exhausted : nullptr);
+  if (!match.ok()) return match.status();
+  if (dp.reversed) planner::UnreverseMatchSet(&*match);
+
+  if (options_.metrics != nullptr) {
+    options_.metrics->seeded_nodes += stats.seeds;
+    options_.metrics->matcher_steps += stats.steps;
   }
 
-  out.rows = std::move(rows);
+  for (PathBinding& pb : match->bindings) {
+    ResultRow row;
+    row.bindings.push_back(
+        std::make_shared<const PathBinding>(std::move(pb)));
+    Result<bool> keep = RowSurvives(context_, *graph_, row);
+    if (!keep.ok()) return keep.status();
+    if (*keep) staged_.push_back(std::move(row));
+  }
+
+  if (exhausted) {
+    truncated_ = true;
+    context_.truncated = true;
+    seed_pos_ = seeds_.size();  // No further chunks.
+    if (options_.metrics != nullptr) {
+      options_.metrics->budget_truncated = 1;
+    }
+  }
+  return Status::OK();
+}
+
+Status Cursor::FillBatch() {
+  batch_ran_ = true;
+  Engine engine(*graph_, options_);
+  Result<MatchOutput> out =
+      engine.ExecutePlan(*plan_, cache_hit_, context_.params,
+                         /*actuals=*/nullptr);
+  if (!out.ok()) return out.status();
+  truncated_ = out->truncated;
+  context_.truncated = out->truncated;
+  staged_ = std::move(out->rows);
+  staged_pos_ = 0;
+  // ExecutePlan reported the materialized count; the cursor contract is
+  // rows *emitted so far*, counted per pull in Next for both modes.
+  if (options_.metrics != nullptr) options_.metrics->rows = 0;
+  return Status::OK();
+}
+
+Result<bool> Cursor::Next(RowView* view) {
+  if (!status_.ok()) return status_;
+  if (limit_.has_value() && emitted_ >= *limit_) {
+    if (!done_) {
+      done_ = true;
+      hit_limit_ = true;
+    }
+    return false;
+  }
+  if (done_) return false;
+  while (true) {
+    if (staged_pos_ < staged_.size()) {
+      current_ = std::move(staged_[staged_pos_++]);
+      ++emitted_;
+      if (options_.metrics != nullptr) ++options_.metrics->rows;
+      view->row = &current_;
+      view->context = &context_;
+      return true;
+    }
+    if (mode_ == Mode::kBatch) {
+      if (batch_ran_) {
+        done_ = true;
+        return false;
+      }
+      status_ = FillBatch();
+    } else {
+      if (seed_pos_ >= seeds_.size()) {
+        done_ = true;
+        return false;
+      }
+      status_ = FillChunk();
+    }
+    if (!status_.ok()) {
+      done_ = true;
+      return status_;
+    }
+  }
+}
+
+Result<MatchOutput> Cursor::Drain() {
+  MatchOutput out = context_;
+  RowView view;
+  while (true) {
+    GPML_ASSIGN_OR_RETURN(bool more, Next(&view));
+    if (!more) break;
+    out.rows.push_back(*view.row);
+  }
+  out.truncated = truncated_;
   return out;
 }
 

@@ -2,6 +2,7 @@
 #define GPML_EVAL_ENGINE_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -10,22 +11,26 @@
 #include "eval/binding.h"
 #include "eval/expr_eval.h"
 #include "eval/matcher.h"
+#include "eval/params.h"
 #include "graph/property_graph.h"
+#include "planner/explain.h"
 #include "planner/plan_cache.h"
 #include "planner/planner.h"
 #include "semantics/analyze.h"
 
 namespace gpml {
 
-/// Execution counters of one Engine::Match call, aggregated over all path
-/// declarations. Filled when EngineOptions::metrics points here; the
-/// planner benchmarks compare these with the planner on and off.
+/// Execution counters of one execution (Engine::Match, PreparedQuery
+/// execution, or a Cursor stream), aggregated over all path declarations.
+/// Filled when EngineOptions::metrics points here; the planner benchmarks
+/// compare these with the planner on and off.
 ///
 /// Deliberately plain size_t fields (the benchmarks depend on the struct
 /// staying POD): nothing increments them during execution. Worker shards
 /// count into shard-local MatchStats and the totals are merged into this
 /// struct once per declaration, after all shards have joined — so a
-/// num_threads > 1 run never races on these fields.
+/// num_threads > 1 run never races on these fields. Cursor streams update
+/// the struct between pulls (single-threaded caller context).
 struct EngineMetrics {
   size_t decls = 0;                // Path declarations executed.
   size_t seeded_nodes = 0;         // Start nodes seeded, summed over decls.
@@ -40,6 +45,11 @@ struct EngineMetrics {
   size_t plan_cache_misses = 0;    // 1 on a fresh compile, else 0.
   size_t index_seeded_decls = 0;   // Declarations seeded from the equality
                                    // (label, prop) = value hash index.
+  size_t rows = 0;                 // Result rows delivered (post mode filter
+                                   // and postfilter; cursor: emitted so far).
+  size_t budget_truncated = 0;     // 1 when the output was cut short by an
+                                   // evaluation budget (BudgetPolicy::
+                                   // kTruncate) — distinct from a LIMIT stop.
 };
 
 struct EngineOptions {
@@ -61,7 +71,9 @@ struct EngineOptions {
   /// programs) on the graph keyed by (graph identity token, pattern
   /// fingerprint) so repeated queries skip normalize/analyze/plan/compile
   /// (see planner/plan_cache.h). The cache is shared by every engine/host
-  /// over the same graph.
+  /// over the same graph. The fingerprint renders $parameters as
+  /// placeholders, so executions differing only in bound values share one
+  /// entry (docs/planner.md).
   bool use_plan_cache = true;
   /// Interned-storage fast paths (docs/storage.md): label-partitioned CSR
   /// expansion and compiled symbol-id label predicates in the matcher. Off
@@ -70,10 +82,22 @@ struct EngineOptions {
   bool use_csr = true;
   /// Planner seeding from the (label, prop) = value equality hash index
   /// when an anchor endpoint carries a matching inline predicate (EXPLAIN:
-  /// `source=index:<label>.<prop>`). Off falls back to label-scan seeding;
-  /// rows are identical, only the seed list shrinks.
+  /// `source=index:<label>.<prop>`). The predicate may compare against a
+  /// $parameter; the index value is then resolved at bind time. Off falls
+  /// back to label-scan seeding; rows are identical, only the seed list
+  /// shrinks.
   bool use_seed_index = true;
-  /// When non-null, reset and filled on every Match call.
+  /// What happens when an evaluation budget (MatcherOptions::max_steps /
+  /// max_matches, EngineOptions::max_rows) trips. kError (the historical
+  /// behavior) fails the call with kResourceExhausted and no rows. kTruncate
+  /// delivers the rows found so far with MatchOutput::truncated (or
+  /// Cursor::truncated()) set and EngineMetrics::budget_truncated = 1 —
+  /// never silently: a capped result is always either an error or a
+  /// flagged partial. Truncated row sets are best-effort (deterministic
+  /// only for single-shard runs); full results are unaffected.
+  enum class BudgetPolicy { kError, kTruncate };
+  BudgetPolicy on_budget = BudgetPolicy::kError;
+  /// When non-null, reset and filled on every execution.
   EngineMetrics* metrics = nullptr;
 };
 
@@ -86,20 +110,27 @@ struct ResultRow {
 /// The output of pattern matching, self-contained: rows plus the compiled
 /// context needed to interpret them (variable table, normalized pattern with
 /// the expressions the rows may be projected through, per-declaration path
-/// variables).
+/// variables, and the $parameter bindings of this execution).
 struct MatchOutput {
   std::vector<ResultRow> rows;
   std::shared_ptr<const VarTable> vars;
   GraphPattern normalized;        // Keeps pattern ASTs alive.
   std::vector<int> path_vars;     // Per declaration; -1 when absent.
+  /// The $name bindings this output was produced under (RETURN/COLUMNS
+  /// expressions may reference them); nullptr for parameter-free queries.
+  std::shared_ptr<const Params> params;
+  /// True when rows is an incomplete prefix because an evaluation budget
+  /// tripped under BudgetPolicy::kTruncate (never set by a clean LIMIT).
+  bool truncated = false;
 
   size_t size() const { return rows.size(); }
 };
 
 /// Expression scope over one result row: singleton lookups see the last
 /// binding of a variable, group collections span the whole row, path
-/// variables resolve to their declaration's matched path. Used for the
-/// final WHERE postfilter and by both hosts for projection.
+/// variables resolve to their declaration's matched path, $parameters to
+/// the execution's bindings. Used for the final WHERE postfilter and by
+/// both hosts for projection.
 class RowScope : public EvalScope {
  public:
   RowScope(const MatchOutput& output, const ResultRow& row)
@@ -108,24 +139,224 @@ class RowScope : public EvalScope {
   std::optional<ElementRef> LookupSingleton(int var) const override;
   std::vector<ElementRef> CollectGroup(int var) const override;
   const Path* LookupPath(int var) const override;
+  const Value* LookupParam(const std::string& name) const override {
+    return FindParam(output_.params.get(), name);
+  }
 
  private:
   const MatchOutput& output_;
   const ResultRow& row_;
 };
 
+class Cursor;
+class Engine;
+
+/// A non-owning view of one streamed result row: the row itself plus the
+/// compiled context needed to interpret it (`context->rows` stays empty —
+/// RowScope{*view.context, *view.row} evaluates expressions against it).
+/// Valid until the next Cursor::Next call.
+struct RowView {
+  const ResultRow* row = nullptr;
+  const MatchOutput* context = nullptr;
+};
+
+/// A parsed, analyzed, planned, and compiled graph-pattern query with
+/// $name parameter placeholders — the prepare-once/bind-per-call half of
+/// the execution API (docs/api.md). Obtained from Engine::Prepare; cheap to
+/// copy (the compiled plan is shared, and on the graph's plan cache also
+/// shared with every other engine/host preparing the same pattern text).
+/// The graph must outlive the prepared query; hosts keep the catalog's
+/// shared_ptr alongside.
+class PreparedQuery {
+ public:
+  /// The $parameters the pattern references, with inferred constraints;
+  /// Execute/Open validate bindings against this before running.
+  const ParamSignature& signature() const { return signature_; }
+
+  /// True when Prepare served the compiled plan from the graph's plan
+  /// cache instead of compiling fresh.
+  bool from_cache() const { return cache_hit_; }
+
+  /// Extends the bindable signature with parameters referenced by host
+  /// statement positions outside the pattern (GQL RETURN items, SQL/PGQ
+  /// COLUMNS items), so Execute/Open accept their bindings and the
+  /// projection scope can resolve them.
+  void ExtendSignature(const ParamSignature& extra) {
+    signature_.Merge(extra);
+  }
+
+  /// Materializing execution — row-identical to Engine::Match on the same
+  /// pattern with the bound values written as literals (prepared-vs-literal
+  /// differential tests assert this).
+  Result<MatchOutput> Execute(const Params& params = {}) const;
+
+  /// Streaming execution: rows are pulled through the returned cursor and
+  /// are byte-identical to Execute's row sequence ( a prefix of it under
+  /// `limit`). Single fixed-length declarations stream incrementally out of
+  /// the matcher in seed-order chunks, so the first row does not pay for
+  /// full materialization; other shapes materialize lazily on the first
+  /// pull and stream the filter/delivery stages.
+  Result<Cursor> Open(const Params& params = {}) const;
+  Result<Cursor> Open(const Params& params,
+                      std::optional<uint64_t> limit) const;
+
+  /// The plan rendering of this prepared query (EXPLAIN format).
+  Result<std::string> Explain() const;
+
+ private:
+  friend class Engine;
+  PreparedQuery(const PropertyGraph& graph, EngineOptions options,
+                std::shared_ptr<const planner::CachedPlan> plan,
+                ParamSignature signature, bool cache_hit);
+
+  const PropertyGraph* graph_;
+  EngineOptions options_;
+  std::shared_ptr<const planner::CachedPlan> plan_;
+  ParamSignature signature_;
+  bool cache_hit_;
+};
+
+/// A pull-based result stream (docs/api.md): repeatedly call Next until it
+/// returns false, or range-for over the cursor (iteration stops on error
+/// or end of stream; check status() afterwards to distinguish). Rows are
+/// byte-identical to the materializing execution's row sequence; `limit`
+/// (from PreparedQuery::Open or a RETURN ... LIMIT clause) ends the stream
+/// after that many rows, stopping matching early. Abandoning a cursor
+/// mid-stream is safe and leaks nothing: the step/match budget is owned by
+/// the cursor and dies with it.
+class Cursor {
+ public:
+  Cursor(Cursor&&) = default;
+  Cursor& operator=(Cursor&&) = default;
+  Cursor(const Cursor&) = delete;
+  Cursor& operator=(const Cursor&) = delete;
+
+  /// Advances to the next row. Returns false at end of stream (clean
+  /// completion, LIMIT, or flagged truncation); errors are sticky.
+  Result<bool> Next(RowView* view);
+
+  /// The compiled context rows are interpreted through (vars, normalized
+  /// pattern, path variables, parameter bindings; rows stays empty).
+  const MatchOutput& context() const { return context_; }
+
+  /// Rows delivered so far.
+  size_t rows_emitted() const { return emitted_; }
+
+  /// True when the stream was cut short by an evaluation budget under
+  /// BudgetPolicy::kTruncate — distinct from hit_limit().
+  bool truncated() const { return truncated_; }
+
+  /// True when the stream stopped because `limit` rows were delivered.
+  bool hit_limit() const { return hit_limit_; }
+
+  /// The sticky error that terminated the stream, or OK.
+  const Status& status() const { return status_; }
+
+  /// Materializes the remaining rows into a MatchOutput (the legacy
+  /// Engine::Match shape); propagates stream errors.
+  Result<MatchOutput> Drain();
+
+  /// Input-iterator support for range-for. Iteration ends at end of stream
+  /// or on error; check status() after the loop.
+  class iterator {
+   public:
+    iterator() = default;
+    explicit iterator(Cursor* c) : cursor_(c) { Advance(); }
+    const RowView& operator*() const { return view_; }
+    const RowView* operator->() const { return &view_; }
+    iterator& operator++() {
+      Advance();
+      return *this;
+    }
+    bool operator==(const iterator& o) const { return cursor_ == o.cursor_; }
+    bool operator!=(const iterator& o) const { return cursor_ != o.cursor_; }
+
+   private:
+    void Advance() {
+      if (cursor_ == nullptr) return;
+      Result<bool> more = cursor_->Next(&view_);
+      if (!more.ok() || !*more) cursor_ = nullptr;
+    }
+    Cursor* cursor_ = nullptr;
+    RowView view_;
+  };
+  iterator begin() { return iterator(this); }
+  iterator end() { return iterator(); }
+
+ private:
+  friend class PreparedQuery;
+  enum class Mode {
+    kStream,  // Single fixed-length declaration: chunked seed-order
+              // generation straight out of the matcher.
+    kBatch,   // General shape: lazy materialization on first pull, then
+              // streamed filtering/delivery.
+  };
+
+  Cursor(const PropertyGraph& graph, EngineOptions options,
+         std::shared_ptr<const planner::CachedPlan> plan,
+         std::shared_ptr<const Params> params, bool cache_hit,
+         std::optional<uint64_t> limit);
+
+  /// Runs the next seed chunk (kStream) and stages its surviving rows.
+  Status FillChunk();
+  /// Runs the whole batch pipeline (kBatch) and stages surviving rows.
+  Status FillBatch();
+
+  const PropertyGraph* graph_;
+  EngineOptions options_;
+  std::shared_ptr<const planner::CachedPlan> plan_;
+  bool cache_hit_ = false;
+  Mode mode_ = Mode::kBatch;
+
+  MatchOutput context_;  // rows empty; carries vars/normalized/params.
+  std::optional<uint64_t> limit_;
+  size_t emitted_ = 0;
+  bool done_ = false;
+  bool truncated_ = false;
+  bool hit_limit_ = false;
+  Status status_;
+  ResultRow current_;  // Keeps the last-delivered row alive for RowView.
+
+  // Staged surviving rows (one chunk in kStream; everything in kBatch).
+  std::vector<ResultRow> staged_;
+  size_t staged_pos_ = 0;
+  bool batch_ran_ = false;
+
+  // kStream state.
+  std::vector<NodeId> seeds_;
+  size_t seed_pos_ = 0;
+  size_t chunk_size_ = 0;
+  bool stream_reversed_ = false;
+  bool stream_index_seeded_ = false;
+  std::unique_ptr<SharedBudget> budget_;  // One budget across all chunks.
+};
+
 /// The GPML processor of Figure 9: evaluates graph patterns over one
 /// property graph. Both hosts (SQL/PGQ's GRAPH_TABLE and GQL sessions)
 /// delegate here; the pre-projection semantics is identical in both, as the
 /// paper requires.
+///
+/// The primary execution API is Prepare (once) + PreparedQuery::Execute /
+/// Open (per parameter binding); Match is the legacy one-shot wrapper —
+/// prepare, bind nothing, drain — kept as the differential oracle the
+/// cursor paths are tested against.
 class Engine {
  public:
   explicit Engine(const PropertyGraph& graph, EngineOptions options = {})
       : graph_(graph), options_(options) {}
 
-  /// Full pipeline from MATCH text: parse, normalize (§6.2), analyze
-  /// (§4.4/§4.6/§4.7), termination-check (§5), compile, match, join
-  /// declarations on shared singletons, apply the final WHERE.
+  /// Prepares a query for repeated execution: parse (text form), normalize
+  /// (§6.2), analyze (§4.4/§4.6/§4.7), termination-check (§5), plan,
+  /// compile, and collect the $parameter signature — served from the
+  /// graph's plan cache when an execution of the same parameterized text
+  /// already paid for compilation.
+  Result<PreparedQuery> Prepare(const std::string& match_text) const;
+  Result<PreparedQuery> Prepare(const GraphPattern& pattern) const;
+
+  /// Full pipeline from MATCH text: prepare, bind no parameters, match,
+  /// join declarations on shared singletons, apply the final WHERE.
+  /// Parameterized patterns fail here with a missing-parameter error; use
+  /// Prepare + Execute to bind values.
   Result<MatchOutput> Match(const std::string& match_text) const;
 
   /// Same, starting from a parsed (unnormalized) pattern.
@@ -141,6 +372,15 @@ class Engine {
   Result<std::string> Explain(const std::string& match_text) const;
   Result<std::string> Explain(const GraphPattern& pattern) const;
 
+  /// EXPLAIN ANALYZE: executes the pattern (with the given $parameter
+  /// bindings) and renders the plan with per-declaration measured actuals —
+  /// seeds, matcher steps, match-set sizes, index-vs-scan seeding — plus
+  /// result rows, cache hit, and truncation on the exec line.
+  Result<std::string> ExplainAnalyze(const std::string& match_text,
+                                     const Params& params = {}) const;
+  Result<std::string> ExplainAnalyze(const GraphPattern& pattern,
+                                     const Params& params = {}) const;
+
   const PropertyGraph& graph() const { return graph_; }
   const EngineOptions& options() const { return options_; }
 
@@ -149,13 +389,16 @@ class Engine {
   size_t ResolvedThreads() const;
 
  private:
-  /// The shared front half of Match/Plan/Explain: normalize (§6.2), analyze
-  /// (§4.4/§4.6/§4.7), termination-check (§5), intern variables.
-  struct Prepared {
+  friend class PreparedQuery;
+  friend class Cursor;
+
+  /// The shared front half of Prepare/Plan/Explain: normalize (§6.2),
+  /// analyze (§4.4/§4.6/§4.7), termination-check (§5), intern variables.
+  struct Analyzed {
     GraphPattern normalized;
     std::shared_ptr<const VarTable> vars;
   };
-  Result<Prepared> Prepare(const GraphPattern& pattern) const;
+  Result<Analyzed> AnalyzePattern(const GraphPattern& pattern) const;
 
   Result<planner::Plan> PlanNormalized(const GraphPattern& normalized,
                                        const VarTable& vars) const;
@@ -165,6 +408,16 @@ class Engine {
   /// otherwise. The entry is immutable and shared with the cache.
   Result<std::shared_ptr<const planner::CachedPlan>> PreparePlan(
       const GraphPattern& pattern, bool* cache_hit) const;
+
+  /// The materializing execution shared by Match, PreparedQuery::Execute,
+  /// and ExplainAnalyze: per-declaration matching in plan order, the
+  /// singleton hash join, declaration reordering, match-mode filter, and
+  /// the final WHERE. `actuals`, when non-null, receives per-declaration
+  /// measured counters in plan order (EXPLAIN ANALYZE).
+  Result<MatchOutput> ExecutePlan(
+      const planner::CachedPlan& prepared, bool cache_hit,
+      std::shared_ptr<const Params> params,
+      std::vector<planner::DeclActual>* actuals) const;
 
   const PropertyGraph& graph_;
   EngineOptions options_;

@@ -80,6 +80,11 @@ const Value* BorrowValue(const Expr& expr, const PropertyGraph& g,
                          const VarTable& vars, const EvalScope& scope) {
   static const Value kNull = Value::Null();
   if (expr.kind == Expr::Kind::kLiteral) return &expr.literal;
+  if (expr.kind == Expr::Kind::kParam) {
+    // Bound parameters borrow the execution's Params slot; unbound ones
+    // fall through to full evaluation, which reports the error.
+    return scope.LookupParam(expr.var);
+  }
   if (expr.kind != Expr::Kind::kPropertyAccess) return nullptr;
   int id = vars.Find(expr.var);
   if (id < 0) return &kNull;
@@ -105,6 +110,9 @@ class OverrideScope : public EvalScope {
   }
   const Path* LookupPath(int var) const override {
     return base_.LookupPath(var);
+  }
+  const Value* LookupParam(const std::string& name) const override {
+    return base_.LookupParam(name);
   }
 
  private:
@@ -216,6 +224,16 @@ Result<EvalValue> EvalExpr(const Expr& expr, const PropertyGraph& g,
   switch (expr.kind) {
     case Expr::Kind::kLiteral:
       return EvalValue::Of(expr.literal);
+
+    case Expr::Kind::kParam: {
+      const Value* v = scope.LookupParam(expr.var);
+      if (v == nullptr) {
+        return Status::InvalidArgument(
+            "unbound parameter $" + expr.var +
+            "; bind it through PreparedQuery::Execute/Open");
+      }
+      return EvalValue::Of(*v);
+    }
 
     case Expr::Kind::kVarRef: {
       int id = vars.Find(expr.var);

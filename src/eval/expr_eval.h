@@ -8,6 +8,7 @@
 #include "common/result.h"
 #include "common/value.h"
 #include "eval/binding.h"
+#include "eval/params.h"
 #include "graph/path.h"
 #include "graph/property_graph.h"
 
@@ -34,6 +35,24 @@ class EvalScope {
   virtual const Path* LookupPath(int var) const {
     (void)var;
     return nullptr;
+  }
+
+  /// The value bound to $name for this execution; nullptr when the scope
+  /// carries no parameter bindings or the name is unbound (evaluating an
+  /// unbound $param is an error — prepared-query bind validation makes
+  /// this unreachable in the normal API flow).
+  virtual const Value* LookupParam(const std::string& name) const {
+    (void)name;
+    return nullptr;
+  }
+
+ protected:
+  /// Shared lookup helper for scope implementations holding a Params map.
+  static const Value* FindParam(const Params* params,
+                                const std::string& name) {
+    if (params == nullptr) return nullptr;
+    auto it = params->find(name);
+    return it == params->end() ? nullptr : &it->second;
   }
 };
 

@@ -113,11 +113,12 @@ struct State {
 class SearchScope : public EvalScope {
  public:
   SearchScope(const State& state, int pending_var, ElementRef pending_el,
-              bool has_pending)
+              bool has_pending, const Params* params)
       : state_(state),
         pending_var_(pending_var),
         pending_el_(pending_el),
-        has_pending_(has_pending) {}
+        has_pending_(has_pending),
+        params_(params) {}
 
   std::optional<ElementRef> LookupSingleton(int var) const override {
     if (has_pending_ && var == pending_var_) return pending_el_;
@@ -142,12 +143,19 @@ class SearchScope : public EvalScope {
     return out;
   }
 
+  const Value* LookupParam(const std::string& name) const override {
+    return FindParam(params_, name);
+  }
+
  private:
   const State& state_;
   int pending_var_;
   ElementRef pending_el_;
   bool has_pending_;
+  const Params* params_;
 };
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Seed computation (shared by all shards; computed once per RunPattern)
@@ -190,6 +198,8 @@ std::vector<NodeId> ComputeSeeds(const PropertyGraph& g,
   return all;
 }
 
+namespace {
+
 // ---------------------------------------------------------------------------
 // The matcher: one shard's search over a contiguous block of the seed list
 // ---------------------------------------------------------------------------
@@ -203,7 +213,8 @@ class Matcher {
   /// shared cache line (overshoot bounded by one batch per shard).
   Matcher(const PropertyGraph& g, const Program& program, const VarTable& vars,
           const MatcherOptions& options, const NodeId* seeds,
-          size_t num_seeds, SharedBudget* budget, size_t charge_stride)
+          size_t num_seeds, SharedBudget* budget, size_t charge_stride,
+          const Params* params)
       : g_(g),
         program_(program),
         vars_(vars),
@@ -211,7 +222,8 @@ class Matcher {
         seeds_(seeds),
         num_seeds_(num_seeds),
         budget_(budget),
-        charge_stride_(charge_stride) {}
+        charge_stride_(charge_stride),
+        params_(params) {}
 
   Status Run() {
     return program_.selector.IsNone() ? RunDfs() : RunBfs();
@@ -313,7 +325,7 @@ class Matcher {
       }
     }
     if (np.where != nullptr) {
-      SearchScope scope(*state, in.var, ref, /*has_pending=*/true);
+      SearchScope scope(*state, in.var, ref, /*has_pending=*/true, params_);
       GPML_ASSIGN_OR_RETURN(TriBool ok,
                             EvalPredicate(*np.where, g_, vars_, scope));
       if (ok != TriBool::kTrue) return false;
@@ -422,7 +434,7 @@ class Matcher {
       }
     }
     if (ep.where != nullptr) {
-      SearchScope scope(state, in.var, ref, /*has_pending=*/true);
+      SearchScope scope(state, in.var, ref, /*has_pending=*/true, params_);
       GPML_ASSIGN_OR_RETURN(TriBool ok,
                             EvalPredicate(*ep.where, g_, vars_, scope));
       if (ok != TriBool::kTrue) return std::optional<State>();
@@ -498,7 +510,8 @@ class Matcher {
             break;
           }
           case Instr::Op::kWhereCheck: {
-            SearchScope scope(cur, -1, ElementRef(), /*has_pending=*/false);
+            SearchScope scope(cur, -1, ElementRef(), /*has_pending=*/false,
+                              params_);
             GPML_ASSIGN_OR_RETURN(TriBool ok,
                                   EvalPredicate(*in.where, g_, vars_, scope));
             if (ok != TriBool::kTrue) {
@@ -556,15 +569,24 @@ class Matcher {
     }
     it->second.push_back(results_.size());
     results_.push_back(std::move(pb));
+    Status charge;
     if (budget_ == nullptr) {
       if (results_.size() > options_.max_matches) {
-        return Status::ResourceExhausted(
+        charge = Status::ResourceExhausted(
             "match set exceeded max_matches; add restrictors/selectors or "
             "raise MatcherOptions::max_matches");
       }
-      return Status::OK();
+    } else {
+      charge = budget_->ChargeMatch();
     }
-    return budget_->ChargeMatch();
+    if (!charge.ok()) {
+      // Keep partial deliveries within the configured limit: the binding
+      // that tripped max_matches is dropped (the search stops on the error
+      // either way, so the dangling seen_ entry is never consulted).
+      results_.pop_back();
+      it->second.pop_back();
+    }
+    return charge;
   }
 
   // --- DFS route (no selector) --------------------------------------------
@@ -721,6 +743,7 @@ class Matcher {
   size_t num_seeds_;
   SharedBudget* budget_;  // nullptr: local exact limits (single shard).
   const size_t charge_stride_;
+  const Params* params_;  // $name bindings for inline predicates; may be null.
 
   size_t steps_ = 0;
   size_t pending_steps_ = 0;
@@ -749,15 +772,24 @@ constexpr size_t kParallelChargeStride = 256;
 void RunShard(const PropertyGraph& g, const Program& program,
               const VarTable& vars, const MatcherOptions& options,
               const NodeId* seeds, size_t num_seeds, SharedBudget* budget,
-              size_t charge_stride, ShardOutcome* out) {
+              size_t charge_stride, const Params* params, bool keep_partial,
+              ShardOutcome* out) {
   Matcher m(g, program, vars, options, seeds, num_seeds, budget,
-            charge_stride);
+            charge_stride, params);
   out->status = m.Run();
   out->steps = m.steps();
   if (out->status.ok()) {
     out->results = m.TakeResults();
-  } else if (budget != nullptr &&
-             out->status.message() != SharedBudget::kAbortedBySibling) {
+    return;
+  }
+  // Partial-delivery mode (streaming cursors): budget exhaustion keeps the
+  // bindings found so far instead of discarding them; the caller reports
+  // the truncation through a flag rather than an error.
+  if (keep_partial && out->status.code() == StatusCode::kResourceExhausted) {
+    out->results = m.TakeResults();
+  }
+  if (budget != nullptr &&
+      out->status.message() != SharedBudget::kAbortedBySibling) {
     // A genuine failure: tell sibling shards to stop at their next budget
     // check instead of finishing doomed work.
     budget->Abort();
@@ -837,8 +869,12 @@ Result<MatchSet> RunPattern(const PropertyGraph& g, const Program& program,
                             const VarTable& vars,
                             const MatcherOptions& options,
                             const std::vector<NodeId>* seed_filter,
-                            MatchStats* stats) {
+                            MatchStats* stats, const Params* params,
+                            SharedBudget* shared_budget,
+                            bool* budget_exhausted) {
   std::vector<NodeId> seeds = ComputeSeeds(g, program, seed_filter);
+  if (budget_exhausted != nullptr) *budget_exhausted = false;
+  const bool keep_partial = budget_exhausted != nullptr;
 
   // Fan out only when every worker gets a meaningful block: thread
   // spawn/join costs tens of microseconds, which would dominate small
@@ -848,17 +884,22 @@ Result<MatchSet> RunPattern(const PropertyGraph& g, const Program& program,
   const size_t shards =
       std::max<size_t>(1, std::min(threads, seeds.size() / per_shard));
 
-  SharedBudget budget(options.max_steps, options.max_matches);
+  SharedBudget local_budget(options.max_steps, options.max_matches);
   std::vector<ShardOutcome> outcomes(shards);
   bool seeds_distinct = true;
 
   if (shards == 1) {
-    // Single shard: plain local budget counters, no atomics, and
-    // RecordAccept's dedup is already global — exactly the historical
-    // sequential engine.
+    // Single shard: with no external budget, plain local counters — no
+    // atomics, RecordAccept's dedup already global: exactly the historical
+    // sequential engine. An external budget (streaming cursor chunks) is
+    // charged per step (stride 1), so the cumulative limit fires at the
+    // same instruction a single materializing call would have stopped at.
     RunShard(g, program, vars, options, seeds.data(), seeds.size(),
-             /*budget=*/nullptr, /*charge_stride=*/1, &outcomes[0]);
+             /*budget=*/shared_budget, /*charge_stride=*/1, params,
+             keep_partial, &outcomes[0]);
   } else {
+    SharedBudget* budget =
+        shared_budget != nullptr ? shared_budget : &local_budget;
     // Equal bindings always share their start node (reduction keeps the
     // first node binding), so cross-shard duplicates exist only if the
     // seed list itself repeats a node — possible only through an external
@@ -877,8 +918,9 @@ Result<MatchSet> RunPattern(const PropertyGraph& g, const Program& program,
       size_t count = base + (i < extra ? 1 : 0);
       workers.emplace_back(RunShard, std::cref(g), std::cref(program),
                            std::cref(vars), std::cref(options),
-                           seeds.data() + offset, count, &budget,
-                           kParallelChargeStride, &outcomes[i]);
+                           seeds.data() + offset, count, budget,
+                           kParallelChargeStride, params, keep_partial,
+                           &outcomes[i]);
       offset += count;
     }
     for (std::thread& t : workers) t.join();
@@ -890,7 +932,13 @@ Result<MatchSet> RunPattern(const PropertyGraph& g, const Program& program,
     stats->steps = 0;
     for (const ShardOutcome& o : outcomes) stats->steps += o.steps;
   }
-  GPML_RETURN_IF_ERROR(MergeStatuses(outcomes));
+  Status merged = MergeStatuses(outcomes);
+  if (!merged.ok()) {
+    if (!keep_partial || merged.code() != StatusCode::kResourceExhausted) {
+      return merged;
+    }
+    *budget_exhausted = true;  // Deliver the partial set below.
+  }
   return MergeShards(std::move(outcomes), program,
                      /*cross_shard_dedup=*/shards > 1 && !seeds_distinct);
 }

@@ -8,6 +8,7 @@
 #include "common/result.h"
 #include "eval/binding.h"
 #include "eval/nfa.h"
+#include "eval/params.h"
 #include "graph/property_graph.h"
 
 namespace gpml {
@@ -138,11 +139,37 @@ struct MatchStats {
 /// an earlier declaration bound to the pattern's first variable, which is
 /// sound because the join discards every other start. `stats`, when
 /// non-null, receives execution counters.
+///
+/// `params` supplies the $name bindings inline predicates may reference
+/// (prepared queries); nullptr when the pattern is parameter-free.
+///
+/// `shared_budget`, when non-null, replaces the call-local step/match
+/// budget: the cursor's chunked streaming execution passes one budget
+/// across all of its per-chunk RunPattern calls, so a streamed query can
+/// never execute more total steps than a single materializing call
+/// (single-shard chunks charge per step, exactly like the sequential
+/// engine). `budget_exhausted`, when non-null, switches budget exhaustion
+/// from an error into partial delivery: the bindings found so far are
+/// returned with *budget_exhausted = true (non-budget errors still fail
+/// the call). Partial sets are best-effort — deterministic only for
+/// single-shard runs.
 Result<MatchSet> RunPattern(const PropertyGraph& g, const Program& program,
                             const VarTable& vars,
                             const MatcherOptions& options,
                             const std::vector<NodeId>* seed_filter = nullptr,
-                            MatchStats* stats = nullptr);
+                            MatchStats* stats = nullptr,
+                            const Params* params = nullptr,
+                            SharedBudget* shared_budget = nullptr,
+                            bool* budget_exhausted = nullptr);
+
+/// The start-node seed list RunPattern derives for `program`: the explicit
+/// filter when given, else the most selective required-label index of the
+/// first node check, else all nodes — always distinct node ids in the scan
+/// order matching visits them. Exposed so the streaming cursor can walk
+/// the same list in chunks (docs/api.md).
+std::vector<NodeId> ComputeSeeds(const PropertyGraph& g,
+                                 const Program& program,
+                                 const std::vector<NodeId>* seed_filter);
 
 }  // namespace gpml
 

@@ -1,0 +1,205 @@
+#include "eval/params.h"
+
+#include <algorithm>
+
+namespace gpml {
+
+namespace {
+
+using InfoMap = std::map<std::string, ParamInfo>;
+
+/// Walks an expression tree marking every $parameter. `predicate_pos` is
+/// true when the expression's own value is consumed as a predicate (the
+/// root of a WHERE, or an operand of AND/OR/NOT), which is where a bare
+/// $param must evaluate to a boolean.
+void WalkExpr(const Expr& e, bool predicate_pos, InfoMap* out) {
+  switch (e.kind) {
+    case Expr::Kind::kParam: {
+      ParamInfo& info = (*out)[e.var];
+      info.name = e.var;
+      if (predicate_pos) info.needs_bool = true;
+      return;
+    }
+    case Expr::Kind::kBinary:
+      switch (e.op) {
+        case BinaryOp::kAnd:
+        case BinaryOp::kOr:
+          WalkExpr(*e.lhs, /*predicate_pos=*/true, out);
+          WalkExpr(*e.rhs, /*predicate_pos=*/true, out);
+          return;
+        case BinaryOp::kAdd:
+        case BinaryOp::kSub:
+        case BinaryOp::kMul:
+        case BinaryOp::kDiv:
+          for (const ExprPtr* child : {&e.lhs, &e.rhs}) {
+            if ((*child)->kind == Expr::Kind::kParam) {
+              ParamInfo& info = (*out)[(*child)->var];
+              info.name = (*child)->var;
+              info.needs_numeric = true;
+            } else {
+              WalkExpr(**child, /*predicate_pos=*/false, out);
+            }
+          }
+          return;
+        default:  // Comparisons: operands may be any value type.
+          WalkExpr(*e.lhs, /*predicate_pos=*/false, out);
+          WalkExpr(*e.rhs, /*predicate_pos=*/false, out);
+          return;
+      }
+    case Expr::Kind::kNot:
+      WalkExpr(*e.lhs, /*predicate_pos=*/true, out);
+      return;
+    default:
+      for (const ExprPtr* child : {&e.lhs, &e.rhs, &e.arg}) {
+        if (*child != nullptr) {
+          WalkExpr(**child, /*predicate_pos=*/false, out);
+        }
+      }
+      return;
+  }
+}
+
+void WalkWhere(const ExprPtr& where, InfoMap* out) {
+  if (where != nullptr) WalkExpr(*where, /*predicate_pos=*/true, out);
+}
+
+void WalkPathPattern(const PathPattern& p, InfoMap* out) {
+  switch (p.kind) {
+    case PathPattern::Kind::kConcat:
+      for (const PathElement& e : p.elements) {
+        switch (e.kind) {
+          case PathElement::Kind::kNode:
+            WalkWhere(e.node.where, out);
+            break;
+          case PathElement::Kind::kEdge:
+            WalkWhere(e.edge.where, out);
+            break;
+          case PathElement::Kind::kParen:
+          case PathElement::Kind::kQuantified:
+          case PathElement::Kind::kOptional:
+            WalkPathPattern(*e.sub, out);
+            WalkWhere(e.where, out);
+            break;
+        }
+      }
+      return;
+    case PathPattern::Kind::kUnion:
+    case PathPattern::Kind::kAlternation:
+      for (const PathPatternPtr& alt : p.alternatives) {
+        WalkPathPattern(*alt, out);
+      }
+      return;
+  }
+}
+
+ParamSignature FromMap(const InfoMap& map) {
+  ParamSignature sig;
+  sig.params.reserve(map.size());
+  for (const auto& [name, info] : map) sig.params.push_back(info);
+  return sig;  // Map iteration is name-sorted already.
+}
+
+InfoMap PatternMap(const GraphPattern& pattern) {
+  InfoMap map;
+  for (const PathPatternDecl& decl : pattern.paths) {
+    WalkPathPattern(*decl.pattern, &map);
+  }
+  WalkWhere(pattern.where, &map);
+  return map;
+}
+
+}  // namespace
+
+const ParamInfo* ParamSignature::Find(const std::string& name) const {
+  auto it = std::lower_bound(
+      params.begin(), params.end(), name,
+      [](const ParamInfo& p, const std::string& n) { return p.name < n; });
+  if (it == params.end() || it->name != name) return nullptr;
+  return &*it;
+}
+
+std::vector<std::string> ParamSignature::Names() const {
+  std::vector<std::string> out;
+  out.reserve(params.size());
+  for (const ParamInfo& p : params) out.push_back(p.name);
+  return out;
+}
+
+void ParamSignature::Merge(const ParamSignature& other) {
+  InfoMap map;
+  for (const ParamInfo& p : params) map[p.name] = p;
+  for (const ParamInfo& p : other.params) {
+    ParamInfo& info = map[p.name];
+    info.name = p.name;
+    info.needs_bool = info.needs_bool || p.needs_bool;
+    info.needs_numeric = info.needs_numeric || p.needs_numeric;
+  }
+  *this = FromMap(map);
+}
+
+ParamSignature CollectPatternParams(const GraphPattern& pattern) {
+  return FromMap(PatternMap(pattern));
+}
+
+ParamSignature CollectStatementParams(const MatchStatement& stmt) {
+  InfoMap map = PatternMap(stmt.pattern);
+  for (const ReturnItem& item : stmt.return_items) {
+    WalkExpr(*item.expr, /*predicate_pos=*/false, &map);
+  }
+  return FromMap(map);
+}
+
+ParamSignature CollectItemParams(const std::vector<ReturnItem>& items) {
+  InfoMap map;
+  for (const ReturnItem& item : items) {
+    WalkExpr(*item.expr, /*predicate_pos=*/false, &map);
+  }
+  return FromMap(map);
+}
+
+Result<Params> PatternOnlyParams(const ParamSignature& pattern_sig,
+                                 const ParamSignature& projection_sig,
+                                 const Params& params) {
+  Params kept;
+  for (const auto& [name, value] : params) {
+    if (pattern_sig.Find(name) != nullptr) {
+      kept[name] = value;
+    } else if (projection_sig.Find(name) == nullptr) {
+      return Status::InvalidArgument("unknown parameter $" + name +
+                                     ": the prepared query does not "
+                                     "reference it");
+    }
+  }
+  return kept;
+}
+
+Status ValidateParams(const ParamSignature& sig, const Params& params) {
+  for (const auto& [name, value] : params) {
+    if (sig.Find(name) == nullptr) {
+      return Status::InvalidArgument("unknown parameter $" + name +
+                                     ": the prepared query does not "
+                                     "reference it");
+    }
+  }
+  for (const ParamInfo& info : sig.params) {
+    auto it = params.find(info.name);
+    if (it == params.end()) {
+      return Status::InvalidArgument("missing parameter $" + info.name);
+    }
+    const Value& v = it->second;
+    if (v.is_null()) continue;  // NULL is bindable everywhere (3VL).
+    if (info.needs_bool && !v.is_bool()) {
+      return Status::InvalidArgument(
+          "parameter $" + info.name + " is used as a predicate and must be "
+          "BOOL or NULL, got " + ValueTypeName(v.type()));
+    }
+    if (info.needs_numeric && !v.is_numeric()) {
+      return Status::InvalidArgument(
+          "parameter $" + info.name + " is used in arithmetic and must be "
+          "numeric or NULL, got " + ValueTypeName(v.type()));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace gpml

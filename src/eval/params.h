@@ -1,0 +1,79 @@
+#ifndef GPML_EVAL_PARAMS_H_
+#define GPML_EVAL_PARAMS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ast/ast.h"
+#include "common/result.h"
+#include "common/value.h"
+
+namespace gpml {
+
+/// Per-execution bindings of the $name placeholders of a prepared query.
+/// An ordered map so signature listings and error messages are
+/// deterministic; executions only read it (bindings are copied into the
+/// execution, so the caller's map may be reused or mutated afterwards).
+using Params = std::map<std::string, Value>;
+
+/// One parameter of a prepared query, with the typing constraints
+/// inferable from its use sites. Parameters carry no declared types; the
+/// two constraints below are the ones whose violation would otherwise
+/// surface only as a SemanticError deep inside matching, so Bind-time
+/// validation reports them up front.
+struct ParamInfo {
+  std::string name;
+  bool needs_bool = false;     // Used directly as a predicate (WHERE $flag).
+  bool needs_numeric = false;  // Used as an arithmetic operand ($x + 1).
+};
+
+/// The parameter signature a prepared query was compiled against: every
+/// $name the pattern (and, for statements, the RETURN items) references,
+/// sorted by name, each with its inferred constraints.
+struct ParamSignature {
+  std::vector<ParamInfo> params;  // Sorted by name, unique.
+
+  const ParamInfo* Find(const std::string& name) const;
+  std::vector<std::string> Names() const;
+  bool empty() const { return params.empty(); }
+
+  /// Merges another signature in (set union; constraints OR together).
+  void Merge(const ParamSignature& other);
+};
+
+/// Collects the $parameters of every expression position of a graph
+/// pattern: inline node/edge predicates, parenthesized-subpattern WHEREs,
+/// and the final postfilter.
+ParamSignature CollectPatternParams(const GraphPattern& pattern);
+
+/// Same, plus the RETURN items of a full statement.
+ParamSignature CollectStatementParams(const MatchStatement& stmt);
+
+/// The $parameters referenced by a projection list (GQL RETURN items or
+/// SQL/PGQ COLUMNS items) — hosts merge this into the pattern signature
+/// via PreparedQuery::ExtendSignature.
+ParamSignature CollectItemParams(const std::vector<ReturnItem>& items);
+
+/// Splits host-provided bindings for an EXPLAIN ANALYZE execution, which
+/// runs the pattern only (RETURN/COLUMNS are parsed, not evaluated):
+/// bindings for pattern parameters are kept, bindings for `projection_sig`
+/// (projection-only) parameters are dropped, and any other name is an
+/// unknown-parameter error — the same diagnosis normal execution gives.
+Result<Params> PatternOnlyParams(const ParamSignature& pattern_sig,
+                                 const ParamSignature& projection_sig,
+                                 const Params& params);
+
+/// Bind-time validation of a Params map against a signature:
+///  - a provided name the signature does not contain is an unknown
+///    parameter (kInvalidArgument),
+///  - a signature name with no binding is a missing parameter
+///    (kInvalidArgument),
+///  - a non-NULL value violating an inferred constraint is a type mismatch
+///    (kInvalidArgument). NULL is a valid binding everywhere — SQL
+///    three-valued logic applies at evaluation.
+Status ValidateParams(const ParamSignature& sig, const Params& params);
+
+}  // namespace gpml
+
+#endif  // GPML_EVAL_PARAMS_H_

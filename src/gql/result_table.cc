@@ -1,12 +1,29 @@
 #include "gql/result_table.h"
 
+#include <set>
+
 #include "eval/expr_eval.h"
 
 namespace gpml {
 
-Result<Table> ProjectRows(const MatchOutput& output, const PropertyGraph& g,
-                          const std::vector<ReturnItem>& items,
-                          bool distinct) {
+namespace {
+
+/// One projected output row of a RETURN/COLUMNS list over one result row.
+Result<Row> ProjectOne(const MatchOutput& context, const ResultRow& row,
+                       const PropertyGraph& g,
+                       const std::vector<ReturnItem>& items) {
+  RowScope scope(context, row);
+  Row out_row;
+  out_row.reserve(items.size());
+  for (const ReturnItem& item : items) {
+    GPML_ASSIGN_OR_RETURN(EvalValue v,
+                          EvalExpr(*item.expr, g, *context.vars, scope));
+    out_row.push_back(ToOutputValue(v, g));
+  }
+  return out_row;
+}
+
+Schema ItemsSchema(const std::vector<ReturnItem>& items) {
   std::vector<ColumnDef> columns;
   columns.reserve(items.size());
   for (const ReturnItem& item : items) {
@@ -15,20 +32,45 @@ Result<Table> ProjectRows(const MatchOutput& output, const PropertyGraph& g,
     c.type = ValueType::kNull;  // Dynamic.
     columns.push_back(std::move(c));
   }
-  Table table{Schema(std::move(columns))};
+  return Schema(std::move(columns));
+}
 
+}  // namespace
+
+Result<Table> ProjectRows(const MatchOutput& output, const PropertyGraph& g,
+                          const std::vector<ReturnItem>& items,
+                          bool distinct) {
+  Table table{ItemsSchema(items)};
   for (const ResultRow& row : output.rows) {
-    RowScope scope(output, row);
-    Row out_row;
-    out_row.reserve(items.size());
-    for (const ReturnItem& item : items) {
-      GPML_ASSIGN_OR_RETURN(EvalValue v,
-                            EvalExpr(*item.expr, g, *output.vars, scope));
-      out_row.push_back(ToOutputValue(v, g));
-    }
+    GPML_ASSIGN_OR_RETURN(Row out_row, ProjectOne(output, row, g, items));
     table.AppendUnchecked(std::move(out_row));
   }
   if (distinct) table.DeduplicateRows();
+  return table;
+}
+
+Result<Table> ProjectCursor(Cursor& cursor, const PropertyGraph& g,
+                            const std::vector<ReturnItem>& items,
+                            bool distinct, std::optional<uint64_t> limit) {
+  Table table{ItemsSchema(items)};
+  std::set<Row> seen;  // DISTINCT: streamed set-semantics dedup.
+  RowView view;
+  // DISTINCT must match ProjectRows exactly: set semantics with a final
+  // sort (Table::DeduplicateRows), so the limit selects from the *sorted*
+  // distinct rows and the stream drains fully. Without DISTINCT the
+  // projection is row-for-row and stops as soon as `limit` rows arrived.
+  while (distinct || !limit.has_value() || table.num_rows() < *limit) {
+    GPML_ASSIGN_OR_RETURN(bool more, cursor.Next(&view));
+    if (!more) break;
+    GPML_ASSIGN_OR_RETURN(Row out_row,
+                          ProjectOne(*view.context, *view.row, g, items));
+    if (distinct && !seen.insert(out_row).second) continue;
+    table.AppendUnchecked(std::move(out_row));
+  }
+  if (distinct) {
+    table.DeduplicateRows();
+    if (limit.has_value()) table.TruncateRows(*limit);
+  }
   return table;
 }
 

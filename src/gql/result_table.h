@@ -26,6 +26,18 @@ Result<Table> ProjectRows(const MatchOutput& output, const PropertyGraph& g,
 Result<Table> ProjectAllVariables(const MatchOutput& output,
                                   const PropertyGraph& g);
 
+/// Streaming projection: pulls rows out of `cursor` and projects them as
+/// they arrive, so LIMIT queries never materialize the full match set.
+/// Row content and order are identical to ProjectRows over the
+/// materialized output (a prefix under `limit`). DISTINCT keeps ProjectRows
+/// parity too — set semantics with the final sort of DeduplicateRows — so
+/// it dedupes while streaming but drains the source fully and applies
+/// `limit` to the sorted distinct rows.
+Result<Table> ProjectCursor(Cursor& cursor, const PropertyGraph& g,
+                            const std::vector<ReturnItem>& items,
+                            bool distinct,
+                            std::optional<uint64_t> limit = std::nullopt);
+
 }  // namespace gpml
 
 #endif  // GPML_GQL_RESULT_TABLE_H_

@@ -2,7 +2,9 @@
 #define GPML_GQL_SESSION_H_
 
 #include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "catalog/catalog.h"
 #include "catalog/table.h"
@@ -11,15 +13,49 @@
 
 namespace gpml {
 
+/// A full GQL statement prepared against one graph: the pattern is parsed,
+/// planned, and compiled once (shared through the graph's plan cache), the
+/// $parameter signature spans the pattern and the RETURN items, and every
+/// Execute binds fresh values — the classic prepare-once/execute-many
+/// client contract (docs/api.md). Holds the graph alive, so the statement
+/// stays valid after the session moves to another graph or is destroyed.
+class PreparedStatement {
+ public:
+  /// Runs the statement with the given $parameter bindings. LIMIT and
+  /// projection are streamed through a cursor: a `RETURN ... LIMIT n`
+  /// statement stops matching as soon as n rows are projected.
+  Result<Table> Execute(const Params& params = {}) const;
+
+  /// The parameters Execute validates bindings against (pattern + RETURN).
+  const ParamSignature& signature() const { return query_.signature(); }
+
+  /// True when the compiled plan came from the graph's plan cache.
+  bool from_cache() const { return query_.from_cache(); }
+
+ private:
+  friend class Session;
+  PreparedStatement(std::shared_ptr<const PropertyGraph> graph,
+                    PreparedQuery query, MatchStatement stmt)
+      : graph_(std::move(graph)),
+        query_(std::move(query)),
+        stmt_(std::move(stmt)) {}
+
+  std::shared_ptr<const PropertyGraph> graph_;  // Keeps query_'s graph alive.
+  PreparedQuery query_;
+  MatchStatement stmt_;  // RETURN items / DISTINCT / LIMIT (pattern unused).
+};
+
 /// A GQL host session (Figure 9, right branch): statements of the form
 ///
 ///   MATCH <graph pattern> [WHERE <postfilter>]
-///   [RETURN [DISTINCT] <item> [AS alias], ...]
+///   [RETURN [DISTINCT] <item> [AS alias], ... [LIMIT n]]
 ///
 /// run against the session's current graph and produce a binding table.
-/// Without a RETURN clause every named variable is projected. Execute()
-/// returns the table; Match() exposes the raw path bindings for callers
-/// that want graph-shaped output (see graph_projection.h, §6.6).
+/// Without a RETURN clause every named variable is projected. Statements
+/// may reference $name parameters bound per call; Execute is a thin
+/// Prepare + PreparedStatement::Execute, so repeated statements differing
+/// only in bound values share one cached plan. A leading EXPLAIN renders
+/// the plan; EXPLAIN ANALYZE executes and renders measured actuals.
 class Session {
  public:
   explicit Session(const Catalog& catalog, EngineOptions options = {})
@@ -28,18 +64,26 @@ class Session {
   /// Selects the working graph (GQL's USE <graph>).
   Status UseGraph(const std::string& name);
 
-  /// Parses and runs a full statement against the current graph. A leading
-  /// EXPLAIN keyword returns the planner's plan rendering as a one-column
-  /// "plan" table instead of executing the match (any RETURN clause is
-  /// parsed but not evaluated).
-  Result<Table> Execute(const std::string& statement) const;
+  /// Prepares a full statement for repeated parameterized execution.
+  Result<PreparedStatement> Prepare(const std::string& statement) const;
+
+  /// Parses and runs a full statement against the current graph with the
+  /// given $parameter bindings. A leading EXPLAIN keyword returns the
+  /// planner's plan rendering as a one-column "plan" table instead of
+  /// executing the match (any RETURN clause is parsed but not evaluated);
+  /// EXPLAIN ANALYZE executes the match and renders per-declaration
+  /// actuals.
+  Result<Table> Execute(const std::string& statement,
+                        const Params& params = {}) const;
 
   /// Runs just the MATCH part, exposing row-level results.
   Result<MatchOutput> Match(const std::string& match_text) const;
 
-  /// The planner's EXPLAIN text for the MATCH part of `statement` (a
-  /// leading EXPLAIN keyword is accepted and ignored).
-  Result<std::string> Explain(const std::string& statement) const;
+  /// The planner's EXPLAIN text for the MATCH part of `statement` (leading
+  /// EXPLAIN [ANALYZE] keywords are accepted; ANALYZE executes the match
+  /// with the given bindings and renders actuals).
+  Result<std::string> Explain(const std::string& statement,
+                              const Params& params = {}) const;
 
   const PropertyGraph* graph() const { return graph_.get(); }
 

@@ -11,6 +11,7 @@ const char* TokenKindName(TokenKind k) {
     case TokenKind::kInt: return "integer";
     case TokenKind::kDouble: return "number";
     case TokenKind::kString: return "string";
+    case TokenKind::kParam: return "parameter";
     case TokenKind::kLParen: return "(";
     case TokenKind::kRParen: return ")";
     case TokenKind::kLBracket: return "[";
@@ -82,6 +83,24 @@ Result<std::vector<Token>> Tokenize(const std::string& input) {
     if (IsIdentStart(c)) {
       while (i < n && IsIdentChar(input[i])) ++i;
       push(TokenKind::kIdent, start, i - start);
+      continue;
+    }
+
+    // $name parameter placeholder (prepared queries); the token text is the
+    // bare name so the parser and signature collection never see the '$'.
+    if (c == '$') {
+      ++i;
+      if (i >= n || !IsIdentStart(input[i])) {
+        return Status::SyntaxError("expected parameter name after '$' at offset " +
+                                   std::to_string(start));
+      }
+      size_t name_start = i;
+      while (i < n && IsIdentChar(input[i])) ++i;
+      Token t;
+      t.kind = TokenKind::kParam;
+      t.offset = start;
+      t.text = input.substr(name_start, i - name_start);
+      tokens.push_back(std::move(t));
       continue;
     }
 

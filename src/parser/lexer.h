@@ -18,6 +18,7 @@ enum class TokenKind {
   kInt,      // 64-bit integer literal (suffixes K/M expand: 5M = 5000000).
   kDouble,
   kString,   // single-quoted, '' escapes a quote.
+  kParam,    // $name parameter placeholder; text holds the bare name.
 
   kLParen, kRParen, kLBracket, kRBracket, kLBrace, kRBrace,
   kComma, kDot, kColon, kSemicolon,

@@ -124,6 +124,15 @@ Result<MatchStatement> Parser::ParseStatementAll() {
     stmt.has_return = true;
     if (EatKeyword("DISTINCT")) stmt.return_distinct = true;
     GPML_ASSIGN_OR_RETURN(stmt.return_items, ParseReturnItems());
+    // LIMIT n: cap the result table at n rows. Execution pushes the limit
+    // into the cursor so matching can stop early (docs/api.md).
+    if (EatKeyword("LIMIT")) {
+      if (!At(TokenKind::kInt) || Cur().int_value < 0) {
+        return Err("expected non-negative integer after LIMIT");
+      }
+      stmt.limit = static_cast<uint64_t>(Cur().int_value);
+      Advance();
+    }
   }
   Eat(TokenKind::kSemicolon);
   if (!At(TokenKind::kEnd)) return Err("unexpected trailing input");
@@ -699,6 +708,11 @@ Result<ExprPtr> Parser::ParsePrimary() {
     }
     case TokenKind::kString: {
       ExprPtr e = Expr::Lit(Value::String(Cur().string_value));
+      Advance();
+      return e;
+    }
+    case TokenKind::kParam: {
+      ExprPtr e = Expr::Param(Cur().text);
       Advance();
       return e;
     }

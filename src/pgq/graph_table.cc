@@ -15,14 +15,38 @@ Result<Table> GraphTable(const Catalog& catalog, const GraphTableQuery& query,
   Engine engine(*graph, options);
   std::string rest;
   if (planner::StripExplainPrefix(query.match, &rest)) {
+    std::string analyzed;
+    if (planner::StripAnalyzePrefix(rest, &analyzed)) {
+      // ANALYZE executes the MATCH part only (COLUMNS is ignored, as for
+      // plain EXPLAIN): COLUMNS-only parameter bindings are dropped, any
+      // other stray name is the usual unknown-parameter error.
+      GPML_ASSIGN_OR_RETURN(GraphPattern pattern,
+                            ParseGraphPattern(analyzed));
+      GPML_ASSIGN_OR_RETURN(std::vector<ReturnItem> items,
+                            ParseColumns(query.columns));
+      GPML_ASSIGN_OR_RETURN(
+          Params pattern_params,
+          PatternOnlyParams(CollectPatternParams(pattern),
+                            CollectItemParams(items), query.params));
+      GPML_ASSIGN_OR_RETURN(std::string text,
+                            engine.ExplainAnalyze(pattern, pattern_params));
+      return planner::ExplainTable(text);
+    }
     GPML_ASSIGN_OR_RETURN(std::string text, engine.Explain(rest));
     return planner::ExplainTable(text);
   }
-  GPML_ASSIGN_OR_RETURN(MatchOutput output, engine.Match(query.match));
+  // Prepare-bind-cursor: one compiled plan per parameterized match text
+  // (shared via the graph's plan cache), values bound per call, rows
+  // streamed through the COLUMNS projection.
+  GPML_ASSIGN_OR_RETURN(PreparedQuery prepared, engine.Prepare(query.match));
   GPML_ASSIGN_OR_RETURN(std::vector<ReturnItem> items,
                         ParseColumns(query.columns));
+  prepared.ExtendSignature(CollectItemParams(items));
+  GPML_ASSIGN_OR_RETURN(Cursor cursor,
+                        prepared.Open(query.params, query.limit));
   // SQL semantics: GRAPH_TABLE yields a bag; no implicit DISTINCT.
-  return ProjectRows(output, *graph, items, /*distinct=*/false);
+  return ProjectCursor(cursor, *graph, items, /*distinct=*/false,
+                       query.limit);
 }
 
 Result<GraphTableQuery> ParseGraphTableCall(const std::string& sql) {

@@ -1,6 +1,7 @@
 #ifndef GPML_PGQ_GRAPH_TABLE_H_
 #define GPML_PGQ_GRAPH_TABLE_H_
 
+#include <optional>
 #include <string>
 
 #include "catalog/catalog.h"
@@ -26,12 +27,25 @@ struct GraphTableQuery {
   std::string graph;
   std::string match;
   std::string columns;
+  /// $name bindings for a parameterized `match` text. The SQL host's
+  /// equivalent of a driver's bind step: the match text (with placeholders)
+  /// is the plan-cache key, so calls differing only in bound values share
+  /// one compiled plan.
+  Params params;
+  /// SQL's FETCH FIRST n ROWS ONLY: cap on projected rows, pushed into the
+  /// streaming cursor so matching stops early. nullopt = unlimited.
+  std::optional<uint64_t> limit;
 };
 
-/// Runs the query. When `query.match` starts with an EXPLAIN keyword
-/// ("EXPLAIN MATCH ..."), returns the planner's plan rendering as a
-/// one-column "plan" table instead of executing (the COLUMNS list is
-/// ignored). `options` plumbs the engine knobs through the SQL host —
+/// Runs the query through the prepare-bind-cursor pipeline (docs/api.md):
+/// the match text is prepared (or served from the graph's plan cache),
+/// `query.params` is bound, and rows stream through a cursor into the
+/// COLUMNS projection — `query.limit` never materializes more than needed.
+/// When `query.match` starts with an EXPLAIN keyword ("EXPLAIN MATCH ...")
+/// returns the planner's plan rendering as a one-column "plan" table
+/// instead of executing (the COLUMNS list is ignored); EXPLAIN ANALYZE
+/// executes the match with the bound parameters and renders measured
+/// actuals. `options` plumbs the engine knobs through the SQL host —
 /// notably num_threads (seed-partitioned parallelism) and use_plan_cache;
 /// cached plans are keyed on the catalog graph's identity, so repeated
 /// GRAPH_TABLE calls (and GQL statements) over the same graph share them.

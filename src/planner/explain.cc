@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cstdio>
+#include <cstring>
 #include <sstream>
 
 #include "common/strings.h"
@@ -87,13 +88,19 @@ std::string UnescapeExplainValue(const std::string& value) {
 }
 
 std::string ExplainPlan(const Plan& plan, const VarTable& vars,
-                        const GraphStats* stats, const ExplainExec* exec) {
+                        const GraphStats* stats, const ExplainExec* exec,
+                        const std::vector<DeclActual>* actuals) {
   std::ostringstream os;
   os << "plan: " << plan.decls.size() << " declaration(s), planner="
      << (plan.planner_used ? "on" : "off") << "\n";
   if (exec != nullptr) {
     os << "exec: threads=" << exec->threads
-       << " cached=" << (exec->cached ? "true" : "false") << "\n";
+       << " cached=" << (exec->cached ? "true" : "false");
+    if (exec->analyzed) {
+      os << " rows=" << exec->rows
+         << " truncated=" << (exec->truncated ? "true" : "false");
+    }
+    os << "\n";
   }
   for (size_t i = 0; i < plan.decls.size(); ++i) {
     const DeclPlan& dp = plan.decls[i];
@@ -120,10 +127,17 @@ std::string ExplainPlan(const Plan& plan, const VarTable& vars,
     } else {
       os << "all";
     }
-    std::string selector = dp.decl.selector.ToString();
     os << " fanout~" << FormatEstimate(dp.anchor.fanout) << " join=["
-       << JoinVarNames(dp.join_vars, vars) << "]"
-       << " selector="
+       << JoinVarNames(dp.join_vars, vars) << "]";
+    if (actuals != nullptr && i < actuals->size()) {
+      // EXPLAIN ANALYZE: measured counterparts of the estimates above.
+      const DeclActual& a = (*actuals)[i];
+      os << " actual_seeds=" << a.seeds << " actual_steps=" << a.steps
+         << " actual_rows=" << a.bindings << " actual_source="
+         << (a.index_seeded ? "index" : (a.seed_filtered ? "bound" : "scan"));
+    }
+    std::string selector = dp.decl.selector.ToString();
+    os << " selector="
        << (selector.empty()
                ? std::string("none")
                : EscapeExplainValue(selector, /*keep_spaces=*/true))
@@ -154,6 +168,12 @@ Result<ExplainedPlan> ParseExplain(const std::string& text) {
       out.threads = static_cast<size_t>(
           std::atoi(TokenValue(line, "threads=").c_str()));
       out.cached = TokenValue(line, "cached=") == "true";
+      std::string rows = TokenValue(line, "rows=");
+      if (!rows.empty()) {
+        out.analyzed = true;
+        out.rows = static_cast<size_t>(std::atol(rows.c_str()));
+        out.truncated = TokenValue(line, "truncated=") == "true";
+      }
       continue;
     }
     if (line.rfind("step ", 0) != 0) continue;
@@ -185,6 +205,13 @@ Result<ExplainedPlan> ParseExplain(const std::string& text) {
       }
     }
     d.selector = UnescapeExplainValue(TokenValue(line, "selector="));
+    std::string actual = TokenValue(line, "actual_seeds=");
+    if (!actual.empty()) {
+      d.actual_seeds = std::atol(actual.c_str());
+      d.actual_steps = std::atol(TokenValue(line, "actual_steps=").c_str());
+      d.actual_rows = std::atol(TokenValue(line, "actual_rows=").c_str());
+      d.actual_source = TokenValue(line, "actual_source=");
+    }
     out.decls.push_back(std::move(d));
   }
   if (!saw_header) {
@@ -210,27 +237,42 @@ Table ExplainTable(const std::string& text) {
   return table;
 }
 
-bool StripExplainPrefix(const std::string& statement, std::string* rest) {
+namespace {
+
+/// Shared prefix-stripping for statement keywords: after leading
+/// whitespace, `keyword` (case-insensitive) followed by whitespace or end.
+bool StripKeywordPrefix(const std::string& statement, const char* keyword,
+                        std::string* rest) {
   size_t i = 0;
   while (i < statement.size() &&
          std::isspace(static_cast<unsigned char>(statement[i]))) {
     ++i;
   }
-  static const char kKeyword[] = "EXPLAIN";
+  size_t len = std::strlen(keyword);
   size_t k = 0;
-  while (k < 7 && i + k < statement.size() &&
+  while (k < len && i + k < statement.size() &&
          std::toupper(static_cast<unsigned char>(statement[i + k])) ==
-             kKeyword[k]) {
+             keyword[k]) {
     ++k;
   }
-  if (k != 7) return false;
-  size_t after = i + 7;
+  if (k != len) return false;
+  size_t after = i + len;
   if (after < statement.size() &&
       !std::isspace(static_cast<unsigned char>(statement[after]))) {
-    return false;  // Identifier merely starting with "explain".
+    return false;  // Identifier merely starting with the keyword.
   }
   *rest = statement.substr(after);
   return true;
+}
+
+}  // namespace
+
+bool StripExplainPrefix(const std::string& statement, std::string* rest) {
+  return StripKeywordPrefix(statement, "EXPLAIN", rest);
+}
+
+bool StripAnalyzePrefix(const std::string& statement, std::string* rest) {
+  return StripKeywordPrefix(statement, "ANALYZE", rest);
 }
 
 }  // namespace planner

@@ -13,10 +13,24 @@ namespace planner {
 
 /// Execution-level facts rendered into EXPLAIN alongside the plan: the
 /// resolved worker count and whether the plan was served from the graph's
-/// plan cache.
+/// plan cache. EXPLAIN ANALYZE executions additionally report the result
+/// row count and whether the output was truncated by an evaluation budget.
 struct ExplainExec {
   size_t threads = 1;
   bool cached = false;
+  bool analyzed = false;  // True for EXPLAIN ANALYZE: rows/truncated valid.
+  size_t rows = 0;        // Result rows after join, mode filter, postfilter.
+  bool truncated = false; // Budget-truncated output (not a clean LIMIT stop).
+};
+
+/// Per-declaration run-time actuals of one EXPLAIN ANALYZE execution, in
+/// plan (step) order — the measured counterparts of the step estimates.
+struct DeclActual {
+  size_t seeds = 0;            // Start nodes actually seeded.
+  size_t steps = 0;            // Matcher instructions executed.
+  size_t bindings = 0;         // Match-set size before the join.
+  bool index_seeded = false;   // Seeded from the equality hash index.
+  bool seed_filtered = false;  // Seeded from earlier declarations' bindings.
 };
 
 /// Renders a plan as stable, line-oriented text, one `step` line per
@@ -35,9 +49,13 @@ struct ExplainExec {
 /// ParseExplain, which keeps renderer and parser honest. Free-form values
 /// (variable names, labels, selectors) are escaped with EscapeExplainValue
 /// so quotes, spaces, and newlines cannot break the line framing.
+/// `actuals`, when non-null (EXPLAIN ANALYZE), appends measured
+/// `actual_seeds/actual_steps/actual_rows/actual_source` tokens to each
+/// step line, where actual_source is `index`, `bound` or `scan`.
 std::string ExplainPlan(const Plan& plan, const VarTable& vars,
                         const GraphStats* stats = nullptr,
-                        const ExplainExec* exec = nullptr);
+                        const ExplainExec* exec = nullptr,
+                        const std::vector<DeclActual>* actuals = nullptr);
 
 /// Escapes a free-form value for embedding as a space-delimited `key=value`
 /// token of an EXPLAIN line: backslash, newline, carriage return, space and
@@ -60,6 +78,11 @@ struct ExplainedDecl {
   std::string source;   // "all", "label:<L>", or "bound:<var>".
   std::vector<std::string> join_vars;
   std::string selector;
+  // EXPLAIN ANALYZE actuals; -1 when the line carried none.
+  long actual_seeds = -1;
+  long actual_steps = -1;
+  long actual_rows = -1;
+  std::string actual_source;  // "index", "bound", "scan"; "" when absent.
 };
 
 struct ExplainedPlan {
@@ -67,6 +90,9 @@ struct ExplainedPlan {
   bool has_exec = false;   // An `exec:` line was present.
   size_t threads = 0;      // From the exec line; 0 when absent.
   bool cached = false;     // From the exec line; false when absent.
+  bool analyzed = false;   // The exec line carried ANALYZE actuals.
+  size_t rows = 0;         // From the exec line; 0 when absent.
+  bool truncated = false;  // From the exec line; false when absent.
   std::vector<ExplainedDecl> decls;
 };
 
@@ -81,6 +107,11 @@ Table ExplainTable(const std::string& text);
 /// If `statement` starts with the EXPLAIN keyword (case-insensitive, after
 /// whitespace), strips it into `*rest` and returns true.
 bool StripExplainPrefix(const std::string& statement, std::string* rest);
+
+/// If `statement` starts with the ANALYZE keyword (case-insensitive, after
+/// whitespace), strips it into `*rest` and returns true. Both hosts apply
+/// this after StripExplainPrefix to recognize EXPLAIN ANALYZE.
+bool StripAnalyzePrefix(const std::string& statement, std::string* rest);
 
 }  // namespace planner
 }  // namespace gpml

@@ -207,37 +207,46 @@ double EndpointFanout(const PathPattern& p, bool right_end,
 }
 
 /// A top-level AND-conjunct of `where` of the shape `var.prop = literal`
-/// (either operand order) with a non-null literal; fills prop/value.
-/// Non-null because `= NULL` is never kTrue, and top-level because an
-/// equality under OR/NOT is not necessary for the predicate to hold.
+/// or `var.prop = $param` (either operand order); fills prop and either
+/// value or param. Literals must be non-null because `= NULL` is never
+/// kTrue (a $param may still be bound to NULL — the engine falls back to
+/// label-scan seeding in that case); top-level because an equality under
+/// OR/NOT is not necessary for the predicate to hold.
 bool FindEqualityConjunct(const Expr& where, const std::string& var,
-                          std::string* prop, Value* value) {
+                          std::string* prop, Value* value,
+                          std::string* param) {
   if (where.kind == Expr::Kind::kBinary && where.op == BinaryOp::kAnd) {
-    return FindEqualityConjunct(*where.lhs, var, prop, value) ||
-           FindEqualityConjunct(*where.rhs, var, prop, value);
+    return FindEqualityConjunct(*where.lhs, var, prop, value, param) ||
+           FindEqualityConjunct(*where.rhs, var, prop, value, param);
   }
   if (where.kind != Expr::Kind::kBinary || where.op != BinaryOp::kEq) {
     return false;
   }
+  auto is_rhs = [](const Expr& e) {
+    return e.kind == Expr::Kind::kLiteral || e.kind == Expr::Kind::kParam;
+  };
   const Expr* access = nullptr;
-  const Expr* literal = nullptr;
-  if (where.lhs->kind == Expr::Kind::kPropertyAccess &&
-      where.rhs->kind == Expr::Kind::kLiteral) {
+  const Expr* operand = nullptr;
+  if (where.lhs->kind == Expr::Kind::kPropertyAccess && is_rhs(*where.rhs)) {
     access = where.lhs.get();
-    literal = where.rhs.get();
+    operand = where.rhs.get();
   } else if (where.rhs->kind == Expr::Kind::kPropertyAccess &&
-             where.lhs->kind == Expr::Kind::kLiteral) {
+             is_rhs(*where.lhs)) {
     access = where.rhs.get();
-    literal = where.lhs.get();
+    operand = where.lhs.get();
   } else {
     return false;
   }
-  if (access->var != var || var.empty() || access->property == "*" ||
-      literal->literal.is_null()) {
+  if (access->var != var || var.empty() || access->property == "*") {
     return false;
   }
+  if (operand->kind == Expr::Kind::kLiteral) {
+    if (operand->literal.is_null()) return false;
+    *value = operand->literal;
+  } else {
+    *param = operand->var;
+  }
   *prop = access->property;
-  *value = literal->literal;
   return true;
 }
 
@@ -286,7 +295,7 @@ SeedEstimate EstimateEndpoint(const NodePattern* np, const GraphStats& stats,
   // this estimate errs conservative.
   if (config.use_seed_index && !est.label.empty() && np->where != nullptr &&
       FindEqualityConjunct(*np->where, np->var, &est.index_prop,
-                           &est.index_value)) {
+                           &est.index_value, &est.index_param)) {
     est.enumerated *= config.eq_selectivity;
     est.survivors = std::min(est.survivors, est.enumerated);
   }

@@ -42,6 +42,10 @@ struct SeedEstimate {
   std::string index_prop;   // Non-empty: seed from the equality index
                             // (label, index_prop) = index_value.
   Value index_value;
+  std::string index_param;  // Non-empty: the equality compares against the
+                            // $parameter instead of a literal; the engine
+                            // resolves the index value at bind time
+                            // (index_value is unset in that case).
 
   bool has_index() const { return !index_prop.empty(); }
 

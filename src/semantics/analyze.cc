@@ -343,6 +343,7 @@ class AnalyzerImpl {
       case Expr::Kind::kIsNull:
         return CheckExpr(*e.lhs, site, in_agg);
       case Expr::Kind::kLiteral:
+      case Expr::Kind::kParam:  // Bound per execution; no variable to check.
         return Status::OK();
     }
     return Status::Internal("unknown expression kind");

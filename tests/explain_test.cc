@@ -312,5 +312,61 @@ TEST(ExplainTest, ParseExplainRejectsGarbage) {
       << "header/step count mismatch must be rejected";
 }
 
+TEST(ExplainTest, StripAnalyzePrefix) {
+  std::string rest;
+  EXPECT_TRUE(planner::StripAnalyzePrefix("ANALYZE MATCH (x)", &rest));
+  EXPECT_EQ(rest, " MATCH (x)");
+  EXPECT_TRUE(planner::StripAnalyzePrefix("  analyze MATCH (x)", &rest));
+  EXPECT_FALSE(planner::StripAnalyzePrefix("ANALYZER MATCH (x)", &rest));
+  EXPECT_FALSE(planner::StripAnalyzePrefix("MATCH (x)", &rest));
+}
+
+TEST(ExplainTest, ExplainAnalyzeRendersAndParsesActuals) {
+  PropertyGraph g = BuildPaperGraph();
+  Engine engine(g);
+  Result<std::string> text = engine.ExplainAnalyze(kFraudQuery);
+  ASSERT_TRUE(text.ok()) << text.status();
+  EXPECT_NE(text->find("actual_seeds="), std::string::npos) << *text;
+  EXPECT_NE(text->find("actual_steps="), std::string::npos);
+  EXPECT_NE(text->find("actual_rows="), std::string::npos);
+  EXPECT_NE(text->find("rows="), std::string::npos);
+  EXPECT_NE(text->find("truncated=false"), std::string::npos);
+
+  Result<planner::ExplainedPlan> parsed = planner::ParseExplain(*text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status() << "\n" << *text;
+  EXPECT_TRUE(parsed->analyzed);
+  ASSERT_EQ(parsed->decls.size(), 2u);
+  for (const planner::ExplainedDecl& d : parsed->decls) {
+    EXPECT_GE(d.actual_seeds, 0) << *text;
+    EXPECT_GT(d.actual_steps, 0) << *text;
+    EXPECT_GE(d.actual_rows, 0);
+    EXPECT_FALSE(d.actual_source.empty());
+  }
+  // The measured actuals agree with the engine's metrics.
+  EngineMetrics metrics;
+  EngineOptions options;
+  options.metrics = &metrics;
+  Engine measured(g, options);
+  ASSERT_TRUE(measured.Match(kFraudQuery).ok());
+  long total_steps = 0;
+  for (const planner::ExplainedDecl& d : parsed->decls) {
+    total_steps += d.actual_steps;
+  }
+  EXPECT_EQ(static_cast<size_t>(total_steps), metrics.matcher_steps);
+  EXPECT_EQ(parsed->rows, metrics.rows);
+}
+
+TEST(ExplainTest, PlainExplainCarriesNoActuals) {
+  PropertyGraph g = BuildPaperGraph();
+  Engine engine(g);
+  Result<std::string> text = engine.Explain(kFraudQuery);
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(text->find("actual_seeds="), std::string::npos);
+  Result<planner::ExplainedPlan> parsed = planner::ParseExplain(*text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed->analyzed);
+  EXPECT_EQ(parsed->decls[0].actual_seeds, -1);
+}
+
 }  // namespace
 }  // namespace gpml

@@ -104,5 +104,50 @@ TEST_F(GqlSessionTest, MatchExposesRawOutput) {
   EXPECT_EQ(out->rows.size(), 4u);
 }
 
+TEST_F(GqlSessionTest, ExplainAnalyzeExecutesAndReportsActuals) {
+  Result<Table> t = session_.Execute(
+      "EXPLAIN ANALYZE MATCH (x:Account)-[t:Transfer]->(y) RETURN x");
+  ASSERT_TRUE(t.ok()) << t.status();
+  std::string text;
+  for (const Row& row : t->rows()) text += row[0].ToString() + "\n";
+  EXPECT_NE(text.find("actual_seeds="), std::string::npos) << text;
+  EXPECT_NE(text.find("rows=8"), std::string::npos) << text;
+
+  // Plain EXPLAIN does not execute and carries no actuals.
+  Result<Table> plain = session_.Execute(
+      "EXPLAIN MATCH (x:Account)-[t:Transfer]->(y) RETURN x");
+  ASSERT_TRUE(plain.ok());
+  std::string plain_text;
+  for (const Row& row : plain->rows()) plain_text += row[0].ToString() + "\n";
+  EXPECT_EQ(plain_text.find("actual_seeds="), std::string::npos);
+}
+
+TEST_F(GqlSessionTest, ExplainAnalyzeBindsParameters) {
+  Result<Table> t = session_.Execute(
+      "EXPLAIN ANALYZE MATCH (x:Account WHERE x.owner = $owner)"
+      "-[t:Transfer]->(y) RETURN x",
+      {{"owner", Value::String("Mike")}});
+  ASSERT_TRUE(t.ok()) << t.status();
+  std::string text;
+  for (const Row& row : t->rows()) text += row[0].ToString() + "\n";
+  EXPECT_NE(text.find("actual_seeds="), std::string::npos) << text;
+
+  // RETURN-only parameter bindings are dropped (ANALYZE does not evaluate
+  // RETURN), but a name the statement never references stays an error.
+  Result<Table> extra = session_.Execute(
+      "EXPLAIN ANALYZE MATCH (x:Account WHERE x.owner = $owner)"
+      "-[t:Transfer]->(y) RETURN x, $tag",
+      {{"owner", Value::String("Mike")}, {"tag", Value::Int(1)}});
+  EXPECT_TRUE(extra.ok()) << extra.status();
+  Result<Table> typo = session_.Execute(
+      "EXPLAIN ANALYZE MATCH (x:Account WHERE x.owner = $owner)"
+      "-[t:Transfer]->(y) RETURN x",
+      {{"ownr", Value::String("Mike")}});
+  ASSERT_FALSE(typo.ok());
+  EXPECT_NE(typo.status().message().find("unknown parameter $ownr"),
+            std::string::npos)
+      << typo.status();
+}
+
 }  // namespace
 }  // namespace gpml

@@ -100,6 +100,32 @@ TEST_F(GraphTableTest, SurfaceSyntaxErrors) {
       ParseGraphTableCall("GRAPH_TABLE(g, MATCH (x) COLUMNS (x").ok());
 }
 
+TEST_F(GraphTableTest, ExplainAnalyzeThroughSqlHost) {
+  GraphTableQuery q;
+  q.graph = "paper_graph";
+  q.match = "EXPLAIN ANALYZE MATCH (a:Account)-[t:Transfer]->(b:Account)";
+  q.columns = "a AS ignored";
+  Result<Table> t = GraphTable(catalog_, q);
+  ASSERT_TRUE(t.ok()) << t.status();
+  std::string text;
+  for (const Row& row : t->rows()) text += row[0].ToString() + "\n";
+  EXPECT_NE(text.find("actual_seeds="), std::string::npos) << text;
+  EXPECT_NE(text.find("rows="), std::string::npos) << text;
+
+  // A COLUMNS-only parameter binding is accepted (and dropped — ANALYZE
+  // does not evaluate COLUMNS), exactly like the executing call would be.
+  q.columns = "$tag AS tag";
+  q.params = {{"tag", Value::Int(1)}};
+  EXPECT_TRUE(GraphTable(catalog_, q).ok());
+
+  // A name neither the pattern nor COLUMNS references stays an error.
+  q.params = {{"nope", Value::Int(1)}};
+  Result<Table> bad = GraphTable(catalog_, q);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("unknown parameter $nope"),
+            std::string::npos);
+}
+
 TEST_F(GraphTableTest, BagSemanticsNoImplicitDistinct) {
   GraphTableQuery q;
   q.graph = "paper_graph";

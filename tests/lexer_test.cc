@@ -114,5 +114,24 @@ TEST(LexerTest, UnexpectedCharacter) {
   EXPECT_EQ(ts.status().code(), StatusCode::kSyntaxError);
 }
 
+TEST(LexerTest, ParameterPlaceholders) {
+  Result<std::vector<Token>> ts = Tokenize("$owner $_x $a1");
+  ASSERT_TRUE(ts.ok()) << ts.status();
+  ASSERT_EQ(ts->size(), 4u);  // Three params + end.
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ((*ts)[i].kind, K::kParam);
+  }
+  // The token text is the bare name: '$' never reaches the parser.
+  EXPECT_EQ((*ts)[0].text, "owner");
+  EXPECT_EQ((*ts)[1].text, "_x");
+  EXPECT_EQ((*ts)[2].text, "a1");
+}
+
+TEST(LexerTest, ParameterRequiresName) {
+  EXPECT_EQ(Tokenize("$").status().code(), StatusCode::kSyntaxError);
+  EXPECT_EQ(Tokenize("$1").status().code(), StatusCode::kSyntaxError);
+  EXPECT_EQ(Tokenize("x = $ y").status().code(), StatusCode::kSyntaxError);
+}
+
 }  // namespace
 }  // namespace gpml

@@ -323,5 +323,50 @@ TEST(ParserTest, ColumnsList) {
   EXPECT_EQ((*items)[2].alias, "hops");
 }
 
+TEST(ParserTest, ParameterPlaceholders) {
+  Result<ExprPtr> e = ParseExpression("x.owner = $owner AND $flag");
+  ASSERT_TRUE(e.ok()) << e.status();
+  EXPECT_EQ((*e)->ToString(), "x.owner = $owner AND $flag");
+
+  GraphPattern g = MustParse(
+      "MATCH (x:Account WHERE x.owner = $owner)"
+      "-[t:Transfer WHERE t.amount > $min]->(y) WHERE y.owner <> $owner");
+  const PathPattern& p = *g.paths[0].pattern;
+  ASSERT_EQ(p.elements.size(), 3u);
+  EXPECT_EQ(p.elements[0].node.where->rhs->kind, Expr::Kind::kParam);
+  EXPECT_EQ(p.elements[0].node.where->rhs->var, "owner");
+  EXPECT_EQ(p.elements[1].edge.where->rhs->var, "min");
+  ASSERT_NE(g.where, nullptr);
+  EXPECT_EQ(g.where->rhs->var, "owner");
+}
+
+TEST(ParserTest, ReturnLimit) {
+  Result<MatchStatement> s =
+      ParseStatement("MATCH (x) RETURN x LIMIT 5");
+  ASSERT_TRUE(s.ok()) << s.status();
+  ASSERT_TRUE(s->limit.has_value());
+  EXPECT_EQ(*s->limit, 5u);
+
+  Result<MatchStatement> zero = ParseStatement("MATCH (x) RETURN x LIMIT 0");
+  ASSERT_TRUE(zero.ok());
+  EXPECT_EQ(*zero->limit, 0u);
+
+  Result<MatchStatement> none = ParseStatement("MATCH (x) RETURN x");
+  ASSERT_TRUE(none.ok());
+  EXPECT_FALSE(none->limit.has_value());
+
+  // LIMIT needs a non-negative integer; the magnitude suffix is allowed.
+  EXPECT_FALSE(ParseStatement("MATCH (x) RETURN x LIMIT").ok());
+  EXPECT_FALSE(ParseStatement("MATCH (x) RETURN x LIMIT x").ok());
+  Result<MatchStatement> big =
+      ParseStatement("MATCH (x) RETURN x LIMIT 1K");
+  ASSERT_TRUE(big.ok());
+  EXPECT_EQ(*big->limit, 1000u);
+
+  // LIMIT can still be a variable name outside the clause position.
+  Result<MatchStatement> ident = ParseStatement("MATCH (limit) RETURN limit");
+  EXPECT_TRUE(ident.ok()) << ident.status();
+}
+
 }  // namespace
 }  // namespace gpml

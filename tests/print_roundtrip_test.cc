@@ -116,7 +116,27 @@ INSTANTIATE_TEST_SUITE_P(
         "(s)~[:hasPhone]~(p:Phone WHERE p.isBlocked='yes')",
         "MATCH (x)<->(y)<~(z)~>(w)",
         "MATCH (n:!%)",
-        "MATCH (n:(A&B)|!C)"));
+        "MATCH (n:(A&B)|!C)",
+        "MATCH (x:Account WHERE x.owner=$owner)"
+        "-[t:Transfer WHERE t.amount>$min]->(y) WHERE y.owner<>$owner",
+        "MATCH (a)[(x)-[e]->(y) WHERE e.amount>$cap]{1,3}(b) WHERE $flag"));
+
+TEST(StatementRoundTripTest, LimitAndParamsRoundTrip) {
+  const std::string text =
+      "MATCH (x:Account WHERE x.owner = $owner)-[t:Transfer]->(y) "
+      "RETURN x.owner AS o, $tag AS tag LIMIT 7";
+  Result<MatchStatement> first = ParseStatement(text);
+  ASSERT_TRUE(first.ok()) << first.status();
+  std::string printed = Print(*first);
+  EXPECT_NE(printed.find("LIMIT 7"), std::string::npos) << printed;
+  EXPECT_NE(printed.find("$owner"), std::string::npos) << printed;
+  Result<MatchStatement> second = ParseStatement(printed);
+  ASSERT_TRUE(second.ok()) << printed << " -> " << second.status();
+  EXPECT_EQ(second->limit, first->limit);
+  EXPECT_EQ(second->return_items.size(), first->return_items.size());
+  // Printing is a fixpoint.
+  EXPECT_EQ(printed, Print(*second));
+}
 
 }  // namespace
 }  // namespace gpml
