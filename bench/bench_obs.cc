@@ -1,0 +1,247 @@
+// Observability-overhead contract on the Figure 4 fraud workload (300
+// accounts). Like bench_planner this is a plain executable with a checked
+// contract, run under ctest as a regression gate:
+//
+//  1. Overhead (enforced only in optimized, unsanitized builds): running
+//     with the full observability stack attached — EngineMetrics, a Trace,
+//     a TraceSink, registry publication, slow-query capture armed — must
+//     cost <= 2% wall time vs running with everything off. This is the
+//     contract that lets instrumentation stay on by default
+//     (docs/observability.md).
+//  2. Functional (always enforced): the instrumented run actually produced
+//     telemetry — span tree with a closed "query" root, emitted JSON lines,
+//     advanced registry counters, a well-formed Prometheus rendering, and a
+//     slow-query capture whose EXPLAIN ANALYZE text parses back.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench_util.h"
+#include "eval/engine.h"
+#include "graph/generator.h"
+#include "obs/metrics.h"
+#include "obs/prometheus.h"
+#include "obs/slow_query_log.h"
+#include "obs/trace.h"
+#include "planner/explain.h"
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define GPML_BENCH_SANITIZED 1
+#endif
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define GPML_BENCH_SANITIZED 1
+#endif
+#endif
+
+namespace gpml {
+namespace {
+
+constexpr char kFraudQuery[] =
+    "MATCH (x:Account WHERE x.isBlocked='no')-[:isLocatedIn]->"
+    "(g:City WHERE g.name='Ankh-Morpork')<-[:isLocatedIn]-"
+    "(y:Account WHERE y.isBlocked='yes'), "
+    "ANY (x)-[:Transfer]->+(y)";
+
+PropertyGraph MakeWorkloadGraph() {
+  FraudGraphOptions options;
+  options.num_accounts = 300;
+  options.num_cities = 3;
+  return MakeFraudGraph(options);
+}
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Everything off: no metrics, no trace, no sink, no registry publication,
+/// slow-query capture disabled. The baseline the 2% budget is against.
+EngineOptions OffOptions() {
+  EngineOptions options;
+  options.num_threads = 1;  // Single-threaded for timing stability.
+  options.publish_metrics = false;
+  options.slow_query_ms = -1;
+  return options;
+}
+
+/// The full stack attached, slow threshold high enough to never fire
+/// during the timed loop (capture itself is measured separately).
+EngineOptions OnOptions(EngineMetrics* metrics, obs::Trace* trace,
+                        obs::TraceSink* sink) {
+  EngineOptions options;
+  options.num_threads = 1;
+  options.metrics = metrics;
+  options.trace = trace;
+  options.trace_sink = sink;
+  options.publish_metrics = true;
+  options.slow_query_ms = 1e9;
+  return options;
+}
+
+double MeasureOnce(const PropertyGraph& g, const EngineOptions& options,
+                   bool* ok, size_t* rows) {
+  Engine engine(g, options);
+  auto start = std::chrono::steady_clock::now();
+  Result<MatchOutput> out = engine.Match(kFraudQuery);
+  double ms = MillisSince(start);
+  if (!out.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 out.status().ToString().c_str());
+    *ok = false;
+    return ms;
+  }
+  *rows = out->rows.size();
+  return ms;
+}
+
+bool OverheadGateActive() {
+#ifdef GPML_BENCH_SANITIZED
+  return false;
+#elif !defined(NDEBUG)
+  return false;
+#else
+  return true;
+#endif
+}
+
+int RunBench() {
+  bool ok = true;
+  bench::JsonReport report("obs");
+  PropertyGraph g = MakeWorkloadGraph();
+
+  EngineMetrics metrics;
+  obs::Trace trace;
+  obs::StringTraceSink sink;
+  EngineOptions off = OffOptions();
+  EngineOptions on = OnOptions(&metrics, &trace, &sink);
+
+  // Warm the plan cache, stats, and label indexes so both sides measure
+  // pure matching work.
+  size_t rows_off = 0, rows_on = 0;
+  MeasureOnce(g, off, &ok, &rows_off);
+  MeasureOnce(g, on, &ok, &rows_on);
+  if (!ok) return 1;
+
+  // Interleaved min-of-N, alternating which configuration goes first each
+  // repetition: pairing cancels slow thermal/clock drift, alternation
+  // cancels any systematic first-vs-second bias within a pair.
+  constexpr int kRepetitions = 9;
+  auto measure_pair = [&](double* best_off, double* best_on) {
+    for (int rep = 0; rep < kRepetitions && ok; ++rep) {
+      double ms_off, ms_on;
+      if (rep % 2 == 0) {
+        ms_off = MeasureOnce(g, off, &ok, &rows_off);
+        ms_on = MeasureOnce(g, on, &ok, &rows_on);
+      } else {
+        ms_on = MeasureOnce(g, on, &ok, &rows_on);
+        ms_off = MeasureOnce(g, off, &ok, &rows_off);
+      }
+      *best_off = std::min(*best_off, ms_off);
+      *best_on = std::min(*best_on, ms_on);
+    }
+  };
+  auto overhead = [](double best_off, double best_on) {
+    return best_off > 0 ? (best_on - best_off) / best_off * 100.0 : 0;
+  };
+  double best_off = 1e300, best_on = 1e300;
+  measure_pair(&best_off, &best_on);
+  if (OverheadGateActive() && ok && overhead(best_off, best_on) > 2.0) {
+    // One retry before declaring failure: the first round may have run on
+    // a machine still hot or loaded from an earlier bench gate. Minima
+    // accumulate across rounds, so a genuine regression still fails.
+    std::printf("overhead %.2f%% on first round; re-measuring\n",
+                overhead(best_off, best_on));
+    measure_pair(&best_off, &best_on);
+  }
+  if (!ok) return 1;
+
+  double overhead_pct = overhead(best_off, best_on);
+  std::printf(
+      "observability overhead: off %.3fms, on %.3fms (%+.2f%%), rows %zu\n",
+      best_off, best_on, overhead_pct, rows_on);
+  report.Add("fraud300:obs=off", best_off, 0, 0, rows_off);
+  report.Add("fraud300:obs=on", best_on, metrics.seeded_nodes,
+             metrics.matcher_steps, rows_on,
+             {{"overhead_pct", overhead_pct}});
+
+  if (rows_off != rows_on) {
+    std::fprintf(stderr, "FAIL: instrumentation changed the result (%zu vs %zu rows)\n",
+                 rows_off, rows_on);
+    ok = false;
+  }
+  if (!OverheadGateActive()) {
+    std::printf(
+        "overhead gate: SKIPPED (sanitizer or unoptimized build distorts "
+        "timings)\n");
+  } else if (overhead_pct > 2.0) {
+    std::fprintf(stderr,
+                 "FAIL: observability overhead %.2f%% > 2%% "
+                 "(off %.3fms, on %.3fms)\n",
+                 overhead_pct, best_off, best_on);
+    ok = false;
+  }
+
+  // --- functional contract: the telemetry is actually there ---------------
+  const obs::Span* root = trace.Find("query");
+  if (trace.empty() || root == nullptr || root->duration_us < 0) {
+    std::fprintf(stderr, "FAIL: no closed 'query' span in the trace\n");
+    ok = false;
+  }
+  if (sink.traces_emitted() == 0 ||
+      sink.TakeOutput().find("\"span\":\"query\"") == std::string::npos) {
+    std::fprintf(stderr, "FAIL: trace sink received no query span\n");
+    ok = false;
+  }
+  obs::MetricsSnapshot snapshot = g.metrics_registry()->Snapshot();
+  if (snapshot.CounterValue("gpml_executions_total") == 0 ||
+      snapshot.CounterValue("gpml_rows_total") == 0) {
+    std::fprintf(stderr, "FAIL: registry counters did not advance\n");
+    ok = false;
+  }
+  std::string prom = obs::RenderPrometheus(snapshot);
+  if (prom.find("# TYPE gpml_executions_total counter") == std::string::npos ||
+      prom.find("gpml_query_duration_us_bucket") == std::string::npos) {
+    std::fprintf(stderr, "FAIL: Prometheus rendering incomplete:\n%s\n",
+                 prom.c_str());
+    ok = false;
+  }
+
+  // Slow-query capture: threshold 0 sends this run into a private log; its
+  // EXPLAIN ANALYZE text must parse back (the ms= roundtrip contract).
+  obs::SlowQueryLog slow_log(4);
+  EngineOptions slow = OnOptions(&metrics, &trace, &sink);
+  slow.slow_query_ms = 0;
+  slow.slow_log = &slow_log;
+  size_t rows_slow = 0;
+  MeasureOnce(g, slow, &ok, &rows_slow);
+  std::vector<obs::SlowQueryRecord> captured = slow_log.Snapshot();
+  if (captured.empty()) {
+    std::fprintf(stderr, "FAIL: slow-query capture did not fire\n");
+    ok = false;
+  } else {
+    const obs::SlowQueryRecord& rec = captured.back();
+    Result<planner::ExplainedPlan> parsed = planner::ParseExplain(rec.explain);
+    if (rec.fingerprint.empty() || rec.trace_json.empty() || !parsed.ok() ||
+        !parsed->analyzed || parsed->total_ms < 0) {
+      std::fprintf(stderr, "FAIL: slow-query record incomplete:\n%s\n",
+                   rec.explain.c_str());
+      ok = false;
+    }
+  }
+
+  report.Write();
+  std::printf(ok ? "observability contract holds: <= 2%% overhead, live "
+                   "telemetry on all surfaces\n"
+                 : "observability contract VIOLATED (see stderr)\n");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace gpml
+
+int main() { return gpml::RunBench(); }

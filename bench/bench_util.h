@@ -11,6 +11,8 @@
 #include "eval/engine.h"
 #include "graph/generator.h"
 #include "graph/sample_graph.h"
+#include "obs/metrics.h"
+#include "obs/prometheus.h"
 
 namespace gpml {
 namespace bench {
@@ -62,10 +64,24 @@ class JsonReport {
     Add(std::move(r));
   }
 
-  /// Writes BENCH_<name>.json into the current directory. IO failure warns
-  /// but does not fail the benchmark contract (CI runs in scratch dirs).
+  /// The directory report files go to: $GPML_BENCH_OUT when set (CI points
+  /// it at the artifact directory), else the current directory.
+  static std::string OutDir() {
+    const char* dir = std::getenv("GPML_BENCH_OUT");
+    if (dir == nullptr || dir[0] == '\0') return "";
+    std::string out = dir;
+    if (out.back() != '/') out += '/';
+    return out;
+  }
+
+  /// Writes BENCH_<name>.json into OutDir(), plus BENCH_<name>.prom — the
+  /// Prometheus rendering of every live metrics registry at this point, so
+  /// each bench gate leaves a metrics snapshot of the workload it just ran
+  /// (docs/observability.md). IO failure warns but does not fail the
+  /// benchmark contract (CI runs in scratch dirs).
   bool Write() const {
-    std::string path = "BENCH_" + name_ + ".json";
+    WritePrometheusSnapshot();
+    std::string path = OutDir() + "BENCH_" + name_ + ".json";
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) {
       std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
@@ -92,6 +108,20 @@ class JsonReport {
   }
 
  private:
+  void WritePrometheusSnapshot() const {
+    std::string path = OutDir() + "BENCH_" + name_ + ".prom";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::string text =
+        obs::RenderPrometheus(obs::AggregateAllRegistries());
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s (%zu bytes)\n", path.c_str(), text.size());
+  }
+
   /// JSON string escaping for the identifier-ish names benchmarks use.
   static std::string Escaped(const std::string& s) {
     std::string out;

@@ -2,7 +2,9 @@
 //
 // This walks the first steps of the paper: the Figure 1 banking graph, node
 // and edge patterns (§4.1), concatenation (§4.2), quantifiers (§4.4), a
-// restrictor (§5) and a selector (Figure 8).
+// restrictor (§5) and a selector (Figure 8) — then shows the observability
+// layer (docs/observability.md): a per-query trace of the engine's stages
+// and the Prometheus rendering of the graph's metrics registry.
 
 #include <cstdio>
 #include <string>
@@ -12,6 +14,7 @@
 #include "gql/result_table.h"
 #include "gql/session.h"
 #include "graph/sample_graph.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -71,6 +74,25 @@ int main() {
   Run(session,
       "MATCH ANY SHORTEST p = (a WHERE a.owner='Dave')-[t:Transfer]->* "
       "(b WHERE b.owner='Aretha') RETURN p");
+
+  // Observability: attach a trace to the session and re-run one query to
+  // see where the engine spent its time, stage by stage.
+  gpml::obs::Trace trace;
+  gpml::EngineOptions traced = session.options();
+  traced.trace = &trace;
+  session.set_options(traced);
+  Run(session,
+      "MATCH (x:Account WHERE x.isBlocked='no') RETURN x.owner AS owner");
+  std::printf("trace of the last query (one JSON line per span):\n%s\n",
+              trace.ToJsonLines().c_str());
+
+  // Every execution above also fed the graph's metrics registry; this is
+  // what a monitoring server would scrape from /metrics.
+  gpml::Result<std::string> metrics = session.MetricsText();
+  if (metrics.ok()) {
+    std::printf("metrics registry (Prometheus text format):\n%s",
+                metrics->c_str());
+  }
 
   return 0;
 }

@@ -5,7 +5,10 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "ast/print.h"
 #include "eval/nfa.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
 #include "parser/parser.h"
 #include "planner/explain.h"
 #include "planner/stats.h"
@@ -261,6 +264,43 @@ const Value* ResolveIndexValue(const planner::SeedEstimate& anchor,
 constexpr size_t kFirstChunkSeeds = 8;
 constexpr size_t kMaxChunkSeeds = 4096;
 
+// ---------------------------------------------------------------------------
+// Observability helpers (docs/observability.md)
+// ---------------------------------------------------------------------------
+
+uint64_t MsToUs(double ms) { return static_cast<uint64_t>(ms * 1000.0); }
+
+// Stage-histogram series of the graph registry; the base metric is shared,
+// the label selects the pipeline stage (obs/prometheus.h splits them back).
+constexpr char kStagePlan[] = "gpml_stage_duration_us{stage=\"plan\"}";
+constexpr char kStageSeed[] = "gpml_stage_duration_us{stage=\"seed\"}";
+constexpr char kStageMatch[] = "gpml_stage_duration_us{stage=\"match\"}";
+constexpr char kStageJoin[] = "gpml_stage_duration_us{stage=\"join\"}";
+constexpr char kStageFilter[] = "gpml_stage_duration_us{stage=\"filter\"}";
+
+/// Captures one slow execution into the configured (or global) log.
+void CaptureSlowQuery(const EngineOptions& options, const PropertyGraph& g,
+                      const planner::CachedPlan& prepared,
+                      const planner::ExplainExec& exec,
+                      const std::vector<planner::DeclActual>* actuals,
+                      const obs::Trace* trace, double total_ms,
+                      size_t rows) {
+  obs::SlowQueryRecord rec;
+  rec.graph_token = g.identity_token();
+  // Parameterized fingerprint: $names render as themselves, so the capture
+  // never leaks bound values (matches the plan cache's keying).
+  rec.fingerprint = Print(prepared.normalized);
+  rec.total_ms = total_ms;
+  rec.rows = rows;
+  rec.explain = planner::ExplainPlan(prepared.plan, *prepared.vars,
+                                     /*stats=*/nullptr, &exec, actuals);
+  if (trace != nullptr) rec.trace_json = trace->ToJsonLines();
+  obs::SlowQueryLog& log = options.slow_log != nullptr
+                               ? *options.slow_log
+                               : obs::GlobalSlowQueryLog();
+  log.Add(std::move(rec));
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -305,22 +345,30 @@ Result<std::shared_ptr<const planner::CachedPlan>> Engine::PreparePlan(
     // share one entry — the prepare-once contract.
     fingerprint = planner::PlanFingerprint(pattern, options_.use_planner,
                                            options_.use_seed_index);
-    if (std::shared_ptr<const planner::CachedPlan> cached =
-            planner::LookupPlan(graph_, fingerprint)) {
+    // The registry outlives this call: the graph's member slot keeps it.
+    if (std::shared_ptr<const planner::CachedPlan> cached = planner::LookupPlan(
+            graph_, fingerprint,
+            options_.publish_metrics ? graph_.metrics_registry().get()
+                                     : nullptr)) {
       *cache_hit = true;
       return cached;
     }
   }
   auto entry = std::make_shared<planner::CachedPlan>();
+  obs::Stopwatch analyze_clock;
   GPML_ASSIGN_OR_RETURN(Analyzed p, AnalyzePattern(pattern));
   entry->normalized = std::move(p.normalized);
   entry->vars = std::move(p.vars);
+  entry->analyze_ms = analyze_clock.ElapsedMs();
+  obs::Stopwatch plan_clock;
   GPML_ASSIGN_OR_RETURN(entry->plan,
                         PlanNormalized(entry->normalized, *entry->vars));
+  entry->plan_ms = plan_clock.ElapsedMs();
   // Compile and graph-bind every declaration's program now, so cache hits
   // skip compilation and label-predicate binding as well as planning. The
   // entry is keyed on the graph identity token, so the bound symbol ids can
   // never be replayed against a different graph.
+  obs::Stopwatch compile_clock;
   entry->programs.reserve(entry->plan.decls.size());
   for (const planner::DeclPlan& dp : entry->plan.decls) {
     GPML_ASSIGN_OR_RETURN(Program program,
@@ -329,6 +377,7 @@ Result<std::shared_ptr<const planner::CachedPlan>> Engine::PreparePlan(
     entry->programs.push_back(
         std::make_shared<const Program>(std::move(program)));
   }
+  entry->compile_ms = compile_clock.ElapsedMs();
   std::shared_ptr<const planner::CachedPlan> shared = std::move(entry);
   if (options_.use_plan_cache) {
     planner::StorePlan(graph_, fingerprint, shared);
@@ -337,8 +386,12 @@ Result<std::shared_ptr<const planner::CachedPlan>> Engine::PreparePlan(
 }
 
 Result<PreparedQuery> Engine::Prepare(const std::string& match_text) const {
+  obs::Stopwatch parse_clock;
   GPML_ASSIGN_OR_RETURN(GraphPattern pattern, ParseGraphPattern(match_text));
-  return Prepare(pattern);
+  double parse_ms = parse_clock.ElapsedMs();
+  GPML_ASSIGN_OR_RETURN(PreparedQuery prepared, Prepare(pattern));
+  prepared.parse_ms_ = parse_ms;
+  return prepared;
 }
 
 Result<PreparedQuery> Engine::Prepare(const GraphPattern& pattern) const {
@@ -385,21 +438,32 @@ Result<std::string> Engine::ExplainAnalyze(const std::string& match_text,
 
 Result<std::string> Engine::ExplainAnalyze(const GraphPattern& pattern,
                                            const Params& params) const {
-  GPML_ASSIGN_OR_RETURN(PreparedQuery prepared, Prepare(pattern));
+  // Run with private metrics and a private trace so the rendering carries
+  // measured wall-clock actuals (`ms=`, `plan_ms=`, `actual_ms=`) even when
+  // the caller attached neither.
+  EngineMetrics metrics;
+  obs::Trace trace;
+  EngineOptions opts = options_;
+  opts.metrics = &metrics;
+  opts.trace = &trace;
+  Engine sub(graph_, opts);
+  GPML_ASSIGN_OR_RETURN(PreparedQuery prepared, sub.Prepare(pattern));
   GPML_RETURN_IF_ERROR(ValidateParams(prepared.signature_, params));
   std::shared_ptr<const Params> shared =
       params.empty() ? nullptr : std::make_shared<const Params>(params);
   std::vector<planner::DeclActual> actuals;
   GPML_ASSIGN_OR_RETURN(
       MatchOutput out,
-      ExecutePlan(*prepared.plan_, prepared.cache_hit_, std::move(shared),
-                  &actuals));
+      sub.ExecutePlan(*prepared.plan_, prepared.cache_hit_, std::move(shared),
+                      &actuals));
   planner::ExplainExec exec;
   exec.threads = ResolvedThreads();
   exec.cached = prepared.cache_hit_;
   exec.analyzed = true;
   exec.rows = out.rows.size();
   exec.truncated = out.truncated;
+  exec.total_ms = trace.TotalMs("query");
+  exec.plan_ms = metrics.plan_ms;
   return planner::ExplainPlan(prepared.plan_->plan, *prepared.plan_->vars,
                               /*stats=*/nullptr, &exec, &actuals);
 }
@@ -423,7 +487,8 @@ Result<MatchOutput> Engine::Match(const GraphPattern& pattern) const {
 Result<MatchOutput> Engine::ExecutePlan(
     const planner::CachedPlan& prepared, bool cache_hit,
     std::shared_ptr<const Params> params,
-    std::vector<planner::DeclActual>* actuals) const {
+    std::vector<planner::DeclActual>* actuals, double parse_ms) const {
+  obs::Stopwatch total_clock;
   MatchOutput out;
   if (options_.metrics != nullptr) *options_.metrics = {};
   out.normalized = prepared.normalized;
@@ -438,14 +503,54 @@ Result<MatchOutput> Engine::ExecutePlan(
   matcher_options.num_threads = num_workers;
   matcher_options.use_csr = options_.use_csr;
 
+  // One trace per execution: the caller's, or a local one when only a sink
+  // or the slow-query log will consume it.
+  const bool slow_enabled = options_.slow_query_ms >= 0;
+  obs::Trace local_trace;
+  obs::Trace* tr = options_.trace;
+  if (tr == nullptr && (options_.trace_sink != nullptr || slow_enabled)) {
+    tr = &local_trace;
+  }
+  if (tr != nullptr) tr->Clear();
+  // Slow-query capture renders EXPLAIN ANALYZE, so collect per-declaration
+  // actuals locally even when the caller passed none.
+  std::vector<planner::DeclActual> local_actuals;
+  if (actuals == nullptr && slow_enabled) actuals = &local_actuals;
+
+  // Compile cost this execution paid: parsing always runs (the fingerprint
+  // needs a parsed pattern); the normalize/plan/compile half was only paid
+  // on a cache miss — hits replay the entry's stored costs into the trace.
+  const double compile_ms =
+      prepared.analyze_ms + prepared.plan_ms + prepared.compile_ms;
+  const double paid_plan_ms = parse_ms + (cache_hit ? 0.0 : compile_ms);
+
+  int root = obs::Trace::kNoParent;
+  if (tr != nullptr) {
+    root = tr->Begin("query");
+    tr->Attr(root, "threads", std::to_string(num_workers));
+    tr->Attr(root, "cached", cache_hit ? "true" : "false");
+    if (parse_ms > 0) {
+      tr->AddComplete("parse", root, 0, MsToUs(parse_ms));
+    }
+    int plan_span = tr->AddComplete("plan", root, 0, MsToUs(compile_ms));
+    tr->Attr(plan_span, "cached", cache_hit ? "true" : "false");
+  }
+
   if (options_.metrics != nullptr) {
     options_.metrics->threads = num_workers;
+    options_.metrics->plan_ms = paid_plan_ms;
     if (cache_hit) {
       options_.metrics->plan_cache_hits = 1;
     } else {
       options_.metrics->plan_cache_misses = 1;
     }
   }
+
+  // Registry aggregates (published at the end, for completed executions);
+  // tracked locally so publication does not depend on options_.metrics.
+  size_t agg_seeded = 0, agg_steps = 0, agg_reversed = 0, agg_bound = 0,
+         agg_indexed = 0;
+  double seed_ms_total = 0, match_ms_total = 0, join_ms_total = 0;
 
   // Evaluate every path declaration independently (§6.5) in plan order,
   // then join. The planner may mirror a declaration (anchor at its right
@@ -458,6 +563,11 @@ Result<MatchOutput> Engine::ExecutePlan(
   for (size_t plan_pos = 0; plan_pos < num_decls; ++plan_pos) {
     const planner::DeclPlan& dp = plan.decls[plan_pos];
     const PathPatternDecl& decl = dp.decl;
+    int decl_span = obs::Trace::kNoParent;
+    if (tr != nullptr) {
+      decl_span = tr->Begin("decl", root);
+      tr->Attr(decl_span, "decl", std::to_string(dp.decl_index));
+    }
     out.path_vars[static_cast<size_t>(dp.decl_index)] =
         decl.path_var.empty() ? -1 : out.vars->Find(decl.path_var);
 
@@ -510,6 +620,14 @@ Result<MatchOutput> Engine::ExecutePlan(
     if (decl_truncated) out.truncated = true;
     if (dp.reversed) planner::UnreverseMatchSet(&match);
 
+    agg_seeded += match_stats.seeds;
+    agg_steps += match_stats.steps;
+    if (dp.reversed) ++agg_reversed;
+    if (use_filter) ++agg_bound;
+    if (use_index) ++agg_indexed;
+    seed_ms_total += match_stats.seed_ms;
+    match_ms_total += match_stats.match_ms;
+
     if (options_.metrics != nullptr) {
       EngineMetrics& m = *options_.metrics;
       ++m.decls;
@@ -518,6 +636,8 @@ Result<MatchOutput> Engine::ExecutePlan(
       if (dp.reversed) ++m.reversed_decls;
       if (use_filter) ++m.seed_filtered_decls;
       if (use_index) ++m.index_seeded_decls;
+      m.seed_ms += match_stats.seed_ms;
+      m.exec_ms += match_stats.match_ms;
     }
     if (actuals != nullptr) {
       planner::DeclActual a;
@@ -526,7 +646,24 @@ Result<MatchOutput> Engine::ExecutePlan(
       a.bindings = match.bindings.size();
       a.index_seeded = use_index;
       a.seed_filtered = use_filter;
+      a.ms = match_stats.match_ms;
       actuals->push_back(a);
+    }
+    if (tr != nullptr) {
+      // Seed and shard children reconstructed from the matcher's measured
+      // wall times (the trace is single-threaded; workers never touch it).
+      tr->Attr(decl_span, "source",
+               use_index ? "index" : (use_filter ? "bound" : "scan"));
+      uint64_t decl_start = tr->spans()[decl_span].start_us;
+      tr->AddComplete("seed", decl_span, decl_start,
+                      MsToUs(match_stats.seed_ms));
+      uint64_t shard_start = decl_start + MsToUs(match_stats.seed_ms);
+      for (size_t s = 0; s < match_stats.shard_ms.size(); ++s) {
+        int shard_span = tr->AddComplete("shard", decl_span, shard_start,
+                                         MsToUs(match_stats.shard_ms[s]));
+        tr->Attr(shard_span, "shard", std::to_string(s));
+      }
+      tr->End(decl_span);
     }
 
     std::vector<std::shared_ptr<const PathBinding>> bindings;
@@ -546,10 +683,15 @@ Result<MatchOutput> Engine::ExecutePlan(
       continue;
     }
 
+    int join_span =
+        tr != nullptr ? tr->Begin("join", root) : obs::Trace::kNoParent;
+    obs::Stopwatch join_clock;
     bool join_truncated = false;
     GPML_ASSIGN_OR_RETURN(
         rows, JoinDecl(std::move(rows), bindings, dp.join_vars,
                        options_.max_rows, truncate, &join_truncated));
+    join_ms_total += join_clock.ElapsedMs();
+    if (tr != nullptr) tr->End(join_span);
     if (join_truncated) out.truncated = true;
   }
 
@@ -572,6 +714,9 @@ Result<MatchOutput> Engine::ExecutePlan(
 
   // Per-row tail: match-mode filter (§7.1) and the final WHERE (§5.2) —
   // the same RowSurvives the cursor paths stream through.
+  int filter_span =
+      tr != nullptr ? tr->Begin("filter", root) : obs::Trace::kNoParent;
+  obs::Stopwatch filter_clock;
   std::vector<ResultRow> surviving;
   surviving.reserve(rows.size());
   for (ResultRow& row : rows) {
@@ -579,10 +724,57 @@ Result<MatchOutput> Engine::ExecutePlan(
     if (keep) surviving.push_back(std::move(row));
   }
   out.rows = std::move(surviving);
+  const double filter_ms = filter_clock.ElapsedMs();
+  if (tr != nullptr) tr->End(filter_span);
 
   if (options_.metrics != nullptr) {
     options_.metrics->rows = out.rows.size();
     options_.metrics->budget_truncated = out.truncated ? 1 : 0;
+  }
+
+  // Observability publication — completed executions only (every error
+  // above returned before reaching this point).
+  if (tr != nullptr) {
+    tr->Attr(root, "rows", std::to_string(out.rows.size()));
+    tr->End(root);
+  }
+  const double total_ms = total_clock.ElapsedMs();
+  if (options_.publish_metrics) {
+    std::shared_ptr<obs::MetricsRegistry> registry = graph_.metrics_registry();
+    registry->GetCounter("gpml_executions_total")->Increment();
+    registry->GetCounter("gpml_decls_total")->Increment(num_decls);
+    registry->GetCounter("gpml_seeded_nodes_total")->Increment(agg_seeded);
+    registry->GetCounter("gpml_matcher_steps_total")->Increment(agg_steps);
+    registry->GetCounter("gpml_reversed_decls_total")->Increment(agg_reversed);
+    registry->GetCounter("gpml_seed_filtered_decls_total")
+        ->Increment(agg_bound);
+    registry->GetCounter("gpml_index_seeded_decls_total")
+        ->Increment(agg_indexed);
+    registry->GetCounter("gpml_rows_total")->Increment(out.rows.size());
+    registry->GetCounter("gpml_budget_truncated_total")
+        ->Increment(out.truncated ? 1 : 0);
+    registry->GetHistogram(kStagePlan)->Observe(MsToUs(paid_plan_ms));
+    registry->GetHistogram(kStageSeed)->Observe(MsToUs(seed_ms_total));
+    registry->GetHistogram(kStageMatch)->Observe(MsToUs(match_ms_total));
+    registry->GetHistogram(kStageJoin)->Observe(MsToUs(join_ms_total));
+    registry->GetHistogram(kStageFilter)->Observe(MsToUs(filter_ms));
+    registry->GetHistogram("gpml_query_duration_us")->Observe(MsToUs(total_ms));
+    if (slow_enabled && total_ms > options_.slow_query_ms) {
+      registry->GetCounter("gpml_slow_queries_total")->Increment();
+    }
+  }
+  if (options_.trace_sink != nullptr) options_.trace_sink->Emit(*tr);
+  if (slow_enabled && total_ms > options_.slow_query_ms) {
+    planner::ExplainExec exec;
+    exec.threads = num_workers;
+    exec.cached = cache_hit;
+    exec.analyzed = true;
+    exec.rows = out.rows.size();
+    exec.truncated = out.truncated;
+    exec.total_ms = total_ms;
+    exec.plan_ms = paid_plan_ms;
+    CaptureSlowQuery(options_, graph_, prepared, exec, actuals, tr, total_ms,
+                     out.rows.size());
   }
   return out;
 }
@@ -607,7 +799,7 @@ Result<MatchOutput> PreparedQuery::Execute(const Params& params) const {
       params.empty() ? nullptr : std::make_shared<const Params>(params);
   Engine engine(*graph_, options_);
   return engine.ExecutePlan(*plan_, cache_hit_, std::move(shared),
-                            /*actuals=*/nullptr);
+                            /*actuals=*/nullptr, parse_ms_);
 }
 
 Result<Cursor> PreparedQuery::Open(const Params& params) const {
@@ -620,7 +812,7 @@ Result<Cursor> PreparedQuery::Open(const Params& params,
   std::shared_ptr<const Params> shared =
       params.empty() ? nullptr : std::make_shared<const Params>(params);
   return Cursor(*graph_, options_, plan_, std::move(shared), cache_hit_,
-                limit);
+                limit, parse_ms_);
 }
 
 Result<std::string> PreparedQuery::Explain() const {
@@ -639,12 +831,14 @@ Result<std::string> PreparedQuery::Explain() const {
 Cursor::Cursor(const PropertyGraph& graph, EngineOptions options,
                std::shared_ptr<const planner::CachedPlan> plan,
                std::shared_ptr<const Params> params, bool cache_hit,
-               std::optional<uint64_t> limit)
+               std::optional<uint64_t> limit, double parse_ms)
     : graph_(&graph),
       options_(std::move(options)),
       plan_(std::move(plan)),
       cache_hit_(cache_hit),
-      limit_(limit) {
+      limit_(limit),
+      parse_ms_(parse_ms),
+      open_us_(obs::MonotonicMicros()) {
   context_.normalized = plan_->normalized;
   context_.vars = plan_->vars;
   context_.params = std::move(params);
@@ -676,7 +870,9 @@ Cursor::Cursor(const PropertyGraph& graph, EngineOptions options,
                                      *idx_value);
       }
     }
+    obs::Stopwatch seed_clock;
     seeds_ = ComputeSeeds(graph, *plan_->programs[0], filter);
+    seed_ms_total_ = seed_clock.ElapsedMs();
     chunk_size_ = kFirstChunkSeeds;
     // One budget across all chunks: the stream can never execute more
     // steps or accept more matches than a single materializing call.
@@ -688,6 +884,10 @@ Cursor::Cursor(const PropertyGraph& graph, EngineOptions options,
     *options_.metrics = {};
     Engine engine(*graph_, options_);
     options_.metrics->threads = engine.ResolvedThreads();
+    options_.metrics->plan_ms =
+        parse_ms_ + (cache_hit_ ? 0.0
+                                : plan_->analyze_ms + plan_->plan_ms +
+                                      plan_->compile_ms);
     if (cache_hit_) {
       options_.metrics->plan_cache_hits = 1;
     } else {
@@ -695,6 +895,7 @@ Cursor::Cursor(const PropertyGraph& graph, EngineOptions options,
     }
     if (mode_ == Mode::kStream) {
       options_.metrics->decls = 1;
+      options_.metrics->seed_ms = seed_ms_total_;
       if (stream_reversed_) options_.metrics->reversed_decls = 1;
       if (stream_index_seeded_) options_.metrics->index_seeded_decls = 1;
     }
@@ -730,9 +931,15 @@ Status Cursor::FillChunk() {
   if (!match.ok()) return match.status();
   if (dp.reversed) planner::UnreverseMatchSet(&*match);
 
+  seeds_total_ += stats.seeds;
+  steps_total_ += stats.steps;
+  seed_ms_total_ += stats.seed_ms;
+  exec_ms_total_ += stats.match_ms;
   if (options_.metrics != nullptr) {
     options_.metrics->seeded_nodes += stats.seeds;
     options_.metrics->matcher_steps += stats.steps;
+    options_.metrics->seed_ms += stats.seed_ms;
+    options_.metrics->exec_ms += stats.match_ms;
   }
 
   for (PathBinding& pb : match->bindings) {
@@ -760,7 +967,7 @@ Status Cursor::FillBatch() {
   Engine engine(*graph_, options_);
   Result<MatchOutput> out =
       engine.ExecutePlan(*plan_, cache_hit_, context_.params,
-                         /*actuals=*/nullptr);
+                         /*actuals=*/nullptr, parse_ms_);
   if (!out.ok()) return out.status();
   truncated_ = out->truncated;
   context_.truncated = out->truncated;
@@ -778,6 +985,7 @@ Result<bool> Cursor::Next(RowView* view) {
     if (!done_) {
       done_ = true;
       hit_limit_ = true;
+      FinishStream();
     }
     return false;
   }
@@ -800,6 +1008,7 @@ Result<bool> Cursor::Next(RowView* view) {
     } else {
       if (seed_pos_ >= seeds_.size()) {
         done_ = true;
+        FinishStream();
         return false;
       }
       status_ = FillChunk();
@@ -808,6 +1017,78 @@ Result<bool> Cursor::Next(RowView* view) {
       done_ = true;
       return status_;
     }
+  }
+}
+
+void Cursor::FinishStream() {
+  if (published_ || mode_ != Mode::kStream) return;
+  published_ = true;
+  const double total_ms =
+      static_cast<double>(obs::MonotonicMicros() - open_us_) / 1e3;
+  const double compile_ms =
+      plan_->analyze_ms + plan_->plan_ms + plan_->compile_ms;
+  const double paid_plan_ms = parse_ms_ + (cache_hit_ ? 0.0 : compile_ms);
+  const bool slow_enabled = options_.slow_query_ms >= 0;
+
+  // Streams have no live span nesting (work happened across pulls), so the
+  // trace is reconstructed flat from the accumulated stage totals.
+  obs::Trace local_trace;
+  obs::Trace* tr = options_.trace;
+  if (tr == nullptr && (options_.trace_sink != nullptr || slow_enabled)) {
+    tr = &local_trace;
+  }
+  if (tr != nullptr) {
+    tr->Clear();
+    int root = tr->AddComplete("query", obs::Trace::kNoParent, 0,
+                               MsToUs(total_ms));
+    tr->Attr(root, "mode", "stream");
+    tr->Attr(root, "cached", cache_hit_ ? "true" : "false");
+    tr->Attr(root, "rows", std::to_string(emitted_));
+    if (parse_ms_ > 0) {
+      tr->AddComplete("parse", root, 0, MsToUs(parse_ms_));
+    }
+    int plan_span = tr->AddComplete("plan", root, 0, MsToUs(compile_ms));
+    tr->Attr(plan_span, "cached", cache_hit_ ? "true" : "false");
+    tr->AddComplete("seed", root, 0, MsToUs(seed_ms_total_));
+    tr->AddComplete("match", root, 0, MsToUs(exec_ms_total_));
+  }
+
+  if (options_.publish_metrics) {
+    std::shared_ptr<obs::MetricsRegistry> registry =
+        graph_->metrics_registry();
+    registry->GetCounter("gpml_executions_total")->Increment();
+    registry->GetCounter("gpml_decls_total")->Increment(1);
+    registry->GetCounter("gpml_seeded_nodes_total")->Increment(seeds_total_);
+    registry->GetCounter("gpml_matcher_steps_total")->Increment(steps_total_);
+    registry->GetCounter("gpml_reversed_decls_total")
+        ->Increment(stream_reversed_ ? 1 : 0);
+    registry->GetCounter("gpml_index_seeded_decls_total")
+        ->Increment(stream_index_seeded_ ? 1 : 0);
+    registry->GetCounter("gpml_rows_total")->Increment(emitted_);
+    registry->GetCounter("gpml_budget_truncated_total")
+        ->Increment(truncated_ ? 1 : 0);
+    registry->GetHistogram(kStagePlan)->Observe(MsToUs(paid_plan_ms));
+    registry->GetHistogram(kStageSeed)->Observe(MsToUs(seed_ms_total_));
+    registry->GetHistogram(kStageMatch)->Observe(MsToUs(exec_ms_total_));
+    registry->GetHistogram("gpml_query_duration_us")
+        ->Observe(MsToUs(total_ms));
+    if (slow_enabled && total_ms > options_.slow_query_ms) {
+      registry->GetCounter("gpml_slow_queries_total")->Increment();
+    }
+  }
+  if (options_.trace_sink != nullptr) options_.trace_sink->Emit(*tr);
+  if (slow_enabled && total_ms > options_.slow_query_ms) {
+    planner::ExplainExec exec;
+    Engine engine(*graph_, options_);
+    exec.threads = engine.ResolvedThreads();
+    exec.cached = cache_hit_;
+    exec.analyzed = true;
+    exec.rows = emitted_;
+    exec.truncated = truncated_;
+    exec.total_ms = total_ms;
+    exec.plan_ms = paid_plan_ms;
+    CaptureSlowQuery(options_, *graph_, *plan_, exec, /*actuals=*/nullptr,
+                     tr, total_ms, emitted_);
   }
 }
 

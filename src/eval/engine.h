@@ -13,6 +13,8 @@
 #include "eval/matcher.h"
 #include "eval/params.h"
 #include "graph/property_graph.h"
+#include "obs/slow_query_log.h"
+#include "obs/trace.h"
 #include "planner/explain.h"
 #include "planner/plan_cache.h"
 #include "planner/planner.h"
@@ -25,12 +27,17 @@ namespace gpml {
 /// Filled when EngineOptions::metrics points here; the planner benchmarks
 /// compare these with the planner on and off.
 ///
-/// Deliberately plain size_t fields (the benchmarks depend on the struct
+/// Deliberately plain scalar fields (the benchmarks depend on the struct
 /// staying POD): nothing increments them during execution. Worker shards
 /// count into shard-local MatchStats and the totals are merged into this
 /// struct once per declaration, after all shards have joined — so a
 /// num_threads > 1 run never races on these fields. Cursor streams update
 /// the struct between pulls (single-threaded caller context).
+///
+/// Reset-on-execute: every execution (including Cursor construction, which
+/// starts a stream) zeroes the struct before filling it, so the fields
+/// always describe the latest execution — a cursor's counters grow as rows
+/// are pulled and are final when the stream ends (docs/observability.md).
 struct EngineMetrics {
   size_t decls = 0;                // Path declarations executed.
   size_t seeded_nodes = 0;         // Start nodes seeded, summed over decls.
@@ -50,6 +57,15 @@ struct EngineMetrics {
   size_t budget_truncated = 0;     // 1 when the output was cut short by an
                                    // evaluation budget (BudgetPolicy::
                                    // kTruncate) — distinct from a LIMIT stop.
+  // Wall-clock stage totals in milliseconds (monotonic clock), the same
+  // measurements the trace spans carry (docs/observability.md):
+  double plan_ms = 0;              // Parse plus compile cost this execution
+                                   // paid; the compile half is 0 on a plan-
+                                   // cache hit (a past execution paid it).
+  double seed_ms = 0;              // Seed-list derivation, over all decls.
+  double exec_ms = 0;              // Pattern matching (RunPattern wall),
+                                   // over all decls; cursor streams
+                                   // accumulate this across pulls.
 };
 
 struct EngineOptions {
@@ -99,6 +115,31 @@ struct EngineOptions {
   BudgetPolicy on_budget = BudgetPolicy::kError;
   /// When non-null, reset and filled on every execution.
   EngineMetrics* metrics = nullptr;
+  /// When non-null, cleared and refilled with this execution's span tree:
+  /// parse/plan (replayed from the plan-cache entry's stored compile
+  /// costs), per-declaration seed and worker-shard spans, join, and the
+  /// final filter (docs/observability.md lists the taxonomy). Not
+  /// thread-safe — one trace per concurrently executing call.
+  obs::Trace* trace = nullptr;
+  /// When non-null, every completed execution's trace is emitted here as
+  /// JSON lines (a trace is built internally even when `trace` is null).
+  /// Sinks must be thread-safe: the engine emits from whichever thread
+  /// runs the execution.
+  obs::TraceSink* trace_sink = nullptr;
+  /// Publish per-execution counters and stage-latency histograms into the
+  /// graph's registry (PropertyGraph::metrics_registry) — shared across
+  /// engines and hosts over the same graph, exported by
+  /// obs::RenderPrometheus. Lock-free increments, on by default; off only
+  /// for overhead measurement (bench/bench_obs.cc).
+  bool publish_metrics = true;
+  /// Executions slower than this wall-clock threshold (ms) are captured —
+  /// parameterized fingerprint, EXPLAIN ANALYZE text, trace JSON — into
+  /// `slow_log`, or the process-wide obs::GlobalSlowQueryLog() when that
+  /// is null. Negative disables slow-query capture. Streaming cursors
+  /// measure open-to-finish and capture when the stream completes;
+  /// abandoned streams are never captured.
+  double slow_query_ms = 1000.0;
+  obs::SlowQueryLog* slow_log = nullptr;
 };
 
 /// One solution of a graph pattern: a path binding per path declaration
@@ -214,6 +255,9 @@ class PreparedQuery {
   std::shared_ptr<const planner::CachedPlan> plan_;
   ParamSignature signature_;
   bool cache_hit_;
+  /// Wall clock of parsing the pattern text; 0 when prepared from an
+  /// already-parsed pattern. Replayed into each execution's trace.
+  double parse_ms_ = 0;
 };
 
 /// A pull-based result stream (docs/api.md): repeatedly call Next until it
@@ -295,12 +339,18 @@ class Cursor {
   Cursor(const PropertyGraph& graph, EngineOptions options,
          std::shared_ptr<const planner::CachedPlan> plan,
          std::shared_ptr<const Params> params, bool cache_hit,
-         std::optional<uint64_t> limit);
+         std::optional<uint64_t> limit, double parse_ms);
 
   /// Runs the next seed chunk (kStream) and stages its surviving rows.
   Status FillChunk();
   /// Runs the whole batch pipeline (kBatch) and stages surviving rows.
   Status FillBatch();
+  /// One-shot observability publication when a kStream stream completes
+  /// cleanly (end of seeds, LIMIT, or flagged truncation): registry
+  /// counters/histograms, trace emission, slow-query capture. kBatch
+  /// streams publish through ExecutePlan instead; errored or abandoned
+  /// streams publish nothing (docs/observability.md).
+  void FinishStream();
 
   const PropertyGraph* graph_;
   EngineOptions options_;
@@ -329,6 +379,15 @@ class Cursor {
   bool stream_reversed_ = false;
   bool stream_index_seeded_ = false;
   std::unique_ptr<SharedBudget> budget_;  // One budget across all chunks.
+
+  // Observability accumulators (kStream; see FinishStream).
+  double parse_ms_ = 0;
+  uint64_t open_us_ = 0;      // Monotonic time of construction.
+  double seed_ms_total_ = 0;  // ComputeSeeds + per-chunk seed derivation.
+  double exec_ms_total_ = 0;  // RunPattern wall, summed over chunks.
+  size_t seeds_total_ = 0;
+  size_t steps_total_ = 0;
+  bool published_ = false;
 };
 
 /// The GPML processor of Figure 9: evaluates graph patterns over one
@@ -413,11 +472,16 @@ class Engine {
   /// and ExplainAnalyze: per-declaration matching in plan order, the
   /// singleton hash join, declaration reordering, match-mode filter, and
   /// the final WHERE. `actuals`, when non-null, receives per-declaration
-  /// measured counters in plan order (EXPLAIN ANALYZE).
+  /// measured counters in plan order (EXPLAIN ANALYZE). `parse_ms` is the
+  /// already-paid text-parse cost replayed into the trace and plan_ms
+  /// totals. Also the observability chokepoint: fills
+  /// EngineOptions::trace, emits to trace_sink, publishes registry
+  /// counters/histograms, and captures slow queries — for completed
+  /// executions (failed ones publish nothing).
   Result<MatchOutput> ExecutePlan(
       const planner::CachedPlan& prepared, bool cache_hit,
       std::shared_ptr<const Params> params,
-      std::vector<planner::DeclActual>* actuals) const;
+      std::vector<planner::DeclActual>* actuals, double parse_ms = 0) const;
 
   const PropertyGraph& graph_;
   EngineOptions options_;

@@ -9,6 +9,7 @@
 
 #include "eval/expr_eval.h"
 #include "eval/selector.h"
+#include "obs/clock.h"
 
 namespace gpml {
 
@@ -762,6 +763,7 @@ struct ShardOutcome {
   Status status = Status::OK();
   std::vector<PathBinding> results;
   size_t steps = 0;
+  double ms = 0;  // Shard wall clock, measured inside the worker.
 };
 
 /// Steps charged per shared-budget access in parallel shards. The budget can
@@ -774,12 +776,14 @@ void RunShard(const PropertyGraph& g, const Program& program,
               const NodeId* seeds, size_t num_seeds, SharedBudget* budget,
               size_t charge_stride, const Params* params, bool keep_partial,
               ShardOutcome* out) {
+  obs::Stopwatch shard_clock;
   Matcher m(g, program, vars, options, seeds, num_seeds, budget,
             charge_stride, params);
   out->status = m.Run();
   out->steps = m.steps();
   if (out->status.ok()) {
     out->results = m.TakeResults();
+    out->ms = shard_clock.ElapsedMs();
     return;
   }
   // Partial-delivery mode (streaming cursors): budget exhaustion keeps the
@@ -794,6 +798,7 @@ void RunShard(const PropertyGraph& g, const Program& program,
     // check instead of finishing doomed work.
     budget->Abort();
   }
+  out->ms = shard_clock.ElapsedMs();
 }
 
 /// The status RunPattern reports for a sharded run: the first genuine error
@@ -872,7 +877,9 @@ Result<MatchSet> RunPattern(const PropertyGraph& g, const Program& program,
                             MatchStats* stats, const Params* params,
                             SharedBudget* shared_budget,
                             bool* budget_exhausted) {
+  obs::Stopwatch run_clock;
   std::vector<NodeId> seeds = ComputeSeeds(g, program, seed_filter);
+  const double seed_ms = run_clock.ElapsedMs();
   if (budget_exhausted != nullptr) *budget_exhausted = false;
   const bool keep_partial = budget_exhausted != nullptr;
 
@@ -930,17 +937,27 @@ Result<MatchSet> RunPattern(const PropertyGraph& g, const Program& program,
     stats->seeds = seeds.size();
     stats->shards = shards;
     stats->steps = 0;
-    for (const ShardOutcome& o : outcomes) stats->steps += o.steps;
+    stats->seed_ms = seed_ms;
+    stats->shard_ms.clear();
+    stats->shard_ms.reserve(outcomes.size());
+    for (const ShardOutcome& o : outcomes) {
+      stats->steps += o.steps;
+      stats->shard_ms.push_back(o.ms);
+    }
   }
   Status merged = MergeStatuses(outcomes);
   if (!merged.ok()) {
     if (!keep_partial || merged.code() != StatusCode::kResourceExhausted) {
+      if (stats != nullptr) stats->match_ms = run_clock.ElapsedMs();
       return merged;
     }
     *budget_exhausted = true;  // Deliver the partial set below.
   }
-  return MergeShards(std::move(outcomes), program,
-                     /*cross_shard_dedup=*/shards > 1 && !seeds_distinct);
+  MatchSet result =
+      MergeShards(std::move(outcomes), program,
+                  /*cross_shard_dedup=*/shards > 1 && !seeds_distinct);
+  if (stats != nullptr) stats->match_ms = run_clock.ElapsedMs();
+  return result;
 }
 
 }  // namespace gpml

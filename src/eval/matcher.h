@@ -117,6 +117,13 @@ struct MatchStats {
   size_t seeds = 0;   // Start nodes seeded.
   size_t steps = 0;   // Interpreter instructions executed (summed over shards).
   size_t shards = 0;  // Worker shards the seed list was split into.
+  // Wall-clock timings (monotonic clock, see obs/clock.h), always measured:
+  // two clock reads per region, far below the bench_obs 2% overhead gate.
+  // The engine turns these into trace spans and EngineMetrics/stage-
+  // histogram totals (docs/observability.md).
+  double seed_ms = 0;             // ComputeSeeds (seed-list derivation).
+  double match_ms = 0;            // The whole RunPattern call.
+  std::vector<double> shard_ms;   // Per worker shard, in shard order.
 };
 
 /// Runs one compiled pattern over the graph: every admissible start node is

@@ -1,6 +1,8 @@
 #include "gql/session.h"
 
 #include "gql/result_table.h"
+#include "obs/metrics.h"
+#include "obs/prometheus.h"
 #include "parser/parser.h"
 #include "planner/explain.h"
 
@@ -59,6 +61,29 @@ Result<MatchOutput> Session::Match(const std::string& match_text) const {
   }
   Engine engine(*graph_, options_);
   return engine.Match(match_text);
+}
+
+Result<std::string> Session::MetricsText() const {
+  if (graph_ == nullptr) {
+    return Status::InvalidArgument("no graph selected; call UseGraph first");
+  }
+  return obs::RenderPrometheus(*graph_->metrics_registry());
+}
+
+Result<std::vector<obs::SlowQueryRecord>> Session::SlowQueries() const {
+  if (graph_ == nullptr) {
+    return Status::InvalidArgument("no graph selected; call UseGraph first");
+  }
+  const obs::SlowQueryLog& log = options_.slow_log != nullptr
+                                     ? *options_.slow_log
+                                     : obs::GlobalSlowQueryLog();
+  std::vector<obs::SlowQueryRecord> mine;
+  for (obs::SlowQueryRecord& rec : log.Snapshot()) {
+    if (rec.graph_token == graph_->identity_token()) {
+      mine.push_back(std::move(rec));
+    }
+  }
+  return mine;
 }
 
 Result<std::string> Session::Explain(const std::string& statement,

@@ -87,6 +87,19 @@ class Session {
 
   const PropertyGraph* graph() const { return graph_.get(); }
 
+  /// Prometheus text-format rendering of the current graph's metrics
+  /// registry (PropertyGraph::metrics_registry, shared with every other
+  /// engine/host over this graph) — what a server would serve from
+  /// /metrics for this graph (docs/observability.md). Error when no graph
+  /// is selected.
+  Result<std::string> MetricsText() const;
+
+  /// The slow-query captures belonging to the current graph, oldest first:
+  /// the session's configured slow log (EngineOptions::slow_log, or the
+  /// process-wide obs::GlobalSlowQueryLog()) filtered by graph identity.
+  /// Error when no graph is selected.
+  Result<std::vector<obs::SlowQueryRecord>> SlowQueries() const;
+
   /// Engine options applied to every statement (planner, worker threads,
   /// plan cache, evaluation budgets); adjustable between statements. The
   /// plan cache itself lives on the graph, so compiled plans survive both

@@ -21,6 +21,10 @@ struct GraphStats;  // planner/stats.h; cached on the graph, see below.
 struct PlanCache;   // planner/plan_cache.h; cached on the graph, see below.
 }  // namespace planner
 
+namespace obs {
+class MetricsRegistry;  // obs/metrics.h; per-graph registry, see below.
+}  // namespace obs
+
 /// A reference to a graph element (node or edge) — the codomain of variable
 /// bindings in the execution model of §6.
 struct ElementRef {
@@ -242,6 +246,14 @@ class PropertyGraph {
     std::atomic_store(&plan_cache_, std::move(c));
   }
 
+  /// The graph's observability registry (docs/observability.md): counters
+  /// and stage-latency histograms the engine publishes into on every
+  /// execution over this graph, created lazily on first use and shared by
+  /// every engine/host. Same slot discipline as stats/plan-cache, with a
+  /// compare-exchange on creation so racing first users converge on one
+  /// registry (counters are never split across two instances).
+  std::shared_ptr<obs::MetricsRegistry> metrics_registry() const;
+
  private:
   friend class GraphBuilder;
 
@@ -280,6 +292,7 @@ class PropertyGraph {
   PropertySeedIndex seed_index_;
   mutable std::shared_ptr<const planner::GraphStats> stats_cache_;
   mutable std::shared_ptr<const planner::PlanCache> plan_cache_;
+  mutable std::shared_ptr<obs::MetricsRegistry> metrics_registry_;
   uint64_t identity_token_ = NextIdentityToken();
 };
 

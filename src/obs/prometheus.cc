@@ -1,0 +1,97 @@
+#include "obs/prometheus.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace gpml {
+namespace obs {
+
+namespace {
+
+/// Appends `name value\n`, splicing `extra_label` (e.g. le="4") into the
+/// name's label block (creating one when absent).
+void AppendSeries(std::string* out, const std::string& base,
+                  const std::string& labels, const std::string& extra_label,
+                  uint64_t value) {
+  *out += base;
+  if (!labels.empty() || !extra_label.empty()) {
+    out->push_back('{');
+    *out += labels;
+    if (!labels.empty() && !extra_label.empty()) out->push_back(',');
+    *out += extra_label;
+    out->push_back('}');
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", value);
+  *out += buf;
+}
+
+/// Emits `# TYPE base <type>` once per base name (bases arrive grouped
+/// because snapshots are name-sorted and labeled series share a prefix).
+void MaybeTypeLine(std::string* out, std::string* last_base,
+                   const std::string& base, const char* type) {
+  if (base == *last_base) return;
+  *out += "# TYPE " + base + " " + type + "\n";
+  *last_base = base;
+}
+
+}  // namespace
+
+void SplitMetricName(const std::string& name, std::string* base,
+                     std::string* labels) {
+  size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    *base = name;
+    labels->clear();
+    return;
+  }
+  *base = name.substr(0, brace);
+  size_t close = name.rfind('}');
+  if (close == std::string::npos || close <= brace) {
+    labels->clear();
+    return;
+  }
+  *labels = name.substr(brace + 1, close - brace - 1);
+}
+
+std::string RenderPrometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  std::string last_base;
+  for (const CounterSnapshot& c : snapshot.counters) {
+    std::string base, labels;
+    SplitMetricName(c.name, &base, &labels);
+    MaybeTypeLine(&out, &last_base, base, "counter");
+    AppendSeries(&out, base, labels, "", c.value);
+  }
+  last_base.clear();
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    std::string base, labels;
+    SplitMetricName(h.name, &base, &labels);
+    MaybeTypeLine(&out, &last_base, base, "histogram");
+    // Prometheus histogram buckets are cumulative and end at le="+Inf".
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < h.buckets.size(); ++i) {
+      cumulative += h.buckets[i];
+      std::string le;
+      if (i + 1 == h.buckets.size()) {
+        le = "le=\"+Inf\"";
+      } else {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "le=\"%" PRIu64 "\"",
+                      Histogram::BoundMicros(i));
+        le = buf;
+      }
+      AppendSeries(&out, base + "_bucket", labels, le, cumulative);
+    }
+    AppendSeries(&out, base + "_sum", labels, "", h.sum_us);
+    AppendSeries(&out, base + "_count", labels, "", h.count);
+  }
+  return out;
+}
+
+std::string RenderPrometheus(const MetricsRegistry& registry) {
+  return RenderPrometheus(registry.Snapshot());
+}
+
+}  // namespace obs
+}  // namespace gpml

@@ -1,0 +1,41 @@
+#ifndef GPML_OBS_PROMETHEUS_H_
+#define GPML_OBS_PROMETHEUS_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace gpml {
+namespace obs {
+
+/// Renders a metrics snapshot in the Prometheus text exposition format —
+/// the exact payload a server's /metrics endpoint returns:
+///
+///   # TYPE gpml_plan_cache_hits_total counter
+///   gpml_plan_cache_hits_total 42
+///   # TYPE gpml_stage_duration_us histogram
+///   gpml_stage_duration_us_bucket{stage="match",le="1"} 0
+///   ...
+///   gpml_stage_duration_us_bucket{stage="match",le="+Inf"} 7
+///   gpml_stage_duration_us_sum{stage="match"} 1234
+///   gpml_stage_duration_us_count{stage="match"} 7
+///
+/// Registry names of the form `base{key="value",...}` render the label
+/// block verbatim (histograms splice the cumulative `le` label in); one
+/// `# TYPE` line is emitted per base name, before its first series.
+/// Output order follows the snapshot's name order, so it is deterministic.
+std::string RenderPrometheus(const MetricsSnapshot& snapshot);
+
+/// Snapshot-and-render convenience for one registry.
+std::string RenderPrometheus(const MetricsRegistry& registry);
+
+/// Splits a registry metric name into its base and its label block
+/// (without braces; empty when the name carries no labels). Exposed for
+/// the renderer's tests.
+void SplitMetricName(const std::string& name, std::string* base,
+                     std::string* labels);
+
+}  // namespace obs
+}  // namespace gpml
+
+#endif  // GPML_OBS_PROMETHEUS_H_

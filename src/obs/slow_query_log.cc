@@ -1,0 +1,47 @@
+#include "obs/slow_query_log.h"
+
+#include <algorithm>
+
+namespace gpml {
+namespace obs {
+
+void SlowQueryLog::Add(SlowQueryRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  record.sequence = added_++;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(record));
+    return;
+  }
+  ring_[next_] = std::move(record);
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<SlowQueryRecord> SlowQueryLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SlowQueryRecord> out;
+  out.reserve(ring_.size());
+  // next_ is the oldest slot once the ring has wrapped.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+uint64_t SlowQueryLog::total_added() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return added_;
+}
+
+void SlowQueryLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+}
+
+SlowQueryLog& GlobalSlowQueryLog() {
+  static SlowQueryLog* log = new SlowQueryLog();
+  return *log;
+}
+
+}  // namespace obs
+}  // namespace gpml

@@ -1,0 +1,66 @@
+#ifndef GPML_OBS_SLOW_QUERY_LOG_H_
+#define GPML_OBS_SLOW_QUERY_LOG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gpml {
+namespace obs {
+
+/// What the engine captures when an execution's wall clock exceeds
+/// EngineOptions::slow_query_ms: enough to reconstruct what ran, where the
+/// time went, and what the planner did — without the user having had
+/// tracing attached in advance.
+struct SlowQueryRecord {
+  uint64_t sequence = 0;     // Monotonic per log; total_added() - N .. -1.
+  uint64_t graph_token = 0;  // PropertyGraph::identity_token of the run.
+  std::string fingerprint;   // Parameterized pattern text ($names kept).
+  double total_ms = 0;       // Wall clock of the execution.
+  size_t rows = 0;           // Result rows delivered.
+  std::string explain;       // EXPLAIN ANALYZE rendering with actuals.
+  std::string trace_json;    // The execution's span tree as JSON lines.
+};
+
+/// A bounded, thread-safe ring buffer of slow-query captures: the newest
+/// `capacity` records are kept, older ones are overwritten. Only slow
+/// executions ever touch the mutex, so the buffer costs the hot path
+/// nothing. Retrievable from both hosts (gql::Session::SlowQueries,
+/// pgq::GraphTableSlowQueries) and directly via GlobalSlowQueryLog().
+class SlowQueryLog {
+ public:
+  static constexpr size_t kDefaultCapacity = 64;
+
+  explicit SlowQueryLog(size_t capacity = kDefaultCapacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  void Add(SlowQueryRecord record);
+
+  /// The retained records, oldest first.
+  std::vector<SlowQueryRecord> Snapshot() const;
+
+  /// Records ever added (retained + overwritten).
+  uint64_t total_added() const;
+
+  size_t capacity() const { return capacity_; }
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  const size_t capacity_;
+  std::vector<SlowQueryRecord> ring_;  // Grows to capacity_, then wraps.
+  size_t next_ = 0;                    // Overwrite position once full.
+  uint64_t added_ = 0;
+};
+
+/// The process-wide slow-query log the engine uses when
+/// EngineOptions::slow_log is null. Never destroyed (safe during static
+/// teardown).
+SlowQueryLog& GlobalSlowQueryLog();
+
+}  // namespace obs
+}  // namespace gpml
+
+#endif  // GPML_OBS_SLOW_QUERY_LOG_H_

@@ -3,6 +3,8 @@
 #include <cctype>
 
 #include "gql/result_table.h"
+#include "obs/metrics.h"
+#include "obs/prometheus.h"
 #include "parser/parser.h"
 #include "planner/explain.h"
 
@@ -47,6 +49,27 @@ Result<Table> GraphTable(const Catalog& catalog, const GraphTableQuery& query,
   // SQL semantics: GRAPH_TABLE yields a bag; no implicit DISTINCT.
   return ProjectCursor(cursor, *graph, items, /*distinct=*/false,
                        query.limit);
+}
+
+Result<std::string> GraphTableMetricsText(const Catalog& catalog,
+                                          const std::string& graph) {
+  GPML_ASSIGN_OR_RETURN(std::shared_ptr<const PropertyGraph> g,
+                        catalog.GetGraph(graph));
+  return obs::RenderPrometheus(*g->metrics_registry());
+}
+
+Result<std::vector<obs::SlowQueryRecord>> GraphTableSlowQueries(
+    const Catalog& catalog, const std::string& graph,
+    const obs::SlowQueryLog* log) {
+  GPML_ASSIGN_OR_RETURN(std::shared_ptr<const PropertyGraph> g,
+                        catalog.GetGraph(graph));
+  const obs::SlowQueryLog& source =
+      log != nullptr ? *log : obs::GlobalSlowQueryLog();
+  std::vector<obs::SlowQueryRecord> mine;
+  for (obs::SlowQueryRecord& rec : source.Snapshot()) {
+    if (rec.graph_token == g->identity_token()) mine.push_back(std::move(rec));
+  }
+  return mine;
 }
 
 Result<GraphTableQuery> ParseGraphTableCall(const std::string& sql) {

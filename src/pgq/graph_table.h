@@ -3,6 +3,7 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "catalog/catalog.h"
 #include "catalog/table.h"
@@ -56,6 +57,21 @@ Result<Table> GraphTable(const Catalog& catalog, const GraphTableQuery& query,
 /// (...))" into a GraphTableQuery — enough SQL syntax to run the paper's
 /// examples verbatim.
 Result<GraphTableQuery> ParseGraphTableCall(const std::string& sql);
+
+/// Prometheus text-format rendering of the catalog graph's metrics
+/// registry (docs/observability.md) — the SQL host's counterpart of
+/// gql::Session::MetricsText, covering every GRAPH_TABLE call (and GQL
+/// statement) executed against that graph.
+Result<std::string> GraphTableMetricsText(const Catalog& catalog,
+                                          const std::string& graph);
+
+/// The slow-query captures belonging to the catalog graph, oldest first.
+/// `log` selects the slow log the executions wrote to
+/// (EngineOptions::slow_log); null reads the process-wide
+/// obs::GlobalSlowQueryLog().
+Result<std::vector<obs::SlowQueryRecord>> GraphTableSlowQueries(
+    const Catalog& catalog, const std::string& graph,
+    const obs::SlowQueryLog* log = nullptr);
 
 }  // namespace gpml
 

@@ -18,6 +18,14 @@ std::string FormatEstimate(double v) {
   return buf;
 }
 
+/// Wall-clock milliseconds: fixed-point so atof parses back exactly what
+/// matters (sub-microsecond truncation is below timer resolution anyway).
+std::string FormatMs(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", ms);
+  return buf;
+}
+
 std::string JoinVarNames(const std::vector<int>& vars_ids,
                          const VarTable& vars) {
   std::vector<std::string> names;
@@ -99,6 +107,10 @@ std::string ExplainPlan(const Plan& plan, const VarTable& vars,
     if (exec->analyzed) {
       os << " rows=" << exec->rows
          << " truncated=" << (exec->truncated ? "true" : "false");
+      // Measured wall-clock totals (monotonic): whole execution and the
+      // compile cost it paid (0.000 when the plan came from the cache).
+      if (exec->total_ms >= 0) os << " ms=" << FormatMs(exec->total_ms);
+      if (exec->plan_ms >= 0) os << " plan_ms=" << FormatMs(exec->plan_ms);
     }
     os << "\n";
   }
@@ -133,7 +145,9 @@ std::string ExplainPlan(const Plan& plan, const VarTable& vars,
       // EXPLAIN ANALYZE: measured counterparts of the estimates above.
       const DeclActual& a = (*actuals)[i];
       os << " actual_seeds=" << a.seeds << " actual_steps=" << a.steps
-         << " actual_rows=" << a.bindings << " actual_source="
+         << " actual_rows=" << a.bindings;
+      if (a.ms >= 0) os << " actual_ms=" << FormatMs(a.ms);
+      os << " actual_source="
          << (a.index_seeded ? "index" : (a.seed_filtered ? "bound" : "scan"));
     }
     std::string selector = dp.decl.selector.ToString();
@@ -173,6 +187,12 @@ Result<ExplainedPlan> ParseExplain(const std::string& text) {
         out.analyzed = true;
         out.rows = static_cast<size_t>(std::atol(rows.c_str()));
         out.truncated = TokenValue(line, "truncated=") == "true";
+        // " ms=" cannot collide with " plan_ms=" / " actual_ms=": TokenValue
+        // requires a space before the key and those embed ms= after '_'.
+        std::string ms = TokenValue(line, "ms=");
+        if (!ms.empty()) out.total_ms = std::atof(ms.c_str());
+        std::string plan_ms = TokenValue(line, "plan_ms=");
+        if (!plan_ms.empty()) out.plan_ms = std::atof(plan_ms.c_str());
       }
       continue;
     }
@@ -210,6 +230,8 @@ Result<ExplainedPlan> ParseExplain(const std::string& text) {
       d.actual_seeds = std::atol(actual.c_str());
       d.actual_steps = std::atol(TokenValue(line, "actual_steps=").c_str());
       d.actual_rows = std::atol(TokenValue(line, "actual_rows=").c_str());
+      std::string actual_ms = TokenValue(line, "actual_ms=");
+      if (!actual_ms.empty()) d.actual_ms = std::atof(actual_ms.c_str());
       d.actual_source = TokenValue(line, "actual_source=");
     }
     out.decls.push_back(std::move(d));

@@ -21,6 +21,12 @@ struct ExplainExec {
   bool analyzed = false;  // True for EXPLAIN ANALYZE: rows/truncated valid.
   size_t rows = 0;        // Result rows after join, mode filter, postfilter.
   bool truncated = false; // Budget-truncated output (not a clean LIMIT stop).
+  // Wall-clock actuals (EXPLAIN ANALYZE; monotonic clock): rendered as
+  // `ms=`/`plan_ms=` on the exec line when >= 0 and parsed back by
+  // ParseExplain. plan_ms is the compile cost this execution paid — 0.000
+  // on a plan-cache hit.
+  double total_ms = -1;
+  double plan_ms = -1;
 };
 
 /// Per-declaration run-time actuals of one EXPLAIN ANALYZE execution, in
@@ -31,6 +37,8 @@ struct DeclActual {
   size_t bindings = 0;         // Match-set size before the join.
   bool index_seeded = false;   // Seeded from the equality hash index.
   bool seed_filtered = false;  // Seeded from earlier declarations' bindings.
+  double ms = -1;              // Declaration wall clock (seed + match);
+                               // rendered as actual_ms= when >= 0.
 };
 
 /// Renders a plan as stable, line-oriented text, one `step` line per
@@ -50,8 +58,8 @@ struct DeclActual {
 /// (variable names, labels, selectors) are escaped with EscapeExplainValue
 /// so quotes, spaces, and newlines cannot break the line framing.
 /// `actuals`, when non-null (EXPLAIN ANALYZE), appends measured
-/// `actual_seeds/actual_steps/actual_rows/actual_source` tokens to each
-/// step line, where actual_source is `index`, `bound` or `scan`.
+/// `actual_seeds/actual_steps/actual_rows/actual_ms/actual_source` tokens
+/// to each step line, where actual_source is `index`, `bound` or `scan`.
 std::string ExplainPlan(const Plan& plan, const VarTable& vars,
                         const GraphStats* stats = nullptr,
                         const ExplainExec* exec = nullptr,
@@ -82,6 +90,7 @@ struct ExplainedDecl {
   long actual_seeds = -1;
   long actual_steps = -1;
   long actual_rows = -1;
+  double actual_ms = -1;      // Wall-clock ms of this declaration.
   std::string actual_source;  // "index", "bound", "scan"; "" when absent.
 };
 
@@ -93,6 +102,8 @@ struct ExplainedPlan {
   bool analyzed = false;   // The exec line carried ANALYZE actuals.
   size_t rows = 0;         // From the exec line; 0 when absent.
   bool truncated = false;  // From the exec line; false when absent.
+  double total_ms = -1;    // `ms=` on the exec line; -1 when absent.
+  double plan_ms = -1;     // `plan_ms=` on the exec line; -1 when absent.
   std::vector<ExplainedDecl> decls;
 };
 

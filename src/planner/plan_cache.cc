@@ -17,13 +17,21 @@ std::string PlanFingerprint(const GraphPattern& pattern, bool use_planner,
 }
 
 std::shared_ptr<const CachedPlan> LookupPlan(const PropertyGraph& g,
-                                             const std::string& fingerprint) {
+                                             const std::string& fingerprint,
+                                             obs::MetricsRegistry* registry) {
   std::shared_ptr<const PlanCache> cache = g.plan_cache();
-  if (cache == nullptr || cache->graph_token != g.identity_token()) {
-    return nullptr;
+  std::shared_ptr<const CachedPlan> entry;
+  if (cache != nullptr && cache->graph_token == g.identity_token()) {
+    auto it = cache->entries.find(fingerprint);
+    if (it != cache->entries.end()) entry = it->second;
   }
-  auto it = cache->entries.find(fingerprint);
-  return it == cache->entries.end() ? nullptr : it->second;
+  if (registry != nullptr) {
+    registry
+        ->GetCounter(entry != nullptr ? "gpml_plan_cache_hits_total"
+                                      : "gpml_plan_cache_misses_total")
+        ->Increment();
+  }
+  return entry;
 }
 
 void StorePlan(const PropertyGraph& g, const std::string& fingerprint,

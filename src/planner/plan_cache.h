@@ -9,6 +9,7 @@
 #include "eval/binding.h"
 #include "eval/nfa.h"
 #include "graph/property_graph.h"
+#include "obs/metrics.h"
 #include "planner/planner.h"
 
 namespace gpml {
@@ -36,6 +37,15 @@ struct CachedPlan {
   /// pattern compilation and label-predicate binding too. Safe to share:
   /// matcher shards only read programs.
   std::vector<std::shared_ptr<const Program>> programs;
+  /// Wall-clock cost of building this entry (normalize+analyze, planning,
+  /// and per-declaration compile+bind), recorded once before publication.
+  /// Cache hits replay these into the trace as `cached` spans so EXPLAIN
+  /// ANALYZE can still show what the compilation originally cost, while
+  /// EngineMetrics::plan_ms reports 0 for the hit itself (the execution
+  /// paid nothing). See docs/observability.md.
+  double analyze_ms = 0;
+  double plan_ms = 0;
+  double compile_ms = 0;
 };
 
 /// An immutable snapshot map of fingerprint -> CachedPlan, stored on the
@@ -63,9 +73,13 @@ std::string PlanFingerprint(const GraphPattern& pattern, bool use_planner,
                             bool use_seed_index = true);
 
 /// The cached entry of `g` for `fingerprint`, or nullptr on a miss (also
-/// when the stored snapshot belongs to a different graph identity).
-std::shared_ptr<const CachedPlan> LookupPlan(const PropertyGraph& g,
-                                             const std::string& fingerprint);
+/// when the stored snapshot belongs to a different graph identity). When
+/// `registry` is non-null the outcome is counted there as
+/// gpml_plan_cache_hits_total / gpml_plan_cache_misses_total — the engine
+/// passes the graph's registry unless metrics publication is disabled.
+std::shared_ptr<const CachedPlan> LookupPlan(
+    const PropertyGraph& g, const std::string& fingerprint,
+    obs::MetricsRegistry* registry = nullptr);
 
 /// Publishes `entry` under `fingerprint` by copy-on-write: loads the current
 /// snapshot, copies it extended with the entry, and stores it back. Racing

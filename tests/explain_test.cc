@@ -331,15 +331,23 @@ TEST(ExplainTest, ExplainAnalyzeRendersAndParsesActuals) {
   EXPECT_NE(text->find("actual_rows="), std::string::npos);
   EXPECT_NE(text->find("rows="), std::string::npos);
   EXPECT_NE(text->find("truncated=false"), std::string::npos);
+  // Wall-clock actuals: total and plan cost on the exec line, per-stage
+  // time on each step line (docs/observability.md).
+  EXPECT_NE(text->find(" ms="), std::string::npos) << *text;
+  EXPECT_NE(text->find(" plan_ms="), std::string::npos);
+  EXPECT_NE(text->find(" actual_ms="), std::string::npos);
 
   Result<planner::ExplainedPlan> parsed = planner::ParseExplain(*text);
   ASSERT_TRUE(parsed.ok()) << parsed.status() << "\n" << *text;
   EXPECT_TRUE(parsed->analyzed);
+  EXPECT_GE(parsed->total_ms, 0) << *text;
+  EXPECT_GE(parsed->plan_ms, 0) << *text;
   ASSERT_EQ(parsed->decls.size(), 2u);
   for (const planner::ExplainedDecl& d : parsed->decls) {
     EXPECT_GE(d.actual_seeds, 0) << *text;
     EXPECT_GT(d.actual_steps, 0) << *text;
     EXPECT_GE(d.actual_rows, 0);
+    EXPECT_GE(d.actual_ms, 0) << *text;
     EXPECT_FALSE(d.actual_source.empty());
   }
   // The measured actuals agree with the engine's metrics.
@@ -366,6 +374,8 @@ TEST(ExplainTest, PlainExplainCarriesNoActuals) {
   ASSERT_TRUE(parsed.ok());
   EXPECT_FALSE(parsed->analyzed);
   EXPECT_EQ(parsed->decls[0].actual_seeds, -1);
+  EXPECT_LT(parsed->total_ms, 0);
+  EXPECT_LT(parsed->decls[0].actual_ms, 0);
 }
 
 }  // namespace
