@@ -17,6 +17,13 @@
 //     (enforced only on non-sanitized builds; byte-identity of the
 //     streamed prefix is asserted either way).
 //
+//  3. Analysis-overhead contract: the static analyzer (docs/analysis.md)
+//     runs on every cold Prepare, so its cost is gated against the rest of
+//     the prepare pipeline — cold prepares with use_analysis on must stay
+//     within 5% of the same prepares with it off (plus a small absolute
+//     epsilon; wall-clock gate enforced only on non-sanitized builds).
+//     The measured per-prepare analyzer latency is reported either way.
+//
 // Writes BENCH_query_api.json via bench_util.h.
 
 #include <chrono>
@@ -263,6 +270,80 @@ bool FirstRowContract(const PropertyGraph& g, bench::JsonReport* report) {
   return ok;
 }
 
+/// Contract 3: static analysis adds <= 5% to a cold prepare. Plan cache is
+/// disabled so every Prepare pays the full parse/normalize/analyze/plan
+/// cost; the two configurations are measured interleaved to cancel drift.
+bool AnalysisOverheadContract(const PropertyGraph& g,
+                              bench::JsonReport* report) {
+  const std::string query =
+      "MATCH (x:Account WHERE x.isBlocked='no' AND x.owner = $owner)"
+      "-[:isLocatedIn]->(c:City WHERE c.name = $city)"
+      "<-[:isLocatedIn]-(y:Account WHERE y.isBlocked='yes'), "
+      "ANY (x)-[:Transfer]->+(y)";
+  constexpr int kReps = 300;
+
+  EngineOptions base;
+  base.use_plan_cache = false;  // Every Prepare is a cold compile.
+  base.publish_metrics = false;
+  EngineOptions no_analysis = base;
+  no_analysis.use_analysis = false;
+  Engine analyzed(g, base);
+  Engine plain(g, no_analysis);
+
+  double analyzed_ms = 0;
+  double plain_ms = 0;
+  double analysis_pass_ms = 0;
+  for (int i = -20; i < kReps; ++i) {
+    // Alternate which configuration runs first: the second Prepare of a
+    // pair benefits from warm allocator/cache state, which would otherwise
+    // bias the comparison one way for sub-50us operations.
+    Engine& first = (i & 1) != 0 ? analyzed : plain;
+    Engine& second = (i & 1) != 0 ? plain : analyzed;
+    auto t0 = std::chrono::steady_clock::now();
+    Result<PreparedQuery> f = first.Prepare(query);
+    double f_ms = MillisSince(t0);
+    auto t1 = std::chrono::steady_clock::now();
+    Result<PreparedQuery> s = second.Prepare(query);
+    double s_ms = MillisSince(t1);
+    if (!f.ok() || !s.ok()) return Fail("cold prepare failed");
+    if (i < 0) continue;  // Warmup reps.
+    double a_ms = (i & 1) != 0 ? f_ms : s_ms;
+    double p_ms = (i & 1) != 0 ? s_ms : f_ms;
+    analyzed_ms += a_ms;
+    plain_ms += p_ms;
+    analysis_pass_ms += ((i & 1) != 0 ? f : s)->analysis_ms();
+  }
+  analyzed_ms /= kReps;
+  plain_ms /= kReps;
+  analysis_pass_ms /= kReps;
+
+  double overhead_pct =
+      plain_ms > 0 ? (analyzed_ms - plain_ms) / plain_ms * 100.0 : 0;
+  std::printf(
+      "analysis overhead: cold prepare %.4f ms with analysis vs %.4f ms "
+      "without (%.1f%%); analyzer pass alone %.4f ms\n",
+      analyzed_ms, plain_ms, overhead_pct, analysis_pass_ms);
+
+  report->Add("prepare_cold_analysis_on", analyzed_ms, 0, 0, 0,
+              {{"reps", kReps},
+               {"analysis_pass_ms", analysis_pass_ms},
+               {"overhead_pct", overhead_pct}});
+  report->Add("prepare_cold_analysis_off", plain_ms, 0, 0, 0,
+              {{"reps", kReps}});
+
+  bool ok = true;
+#ifdef GPML_BENCH_SANITIZED
+  std::printf("analysis gate: SKIPPED (sanitizer build distorts timings)\n");
+#else
+  // 5% relative plus 5us absolute: sub-millisecond prepares jitter by
+  // scheduler noise alone, which a pure ratio would amplify.
+  if (analyzed_ms > plain_ms * 1.05 + 0.005) {
+    ok = Fail("analysis must add <= 5% to cold prepare latency");
+  }
+#endif
+  return ok;
+}
+
 }  // namespace
 }  // namespace gpml
 
@@ -272,6 +353,7 @@ int main() {
   bool ok = true;
   ok = gpml::PlanCacheContract(&report) && ok;
   ok = gpml::FirstRowContract(g, &report) && ok;
+  ok = gpml::AnalysisOverheadContract(g, &report) && ok;
   report.Write();
   if (!ok) return 1;
   std::printf("bench_query_api: all contracts PASSED\n");

@@ -1,0 +1,247 @@
+#include "analysis/analyzer.h"
+
+#include <map>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "analysis/satisfiability.h"
+#include "analysis/type_check.h"
+#include "graph/symbol_table.h"
+
+namespace gpml {
+namespace analysis {
+namespace {
+
+void CollectLabelNames(const LabelExpr& e, std::vector<std::string>* out) {
+  if (e.kind == LabelExpr::Kind::kName) out->push_back(e.name);
+  if (e.left != nullptr) CollectLabelNames(*e.left, out);
+  if (e.right != nullptr) CollectLabelNames(*e.right, out);
+}
+
+/// Walks the normalized pattern tracking which sites are *mandatory*: part
+/// of every match (not under `?`, a `{0,n}` quantifier, or a union branch).
+/// Only unsatisfiable mandatory sites make the whole pattern empty.
+class PatternWalker {
+ public:
+  PatternWalker(const PropertyGraph* graph, DiagnosticList* diags)
+      : graph_(graph), diags_(diags) {}
+
+  void WalkDecl(const PathPatternDecl& decl) {
+    Walk(decl.pattern, /*mandatory=*/true);
+  }
+
+  void CheckWhere(const ExprPtr& where, bool mandatory) {
+    if (where == nullptr) return;
+    CheckPredicateTypes(*where, diags_, &params_);
+    LintProperties(*where);
+    if (PredicateUnsatisfiable(where, diags_) && mandatory) {
+      always_empty_ = true;
+    }
+  }
+
+  void LintProperties(const Expr& e) {
+    if (graph_ != nullptr && e.kind == Expr::Kind::kPropertyAccess &&
+        e.property != "*" &&
+        graph_->property_symbols().Find(e.property) == kInvalidSymbol) {
+      diags_->Add(kCodeUnknownProperty, Severity::kWarning, e.span,
+                  "property '" + e.property +
+                      "' does not occur in the bound graph",
+                  "the access always yields NULL");
+    }
+    if (e.lhs != nullptr) LintProperties(*e.lhs);
+    if (e.rhs != nullptr) LintProperties(*e.rhs);
+    if (e.arg != nullptr) LintProperties(*e.arg);
+  }
+
+  ParamConstraintMap* params() { return &params_; }
+  bool always_empty() const { return always_empty_; }
+  void set_always_empty() { always_empty_ = true; }
+
+ private:
+  void CheckLabels(const LabelExprPtr& labels, const SourceSpan& span,
+                   bool mandatory) {
+    if (labels == nullptr) return;
+    std::string conflicted;
+    if (LabelConjunctionContradicts(*labels, &conflicted)) {
+      diags_->Add(kCodeLabelContradiction, Severity::kWarning, span,
+                  "label expression " + labels->ToString() +
+                      " both requires and forbids '" + conflicted + "'",
+                  "no element can satisfy this conjunction");
+      if (mandatory) always_empty_ = true;
+    }
+    if (graph_ == nullptr) return;
+    std::vector<std::string> names;
+    CollectLabelNames(*labels, &names);
+    for (const std::string& name : names) {
+      if (graph_->label_symbols().Find(name) == kInvalidSymbol) {
+        diags_->Add(kCodeUnknownLabel, Severity::kWarning, span,
+                    "label '" + name + "' does not occur in the bound graph",
+                    "check the label for a typo");
+      }
+    }
+  }
+
+  void WalkElement(const PathElement& el, bool mandatory) {
+    switch (el.kind) {
+      case PathElement::Kind::kNode:
+        CheckLabels(el.node.labels, el.node.span, mandatory);
+        CheckWhere(el.node.where, mandatory);
+        return;
+      case PathElement::Kind::kEdge:
+        CheckLabels(el.edge.labels, el.edge.span, mandatory);
+        CheckWhere(el.edge.where, mandatory);
+        return;
+      case PathElement::Kind::kParen:
+        CheckWhere(el.where, mandatory);
+        Walk(el.sub, mandatory);
+        return;
+      case PathElement::Kind::kQuantified: {
+        if (el.max.has_value() && *el.max < el.min) {
+          diags_->Add(kCodeQuantifierEmpty, Severity::kWarning,
+                      el.quantifier_span,
+                      "quantifier admits no repetition count (max " +
+                          std::to_string(*el.max) + " < min " +
+                          std::to_string(el.min) + ")",
+                      "no path can repeat this element");
+          if (mandatory) always_empty_ = true;
+        }
+        bool sub_mandatory = mandatory && el.min > 0;
+        CheckWhere(el.where, sub_mandatory);
+        Walk(el.sub, sub_mandatory);
+        return;
+      }
+      case PathElement::Kind::kOptional:
+        CheckWhere(el.where, /*mandatory=*/false);
+        Walk(el.sub, /*mandatory=*/false);
+        return;
+    }
+  }
+
+  void Walk(const PathPatternPtr& p, bool mandatory) {
+    if (p == nullptr) return;
+    switch (p->kind) {
+      case PathPattern::Kind::kConcat:
+        for (const PathElement& el : p->elements) WalkElement(el, mandatory);
+        return;
+      case PathPattern::Kind::kUnion:
+      case PathPattern::Kind::kAlternation:
+        // A branch is skippable whenever a sibling matches, so nothing
+        // inside a union is mandatory for the whole pattern.
+        for (const PathPatternPtr& alt : p->alternatives) {
+          Walk(alt, /*mandatory=*/false);
+        }
+        return;
+    }
+  }
+
+  const PropertyGraph* graph_;
+  DiagnosticList* diags_;
+  ParamConstraintMap params_;
+  bool always_empty_ = false;
+};
+
+// Union-find over path-declaration indices, linked by shared variables.
+class DeclComponents {
+ public:
+  explicit DeclComponents(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  int Find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(int a, int b) { parent_[Find(a)] = Find(b); }
+  size_t Count() {
+    size_t roots = 0;
+    for (size_t i = 0; i < parent_.size(); ++i) {
+      if (Find(static_cast<int>(i)) == static_cast<int>(i)) ++roots;
+    }
+    return roots;
+  }
+
+ private:
+  std::vector<int> parent_;
+};
+
+void LintCartesianProduct(const GraphPattern& normalized, const Analysis& vars,
+                          DiagnosticList* diags) {
+  if (normalized.paths.size() < 2) return;
+  DeclComponents components(normalized.paths.size());
+  for (const auto& [name, info] : vars.variables()) {
+    for (size_t i = 1; i < info.decls.size(); ++i) {
+      components.Union(info.decls[0], info.decls[i]);
+    }
+  }
+  // The postfilter can join declarations too (`WHERE a.id = b.id`): link
+  // the declarations of every pair of variables it references.
+  if (normalized.where != nullptr) {
+    std::vector<std::string> where_vars;
+    normalized.where->CollectVariables(&where_vars);
+    int first_decl = -1;
+    for (const std::string& v : where_vars) {
+      if (!vars.Has(v)) continue;
+      const VarInfo& info = vars.Get(v);
+      if (info.decls.empty()) continue;
+      if (first_decl < 0) {
+        first_decl = info.decls[0];
+      } else {
+        components.Union(first_decl, info.decls[0]);
+      }
+    }
+  }
+  size_t n = components.Count();
+  if (n > 1) {
+    diags->Add(kCodeCartesianProduct, Severity::kWarning, SourceSpan{},
+               "graph pattern has " + std::to_string(n) +
+                   " disconnected path pattern groups",
+               "unjoined path patterns multiply into a cartesian product");
+  }
+}
+
+}  // namespace
+
+QueryAnalysis AnalyzeQuery(const GraphPattern& normalized,
+                           const Analysis& vars, const PropertyGraph* graph) {
+  QueryAnalysis out;
+  PatternWalker walker(graph, &out.diagnostics);
+  for (const PathPatternDecl& decl : normalized.paths) {
+    walker.WalkDecl(decl);
+  }
+
+  // Postfilter (§5.2): mandatory by construction. DropAlwaysTrueConjuncts
+  // owns the W102s here, so the satisfiability check mutes its own.
+  if (normalized.where != nullptr) {
+    CheckPredicateTypes(*normalized.where, &out.diagnostics, walker.params());
+    walker.LintProperties(*normalized.where);
+    if (PredicateUnsatisfiable(normalized.where, &out.diagnostics,
+                               /*emit_always_true=*/false)) {
+      walker.set_always_empty();
+    } else {
+      ExprPtr rewritten =
+          DropAlwaysTrueConjuncts(normalized.where, &out.diagnostics);
+      if (rewritten != normalized.where) {
+        out.rewritten_postfilter = std::move(rewritten);
+        out.postfilter_rewritten = true;
+      }
+    }
+  }
+
+  CheckParamContradictions(*walker.params(), &out.diagnostics);
+  LintCartesianProduct(normalized, vars, &out.diagnostics);
+
+  out.always_empty = walker.always_empty();
+  if (out.always_empty) {
+    out.diagnostics.Add(kCodeEmptyPlan, Severity::kNote, SourceSpan{},
+                        "pattern compiles to the cached empty plan",
+                        "execution returns no rows without touching the "
+                        "graph");
+  }
+  return out;
+}
+
+}  // namespace analysis
+}  // namespace gpml

@@ -1,0 +1,41 @@
+#ifndef GPML_ANALYSIS_ANALYZER_H_
+#define GPML_ANALYSIS_ANALYZER_H_
+
+#include "analysis/diagnostic.h"
+#include "ast/ast.h"
+#include "graph/property_graph.h"
+#include "semantics/analyze.h"
+
+namespace gpml {
+namespace analysis {
+
+/// Output of the static analyzer.
+struct QueryAnalysis {
+  /// Every finding, in pattern order. Prepare fails when has_errors().
+  DiagnosticList diagnostics;
+
+  /// The pattern can never produce a binding (a mandatory site is
+  /// unsatisfiable): the engine compiles it to the cached empty plan —
+  /// execution publishes metrics with 0 seeds and 0 steps.
+  bool always_empty = false;
+
+  /// Postfilter with parameter-free always-true conjuncts dropped; nullptr
+  /// when the whole postfilter folded to TRUE. Meaningful only when
+  /// postfilter_rewritten.
+  ExprPtr rewritten_postfilter;
+  bool postfilter_rewritten = false;
+};
+
+/// Runs the four static passes — type checking, satisfiability pruning,
+/// schema-aware lints (skipped when `graph` is null), and the cartesian
+/// product lint — over a *normalized* pattern and its semantic Analysis.
+/// Never fails: all findings are collected into `diagnostics`, and the
+/// caller decides what an error means (Engine::Prepare rejects; Lint
+/// returns everything).
+QueryAnalysis AnalyzeQuery(const GraphPattern& normalized,
+                           const Analysis& vars, const PropertyGraph* graph);
+
+}  // namespace analysis
+}  // namespace gpml
+
+#endif  // GPML_ANALYSIS_ANALYZER_H_

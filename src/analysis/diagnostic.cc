@@ -1,0 +1,66 @@
+#include "analysis/diagnostic.h"
+
+namespace gpml {
+namespace analysis {
+
+const char* SeverityName(Severity s) {
+  switch (s) {
+    case Severity::kError: return "error";
+    case Severity::kWarning: return "warning";
+    case Severity::kNote: return "note";
+  }
+  return "?";
+}
+
+std::string Diagnostic::ToString() const {
+  std::string s = code;
+  s += " ";
+  s += SeverityName(severity);
+  if (span.valid()) {
+    s += " (offset=" + std::to_string(span.begin) + ")";
+  }
+  s += ": " + message;
+  if (!hint.empty()) s += " [hint: " + hint + "]";
+  return s;
+}
+
+bool DiagnosticList::has_errors() const {
+  for (const Diagnostic& d : items_) {
+    if (d.severity == Severity::kError) return true;
+  }
+  return false;
+}
+
+size_t DiagnosticList::error_count() const {
+  size_t n = 0;
+  for (const Diagnostic& d : items_) {
+    if (d.severity == Severity::kError) ++n;
+  }
+  return n;
+}
+
+std::string DiagnosticList::ToString() const {
+  std::string out;
+  for (const Diagnostic& d : items_) {
+    if (!out.empty()) out += "\n";
+    out += d.ToString();
+  }
+  return out;
+}
+
+std::string DiagnosticList::Render(const std::string& source) const {
+  std::string out;
+  for (const Diagnostic& d : items_) {
+    if (!out.empty()) out += "\n";
+    out += d.ToString();
+    if (d.span.valid()) {
+      std::string snippet = RenderSourceSnippet(source, d.span.begin,
+                                                d.span.end);
+      if (!snippet.empty()) out += "\n" + snippet;
+    }
+  }
+  return out;
+}
+
+}  // namespace analysis
+}  // namespace gpml

@@ -1,0 +1,96 @@
+#ifndef GPML_ANALYSIS_DIAGNOSTIC_H_
+#define GPML_ANALYSIS_DIAGNOSTIC_H_
+
+#include <string>
+#include <vector>
+
+#include "common/source.h"
+
+namespace gpml {
+namespace analysis {
+
+/// Diagnostic severity. Errors make Prepare fail; warnings and notes are
+/// carried on the compiled plan (EXPLAIN `warnings=` section) and returned
+/// by the Lint() APIs.
+enum class Severity { kError, kWarning, kNote };
+
+const char* SeverityName(Severity s);
+
+// ---------------------------------------------------------------------------
+// Diagnostic codes (docs/analysis.md has the authoritative table).
+//
+// GPML-Exxx  errors    — the query can never execute correctly.
+// GPML-Wxxx  warnings  — the query is suspicious (often: can never match).
+// GPML-Nxxx  notes     — informational, attached alongside other codes.
+// ---------------------------------------------------------------------------
+
+inline constexpr char kCodeSyntax[] = "GPML-E001";          // Parse failure.
+inline constexpr char kCodeSemantic[] = "GPML-E002";        // §4 rule failure.
+inline constexpr char kCodeArithmeticType[] = "GPML-E011";  // Non-numeric arith.
+inline constexpr char kCodePredicateType[] = "GPML-E012";   // Non-bool predicate.
+inline constexpr char kCodeAlwaysFalse[] = "GPML-W101";     // WHERE never true.
+inline constexpr char kCodeAlwaysTrue[] = "GPML-W102";      // Conjunct is TRUE.
+inline constexpr char kCodeContradictoryEq[] = "GPML-W103"; // x.a=1 AND x.a=2.
+inline constexpr char kCodeQuantifierEmpty[] = "GPML-W104"; // {m,n} with m>n.
+inline constexpr char kCodeLabelContradiction[] = "GPML-W105";  // A&!A.
+inline constexpr char kCodeIncomparable[] = "GPML-W106";    // cmp always UNKNOWN.
+inline constexpr char kCodeParamContradiction[] = "GPML-W107";  // $p bool+num.
+inline constexpr char kCodeUnknownLabel[] = "GPML-W201";    // Not in schema.
+inline constexpr char kCodeUnknownProperty[] = "GPML-W202"; // Not in schema.
+inline constexpr char kCodeCartesianProduct[] = "GPML-W203";  // Disjoint decls.
+inline constexpr char kCodeEmptyPlan[] = "GPML-N301";       // Compiled empty.
+
+/// One analyzer finding: a stable machine-readable code, a severity, the
+/// byte range of the offending source text (invalid span {0,0} when the
+/// pattern was built programmatically), the human-readable message and an
+/// optional fix hint.
+struct Diagnostic {
+  std::string code;
+  Severity severity = Severity::kWarning;
+  SourceSpan span;
+  std::string message;
+  std::string hint;
+
+  /// "GPML-W101 warning (offset=12): WHERE clause ... [hint: ...]".
+  std::string ToString() const;
+};
+
+/// Collect-all container for one query's diagnostics. Unlike the fail-first
+/// Result<> convention elsewhere, the analyzer records every finding and
+/// lets the caller decide (Prepare fails on errors; Lint returns all).
+class DiagnosticList {
+ public:
+  void Add(Diagnostic d) { items_.push_back(std::move(d)); }
+  void Add(const char* code, Severity severity, SourceSpan span,
+           std::string message, std::string hint = "") {
+    items_.push_back(Diagnostic{code, severity, span, std::move(message),
+                                std::move(hint)});
+  }
+
+  bool empty() const { return items_.empty(); }
+  size_t size() const { return items_.size(); }
+  const std::vector<Diagnostic>& items() const { return items_; }
+  std::vector<Diagnostic>& mutable_items() { return items_; }
+  std::vector<Diagnostic>::const_iterator begin() const {
+    return items_.begin();
+  }
+  std::vector<Diagnostic>::const_iterator end() const { return items_.end(); }
+
+  bool has_errors() const;
+  size_t error_count() const;
+
+  /// One diagnostic per line (Diagnostic::ToString).
+  std::string ToString() const;
+
+  /// Like ToString but with a caret snippet of `source` under each
+  /// diagnostic that carries a valid span — the Lint() rendering.
+  std::string Render(const std::string& source) const;
+
+ private:
+  std::vector<Diagnostic> items_;
+};
+
+}  // namespace analysis
+}  // namespace gpml
+
+#endif  // GPML_ANALYSIS_DIAGNOSTIC_H_

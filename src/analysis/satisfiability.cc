@@ -1,0 +1,336 @@
+#include "analysis/satisfiability.h"
+
+#include <map>
+#include <utility>
+
+namespace gpml {
+namespace analysis {
+namespace {
+
+std::optional<TriBool> ValueToTri(const Value& v) {
+  if (v.is_null()) return TriBool::kUnknown;
+  if (v.is_bool()) return v.bool_value() ? TriBool::kTrue : TriBool::kFalse;
+  return std::nullopt;  // Non-boolean in predicate position: type error.
+}
+
+Value TriToValue(TriBool t) {
+  switch (t) {
+    case TriBool::kTrue: return Value::Bool(true);
+    case TriBool::kFalse: return Value::Bool(false);
+    case TriBool::kUnknown: return Value::Null();
+  }
+  return Value::Null();
+}
+
+std::optional<Value> FoldComparison(BinaryOp op, const Value& l,
+                                    const Value& r) {
+  if (op == BinaryOp::kEq) return TriToValue(Value::SqlEquals(l, r));
+  if (op == BinaryOp::kNeq) return TriToValue(TriNot(Value::SqlEquals(l, r)));
+  // Ordered: runtime CompareValues yields UNKNOWN for NULL operands and for
+  // incomparable types, which SqlCompare reports as errors — fold to NULL.
+  Result<int> cmp = Value::SqlCompare(l, r);
+  if (!cmp.ok()) return Value::Null();
+  int c = cmp.value();
+  bool out = false;
+  switch (op) {
+    case BinaryOp::kLt: out = c < 0; break;
+    case BinaryOp::kLe: out = c <= 0; break;
+    case BinaryOp::kGt: out = c > 0; break;
+    case BinaryOp::kGe: out = c >= 0; break;
+    default: return std::nullopt;
+  }
+  return Value::Bool(out);
+}
+
+std::optional<Value> FoldArithmetic(BinaryOp op, const Value& l,
+                                    const Value& r) {
+  Result<Value> v = Status::Internal("unreachable");
+  switch (op) {
+    case BinaryOp::kAdd: v = Value::Add(l, r); break;
+    case BinaryOp::kSub: v = Value::Subtract(l, r); break;
+    case BinaryOp::kMul: v = Value::Multiply(l, r); break;
+    case BinaryOp::kDiv: v = Value::Divide(l, r); break;
+    default: return std::nullopt;
+  }
+  if (!v.ok()) return std::nullopt;  // Type error / division by zero.
+  return std::move(v).value();
+}
+
+}  // namespace
+
+std::optional<Value> FoldConstant(const Expr& e) {
+  switch (e.kind) {
+    case Expr::Kind::kLiteral:
+      return e.literal;
+
+    case Expr::Kind::kBinary: {
+      if (e.lhs == nullptr || e.rhs == nullptr) return std::nullopt;
+      std::optional<Value> l = FoldConstant(*e.lhs);
+      std::optional<Value> r = FoldConstant(*e.rhs);
+      if (!l || !r) return std::nullopt;
+      switch (e.op) {
+        case BinaryOp::kEq:
+        case BinaryOp::kNeq:
+        case BinaryOp::kLt:
+        case BinaryOp::kLe:
+        case BinaryOp::kGt:
+        case BinaryOp::kGe:
+          return FoldComparison(e.op, *l, *r);
+        case BinaryOp::kAnd:
+        case BinaryOp::kOr: {
+          std::optional<TriBool> lt = ValueToTri(*l);
+          std::optional<TriBool> rt = ValueToTri(*r);
+          if (!lt || !rt) return std::nullopt;
+          return TriToValue(e.op == BinaryOp::kAnd ? TriAnd(*lt, *rt)
+                                                   : TriOr(*lt, *rt));
+        }
+        case BinaryOp::kAdd:
+        case BinaryOp::kSub:
+        case BinaryOp::kMul:
+        case BinaryOp::kDiv:
+          return FoldArithmetic(e.op, *l, *r);
+      }
+      return std::nullopt;
+    }
+
+    case Expr::Kind::kNot: {
+      if (e.lhs == nullptr) return std::nullopt;
+      std::optional<Value> v = FoldConstant(*e.lhs);
+      if (!v) return std::nullopt;
+      std::optional<TriBool> t = ValueToTri(*v);
+      if (!t) return std::nullopt;
+      return TriToValue(TriNot(*t));
+    }
+
+    case Expr::Kind::kIsNull: {
+      if (e.lhs == nullptr) return std::nullopt;
+      std::optional<Value> v = FoldConstant(*e.lhs);
+      if (!v) return std::nullopt;
+      bool is_null = v->is_null();
+      return Value::Bool(e.negated ? !is_null : is_null);
+    }
+
+    default:
+      // Parameters, variables, properties, aggregates, §4.7 predicates:
+      // binding-dependent, never folded.
+      return std::nullopt;
+  }
+}
+
+std::optional<TriBool> FoldPredicate(const Expr& e) {
+  if (e.kind == Expr::Kind::kBinary &&
+      (e.op == BinaryOp::kAnd || e.op == BinaryOp::kOr)) {
+    std::optional<TriBool> l =
+        e.lhs != nullptr ? FoldPredicate(*e.lhs) : std::nullopt;
+    std::optional<TriBool> r =
+        e.rhs != nullptr ? FoldPredicate(*e.rhs) : std::nullopt;
+    if (e.op == BinaryOp::kAnd) {
+      // FALSE short-circuits past non-constant operands.
+      if (l == TriBool::kFalse || r == TriBool::kFalse) return TriBool::kFalse;
+      if (l && r) return TriAnd(*l, *r);
+    } else {
+      if (l == TriBool::kTrue || r == TriBool::kTrue) return TriBool::kTrue;
+      if (l && r) return TriOr(*l, *r);
+    }
+    return std::nullopt;
+  }
+  if (e.kind == Expr::Kind::kNot && e.lhs != nullptr) {
+    std::optional<TriBool> t = FoldPredicate(*e.lhs);
+    if (t) return TriNot(*t);
+    return std::nullopt;
+  }
+  std::optional<Value> v = FoldConstant(e);
+  if (!v) return std::nullopt;
+  return ValueToTri(*v);
+}
+
+bool ContainsParam(const Expr& e) {
+  if (e.kind == Expr::Kind::kParam) return true;
+  if (e.lhs != nullptr && ContainsParam(*e.lhs)) return true;
+  if (e.rhs != nullptr && ContainsParam(*e.rhs)) return true;
+  if (e.arg != nullptr && ContainsParam(*e.arg)) return true;
+  return false;
+}
+
+void FlattenAnd(const ExprPtr& e, std::vector<ExprPtr>* out) {
+  if (e == nullptr) return;
+  if (e->kind == Expr::Kind::kBinary && e->op == BinaryOp::kAnd) {
+    FlattenAnd(e->lhs, out);
+    FlattenAnd(e->rhs, out);
+    return;
+  }
+  out->push_back(e);
+}
+
+namespace {
+
+// Matches a conjunct of the shape `var.prop = literal` (either side order);
+// returns the two halves or nullptrs.
+std::pair<const Expr*, const Expr*> AsPropertyEquality(const Expr& e) {
+  if (e.kind != Expr::Kind::kBinary || e.op != BinaryOp::kEq ||
+      e.lhs == nullptr || e.rhs == nullptr) {
+    return {nullptr, nullptr};
+  }
+  const Expr* l = e.lhs.get();
+  const Expr* r = e.rhs.get();
+  if (l->kind == Expr::Kind::kPropertyAccess &&
+      r->kind == Expr::Kind::kLiteral) {
+    return {l, r};
+  }
+  if (r->kind == Expr::Kind::kPropertyAccess &&
+      l->kind == Expr::Kind::kLiteral) {
+    return {r, l};
+  }
+  return {nullptr, nullptr};
+}
+
+}  // namespace
+
+bool PredicateUnsatisfiable(const ExprPtr& where, DiagnosticList* diags,
+                            bool emit_always_true) {
+  if (where == nullptr) return false;
+  if (std::optional<TriBool> t = FoldPredicate(*where)) {
+    if (*t == TriBool::kTrue) {
+      if (emit_always_true) {
+        diags->Add(kCodeAlwaysTrue, Severity::kWarning, where->span,
+                   "WHERE clause is always true",
+                   "the predicate filters nothing and can be removed");
+      }
+      return false;
+    }
+    diags->Add(kCodeAlwaysFalse, Severity::kWarning, where->span,
+               *t == TriBool::kFalse ? "WHERE clause is always false"
+                                     : "WHERE clause is always UNKNOWN",
+               "no binding can satisfy this predicate");
+    return true;
+  }
+
+  // Contradictory property equalities along the top-level AND chain:
+  // `x.a = 1 AND x.a = 2` can never both hold (each row has one value).
+  std::vector<ExprPtr> conjuncts;
+  FlattenAnd(where, &conjuncts);
+  struct Prior { Value value; SourceSpan span; };
+  std::map<std::pair<std::string, std::string>, Prior> seen;
+  for (const ExprPtr& c : conjuncts) {
+    auto [prop, lit] = AsPropertyEquality(*c);
+    if (prop == nullptr) continue;
+    if (lit->literal.is_null()) {
+      // `= NULL` is UNKNOWN for every row; an AND chain containing it can
+      // never be TRUE.
+      diags->Add(kCodeAlwaysFalse, Severity::kWarning, c->span,
+                 "comparison with NULL is always UNKNOWN",
+                 "use IS NULL to test for NULL");
+      return true;
+    }
+    auto key = std::make_pair(prop->var, prop->property);
+    auto it = seen.find(key);
+    if (it == seen.end()) {
+      seen.emplace(std::move(key), Prior{lit->literal, c->span});
+      continue;
+    }
+    if (Value::SqlEquals(it->second.value, lit->literal) != TriBool::kTrue) {
+      diags->Add(kCodeContradictoryEq, Severity::kWarning, c->span,
+                 "property " + prop->var + "." + prop->property +
+                     " is required to equal two different constants",
+                 "conflicts with the earlier equality at offset=" +
+                     std::to_string(it->second.span.begin));
+      return true;
+    }
+  }
+  return false;
+}
+
+ExprPtr DropAlwaysTrueConjuncts(const ExprPtr& where, DiagnosticList* diags) {
+  if (where == nullptr) return nullptr;
+  std::vector<ExprPtr> conjuncts;
+  FlattenAnd(where, &conjuncts);
+  std::vector<ExprPtr> kept;
+  kept.reserve(conjuncts.size());
+  bool dropped = false;
+  for (const ExprPtr& c : conjuncts) {
+    std::optional<TriBool> t = FoldPredicate(*c);
+    // Parameter-bearing conjuncts are kept even when they short-circuit to
+    // TRUE (`TRUE OR $p`): dropping them would shrink the ParamSignature.
+    if (t == TriBool::kTrue && !ContainsParam(*c)) {
+      diags->Add(kCodeAlwaysTrue, Severity::kWarning, c->span,
+                 "conjunct is always true and does not filter rows",
+                 "removed from the compiled plan (TRUE AND p = p)");
+      dropped = true;
+      continue;
+    }
+    kept.push_back(c);
+  }
+  if (!dropped) return where;
+  if (kept.empty()) return nullptr;
+  ExprPtr out = kept[0];
+  for (size_t i = 1; i < kept.size(); ++i) {
+    out = Expr::Binary(BinaryOp::kAnd, out, kept[i]);
+  }
+  return out;
+}
+
+namespace {
+
+// Collects label names *required* by `e` (positive spine) and names
+// *forbidden* by it, distributing negation by De Morgan where the result
+// stays a conjunction of requirements. `neg_wildcard` records a required
+// `!%` (element must be label-less).
+void CollectRequirements(const LabelExpr& e, bool negated,
+                         std::vector<std::string>* required,
+                         std::vector<std::string>* forbidden,
+                         bool* neg_wildcard) {
+  switch (e.kind) {
+    case LabelExpr::Kind::kName:
+      (negated ? forbidden : required)->push_back(e.name);
+      return;
+    case LabelExpr::Kind::kWildcard:
+      if (negated) *neg_wildcard = true;
+      return;
+    case LabelExpr::Kind::kNot:
+      if (e.left != nullptr) {
+        CollectRequirements(*e.left, !negated, required, forbidden,
+                            neg_wildcard);
+      }
+      return;
+    case LabelExpr::Kind::kAnd:
+      if (negated) return;  // !(A&B) is a disjunction — nothing required.
+      break;
+    case LabelExpr::Kind::kOr:
+      if (!negated) return;  // A|B requires no single name.
+      break;
+  }
+  if (e.left != nullptr) {
+    CollectRequirements(*e.left, negated, required, forbidden, neg_wildcard);
+  }
+  if (e.right != nullptr) {
+    CollectRequirements(*e.right, negated, required, forbidden, neg_wildcard);
+  }
+}
+
+}  // namespace
+
+bool LabelConjunctionContradicts(const LabelExpr& labels,
+                                 std::string* conflicted) {
+  std::vector<std::string> required;
+  std::vector<std::string> forbidden;
+  bool neg_wildcard = false;
+  CollectRequirements(labels, /*negated=*/false, &required, &forbidden,
+                      &neg_wildcard);
+  for (const std::string& r : required) {
+    if (neg_wildcard) {
+      // `A & !%` — a required name on an element required to be label-less.
+      *conflicted = r;
+      return true;
+    }
+    for (const std::string& f : forbidden) {
+      if (r == f) {
+        *conflicted = r;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace analysis
+}  // namespace gpml

@@ -1,0 +1,58 @@
+#ifndef GPML_ANALYSIS_SATISFIABILITY_H_
+#define GPML_ANALYSIS_SATISFIABILITY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "ast/ast.h"
+#include "common/value.h"
+
+namespace gpml {
+namespace analysis {
+
+/// Folds a literal-only expression tree to its constant value using the
+/// runtime Value operations. Returns nullopt when the tree touches
+/// variables, parameters or graph state, or when evaluation would error
+/// (the type checker owns those diagnostics).
+std::optional<Value> FoldConstant(const Expr& e);
+
+/// Classifies a predicate under SQL three-valued logic when its truth value
+/// is independent of any binding. Short-circuits through AND/OR, so
+/// `FALSE AND x.a = 1` folds to kFalse even though the right side does not
+/// fold. Returns nullopt when the outcome depends on bindings.
+std::optional<TriBool> FoldPredicate(const Expr& e);
+
+/// True if any node in the tree is a $parameter reference.
+bool ContainsParam(const Expr& e);
+
+/// Appends the conjuncts of the top-level AND chain of `e` (left-to-right).
+void FlattenAnd(const ExprPtr& e, std::vector<ExprPtr>* out);
+
+/// Satisfiability verdict for one WHERE site: emits GPML-W101 (constant
+/// FALSE/UNKNOWN), GPML-W102 (constant TRUE) and GPML-W103 (contradictory
+/// `var.prop = literal` conjuncts) and returns true when the predicate can
+/// never hold. Pass emit_always_true=false when the caller also runs
+/// DropAlwaysTrueConjuncts on the same predicate (it owns the W102s then).
+bool PredicateUnsatisfiable(const ExprPtr& where, DiagnosticList* diags,
+                            bool emit_always_true = true);
+
+/// Rewrites a postfilter by dropping parameter-free conjuncts that fold to
+/// constant TRUE (emitting GPML-W102 per dropped conjunct). TriAnd(TRUE, x)
+/// = x, so the rewrite is row-preserving; parameter-bearing conjuncts are
+/// kept so the bind-time ParamSignature is unchanged. Returns the rewritten
+/// predicate — nullptr when every conjunct was dropped, `where` unchanged
+/// when nothing folded.
+ExprPtr DropAlwaysTrueConjuncts(const ExprPtr& where, DiagnosticList* diags);
+
+/// Detects label conjunctions that no element can satisfy: a name both
+/// required and negated along a pure AND spine (`:A & !A`). On detection
+/// stores the conflicting name and returns true.
+bool LabelConjunctionContradicts(const LabelExpr& labels,
+                                 std::string* conflicted);
+
+}  // namespace analysis
+}  // namespace gpml
+
+#endif  // GPML_ANALYSIS_SATISFIABILITY_H_

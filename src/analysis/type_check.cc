@@ -1,0 +1,242 @@
+#include "analysis/type_check.h"
+
+#include "common/value.h"
+
+namespace gpml {
+namespace analysis {
+namespace {
+
+TypeSet BitForValue(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull: return kTNull;
+    case ValueType::kBool: return kTBool;
+    case ValueType::kInt: return kTInt;
+    case ValueType::kDouble: return kTDouble;
+    case ValueType::kString: return kTString;
+  }
+  return kTAnyValue;
+}
+
+// Comparability classes: two operands can compare non-UNKNOWN only when
+// they can share a class (expr_eval.cc CompareValues returns Unknown for
+// cross-class comparisons instead of erroring).
+constexpr unsigned kClassNumeric = 1u << 0;
+constexpr unsigned kClassString = 1u << 1;
+constexpr unsigned kClassBool = 1u << 2;
+constexpr unsigned kClassElement = 1u << 3;
+
+unsigned ClassesOf(TypeSet t) {
+  unsigned c = 0;
+  if ((t & kTNumeric) != 0) c |= kClassNumeric;
+  if ((t & kTString) != 0) c |= kClassString;
+  if ((t & kTBool) != 0) c |= kClassBool;
+  if ((t & kTElement) != 0) c |= kClassElement;
+  return c;
+}
+
+bool IsOrdered(BinaryOp op) {
+  return op == BinaryOp::kLt || op == BinaryOp::kLe || op == BinaryOp::kGt ||
+         op == BinaryOp::kGe;
+}
+
+bool IsComparison(BinaryOp op) {
+  return op == BinaryOp::kEq || op == BinaryOp::kNeq || IsOrdered(op);
+}
+
+bool IsArithmetic(BinaryOp op) {
+  return op == BinaryOp::kAdd || op == BinaryOp::kSub ||
+         op == BinaryOp::kMul || op == BinaryOp::kDiv;
+}
+
+bool IsConnective(BinaryOp op) {
+  return op == BinaryOp::kAnd || op == BinaryOp::kOr;
+}
+
+SourceSpan SpanOrParent(const Expr& child, const Expr& parent) {
+  return child.span.valid() ? child.span : parent.span;
+}
+
+ParamConstraint* TouchParam(const Expr& e, ParamConstraintMap* params) {
+  if (e.kind != Expr::Kind::kParam || params == nullptr) return nullptr;
+  ParamConstraint& pc = (*params)[e.var];
+  if (!pc.span.valid()) pc.span = e.span;
+  return &pc;
+}
+
+// For ordered comparisons against a parameter, a *literal* other side pins
+// the parameter's comparability class (a non-matching binding would make
+// the predicate permanently UNKNOWN). Property accesses don't pin anything
+// — their runtime type is unknown.
+void TightenParamAgainst(const Expr& param_side, const Expr& other,
+                         ParamConstraintMap* params) {
+  ParamConstraint* pc = TouchParam(param_side, params);
+  if (pc == nullptr || other.kind != Expr::Kind::kLiteral) return;
+  TypeSet t = BitForValue(other.literal);
+  if ((t & kTNumeric) != 0) pc->needs_numeric = true;
+  if ((t & kTString) != 0) pc->needs_string = true;
+}
+
+// A predicate position accepts any set containing kTBool, and pure value
+// sets containing kTNull (always-UNKNOWN predicates match nothing but are
+// not type errors — satisfiability warns about them). An element-typed set
+// without a boolean alternative errors at evaluation time whenever the
+// variable is bound, so it is a hard error statically even though
+// conditional variables add kTNull to it.
+bool PredicateTypeError(TypeSet t) {
+  if ((t & (kTBool | kTNull)) == 0) return true;
+  return (t & kTBool) == 0 && (t & kTElement) != 0;
+}
+
+}  // namespace
+
+TypeSet InferTypes(const Expr& e, bool predicate_pos, DiagnosticList* diags,
+                   ParamConstraintMap* params) {
+  switch (e.kind) {
+    case Expr::Kind::kLiteral:
+      return BitForValue(e.literal);
+
+    case Expr::Kind::kParam: {
+      ParamConstraint* pc = TouchParam(e, params);
+      if (predicate_pos && pc != nullptr) pc->needs_bool = true;
+      return kTAnyValue;
+    }
+
+    case Expr::Kind::kVarRef:
+      // Element reference; conditional (optional-scoped) variables may be
+      // unbound and evaluate to NULL. Path variables also land here — the
+      // analyzer treats paths as elements for comparability purposes.
+      return kTElement | kTNull;
+
+    case Expr::Kind::kPropertyAccess:
+      // Property values are dynamically typed; a missing key yields NULL.
+      return kTAnyValue;
+
+    case Expr::Kind::kBinary: {
+      if (IsConnective(e.op)) {
+        for (const ExprPtr& side : {e.lhs, e.rhs}) {
+          if (side == nullptr) continue;
+          TypeSet t = InferTypes(*side, /*predicate_pos=*/true, diags, params);
+          if (PredicateTypeError(t)) {
+            diags->Add(kCodePredicateType, Severity::kError,
+                       SpanOrParent(*side, e),
+                       std::string(BinaryOpName(e.op)) +
+                           " operand can never be boolean",
+                       "operands of AND/OR must be predicates");
+          }
+        }
+        return kTBool | kTNull;
+      }
+      if (IsComparison(e.op)) {
+        TypeSet lt = e.lhs ? InferTypes(*e.lhs, false, diags, params) : 0;
+        TypeSet rt = e.rhs ? InferTypes(*e.rhs, false, diags, params) : 0;
+        if (e.lhs != nullptr && e.rhs != nullptr) {
+          unsigned common = ClassesOf(lt) & ClassesOf(rt);
+          if (ClassesOf(lt) != 0 && ClassesOf(rt) != 0 && common == 0) {
+            // Runtime CompareValues yields UNKNOWN for every row.
+            diags->Add(kCodeIncomparable, Severity::kWarning, e.span,
+                       "comparison between incompatible types is always "
+                       "UNKNOWN",
+                       "rows never match an UNKNOWN predicate");
+          }
+          if (IsOrdered(e.op)) {
+            TightenParamAgainst(*e.lhs, *e.rhs, params);
+            TightenParamAgainst(*e.rhs, *e.lhs, params);
+          } else {
+            TouchParam(*e.lhs, params);
+            TouchParam(*e.rhs, params);
+          }
+        }
+        return kTBool | kTNull;
+      }
+      if (IsArithmetic(e.op)) {
+        for (const ExprPtr& side : {e.lhs, e.rhs}) {
+          if (side == nullptr) continue;
+          TypeSet t = InferTypes(*side, false, diags, params);
+          if ((t & (kTNumeric | kTNull)) == 0) {
+            diags->Add(kCodeArithmeticType, Severity::kError,
+                       SpanOrParent(*side, e),
+                       std::string("operand of ") + BinaryOpName(e.op) +
+                           " can never be numeric",
+                       "arithmetic requires INT or DOUBLE operands");
+          }
+          if (ParamConstraint* pc = TouchParam(*side, params)) {
+            pc->needs_numeric = true;
+          }
+        }
+        return kTNumeric | kTNull;
+      }
+      return kTAnyValue;
+    }
+
+    case Expr::Kind::kNot: {
+      if (e.lhs != nullptr) {
+        TypeSet t = InferTypes(*e.lhs, /*predicate_pos=*/true, diags, params);
+        if (PredicateTypeError(t)) {
+          diags->Add(kCodePredicateType, Severity::kError,
+                     SpanOrParent(*e.lhs, e),
+                     "NOT operand can never be boolean",
+                     "NOT applies to predicates");
+        }
+      }
+      return kTBool | kTNull;
+    }
+
+    case Expr::Kind::kIsNull:
+      if (e.lhs != nullptr) InferTypes(*e.lhs, false, diags, params);
+      return kTBool;  // IS [NOT] NULL never yields NULL.
+
+    case Expr::Kind::kAggregate: {
+      if (e.arg != nullptr) InferTypes(*e.arg, false, diags, params);
+      switch (e.agg) {
+        case AggFunc::kCount: return kTInt;
+        case AggFunc::kSum:
+        case AggFunc::kAvg: return kTNumeric | kTNull;
+        case AggFunc::kMin:
+        case AggFunc::kMax: return kTAnyValue;
+        case AggFunc::kListAgg: return kTString | kTNull;
+      }
+      return kTAnyValue;
+    }
+
+    case Expr::Kind::kIsDirected:
+    case Expr::Kind::kIsSourceOf:
+    case Expr::Kind::kIsDestinationOf:
+    case Expr::Kind::kSame:
+    case Expr::Kind::kAllDifferent:
+      return kTBool | kTNull;  // NULL when a conditional var is unbound.
+
+    case Expr::Kind::kPathLength:
+      return kTInt | kTNull;
+  }
+  return kTAnyValue;
+}
+
+void CheckPredicateTypes(const Expr& e, DiagnosticList* diags,
+                         ParamConstraintMap* params) {
+  TypeSet t = InferTypes(e, /*predicate_pos=*/true, diags, params);
+  if (PredicateTypeError(t)) {
+    const char* detail = (t & kTElement) != 0
+                             ? "element used as a predicate"
+                             : "predicate can never be boolean";
+    diags->Add(kCodePredicateType, Severity::kError, e.span, detail,
+               "WHERE requires a boolean expression");
+  }
+}
+
+void CheckParamContradictions(const ParamConstraintMap& params,
+                              DiagnosticList* diags) {
+  for (const auto& [name, pc] : params) {
+    int kinds = (pc.needs_bool ? 1 : 0) + (pc.needs_numeric ? 1 : 0) +
+                (pc.needs_string ? 1 : 0);
+    if (kinds <= 1) continue;
+    // Warning, not error: NULL satisfies every constraint simultaneously
+    // (the predicate is then UNKNOWN, matching no rows).
+    diags->Add(kCodeParamContradiction, Severity::kWarning, pc.span,
+               "parameter $" + name +
+                   " is used with contradictory type constraints",
+               "only a NULL binding satisfies all use sites");
+  }
+}
+
+}  // namespace analysis
+}  // namespace gpml

@@ -1,0 +1,64 @@
+#ifndef GPML_ANALYSIS_TYPE_CHECK_H_
+#define GPML_ANALYSIS_TYPE_CHECK_H_
+
+#include <map>
+#include <string>
+
+#include "analysis/diagnostic.h"
+#include "ast/expr.h"
+
+namespace gpml {
+namespace analysis {
+
+/// A set of runtime types an expression may produce, as a bitmask. The
+/// static lattice mirrors eval/expr_eval.cc: property accesses and
+/// parameters are any value, variable references are elements (or NULL for
+/// unbound conditionals), and every operator's result set follows its SQL
+/// three-valued semantics.
+using TypeSet = unsigned;
+
+inline constexpr TypeSet kTNull = 1u << 0;
+inline constexpr TypeSet kTBool = 1u << 1;
+inline constexpr TypeSet kTInt = 1u << 2;
+inline constexpr TypeSet kTDouble = 1u << 3;
+inline constexpr TypeSet kTString = 1u << 4;
+inline constexpr TypeSet kTElement = 1u << 5;
+inline constexpr TypeSet kTNumeric = kTInt | kTDouble;
+inline constexpr TypeSet kTAnyValue =
+    kTNull | kTBool | kTNumeric | kTString;
+
+/// Bind-time constraints inferred for one $parameter from its use sites.
+/// Mirrors (and extends) eval/params.h ParamInfo: the analyzer additionally
+/// flags parameters whose constraints are jointly unsatisfiable (GPML-W107).
+struct ParamConstraint {
+  bool needs_bool = false;     // Used as a predicate.
+  bool needs_numeric = false;  // Arithmetic operand / ordered-compared with
+                               // a numeric-only expression.
+  bool needs_string = false;   // Ordered-compared with a string-only
+                               // expression.
+  SourceSpan span;             // First use site.
+};
+
+using ParamConstraintMap = std::map<std::string, ParamConstraint>;
+
+/// Infers the result TypeSet of `e`, appending GPML-E011/E012/W106
+/// diagnostics for operand mismatches and recording $param constraints.
+/// `predicate_pos` marks positions whose value feeds a 3VL predicate
+/// (AND/OR/NOT operands and WHERE roots).
+TypeSet InferTypes(const Expr& e, bool predicate_pos, DiagnosticList* diags,
+                   ParamConstraintMap* params);
+
+/// Type-checks a WHERE-root expression: InferTypes plus the requirement
+/// that the root can be boolean or NULL (GPML-E012 otherwise).
+void CheckPredicateTypes(const Expr& e, DiagnosticList* diags,
+                         ParamConstraintMap* params);
+
+/// Emits GPML-W107 for every parameter whose accumulated constraints admit
+/// no non-NULL binding (e.g. used both as a predicate and in arithmetic).
+void CheckParamContradictions(const ParamConstraintMap& params,
+                              DiagnosticList* diags);
+
+}  // namespace analysis
+}  // namespace gpml
+
+#endif  // GPML_ANALYSIS_TYPE_CHECK_H_

@@ -8,6 +8,7 @@
 
 #include "ast/expr.h"
 #include "ast/label_expr.h"
+#include "common/source.h"
 
 namespace gpml {
 
@@ -59,6 +60,8 @@ struct NodePattern {
   std::string var;      // Empty = anonymous (normalization names it).
   LabelExprPtr labels;  // nullptr = no label constraint.
   ExprPtr where;        // nullptr = no inline predicate.
+  SourceSpan span;      // '(' .. ')' in the query text; invalid if built
+                        // programmatically. Survives normalization (copied).
 };
 
 /// An edge pattern `-[e:Transfer WHERE e.amount>5M]->` — §4.1, Figure 5.
@@ -67,6 +70,8 @@ struct EdgePattern {
   LabelExprPtr labels;
   ExprPtr where;
   EdgeOrientation orientation = EdgeOrientation::kRight;
+  SourceSpan span;  // Full edge pattern text; invalid if built
+                    // programmatically.
 };
 
 struct PathPattern;
@@ -90,6 +95,7 @@ struct PathElement {
   ExprPtr where;              // kParen family: trailing WHERE.
   uint64_t min = 0;           // kQuantified.
   std::optional<uint64_t> max;  // kQuantified; nullopt = unbounded.
+  SourceSpan quantifier_span;   // kQuantified: the {m,n}/*/+ source bytes.
   /// kQuantified/kOptional: true when the quantifier was written on a bare
   /// edge pattern, so normalization must supply anonymous nodes (§4.4).
   bool bare_edge = false;

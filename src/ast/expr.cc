@@ -77,6 +77,13 @@ std::string QuoteIfString(const Value& v) {
 
 }  // namespace
 
+ExprPtr Expr::WithSpan(ExprPtr e, SourceSpan span) {
+  // The parser calls this straight after a factory, while the node is still
+  // uniquely owned; const_cast is confined to that construction window.
+  if (e != nullptr) const_cast<Expr*>(e.get())->span = span;
+  return e;
+}
+
 ExprPtr Expr::Lit(Value v) {
   auto e = Make(Kind::kLiteral);
   e->literal = std::move(v);

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/source.h"
 #include "common/value.h"
 
 namespace gpml {
@@ -67,6 +68,9 @@ struct Expr {
   std::string separator;          // kAggregate: LISTAGG separator.
   std::string var2;               // kIsSourceOf/kIsDestinationOf: edge var.
   std::vector<std::string> vars;  // kSame/kAllDifferent.
+  /// Byte range of the expression in the query text; {0,0} (invalid) for
+  /// programmatically built trees. Set by the parser via WithSpan.
+  SourceSpan span;
 
   // Factory helpers (the parser and tests build expressions through these).
   static ExprPtr Lit(Value v);
@@ -84,6 +88,10 @@ struct Expr {
   static ExprPtr Same(std::vector<std::string> vars);
   static ExprPtr AllDifferent(std::vector<std::string> vars);
   static ExprPtr PathLength(std::string path_var);
+  /// Stamps a source span onto a freshly built expression (the parser calls
+  /// this immediately after a factory, while the node is still uniquely
+  /// owned). Returns `e` for chaining.
+  static ExprPtr WithSpan(ExprPtr e, SourceSpan span);
 
   /// Renders in GPML surface syntax.
   std::string ToString() const;

@@ -1,0 +1,73 @@
+#include "common/source.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace gpml {
+
+SourceSpan SourceSpan::Merge(const SourceSpan& other) const {
+  if (!valid()) return other;
+  if (!other.valid()) return *this;
+  return SourceSpan{std::min(begin, other.begin), std::max(end, other.end)};
+}
+
+std::string RenderSourceSnippet(const std::string& source, size_t begin,
+                                size_t end) {
+  if (source.empty()) return "";
+  begin = std::min(begin, source.size());
+  end = std::min(std::max(end, begin), source.size());
+
+  // The line containing `begin` (a marker at end-of-input points past the
+  // last line; back up onto it so the snippet still shows context).
+  size_t anchor = begin < source.size() ? begin : source.size() - 1;
+  if (source[anchor] == '\n' && anchor > 0) --anchor;
+  size_t line_start = source.rfind('\n', anchor);
+  line_start = line_start == std::string::npos ? 0 : line_start + 1;
+  size_t line_end = source.find('\n', line_start);
+  if (line_end == std::string::npos) line_end = source.size();
+
+  std::string line = source.substr(line_start, line_end - line_start);
+  std::string caret;
+  size_t col = begin >= line_start ? begin - line_start : 0;
+  col = std::min(col, line.size());
+  for (size_t i = 0; i < col; ++i) {
+    // Preserve tabs so the caret lines up under the source text.
+    caret.push_back(line[i] == '\t' ? '\t' : ' ');
+  }
+  caret.push_back('^');
+  size_t span_end = end > begin ? std::min(end - line_start, line.size())
+                                : col + 1;
+  for (size_t i = col + 1; i < span_end; ++i) caret.push_back('~');
+  return "  " + line + "\n  " + caret;
+}
+
+bool FindOffsetMarker(const std::string& message, size_t* offset) {
+  static const char kMarker[] = "offset=";
+  size_t at = message.find(kMarker);
+  if (at == std::string::npos) return false;
+  size_t pos = at + sizeof(kMarker) - 1;
+  if (pos >= message.size() ||
+      !std::isdigit(static_cast<unsigned char>(message[pos]))) {
+    return false;
+  }
+  size_t value = 0;
+  while (pos < message.size() &&
+         std::isdigit(static_cast<unsigned char>(message[pos]))) {
+    value = value * 10 + static_cast<size_t>(message[pos] - '0');
+    ++pos;
+  }
+  *offset = value;
+  return true;
+}
+
+Status AttachSnippet(const Status& st, const std::string& source) {
+  if (st.ok()) return st;
+  size_t offset = 0;
+  if (!FindOffsetMarker(st.message(), &offset)) return st;
+  if (st.message().find('\n') != std::string::npos) return st;  // Already has one.
+  std::string snippet = RenderSourceSnippet(source, offset, offset);
+  if (snippet.empty()) return st;
+  return Status(st.code(), st.message() + "\n" + snippet);
+}
+
+}  // namespace gpml

@@ -1,0 +1,48 @@
+#ifndef GPML_COMMON_SOURCE_H_
+#define GPML_COMMON_SOURCE_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/status.h"
+
+namespace gpml {
+
+/// Half-open byte range [begin, end) into the query source text. Spans are
+/// recorded by the parser from lexer token offsets and survive normalization
+/// (pattern structs are copied wholesale), so semantic analysis and the
+/// static analyzer can point diagnostics at the exact source bytes.
+struct SourceSpan {
+  size_t begin = 0;
+  size_t end = 0;
+
+  bool valid() const { return end > begin; }
+  /// Union of two spans; an invalid operand leaves the other unchanged.
+  SourceSpan Merge(const SourceSpan& other) const;
+};
+
+/// Renders the source line containing [begin, end) with a caret line
+/// underneath, e.g. for offset 10..13 of "MATCH (x) WHERE x.a":
+///
+///   MATCH (x) WHERE x.a
+///             ^~~~~
+///
+/// Out-of-bounds offsets are clamped; returns an empty string when the
+/// source is empty. The result has no trailing newline.
+std::string RenderSourceSnippet(const std::string& source, size_t begin,
+                                size_t end);
+
+/// Extracts the first "offset=N" marker from `message`; returns true and
+/// stores N on success. Parse, semantic, and analysis errors all embed
+/// their position in this form.
+bool FindOffsetMarker(const std::string& message, size_t* offset);
+
+/// If `st` is an error whose message carries an "offset=N" marker and no
+/// caret snippet yet, returns the same status with the snippet for N
+/// appended on the following lines. Used at the API boundary, where the
+/// source text is in hand (the parser itself only sees tokens).
+Status AttachSnippet(const Status& st, const std::string& source);
+
+}  // namespace gpml
+
+#endif  // GPML_COMMON_SOURCE_H_

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "ast/print.h"
+#include "common/source.h"
 #include "eval/nfa.h"
 #include "obs/clock.h"
 #include "obs/metrics.h"
@@ -293,7 +294,8 @@ void CaptureSlowQuery(const EngineOptions& options, const PropertyGraph& g,
   rec.total_ms = total_ms;
   rec.rows = rows;
   rec.explain = planner::ExplainPlan(prepared.plan, *prepared.vars,
-                                     /*stats=*/nullptr, &exec, actuals);
+                                     /*stats=*/nullptr, &exec, actuals,
+                                     &prepared.diagnostics);
   if (trace != nullptr) rec.trace_json = trace->ToJsonLines();
   obs::SlowQueryLog& log = options.slow_log != nullptr
                                ? *options.slow_log
@@ -311,9 +313,9 @@ Result<Engine::Analyzed> Engine::AnalyzePattern(
     const GraphPattern& pattern) const {
   Analyzed p;
   GPML_ASSIGN_OR_RETURN(p.normalized, Normalize(pattern));
-  GPML_ASSIGN_OR_RETURN(Analysis analysis, Analyze(p.normalized));
-  GPML_RETURN_IF_ERROR(CheckTermination(p.normalized, analysis));
-  p.vars = std::make_shared<const VarTable>(analysis);
+  GPML_ASSIGN_OR_RETURN(p.analysis, Analyze(p.normalized));
+  GPML_RETURN_IF_ERROR(CheckTermination(p.normalized, p.analysis));
+  p.vars = std::make_shared<const VarTable>(p.analysis);
   return p;
 }
 
@@ -344,7 +346,8 @@ Result<std::shared_ptr<const planner::CachedPlan>> Engine::PreparePlan(
     // render as themselves, so executions differing only in bound values
     // share one entry — the prepare-once contract.
     fingerprint = planner::PlanFingerprint(pattern, options_.use_planner,
-                                           options_.use_seed_index);
+                                           options_.use_seed_index,
+                                           options_.use_analysis);
     // The registry outlives this call: the graph's member slot keeps it.
     if (std::shared_ptr<const planner::CachedPlan> cached = planner::LookupPlan(
             graph_, fingerprint,
@@ -360,6 +363,31 @@ Result<std::shared_ptr<const planner::CachedPlan>> Engine::PreparePlan(
   entry->normalized = std::move(p.normalized);
   entry->vars = std::move(p.vars);
   entry->analyze_ms = analyze_clock.ElapsedMs();
+  if (options_.use_analysis) {
+    // Static analysis (docs/analysis.md): collect-all diagnostics over the
+    // normalized pattern. Errors fail Prepare; warnings/notes are cached on
+    // the entry so EXPLAIN and Lint see them on cache hits too. The pass
+    // may rewrite the postfilter (dropping parameter-free TRUE conjuncts)
+    // and prove the pattern empty — both recorded before planning so the
+    // plan is built against the rewritten pattern.
+    obs::Stopwatch analysis_clock;
+    analysis::QueryAnalysis qa =
+        analysis::AnalyzeQuery(entry->normalized, p.analysis, &graph_);
+    entry->analysis_ms = analysis_clock.ElapsedMs();
+    if (options_.publish_metrics && !qa.diagnostics.empty()) {
+      graph_.metrics_registry()
+          ->GetCounter("gpml_diagnostics_emitted_total")
+          ->Increment(qa.diagnostics.size());
+    }
+    if (qa.diagnostics.has_errors()) {
+      return Status::SemanticError(qa.diagnostics.ToString());
+    }
+    if (qa.postfilter_rewritten) {
+      entry->normalized.where = qa.rewritten_postfilter;
+    }
+    entry->diagnostics = std::move(qa.diagnostics);
+    entry->always_empty = qa.always_empty;
+  }
   obs::Stopwatch plan_clock;
   GPML_ASSIGN_OR_RETURN(entry->plan,
                         PlanNormalized(entry->normalized, *entry->vars));
@@ -427,7 +455,8 @@ Result<std::string> Engine::Explain(const GraphPattern& pattern) const {
   exec.threads = ResolvedThreads();
   exec.cached = cache_hit;
   return planner::ExplainPlan(prepared->plan, *prepared->vars,
-                              /*stats=*/nullptr, &exec);
+                              /*stats=*/nullptr, &exec, /*actuals=*/nullptr,
+                              &prepared->diagnostics);
 }
 
 Result<std::string> Engine::ExplainAnalyze(const std::string& match_text,
@@ -465,7 +494,78 @@ Result<std::string> Engine::ExplainAnalyze(const GraphPattern& pattern,
   exec.total_ms = trace.TotalMs("query");
   exec.plan_ms = metrics.plan_ms;
   return planner::ExplainPlan(prepared.plan_->plan, *prepared.plan_->vars,
-                              /*stats=*/nullptr, &exec, &actuals);
+                              /*stats=*/nullptr, &exec, &actuals,
+                              &prepared.plan_->diagnostics);
+}
+
+// ---------------------------------------------------------------------------
+// Engine: lint
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// A pipeline error as one diagnostic: first message line (the snippet
+/// AttachSnippet appended is re-derivable from the span), with the byte
+/// offset recovered from the `offset=N` marker the parser and semantic
+/// passes embed.
+analysis::Diagnostic StatusToDiagnostic(const char* code, const Status& st) {
+  analysis::Diagnostic d;
+  d.code = code;
+  d.severity = analysis::Severity::kError;
+  std::string message = st.message();
+  size_t nl = message.find('\n');
+  if (nl != std::string::npos) message.resize(nl);
+  size_t offset = 0;
+  if (FindOffsetMarker(message, &offset)) {
+    d.span = SourceSpan{offset, offset + 1};
+  }
+  d.message = std::move(message);
+  return d;
+}
+
+}  // namespace
+
+analysis::DiagnosticList Engine::Lint(const std::string& match_text) const {
+  analysis::DiagnosticList diags = LintImpl(match_text);
+  // Every span stays inside the linted text: errors reported at end of
+  // input would otherwise point one byte past it ([size, size+1)).
+  for (analysis::Diagnostic& d : diags.mutable_items()) {
+    if (d.span.begin > match_text.size()) d.span.begin = match_text.size();
+    if (d.span.end > match_text.size()) d.span.end = match_text.size();
+  }
+  return diags;
+}
+
+analysis::DiagnosticList Engine::LintImpl(const std::string& match_text) const {
+  analysis::DiagnosticList diags;
+  Result<GraphPattern> pattern = ParseGraphPattern(match_text);
+  if (!pattern.ok()) {
+    diags.Add(StatusToDiagnostic(analysis::kCodeSyntax, pattern.status()));
+    return diags;
+  }
+  Result<GraphPattern> normalized = Normalize(*pattern);
+  if (!normalized.ok()) {
+    diags.Add(StatusToDiagnostic(analysis::kCodeSemantic,
+                                 normalized.status()));
+    return diags;
+  }
+  Result<Analysis> sem = Analyze(*normalized);
+  if (!sem.ok()) {
+    diags.Add(StatusToDiagnostic(analysis::kCodeSemantic, sem.status()));
+    return diags;
+  }
+  if (Status st = CheckTermination(*normalized, *sem); !st.ok()) {
+    diags.Add(StatusToDiagnostic(analysis::kCodeSemantic, st));
+    return diags;
+  }
+  analysis::QueryAnalysis qa =
+      analysis::AnalyzeQuery(*normalized, *sem, &graph_);
+  if (options_.publish_metrics && !qa.diagnostics.empty()) {
+    graph_.metrics_registry()
+        ->GetCounter("gpml_diagnostics_emitted_total")
+        ->Increment(qa.diagnostics.size());
+  }
+  return std::move(qa.diagnostics);
 }
 
 // ---------------------------------------------------------------------------
@@ -560,7 +660,14 @@ Result<MatchOutput> Engine::ExecutePlan(
   out.path_vars.assign(num_decls, -1);
   bool first = true;
   std::vector<ResultRow> rows;
-  for (size_t plan_pos = 0; plan_pos < num_decls; ++plan_pos) {
+  // Analyzer-proven empty pattern (docs/analysis.md): skip seeding, matching
+  // and joining entirely — the loop guard below keeps the tail of this
+  // function (reorder, filter, metrics publication, tracing) running over
+  // zero rows, so the execution still publishes its counters (0 seeds,
+  // 0 matcher steps, 0 rows) and a complete trace.
+  const bool always_empty = prepared.always_empty;
+  for (size_t plan_pos = 0; !always_empty && plan_pos < num_decls;
+       ++plan_pos) {
     const planner::DeclPlan& dp = plan.decls[plan_pos];
     const PathPatternDecl& decl = dp.decl;
     int decl_span = obs::Trace::kNoParent;
@@ -821,7 +928,8 @@ Result<std::string> PreparedQuery::Explain() const {
   exec.threads = engine.ResolvedThreads();
   exec.cached = cache_hit_;
   return planner::ExplainPlan(plan_->plan, *plan_->vars, /*stats=*/nullptr,
-                              &exec);
+                              &exec, /*actuals=*/nullptr,
+                              &plan_->diagnostics);
 }
 
 // ---------------------------------------------------------------------------
@@ -855,7 +963,11 @@ Cursor::Cursor(const PropertyGraph& graph, EngineOptions options,
   // seed order exactly like the full run's discovery order, and cross-chunk
   // duplicates cannot exist (distinct seeds; a reduced binding keeps its
   // start node) — so streamed rows are byte-identical to Execute.
-  if (p.decls.size() == 1 && p.decls[0].decl.selector.IsNone() &&
+  // Analyzer-proven empty plans stay in kBatch: FillBatch delegates to
+  // ExecutePlan, whose always-empty early exit publishes the 0-seed /
+  // 0-step execution without ever calling ComputeSeeds.
+  if (!plan_->always_empty && p.decls.size() == 1 &&
+      p.decls[0].decl.selector.IsNone() &&
       FixedPatternLength(*p.decls[0].decl.pattern).has_value()) {
     mode_ = Mode::kStream;
     const planner::DeclPlan& dp = p.decls[0];

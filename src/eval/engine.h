@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/analyzer.h"
 #include "ast/ast.h"
 #include "common/result.h"
 #include "eval/binding.h"
@@ -103,6 +104,16 @@ struct EngineOptions {
   /// back to label-scan seeding; rows are identical, only the seed list
   /// shrinks.
   bool use_seed_index = true;
+  /// Static query analysis at prepare time (docs/analysis.md): typed
+  /// diagnostics over the normalized pattern — type errors fail Prepare,
+  /// warnings ride on the compiled plan (EXPLAIN `warnings=`), provably
+  /// unsatisfiable patterns compile to the cached empty plan (execution
+  /// publishes 0 seeds / 0 steps), and always-true postfilter conjuncts
+  /// are dropped. Off reproduces the unanalyzed pipeline exactly — the
+  /// differential oracle for the analyzer (rows are identical either way;
+  /// only type-error queries that would fail at evaluation time prepare
+  /// successfully with it off).
+  bool use_analysis = true;
   /// What happens when an evaluation budget (MatcherOptions::max_steps /
   /// max_matches, EngineOptions::max_rows) trips. kError (the historical
   /// behavior) fails the call with kResourceExhausted and no rows. kTruncate
@@ -217,6 +228,22 @@ class PreparedQuery {
   /// True when Prepare served the compiled plan from the graph's plan
   /// cache instead of compiling fresh.
   bool from_cache() const { return cache_hit_; }
+
+  /// The static analyzer's findings for this query (warnings and notes —
+  /// errors failed Prepare). Empty when EngineOptions::use_analysis is off
+  /// or the query is clean. Carried through plan-cache hits.
+  const analysis::DiagnosticList& diagnostics() const {
+    return plan_->diagnostics;
+  }
+
+  /// True when the analyzer proved the pattern can never match: Execute and
+  /// Open return no rows without seeding or matching (docs/analysis.md).
+  bool always_empty() const { return plan_->always_empty; }
+
+  /// Wall-clock cost of the static analysis pass paid when this plan was
+  /// compiled (0 when use_analysis is off; a cache hit reports the cost
+  /// the original compile paid). Benchmarked by bench_query_api.
+  double analysis_ms() const { return plan_->analysis_ms; }
 
   /// Extends the bindable signature with parameters referenced by host
   /// statement positions outside the pattern (GQL RETURN items, SQL/PGQ
@@ -440,6 +467,15 @@ class Engine {
   Result<std::string> ExplainAnalyze(const GraphPattern& pattern,
                                      const Params& params = {}) const;
 
+  /// Runs the full diagnostic pipeline over query text without preparing a
+  /// plan and without failing: parse errors surface as a single GPML-E001
+  /// diagnostic, normalization/semantic/termination failures as GPML-E002
+  /// (both carrying the error's byte offset when available), and otherwise
+  /// the static analyzer's complete finding list — errors, warnings, and
+  /// notes (docs/analysis.md). Render caret snippets with
+  /// DiagnosticList::Render(match_text).
+  analysis::DiagnosticList Lint(const std::string& match_text) const;
+
   const PropertyGraph& graph() const { return graph_; }
   const EngineOptions& options() const { return options_; }
 
@@ -456,8 +492,15 @@ class Engine {
   struct Analyzed {
     GraphPattern normalized;
     std::shared_ptr<const VarTable> vars;
+    /// The semantic per-variable facts, kept for the static analyzer
+    /// (which needs VarInfo, not the interned VarTable).
+    Analysis analysis;
   };
   Result<Analyzed> AnalyzePattern(const GraphPattern& pattern) const;
+
+  /// Lint without the final span clamp (Lint bounds every span to the
+  /// linted text before returning).
+  analysis::DiagnosticList LintImpl(const std::string& match_text) const;
 
   Result<planner::Plan> PlanNormalized(const GraphPattern& normalized,
                                        const VarTable& vars) const;

@@ -41,7 +41,30 @@ void WalkExpr(const Expr& e, bool predicate_pos, InfoMap* out) {
             }
           }
           return;
-        default:  // Comparisons: operands may be any value type.
+        case BinaryOp::kLt:
+        case BinaryOp::kLe:
+        case BinaryOp::kGt:
+        case BinaryOp::kGe:
+          // An ordered comparison against a *literal* pins the parameter's
+          // comparability class: any other binding makes the predicate
+          // UNKNOWN on every row (CompareValues never crosses classes).
+          // Equality is not tightened — cross-type `=` is a legitimate
+          // always-UNKNOWN miss rather than a binding mistake, and property
+          // operands stay dynamically typed.
+          for (const ExprPtr* child : {&e.lhs, &e.rhs}) {
+            const ExprPtr& other = child == &e.lhs ? e.rhs : e.lhs;
+            if ((*child)->kind == Expr::Kind::kParam &&
+                other->kind == Expr::Kind::kLiteral) {
+              ParamInfo& info = (*out)[(*child)->var];
+              info.name = (*child)->var;
+              if (other->literal.is_numeric()) info.needs_numeric = true;
+              if (other->literal.is_string()) info.needs_string = true;
+            } else {
+              WalkExpr(**child, /*predicate_pos=*/false, out);
+            }
+          }
+          return;
+        default:  // kEq/kNeq: operands may be any value type.
           WalkExpr(*e.lhs, /*predicate_pos=*/false, out);
           WalkExpr(*e.rhs, /*predicate_pos=*/false, out);
           return;
@@ -133,6 +156,7 @@ void ParamSignature::Merge(const ParamSignature& other) {
     info.name = p.name;
     info.needs_bool = info.needs_bool || p.needs_bool;
     info.needs_numeric = info.needs_numeric || p.needs_numeric;
+    info.needs_string = info.needs_string || p.needs_string;
   }
   *this = FromMap(map);
 }
@@ -195,8 +219,14 @@ Status ValidateParams(const ParamSignature& sig, const Params& params) {
     }
     if (info.needs_numeric && !v.is_numeric()) {
       return Status::InvalidArgument(
-          "parameter $" + info.name + " is used in arithmetic and must be "
-          "numeric or NULL, got " + ValueTypeName(v.type()));
+          "parameter $" + info.name + " is used in arithmetic or a numeric "
+          "comparison and must be numeric or NULL, got " +
+          ValueTypeName(v.type()));
+    }
+    if (info.needs_string && !v.is_string()) {
+      return Status::InvalidArgument(
+          "parameter $" + info.name + " is ordered against a string and "
+          "must be STRING or NULL, got " + ValueTypeName(v.type()));
     }
   }
   return Status::OK();

@@ -19,13 +19,17 @@ using Params = std::map<std::string, Value>;
 
 /// One parameter of a prepared query, with the typing constraints
 /// inferable from its use sites. Parameters carry no declared types; the
-/// two constraints below are the ones whose violation would otherwise
-/// surface only as a SemanticError deep inside matching, so Bind-time
-/// validation reports them up front.
+/// constraints below are the ones whose violation would otherwise surface
+/// only as a SemanticError (or an every-row UNKNOWN) deep inside matching,
+/// so Bind-time validation reports them up front.
 struct ParamInfo {
   std::string name;
   bool needs_bool = false;     // Used directly as a predicate (WHERE $flag).
-  bool needs_numeric = false;  // Used as an arithmetic operand ($x + 1).
+  bool needs_numeric = false;  // Used as an arithmetic operand ($x + 1), or
+                               // ordered-compared with a numeric literal
+                               // ($x < 5).
+  bool needs_string = false;   // Ordered-compared with a string literal
+                               // ($x < 'abc').
 };
 
 /// The parameter signature a prepared query was compiled against: every

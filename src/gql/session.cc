@@ -63,6 +63,15 @@ Result<MatchOutput> Session::Match(const std::string& match_text) const {
   return engine.Match(match_text);
 }
 
+Result<analysis::DiagnosticList> Session::Lint(
+    const std::string& match_text) const {
+  if (graph_ == nullptr) {
+    return Status::InvalidArgument("no graph selected; call UseGraph first");
+  }
+  Engine engine(*graph_, options_);
+  return engine.Lint(match_text);
+}
+
 Result<std::string> Session::MetricsText() const {
   if (graph_ == nullptr) {
     return Status::InvalidArgument("no graph selected; call UseGraph first");

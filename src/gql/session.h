@@ -79,6 +79,13 @@ class Session {
   /// Runs just the MATCH part, exposing row-level results.
   Result<MatchOutput> Match(const std::string& match_text) const;
 
+  /// Static analysis of a MATCH pattern text without preparing or running
+  /// it: the engine's full diagnostic list — errors, warnings, and notes
+  /// (docs/analysis.md) — against the current graph's schema. Unlike
+  /// Prepare, Lint never fails on a bad query; parse and semantic errors
+  /// come back as diagnostics. Error only when no graph is selected.
+  Result<analysis::DiagnosticList> Lint(const std::string& match_text) const;
+
   /// The planner's EXPLAIN text for the MATCH part of `statement` (leading
   /// EXPLAIN [ANALYZE] keywords are accepted; ANALYZE executes the match
   /// with the given bindings and renders actuals).

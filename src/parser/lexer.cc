@@ -68,6 +68,7 @@ Result<std::vector<Token>> Tokenize(const std::string& input) {
     Token t;
     t.kind = kind;
     t.offset = offset;
+    t.length = len;
     t.text = input.substr(offset, len);
     tokens.push_back(std::move(t));
   };
@@ -91,14 +92,15 @@ Result<std::vector<Token>> Tokenize(const std::string& input) {
     if (c == '$') {
       ++i;
       if (i >= n || !IsIdentStart(input[i])) {
-        return Status::SyntaxError("expected parameter name after '$' at offset " +
-                                   std::to_string(start));
+        return Status::SyntaxError("expected parameter name after '$' (offset=" +
+                                   std::to_string(start) + ")");
       }
       size_t name_start = i;
       while (i < n && IsIdentChar(input[i])) ++i;
       Token t;
       t.kind = TokenKind::kParam;
       t.offset = start;
+      t.length = i - start;
       t.text = input.substr(name_start, i - name_start);
       tokens.push_back(std::move(t));
       continue;
@@ -128,6 +130,7 @@ Result<std::vector<Token>> Tokenize(const std::string& input) {
       }
       Token t;
       t.offset = start;
+      t.length = i - start;
       t.text = input.substr(start, i - start);
       if (is_double) {
         t.kind = TokenKind::kDouble;
@@ -162,12 +165,13 @@ Result<std::vector<Token>> Tokenize(const std::string& input) {
         ++i;
       }
       if (!closed) {
-        return Status::SyntaxError("unterminated string literal at offset " +
-                                   std::to_string(start));
+        return Status::SyntaxError("unterminated string literal (offset=" +
+                                   std::to_string(start) + ")");
       }
       Token t;
       t.kind = TokenKind::kString;
       t.offset = start;
+      t.length = i - start;
       t.string_value = std::move(value);
       tokens.push_back(std::move(t));
       continue;
@@ -222,7 +226,7 @@ Result<std::vector<Token>> Tokenize(const std::string& input) {
       case '~': kind = TokenKind::kTilde; break;
       default:
         return Status::SyntaxError(std::string("unexpected character '") + c +
-                                   "' at offset " + std::to_string(start));
+                                   "' (offset=" + std::to_string(start) + ")");
     }
     push(kind, start, 1);
     ++i;

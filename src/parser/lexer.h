@@ -53,6 +53,10 @@ struct Token {
   double double_value = 0.0;
   std::string string_value;
   size_t offset = 0;    // Byte offset in the input, for error messages.
+  size_t length = 0;    // Byte length of the source text the token spans.
+
+  /// One-past-the-end byte offset of the token in the input.
+  size_t end() const { return offset + length; }
 };
 
 /// Tokenizes a full GPML statement. Maximal-munch on operators; the parser

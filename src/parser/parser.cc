@@ -2,6 +2,7 @@
 
 #include <optional>
 
+#include "common/source.h"
 #include "common/strings.h"
 #include "parser/lexer.h"
 
@@ -51,7 +52,7 @@ class Parser {
     return true;
   }
   Status Err(const std::string& msg) const {
-    return Status::SyntaxError(msg + " (near offset " +
+    return Status::SyntaxError(msg + " (offset=" +
                                std::to_string(Cur().offset) + ", at '" +
                                (Cur().kind == TokenKind::kEnd
                                     ? "<end>"
@@ -61,13 +62,21 @@ class Parser {
                                "')");
   }
 
+  /// End offset of the most recently consumed token — the natural `end` for
+  /// a span that began at an earlier token's `offset`.
+  size_t PrevEnd() const { return pos_ > 0 ? tokens_[pos_ - 1].end() : 0; }
+  /// Span from `begin` to the end of the last consumed token.
+  SourceSpan SpanFrom(size_t begin) const { return {begin, PrevEnd()}; }
+
   /// In expression position `<-` means `<` followed by unary minus: splits
   /// the current kArrowLeft token into kLt (returned) and kMinus (kept).
   void SplitArrowLeft() {
     Token minus;
     minus.kind = TokenKind::kMinus;
     minus.offset = Cur().offset + 1;
+    minus.length = 1;
     tokens_[pos_].kind = TokenKind::kLt;
+    tokens_[pos_].length = 1;
     tokens_.insert(tokens_.begin() + static_cast<long>(pos_) + 1, minus);
   }
 
@@ -82,14 +91,16 @@ class Parser {
   Result<PathElement> ParseParenElement(TokenKind close);
   Result<NodePattern> ParseNodePattern();
   Result<EdgePattern> ParseEdgePattern();
+  Result<EdgePattern> ParseEdgePatternInner();
   Status ParseSpec(std::string* var, LabelExprPtr* labels, ExprPtr* where);
   Result<LabelExprPtr> ParseLabelExpr();
   Result<LabelExprPtr> ParseLabelAnd();
   Result<LabelExprPtr> ParseLabelUnary();
   bool AtQuantifier() const;
-  /// Returns min/max; for `?` sets is_question.
+  /// Returns min/max; for `?` sets is_question. `span` receives the byte
+  /// range of the quantifier itself ({m,n}, *, + or ?).
   Status ParseQuantifier(uint64_t* min, std::optional<uint64_t>* max,
-                         bool* is_question);
+                         bool* is_question, SourceSpan* span);
 
   Result<ExprPtr> ParseExpr();
   Result<ExprPtr> ParseOr();
@@ -347,15 +358,19 @@ Result<PathElement> Parser::ParseElement() {
     uint64_t min = 0;
     std::optional<uint64_t> max;
     bool question = false;
-    GPML_RETURN_IF_ERROR(ParseQuantifier(&min, &max, &question));
+    SourceSpan qspan;
+    GPML_RETURN_IF_ERROR(ParseQuantifier(&min, &max, &question, &qspan));
     PathPatternPtr sub =
         PathPattern::Concat({PathElement::Edge(std::move(e))});
     if (question) {
       return PathElement::Optional(std::move(sub), Restrictor::kNone, nullptr,
                                    /*bare_edge=*/true);
     }
-    return PathElement::Quantified(std::move(sub), min, max, Restrictor::kNone,
-                                   nullptr, /*bare_edge=*/true);
+    PathElement q = PathElement::Quantified(
+        std::move(sub), min, max, Restrictor::kNone, nullptr,
+        /*bare_edge=*/true);
+    q.quantifier_span = qspan;
+    return q;
   }
   return PathElement::Edge(std::move(e));
 }
@@ -372,26 +387,39 @@ Result<PathElement> Parser::ParseParenElement(TokenKind close) {
     uint64_t min = 0;
     std::optional<uint64_t> max;
     bool question = false;
-    GPML_RETURN_IF_ERROR(ParseQuantifier(&min, &max, &question));
+    SourceSpan qspan;
+    GPML_RETURN_IF_ERROR(ParseQuantifier(&min, &max, &question, &qspan));
     if (question) {
       return PathElement::Optional(std::move(sub), r, std::move(where),
                                    /*bare_edge=*/false);
     }
-    return PathElement::Quantified(std::move(sub), min, max, r,
-                                   std::move(where), /*bare_edge=*/false);
+    PathElement q = PathElement::Quantified(std::move(sub), min, max, r,
+                                            std::move(where),
+                                            /*bare_edge=*/false);
+    q.quantifier_span = qspan;
+    return q;
   }
   return PathElement::Paren(std::move(sub), r, std::move(where));
 }
 
 Result<NodePattern> Parser::ParseNodePattern() {
+  size_t begin = Cur().offset;
   GPML_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "node pattern"));
   NodePattern n;
   GPML_RETURN_IF_ERROR(ParseSpec(&n.var, &n.labels, &n.where));
   GPML_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "node pattern"));
+  n.span = SpanFrom(begin);
   return n;
 }
 
 Result<EdgePattern> Parser::ParseEdgePattern() {
+  size_t begin = Cur().offset;
+  GPML_ASSIGN_OR_RETURN(EdgePattern e, ParseEdgePatternInner());
+  e.span = SpanFrom(begin);
+  return e;
+}
+
+Result<EdgePattern> Parser::ParseEdgePatternInner() {
   EdgePattern e;
   // Abbreviated forms (single token, no spec).
   if (At(TokenKind::kArrowRight)) {
@@ -542,22 +570,26 @@ bool Parser::AtQuantifier() const {
 }
 
 Status Parser::ParseQuantifier(uint64_t* min, std::optional<uint64_t>* max,
-                               bool* is_question) {
+                               bool* is_question, SourceSpan* span) {
+  size_t begin = Cur().offset;
   *is_question = false;
   if (Eat(TokenKind::kStar)) {
     *min = 0;
     *max = std::nullopt;
+    *span = SpanFrom(begin);
     return Status::OK();
   }
   if (Eat(TokenKind::kPlus)) {
     *min = 1;
     *max = std::nullopt;
+    *span = SpanFrom(begin);
     return Status::OK();
   }
   if (Eat(TokenKind::kQuestion)) {
     *is_question = true;
     *min = 0;
     *max = 1;
+    *span = SpanFrom(begin);
     return Status::OK();
   }
   GPML_RETURN_IF_ERROR(Expect(TokenKind::kLBrace, "quantifier"));
@@ -575,8 +607,10 @@ Status Parser::ParseQuantifier(uint64_t* min, std::optional<uint64_t>* max,
     *max = *min;  // {m} — convenience extension, equivalent to {m,m}.
   }
   GPML_RETURN_IF_ERROR(Expect(TokenKind::kRBrace, "quantifier"));
+  *span = SpanFrom(begin);
   if (max->has_value() && **max < *min) {
-    return Status::SyntaxError("quantifier upper bound below lower bound");
+    return Status::SyntaxError("quantifier upper bound below lower bound"
+                               " (offset=" + std::to_string(begin) + ")");
   }
   return Status::OK();
 }
@@ -588,47 +622,58 @@ Status Parser::ParseQuantifier(uint64_t* min, std::optional<uint64_t>* max,
 Result<ExprPtr> Parser::ParseExpr() { return ParseOr(); }
 
 Result<ExprPtr> Parser::ParseOr() {
+  size_t begin = Cur().offset;
   GPML_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
   while (AtKeyword("OR")) {
     Advance();
     GPML_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
-    left = Expr::Binary(BinaryOp::kOr, std::move(left), std::move(right));
+    left = Expr::WithSpan(
+        Expr::Binary(BinaryOp::kOr, std::move(left), std::move(right)),
+        SpanFrom(begin));
   }
   return left;
 }
 
 Result<ExprPtr> Parser::ParseAnd() {
+  size_t begin = Cur().offset;
   GPML_ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
   while (AtKeyword("AND")) {
     Advance();
     GPML_ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
-    left = Expr::Binary(BinaryOp::kAnd, std::move(left), std::move(right));
+    left = Expr::WithSpan(
+        Expr::Binary(BinaryOp::kAnd, std::move(left), std::move(right)),
+        SpanFrom(begin));
   }
   return left;
 }
 
 Result<ExprPtr> Parser::ParseNot() {
+  size_t begin = Cur().offset;
   if (EatKeyword("NOT")) {
     GPML_ASSIGN_OR_RETURN(ExprPtr sub, ParseNot());
-    return Expr::Not(std::move(sub));
+    return Expr::WithSpan(Expr::Not(std::move(sub)), SpanFrom(begin));
   }
   return ParseComparison();
 }
 
 Result<ExprPtr> Parser::ParseComparison() {
+  size_t begin = Cur().offset;
   GPML_ASSIGN_OR_RETURN(ExprPtr left, ParseAdditive());
 
   // IS forms: IS [NOT] NULL, IS DIRECTED, IS SOURCE OF e, IS DESTINATION OF.
   if (AtKeyword("IS")) {
     Advance();
     bool negated = EatKeyword("NOT");
-    if (EatKeyword("NULL")) return Expr::IsNull(std::move(left), negated);
+    if (EatKeyword("NULL")) {
+      return Expr::WithSpan(Expr::IsNull(std::move(left), negated),
+                            SpanFrom(begin));
+    }
     if (negated) return Err("expected NULL after IS NOT");
     if (EatKeyword("DIRECTED")) {
       if (left->kind != Expr::Kind::kVarRef) {
         return Err("IS DIRECTED applies to a variable");
       }
-      return Expr::IsDirected(left->var);
+      return Expr::WithSpan(Expr::IsDirected(left->var), SpanFrom(begin));
     }
     bool source = false;
     if (EatKeyword("SOURCE")) {
@@ -643,8 +688,9 @@ Result<ExprPtr> Parser::ParseComparison() {
     if (left->kind != Expr::Kind::kVarRef) {
       return Err("IS SOURCE/DESTINATION OF applies to a variable");
     }
-    return source ? Expr::IsSourceOf(left->var, edge_var)
-                  : Expr::IsDestinationOf(left->var, edge_var);
+    return Expr::WithSpan(source ? Expr::IsSourceOf(left->var, edge_var)
+                                 : Expr::IsDestinationOf(left->var, edge_var),
+                          SpanFrom(begin));
   }
 
   BinaryOp op;
@@ -660,61 +706,70 @@ Result<ExprPtr> Parser::ParseComparison() {
   }
   Advance();
   GPML_ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
-  return Expr::Binary(op, std::move(left), std::move(right));
+  return Expr::WithSpan(Expr::Binary(op, std::move(left), std::move(right)),
+                        SpanFrom(begin));
 }
 
 Result<ExprPtr> Parser::ParseAdditive() {
+  size_t begin = Cur().offset;
   GPML_ASSIGN_OR_RETURN(ExprPtr left, ParseMultiplicative());
   while (At(TokenKind::kPlus) || At(TokenKind::kMinus)) {
     BinaryOp op = At(TokenKind::kPlus) ? BinaryOp::kAdd : BinaryOp::kSub;
     Advance();
     GPML_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
-    left = Expr::Binary(op, std::move(left), std::move(right));
+    left = Expr::WithSpan(
+        Expr::Binary(op, std::move(left), std::move(right)), SpanFrom(begin));
   }
   return left;
 }
 
 Result<ExprPtr> Parser::ParseMultiplicative() {
+  size_t begin = Cur().offset;
   GPML_ASSIGN_OR_RETURN(ExprPtr left, ParseUnary());
   while (At(TokenKind::kStar) || At(TokenKind::kSlash)) {
     BinaryOp op = At(TokenKind::kStar) ? BinaryOp::kMul : BinaryOp::kDiv;
     Advance();
     GPML_ASSIGN_OR_RETURN(ExprPtr right, ParseUnary());
-    left = Expr::Binary(op, std::move(left), std::move(right));
+    left = Expr::WithSpan(
+        Expr::Binary(op, std::move(left), std::move(right)), SpanFrom(begin));
   }
   return left;
 }
 
 Result<ExprPtr> Parser::ParseUnary() {
+  size_t begin = Cur().offset;
   if (Eat(TokenKind::kMinus)) {
     GPML_ASSIGN_OR_RETURN(ExprPtr sub, ParseUnary());
-    return Expr::Binary(BinaryOp::kSub, Expr::Lit(Value::Int(0)),
-                        std::move(sub));
+    return Expr::WithSpan(Expr::Binary(BinaryOp::kSub,
+                                       Expr::Lit(Value::Int(0)),
+                                       std::move(sub)),
+                          SpanFrom(begin));
   }
   return ParsePrimary();
 }
 
 Result<ExprPtr> Parser::ParsePrimary() {
+  size_t begin = Cur().offset;
   switch (Cur().kind) {
     case TokenKind::kInt: {
       ExprPtr e = Expr::Lit(Value::Int(Cur().int_value));
       Advance();
-      return e;
+      return Expr::WithSpan(std::move(e), SpanFrom(begin));
     }
     case TokenKind::kDouble: {
       ExprPtr e = Expr::Lit(Value::Double(Cur().double_value));
       Advance();
-      return e;
+      return Expr::WithSpan(std::move(e), SpanFrom(begin));
     }
     case TokenKind::kString: {
       ExprPtr e = Expr::Lit(Value::String(Cur().string_value));
       Advance();
-      return e;
+      return Expr::WithSpan(std::move(e), SpanFrom(begin));
     }
     case TokenKind::kParam: {
       ExprPtr e = Expr::Param(Cur().text);
       Advance();
-      return e;
+      return Expr::WithSpan(std::move(e), SpanFrom(begin));
     }
     case TokenKind::kLParen: {
       Advance();
@@ -723,22 +778,33 @@ Result<ExprPtr> Parser::ParsePrimary() {
       return sub;
     }
     case TokenKind::kIdent: {
-      if (EatKeyword("TRUE")) return Expr::Lit(Value::Bool(true));
-      if (EatKeyword("FALSE")) return Expr::Lit(Value::Bool(false));
-      if (EatKeyword("NULL")) return Expr::Lit(Value::Null());
+      if (EatKeyword("TRUE")) {
+        return Expr::WithSpan(Expr::Lit(Value::Bool(true)), SpanFrom(begin));
+      }
+      if (EatKeyword("FALSE")) {
+        return Expr::WithSpan(Expr::Lit(Value::Bool(false)), SpanFrom(begin));
+      }
+      if (EatKeyword("NULL")) {
+        return Expr::WithSpan(Expr::Lit(Value::Null()), SpanFrom(begin));
+      }
       std::string name = Cur().text;
       Advance();
-      if (At(TokenKind::kLParen)) return ParseCall(name);
+      if (At(TokenKind::kLParen)) {
+        GPML_ASSIGN_OR_RETURN(ExprPtr call, ParseCall(name));
+        return Expr::WithSpan(std::move(call), SpanFrom(begin));
+      }
       if (Eat(TokenKind::kDot)) {
-        if (Eat(TokenKind::kStar)) return Expr::Prop(name, "*");
+        if (Eat(TokenKind::kStar)) {
+          return Expr::WithSpan(Expr::Prop(name, "*"), SpanFrom(begin));
+        }
         if (Cur().kind != TokenKind::kIdent) {
           return Err("expected property name after '.'");
         }
         std::string prop = Cur().text;
         Advance();
-        return Expr::Prop(name, prop);
+        return Expr::WithSpan(Expr::Prop(name, prop), SpanFrom(begin));
       }
-      return Expr::Var(name);
+      return Expr::WithSpan(Expr::Var(name), SpanFrom(begin));
     }
     default:
       return Err("expected expression");
@@ -833,28 +899,44 @@ Result<std::vector<ReturnItem>> Parser::ParseReturnItems() {
 // Public API
 // ---------------------------------------------------------------------------
 
+namespace {
+
+// Errors carry "offset=N"; the parser only sees tokens, so the caret
+// snippet for that offset is attached here, where the text is in hand.
+template <typename T>
+Result<T> WithSnippet(Result<T> r, const std::string& text) {
+  if (r.ok()) return r;
+  return AttachSnippet(r.status(), text);
+}
+
+}  // namespace
+
 Result<MatchStatement> ParseStatement(const std::string& text) {
-  GPML_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
-  Parser p(std::move(tokens));
-  return p.ParseStatementAll();
+  Result<std::vector<Token>> tokens = Tokenize(text);
+  if (!tokens.ok()) return AttachSnippet(tokens.status(), text);
+  Parser p(std::move(tokens).value());
+  return WithSnippet(p.ParseStatementAll(), text);
 }
 
 Result<GraphPattern> ParseGraphPattern(const std::string& text) {
-  GPML_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
-  Parser p(std::move(tokens));
-  return p.ParseGraphPatternAll();
+  Result<std::vector<Token>> tokens = Tokenize(text);
+  if (!tokens.ok()) return AttachSnippet(tokens.status(), text);
+  Parser p(std::move(tokens).value());
+  return WithSnippet(p.ParseGraphPatternAll(), text);
 }
 
 Result<ExprPtr> ParseExpression(const std::string& text) {
-  GPML_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
-  Parser p(std::move(tokens));
-  return p.ParseExpressionAll();
+  Result<std::vector<Token>> tokens = Tokenize(text);
+  if (!tokens.ok()) return AttachSnippet(tokens.status(), text);
+  Parser p(std::move(tokens).value());
+  return WithSnippet(p.ParseExpressionAll(), text);
 }
 
 Result<std::vector<ReturnItem>> ParseColumns(const std::string& text) {
-  GPML_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
-  Parser p(std::move(tokens));
-  return p.ParseColumnsAll();
+  Result<std::vector<Token>> tokens = Tokenize(text);
+  if (!tokens.ok()) return AttachSnippet(tokens.status(), text);
+  Parser p(std::move(tokens).value());
+  return WithSnippet(p.ParseColumnsAll(), text);
 }
 
 }  // namespace gpml

@@ -58,6 +58,21 @@ Result<std::string> GraphTableMetricsText(const Catalog& catalog,
   return obs::RenderPrometheus(*g->metrics_registry());
 }
 
+Result<analysis::DiagnosticList> GraphTableLint(const Catalog& catalog,
+                                                const GraphTableQuery& query,
+                                                EngineOptions options) {
+  GPML_ASSIGN_OR_RETURN(std::shared_ptr<const PropertyGraph> graph,
+                        catalog.GetGraph(query.graph));
+  Engine engine(*graph, options);
+  // Lint sees the text exactly as Prepare would: a leading EXPLAIN
+  // [ANALYZE] is stripped, not diagnosed as a parse error.
+  std::string text = query.match;
+  std::string rest;
+  if (planner::StripExplainPrefix(text, &rest)) text = rest;
+  if (planner::StripAnalyzePrefix(text, &rest)) text = rest;
+  return engine.Lint(text);
+}
+
 Result<std::vector<obs::SlowQueryRecord>> GraphTableSlowQueries(
     const Catalog& catalog, const std::string& graph,
     const obs::SlowQueryLog* log) {

@@ -65,6 +65,17 @@ Result<GraphTableQuery> ParseGraphTableCall(const std::string& sql);
 Result<std::string> GraphTableMetricsText(const Catalog& catalog,
                                           const std::string& graph);
 
+/// Static analysis of a GRAPH_TABLE call without executing it: the query's
+/// MATCH text is linted against the named catalog graph's schema and the
+/// engine's full diagnostic list — errors, warnings, and notes
+/// (docs/analysis.md) — is returned. The SQL host's counterpart of
+/// gql::Session::Lint: a bad match text never fails the call, it comes
+/// back as GPML-E001/E002 diagnostics. Error only when the graph is
+/// unknown.
+Result<analysis::DiagnosticList> GraphTableLint(const Catalog& catalog,
+                                               const GraphTableQuery& query,
+                                               EngineOptions options = {});
+
 /// The slow-query captures belonging to the catalog graph, oldest first.
 /// `log` selects the slow log the executions wrote to
 /// (EngineOptions::slow_log); null reads the process-wide

@@ -41,8 +41,9 @@ std::string TokenValue(const std::string& line, const std::string& key) {
   size_t pos = line.find(" " + key);
   if (pos == std::string::npos) return "";
   pos += key.size() + 1;
-  // `selector=` extends to end of line (its value may contain spaces).
-  if (key == "selector=") return line.substr(pos);
+  // `selector=` and `message=` extend to end of line (their values may
+  // contain spaces; they are always the final token of their lines).
+  if (key == "selector=" || key == "message=") return line.substr(pos);
   size_t end = line.find(' ', pos);
   if (end == std::string::npos) end = line.size();
   return line.substr(pos, end - pos);
@@ -97,7 +98,8 @@ std::string UnescapeExplainValue(const std::string& value) {
 
 std::string ExplainPlan(const Plan& plan, const VarTable& vars,
                         const GraphStats* stats, const ExplainExec* exec,
-                        const std::vector<DeclActual>* actuals) {
+                        const std::vector<DeclActual>* actuals,
+                        const analysis::DiagnosticList* warnings) {
   std::ostringstream os;
   os << "plan: " << plan.decls.size() << " declaration(s), planner="
      << (plan.planner_used ? "on" : "off") << "\n";
@@ -113,6 +115,20 @@ std::string ExplainPlan(const Plan& plan, const VarTable& vars,
       if (exec->plan_ms >= 0) os << " plan_ms=" << FormatMs(exec->plan_ms);
     }
     os << "\n";
+  }
+  if (warnings != nullptr && !warnings->empty()) {
+    os << "warnings: " << warnings->size() << "\n";
+    size_t n = 0;
+    for (const analysis::Diagnostic& d : *warnings) {
+      // `message=` is the final token and extends to end of line, so its
+      // escaping keeps spaces literal; `hint=` is space-delimited.
+      os << "warning " << ++n << ": code=" << d.code
+         << " severity=" << analysis::SeverityName(d.severity)
+         << " begin=" << d.span.begin << " end=" << d.span.end
+         << " hint=" << EscapeExplainValue(d.hint)
+         << " message=" << EscapeExplainValue(d.message, /*keep_spaces=*/true)
+         << "\n";
+    }
   }
   for (size_t i = 0; i < plan.decls.size(); ++i) {
     const DeclPlan& dp = plan.decls[i];
@@ -169,6 +185,7 @@ Result<ExplainedPlan> ParseExplain(const std::string& text) {
   std::string line;
   bool saw_header = false;
   size_t declared = 0;
+  size_t declared_warnings = 0;
   while (std::getline(is, line)) {
     if (line.rfind("plan: ", 0) == 0) {
       saw_header = true;
@@ -177,6 +194,22 @@ Result<ExplainedPlan> ParseExplain(const std::string& text) {
       continue;
     }
     if (line.rfind("-- graph stats --", 0) == 0) break;
+    if (line.rfind("warnings: ", 0) == 0) {
+      declared_warnings = static_cast<size_t>(std::atoi(line.c_str() + 10));
+      continue;
+    }
+    if (line.rfind("warning ", 0) == 0) {
+      ExplainedWarning w;
+      w.code = TokenValue(line, "code=");
+      w.severity = TokenValue(line, "severity=");
+      w.begin = static_cast<size_t>(
+          std::atol(TokenValue(line, "begin=").c_str()));
+      w.end = static_cast<size_t>(std::atol(TokenValue(line, "end=").c_str()));
+      w.hint = UnescapeExplainValue(TokenValue(line, "hint="));
+      w.message = UnescapeExplainValue(TokenValue(line, "message="));
+      out.warnings.push_back(std::move(w));
+      continue;
+    }
     if (line.rfind("exec: ", 0) == 0) {
       out.has_exec = true;
       out.threads = static_cast<size_t>(
@@ -245,6 +278,12 @@ Result<ExplainedPlan> ParseExplain(const std::string& text) {
                                    " declaration(s) but " +
                                    std::to_string(out.decls.size()) +
                                    " step line(s) found");
+  }
+  if (out.warnings.size() != declared_warnings) {
+    return Status::InvalidArgument(
+        "EXPLAIN warnings header declares " +
+        std::to_string(declared_warnings) + " warning(s) but " +
+        std::to_string(out.warnings.size()) + " warning line(s) found");
   }
   return out;
 }

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/diagnostic.h"
 #include "catalog/table.h"
 #include "common/result.h"
 #include "planner/planner.h"
@@ -60,10 +61,21 @@ struct DeclActual {
 /// `actuals`, when non-null (EXPLAIN ANALYZE), appends measured
 /// `actual_seeds/actual_steps/actual_rows/actual_ms/actual_source` tokens
 /// to each step line, where actual_source is `index`, `bound` or `scan`.
+/// `warnings`, when non-null and non-empty, renders the static analyzer's
+/// findings (docs/analysis.md) between the exec line and the steps:
+///
+///   warnings: 2
+///   warning 1: code=GPML-W101 severity=warning begin=24 end=41
+///       hint=<escaped> message=<escaped, extends to end of line>
+///
+/// (each warning is a single line). Message and hint text are escaped with
+/// EscapeExplainValue — message with keep_spaces, as the final token — so
+/// ParseExplain recovers them byte-exactly.
 std::string ExplainPlan(const Plan& plan, const VarTable& vars,
                         const GraphStats* stats = nullptr,
                         const ExplainExec* exec = nullptr,
-                        const std::vector<DeclActual>* actuals = nullptr);
+                        const std::vector<DeclActual>* actuals = nullptr,
+                        const analysis::DiagnosticList* warnings = nullptr);
 
 /// Escapes a free-form value for embedding as a space-delimited `key=value`
 /// token of an EXPLAIN line: backslash, newline, carriage return, space and
@@ -94,6 +106,17 @@ struct ExplainedDecl {
   std::string actual_source;  // "index", "bound", "scan"; "" when absent.
 };
 
+/// A warning line of an EXPLAIN rendering, decoded. Mirrors
+/// analysis::Diagnostic with the severity as its rendered name.
+struct ExplainedWarning {
+  std::string code;      // e.g. "GPML-W101".
+  std::string severity;  // "error" / "warning" / "note".
+  size_t begin = 0;      // Source byte range; begin==end when unknown.
+  size_t end = 0;
+  std::string message;   // Unescaped.
+  std::string hint;      // Unescaped; empty when the line carried none.
+};
+
 struct ExplainedPlan {
   bool planner_on = false;
   bool has_exec = false;   // An `exec:` line was present.
@@ -105,6 +128,7 @@ struct ExplainedPlan {
   double total_ms = -1;    // `ms=` on the exec line; -1 when absent.
   double plan_ms = -1;     // `plan_ms=` on the exec line; -1 when absent.
   std::vector<ExplainedDecl> decls;
+  std::vector<ExplainedWarning> warnings;  // From the `warnings:` section.
 };
 
 /// Parses ExplainPlan output back into its decisions (roundtrip tests,

@@ -6,13 +6,14 @@ namespace gpml {
 namespace planner {
 
 std::string PlanFingerprint(const GraphPattern& pattern, bool use_planner,
-                            bool use_seed_index) {
+                            bool use_seed_index, bool use_analysis) {
   // Print covers mode, every declaration (selector, restrictor, path var,
   // pattern) and the postfilter WHERE; parse(Print(x)) == x structurally, so
   // the rendering is injective on parseable patterns.
   std::string fp = Print(pattern);
   fp += use_planner ? "|planner=on" : "|planner=off";
   if (!use_seed_index) fp += "|seed_index=off";
+  if (!use_analysis) fp += "|analysis=off";
   return fp;
 }
 

@@ -5,6 +5,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "analysis/diagnostic.h"
 #include "ast/ast.h"
 #include "eval/binding.h"
 #include "eval/nfa.h"
@@ -46,6 +47,19 @@ struct CachedPlan {
   double analyze_ms = 0;
   double plan_ms = 0;
   double compile_ms = 0;
+  /// Wall-clock cost of the static analyzer pass alone (a slice of the
+  /// prepare pipeline measured separately so bench_query_api can report
+  /// prepare-time analysis overhead).
+  double analysis_ms = 0;
+  /// Static-analyzer findings recorded at compile time (warnings and notes;
+  /// errors fail Prepare and are never cached). Carried through cache hits
+  /// so EXPLAIN's `warnings=` section and PreparedQuery::diagnostics() see
+  /// them without re-analyzing.
+  analysis::DiagnosticList diagnostics;
+  /// The analyzer proved no binding can exist (an unsatisfiable mandatory
+  /// site): execution skips seeding and matching entirely and publishes
+  /// metrics with 0 seeds and 0 steps — the cached empty plan.
+  bool always_empty = false;
 };
 
 /// An immutable snapshot map of fingerprint -> CachedPlan, stored on the
@@ -65,12 +79,15 @@ inline constexpr size_t kPlanCacheMaxEntries = 128;
 
 /// Deterministic fingerprint of (pattern, planning mode): the pattern's
 /// surface-syntax rendering — Print roundtrips with the parser, so distinct
-/// patterns render distinctly — plus the planner and seed-index flags,
-/// which select between PlanPattern/DirectPlan outputs and index-backed vs
-/// label-scan seeding decisions. The graph half of the cache key is the
-/// identity token carried by the cache snapshot itself.
+/// patterns render distinctly — plus the planner, seed-index, and static-
+/// analysis flags, which select between PlanPattern/DirectPlan outputs,
+/// index-backed vs label-scan seeding, and analyzed vs raw compilation
+/// (analysis may rewrite the postfilter and mark the plan always-empty, so
+/// the two modes must not share entries). The graph half of the cache key
+/// is the identity token carried by the cache snapshot itself.
 std::string PlanFingerprint(const GraphPattern& pattern, bool use_planner,
-                            bool use_seed_index = true);
+                            bool use_seed_index = true,
+                            bool use_analysis = true);
 
 /// The cached entry of `g` for `fingerprint`, or nullptr on a miss (also
 /// when the stored snapshot belongs to a different graph identity). When

@@ -1,7 +1,9 @@
 #include "semantics/analyze.h"
 
 #include <optional>
+#include <string>
 
+#include "common/source.h"
 #include "semantics/normalize.h"
 
 namespace gpml {
@@ -16,7 +18,15 @@ struct DeclSite {
   std::vector<std::pair<int, int>> branch; // (union id, alternative index)*.
   int depth = 0;                           // Enclosing quantifier count.
   bool in_optional = false;                // Under a `?` somewhere.
+  SourceSpan span;                         // Pattern bytes of the site.
 };
+
+/// " (offset=N)" when the span is known, "" for programmatic patterns.
+/// The marker format matches the parser's, so the same snippet-attachment
+/// helper decorates semantic errors at the API boundary.
+std::string AtSpan(const SourceSpan& s) {
+  return s.valid() ? " (offset=" + std::to_string(s.begin) + ")" : "";
+}
 
 /// A predicate (or projection) site with the quantifier depth of its
 /// evaluation context.
@@ -89,7 +99,8 @@ class AnalyzerImpl {
     return Status::OK();
   }
 
-  Status Declare(const std::string& name, VarInfo::Kind kind, ExprPtr where) {
+  Status Declare(const std::string& name, VarInfo::Kind kind, ExprPtr where,
+                 const SourceSpan& span) {
     auto it = collected_.find(name);
     if (it == collected_.end()) {
       Collected c;
@@ -98,19 +109,21 @@ class AnalyzerImpl {
       it = collected_.find(name);
     } else if (it->second.kind != kind) {
       return Status::SemanticError(
-          "variable " + name + " used with conflicting element kinds");
+          "variable " + name + " used with conflicting element kinds" +
+          AtSpan(span));
     }
     DeclSite site;
     site.decl_index = decl_index_;
     site.branch = branch_;
     site.depth = depth_;
     site.in_optional = optional_depth_ > 0;
+    site.span = span;
     it->second.sites.push_back(std::move(site));
     if (where != nullptr) {
       if (where->ContainsAggregate()) {
         return Status::SemanticError(
             "aggregate not allowed in an inline node/edge predicate (on " +
-            name + ")");
+            name + ")" + AtSpan(where->span));
       }
       exprs_.push_back({std::move(where), depth_, /*inline_element=*/true});
     }
@@ -150,9 +163,11 @@ class AnalyzerImpl {
   Status CollectElement(const PathElement& e, bool certain) {
     switch (e.kind) {
       case PathElement::Kind::kNode:
-        return Declare(e.node.var, VarInfo::Kind::kNode, e.node.where);
+        return Declare(e.node.var, VarInfo::Kind::kNode, e.node.where,
+                       e.node.span);
       case PathElement::Kind::kEdge:
-        return Declare(e.edge.var, VarInfo::Kind::kEdge, e.edge.where);
+        return Declare(e.edge.var, VarInfo::Kind::kEdge, e.edge.where,
+                       e.edge.span);
       case PathElement::Kind::kParen: {
         if (e.where != nullptr) {
           exprs_.push_back({e.where, depth_, /*inline_element=*/false});
@@ -197,7 +212,8 @@ class AnalyzerImpl {
           if (s.depth != depth) {
             return Status::SemanticError(
                 "variable " + name +
-                " declared both inside and outside a quantifier");
+                " declared both inside and outside a quantifier" +
+                AtSpan(s.span));
           }
         }
         info.depth = depth;
@@ -211,7 +227,7 @@ class AnalyzerImpl {
               if (CanCoBind(c.sites[i], c.sites[j])) {
                 return Status::SemanticError(
                     "illegal implicit equi-join on conditional singleton " +
-                    name);
+                    name + AtSpan(c.sites[j].span));
               }
             }
           }
@@ -280,52 +296,58 @@ class AnalyzerImpl {
     switch (e.kind) {
       case Expr::Kind::kVarRef:
       case Expr::Kind::kPropertyAccess: {
-        GPML_RETURN_IF_ERROR(RequireDeclared(e.var));
+        GPML_RETURN_IF_ERROR(RequireDeclared(e.var, e.span));
         const VarInfo& v = analysis_.vars_.at(e.var);
         if (v.kind != VarInfo::Kind::kPath && v.depth > site.depth &&
             !in_agg) {
           return Status::SemanticError(
               "group variable " + e.var +
-              " referenced across its quantifier without aggregation");
+              " referenced across its quantifier without aggregation" +
+              AtSpan(e.span));
         }
         return Status::OK();
       }
       case Expr::Kind::kPathLength: {
-        GPML_RETURN_IF_ERROR(RequireDeclared(e.var));
+        GPML_RETURN_IF_ERROR(RequireDeclared(e.var, e.span));
         if (analysis_.vars_.at(e.var).kind != VarInfo::Kind::kPath) {
-          return Status::SemanticError("PATH_LENGTH expects a path variable");
+          return Status::SemanticError("PATH_LENGTH expects a path variable" +
+                                       AtSpan(e.span));
         }
         return Status::OK();
       }
       case Expr::Kind::kIsDirected: {
-        return RequireElement(e.var, VarInfo::Kind::kEdge, "IS DIRECTED");
+        return RequireElement(e.var, VarInfo::Kind::kEdge, "IS DIRECTED",
+                              e.span);
       }
       case Expr::Kind::kIsSourceOf:
       case Expr::Kind::kIsDestinationOf: {
-        GPML_RETURN_IF_ERROR(
-            RequireElement(e.var, VarInfo::Kind::kNode, "IS SOURCE OF"));
-        return RequireElement(e.var2, VarInfo::Kind::kEdge, "IS SOURCE OF");
+        GPML_RETURN_IF_ERROR(RequireElement(e.var, VarInfo::Kind::kNode,
+                                            "IS SOURCE OF", e.span));
+        return RequireElement(e.var2, VarInfo::Kind::kEdge, "IS SOURCE OF",
+                              e.span);
       }
       case Expr::Kind::kSame:
       case Expr::Kind::kAllDifferent: {
         const char* what =
             e.kind == Expr::Kind::kSame ? "SAME" : "ALL_DIFFERENT";
         for (const std::string& v : e.vars) {
-          GPML_RETURN_IF_ERROR(RequireDeclared(v));
+          GPML_RETURN_IF_ERROR(RequireDeclared(v, e.span));
           const VarInfo& info = analysis_.vars_.at(v);
           if (info.kind == VarInfo::Kind::kPath) {
             return Status::SemanticError(std::string(what) +
-                                         " expects element variables");
+                                         " expects element variables" +
+                                         AtSpan(e.span));
           }
           // §4.7: arguments must be unconditional singletons.
           if (info.conditional) {
             return Status::SemanticError(
                 std::string(what) + " argument " + v +
-                " is a conditional singleton");
+                " is a conditional singleton" + AtSpan(e.span));
           }
           if (info.depth > site.depth) {
             return Status::SemanticError(std::string(what) + " argument " +
-                                         v + " is a group variable");
+                                         v + " is a group variable" +
+                                         AtSpan(e.span));
           }
         }
         return Status::OK();
@@ -333,7 +355,8 @@ class AnalyzerImpl {
       case Expr::Kind::kAggregate:
         if (site.inline_element) {
           return Status::SemanticError(
-              "aggregate not allowed in inline element predicate");
+              "aggregate not allowed in inline element predicate" +
+              AtSpan(e.span));
         }
         return CheckExpr(*e.arg, site, /*in_agg=*/true);
       case Expr::Kind::kBinary:
@@ -349,19 +372,21 @@ class AnalyzerImpl {
     return Status::Internal("unknown expression kind");
   }
 
-  Status RequireDeclared(const std::string& var) {
+  Status RequireDeclared(const std::string& var, const SourceSpan& span) {
     if (analysis_.vars_.count(var) == 0) {
-      return Status::SemanticError("undeclared variable " + var);
+      return Status::SemanticError("undeclared variable " + var +
+                                   AtSpan(span));
     }
     return Status::OK();
   }
 
   Status RequireElement(const std::string& var, VarInfo::Kind kind,
-                        const char* what) {
-    GPML_RETURN_IF_ERROR(RequireDeclared(var));
+                        const char* what, const SourceSpan& span) {
+    GPML_RETURN_IF_ERROR(RequireDeclared(var, span));
     if (analysis_.vars_.at(var).kind != kind) {
       return Status::SemanticError(std::string(what) +
-                                   ": wrong element kind for " + var);
+                                   ": wrong element kind for " + var +
+                                   AtSpan(span));
     }
     return Status::OK();
   }
