@@ -11,7 +11,9 @@
 //     wall time — both sides do the same logical work, the CSR side just
 //     never visits the records the label filter would reject.
 //  2. Byte-identity (always enforced): identical rows in identical order
-//     across {csr on/off} x {threads 1, 8} x {planner on/off}.
+//     across {csr on/off} x {threads 1, 8} within each planner setting,
+//     and an identical row multiset across planner on/off (a mirrored or
+//     reordered plan may emit the same matches in a different order).
 //  3. Index-backed seeding (always enforced): on the equality-predicate
 //     workload, (label, prop) = value index seeding strictly reduces
 //     seeded starts vs label-scan seeding, rows stay identical, and
@@ -237,11 +239,16 @@ int RunBench() {
   }
 
   // --- 2. byte-identity matrix --------------------------------------------
+  // Within each planner setting every {csr, threads} combination must be
+  // byte-identical (same rows, same order); across planner on/off the row
+  // multiset must be identical — a mirrored or reordered plan may emit the
+  // same matches in a different order (the planner's contract since the
+  // PR 1 differential tests).
   {
     PropertyGraph g = MakeMatrixGraph();
     for (const Workload& w : kMatrixWorkloads) {
-      std::vector<std::string> baseline;
-      bool have_baseline = false;
+      std::vector<std::string> baseline[2];
+      bool have_baseline[2] = {false, false};
       for (bool csr : {true, false}) {
         for (size_t threads : {size_t{1}, size_t{8}}) {
           for (bool planner : {true, false}) {
@@ -253,25 +260,36 @@ int RunBench() {
             base.matcher.min_seeds_per_shard = 1;
             Measurement m = Measure(g, w.query, base, &ok, /*reps=*/1);
             if (!ok) break;
-            if (!have_baseline) {
-              baseline = m.rows;
-              have_baseline = true;
-            } else if (m.rows != baseline) {
+            if (!have_baseline[planner]) {
+              baseline[planner] = m.rows;
+              have_baseline[planner] = true;
+            } else if (m.rows != baseline[planner]) {
               std::fprintf(stderr,
                            "FAIL %s: rows differ at csr=%d threads=%zu "
                            "planner=%d (%zu vs %zu rows)\n",
                            w.name, csr ? 1 : 0, threads, planner ? 1 : 0,
-                           m.rows.size(), baseline.size());
+                           m.rows.size(), baseline[planner].size());
               ok = false;
             }
           }
         }
       }
-      if (have_baseline) {
+      if (have_baseline[0] && have_baseline[1]) {
+        std::vector<std::string> on = baseline[1];
+        std::vector<std::string> off = baseline[0];
+        std::sort(on.begin(), on.end());
+        std::sort(off.begin(), off.end());
+        if (on != off) {
+          std::fprintf(stderr,
+                       "FAIL %s: planner changed the row multiset "
+                       "(%zu vs %zu rows)\n",
+                       w.name, on.size(), off.size());
+          ok = false;
+        }
         std::printf(
             "byte-identity %-28s: %4zu rows identical over "
-            "{csr on/off} x {threads 1,8} x {planner on/off}\n",
-            w.name, baseline.size());
+            "{csr on/off} x {threads 1,8}, multiset-stable over planner\n",
+            w.name, baseline[0].size());
       }
     }
   }

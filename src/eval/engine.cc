@@ -334,6 +334,10 @@ Result<planner::Plan> Engine::PlanNormalized(const GraphPattern& normalized,
       planner::GetStats(graph_);
   planner::PlannerConfig config;
   config.use_seed_index = options_.use_seed_index;
+  // Exact per-(label, key, value) counts for equality selectivities
+  // (docs/planner.md): the planner reads the graph's property seed index
+  // instead of the System-R constant whenever an estimate hint resolves.
+  config.histograms = &graph_;
   return planner::PlanPattern(normalized, vars, *stats, config);
 }
 
@@ -401,7 +405,9 @@ Result<std::shared_ptr<const planner::CachedPlan>> Engine::PreparePlan(
   for (const planner::DeclPlan& dp : entry->plan.decls) {
     GPML_ASSIGN_OR_RETURN(Program program,
                           CompilePattern(dp.decl, *entry->vars));
-    BindProgramToGraph(&program, graph_);
+    // The variable table enables the batch plan (Program::batch): predicate
+    // kernels and equi-join targets compile once here and ride the cache.
+    BindProgramToGraph(&program, graph_, entry->vars.get());
     entry->programs.push_back(
         std::make_shared<const Program>(std::move(program)));
   }
@@ -454,6 +460,7 @@ Result<std::string> Engine::Explain(const GraphPattern& pattern) const {
   planner::ExplainExec exec;
   exec.threads = ResolvedThreads();
   exec.cached = cache_hit;
+  exec.batch = options_.use_batch ? kBatchBlockTarget : 0;
   return planner::ExplainPlan(prepared->plan, *prepared->vars,
                               /*stats=*/nullptr, &exec, /*actuals=*/nullptr,
                               &prepared->diagnostics);
@@ -488,6 +495,7 @@ Result<std::string> Engine::ExplainAnalyze(const GraphPattern& pattern,
   planner::ExplainExec exec;
   exec.threads = ResolvedThreads();
   exec.cached = prepared.cache_hit_;
+  exec.batch = options_.use_batch ? kBatchBlockTarget : 0;
   exec.analyzed = true;
   exec.rows = out.rows.size();
   exec.truncated = out.truncated;
@@ -602,6 +610,7 @@ Result<MatchOutput> Engine::ExecutePlan(
   MatcherOptions matcher_options = options_.matcher;
   matcher_options.num_threads = num_workers;
   matcher_options.use_csr = options_.use_csr;
+  matcher_options.use_batch = options_.use_batch;
 
   // One trace per execution: the caller's, or a local one when only a sink
   // or the slow-query log will consume it.
@@ -650,6 +659,8 @@ Result<MatchOutput> Engine::ExecutePlan(
   // tracked locally so publication does not depend on options_.metrics.
   size_t agg_seeded = 0, agg_steps = 0, agg_reversed = 0, agg_bound = 0,
          agg_indexed = 0;
+  size_t agg_batch_blocks = 0, agg_batch_candidates = 0,
+         agg_batch_survivors = 0;
   double seed_ms_total = 0, match_ms_total = 0, join_ms_total = 0;
 
   // Evaluate every path declaration independently (§6.5) in plan order,
@@ -729,6 +740,9 @@ Result<MatchOutput> Engine::ExecutePlan(
 
     agg_seeded += match_stats.seeds;
     agg_steps += match_stats.steps;
+    agg_batch_blocks += match_stats.batch_blocks;
+    agg_batch_candidates += match_stats.batch_candidates;
+    agg_batch_survivors += match_stats.batch_survivors;
     if (dp.reversed) ++agg_reversed;
     if (use_filter) ++agg_bound;
     if (use_index) ++agg_indexed;
@@ -740,6 +754,9 @@ Result<MatchOutput> Engine::ExecutePlan(
       ++m.decls;
       m.seeded_nodes += match_stats.seeds;
       m.matcher_steps += match_stats.steps;
+      m.batch_blocks += match_stats.batch_blocks;
+      m.batch_candidates += match_stats.batch_candidates;
+      m.batch_survivors += match_stats.batch_survivors;
       if (dp.reversed) ++m.reversed_decls;
       if (use_filter) ++m.seed_filtered_decls;
       if (use_index) ++m.index_seeded_decls;
@@ -860,6 +877,13 @@ Result<MatchOutput> Engine::ExecutePlan(
     registry->GetCounter("gpml_rows_total")->Increment(out.rows.size());
     registry->GetCounter("gpml_budget_truncated_total")
         ->Increment(out.truncated ? 1 : 0);
+    registry->GetCounter("gpml_batch_blocks_total")
+        ->Increment(agg_batch_blocks);
+    if (agg_batch_candidates > 0) {
+      registry->GetHistogram("gpml_batch_survivor_rate")
+          ->Observe(100.0 * static_cast<double>(agg_batch_survivors) /
+                    static_cast<double>(agg_batch_candidates));
+    }
     registry->GetHistogram(kStagePlan)->Observe(MsToUs(paid_plan_ms));
     registry->GetHistogram(kStageSeed)->Observe(MsToUs(seed_ms_total));
     registry->GetHistogram(kStageMatch)->Observe(MsToUs(match_ms_total));
@@ -875,6 +899,7 @@ Result<MatchOutput> Engine::ExecutePlan(
     planner::ExplainExec exec;
     exec.threads = num_workers;
     exec.cached = cache_hit;
+    exec.batch = options_.use_batch ? kBatchBlockTarget : 0;
     exec.analyzed = true;
     exec.rows = out.rows.size();
     exec.truncated = out.truncated;
@@ -927,6 +952,7 @@ Result<std::string> PreparedQuery::Explain() const {
   planner::ExplainExec exec;
   exec.threads = engine.ResolvedThreads();
   exec.cached = cache_hit_;
+  exec.batch = options_.use_batch ? kBatchBlockTarget : 0;
   return planner::ExplainPlan(plan_->plan, *plan_->vars, /*stats=*/nullptr,
                               &exec, /*actuals=*/nullptr,
                               &plan_->diagnostics);
@@ -1031,6 +1057,7 @@ Status Cursor::FillChunk() {
   MatcherOptions matcher_options = options_.matcher;
   matcher_options.num_threads = engine.ResolvedThreads();
   matcher_options.use_csr = options_.use_csr;
+  matcher_options.use_batch = options_.use_batch;
 
   const bool truncate =
       options_.on_budget == EngineOptions::BudgetPolicy::kTruncate;
@@ -1045,11 +1072,17 @@ Status Cursor::FillChunk() {
 
   seeds_total_ += stats.seeds;
   steps_total_ += stats.steps;
+  batch_blocks_total_ += stats.batch_blocks;
+  batch_candidates_total_ += stats.batch_candidates;
+  batch_survivors_total_ += stats.batch_survivors;
   seed_ms_total_ += stats.seed_ms;
   exec_ms_total_ += stats.match_ms;
   if (options_.metrics != nullptr) {
     options_.metrics->seeded_nodes += stats.seeds;
     options_.metrics->matcher_steps += stats.steps;
+    options_.metrics->batch_blocks += stats.batch_blocks;
+    options_.metrics->batch_candidates += stats.batch_candidates;
+    options_.metrics->batch_survivors += stats.batch_survivors;
     options_.metrics->seed_ms += stats.seed_ms;
     options_.metrics->exec_ms += stats.match_ms;
   }
@@ -1179,6 +1212,13 @@ void Cursor::FinishStream() {
     registry->GetCounter("gpml_rows_total")->Increment(emitted_);
     registry->GetCounter("gpml_budget_truncated_total")
         ->Increment(truncated_ ? 1 : 0);
+    registry->GetCounter("gpml_batch_blocks_total")
+        ->Increment(batch_blocks_total_);
+    if (batch_candidates_total_ > 0) {
+      registry->GetHistogram("gpml_batch_survivor_rate")
+          ->Observe(100.0 * static_cast<double>(batch_survivors_total_) /
+                    static_cast<double>(batch_candidates_total_));
+    }
     registry->GetHistogram(kStagePlan)->Observe(MsToUs(paid_plan_ms));
     registry->GetHistogram(kStageSeed)->Observe(MsToUs(seed_ms_total_));
     registry->GetHistogram(kStageMatch)->Observe(MsToUs(exec_ms_total_));
@@ -1194,6 +1234,7 @@ void Cursor::FinishStream() {
     Engine engine(*graph_, options_);
     exec.threads = engine.ResolvedThreads();
     exec.cached = cache_hit_;
+    exec.batch = options_.use_batch ? kBatchBlockTarget : 0;
     exec.analyzed = true;
     exec.rows = emitted_;
     exec.truncated = truncated_;

@@ -58,6 +58,10 @@ struct EngineMetrics {
   size_t budget_truncated = 0;     // 1 when the output was cut short by an
                                    // evaluation budget (BudgetPolicy::
                                    // kTruncate) — distinct from a LIMIT stop.
+  size_t batch_blocks = 0;         // Frontier blocks the batch matcher
+                                   // expanded (0 = scalar route throughout).
+  size_t batch_candidates = 0;     // Adjacency candidates gathered.
+  size_t batch_survivors = 0;      // Candidates surviving all filter passes.
   // Wall-clock stage totals in milliseconds (monotonic clock), the same
   // measurements the trace spans carry (docs/observability.md):
   double plan_ms = 0;              // Parse plus compile cost this execution
@@ -104,6 +108,15 @@ struct EngineOptions {
   /// back to label-scan seeding; rows are identical, only the seed list
   /// shrinks.
   bool use_seed_index = true;
+  /// Block-at-a-time frontier expansion in the matcher (docs/vectorized.md):
+  /// linear fixed-length patterns expand whole frontier blocks over the CSR
+  /// with selection-vector filtering and predicate kernels compiled at
+  /// plan-bind time. Off runs the tuple-at-a-time interpreter for every
+  /// pattern — the differential oracle, like use_csr above. Rows are
+  /// byte-identical either way; patterns outside the eligible shape fall
+  /// back to the scalar route automatically. Overrides
+  /// MatcherOptions::use_batch.
+  bool use_batch = true;
   /// Static query analysis at prepare time (docs/analysis.md): typed
   /// diagnostics over the normalized pattern — type errors fail Prepare,
   /// warnings ride on the compiled plan (EXPLAIN `warnings=`), provably
@@ -414,6 +427,9 @@ class Cursor {
   double exec_ms_total_ = 0;  // RunPattern wall, summed over chunks.
   size_t seeds_total_ = 0;
   size_t steps_total_ = 0;
+  size_t batch_blocks_total_ = 0;
+  size_t batch_candidates_total_ = 0;
+  size_t batch_survivors_total_ = 0;
   bool published_ = false;
 };
 

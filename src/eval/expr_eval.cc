@@ -434,4 +434,117 @@ Value ToOutputValue(const EvalValue& v, const PropertyGraph& g) {
   return Value::Null();
 }
 
+// ---------------------------------------------------------------------------
+// Predicate kernels
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool IsComparisonOp(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNeq:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// One comparison conjunct into a kernel term. Exactly one side must be a
+/// property access on the pending variable, the other a literal or $param.
+/// The operator is mirrored when the access is on the right, so the term
+/// always reads `column <op> rhs`.
+bool CompileTerm(const Expr& cmp, int var, const VarTable& vars,
+                 const SymbolTable& property_symbols, PredicateKernel* out) {
+  if (!IsComparisonOp(cmp.op)) return false;
+  auto is_rhs = [](const Expr& e) {
+    return e.kind == Expr::Kind::kLiteral || e.kind == Expr::Kind::kParam;
+  };
+  auto is_access = [&](const Expr& e) {
+    return e.kind == Expr::Kind::kPropertyAccess && e.property != "*" &&
+           vars.Find(e.var) == var;
+  };
+  const Expr* access = nullptr;
+  const Expr* operand = nullptr;
+  BinaryOp op = cmp.op;
+  if (is_access(*cmp.lhs) && is_rhs(*cmp.rhs)) {
+    access = cmp.lhs.get();
+    operand = cmp.rhs.get();
+  } else if (is_access(*cmp.rhs) && is_rhs(*cmp.lhs)) {
+    access = cmp.rhs.get();
+    operand = cmp.lhs.get();
+    switch (op) {  // `lit < x.p` reads as `x.p > lit`.
+      case BinaryOp::kLt: op = BinaryOp::kGt; break;
+      case BinaryOp::kLe: op = BinaryOp::kGe; break;
+      case BinaryOp::kGt: op = BinaryOp::kLt; break;
+      case BinaryOp::kGe: op = BinaryOp::kLe; break;
+      default: break;  // = and <> are symmetric.
+    }
+  } else {
+    return false;
+  }
+  PredicateKernel::Term term;
+  term.prop = property_symbols.Find(access->property);
+  term.op = op;
+  if (operand->kind == Expr::Kind::kLiteral) {
+    term.literal = &operand->literal;
+  } else {
+    term.param = operand->var;
+  }
+  out->terms.push_back(std::move(term));
+  return true;
+}
+
+}  // namespace
+
+bool PredicateKernel::Compile(const Expr& where, int var, const VarTable& vars,
+                              const SymbolTable& property_symbols,
+                              PredicateKernel* out) {
+  if (where.kind != Expr::Kind::kBinary) return false;
+  if (where.op == BinaryOp::kAnd) {
+    return Compile(*where.lhs, var, vars, property_symbols, out) &&
+           Compile(*where.rhs, var, vars, property_symbols, out);
+  }
+  return CompileTerm(where, var, vars, property_symbols, out);
+}
+
+bool BindPredicateKernel(const PredicateKernel& kernel, const Params* params,
+                         BoundPredicateKernel* out) {
+  out->terms.clear();
+  out->terms.reserve(kernel.terms.size());
+  for (const PredicateKernel::Term& t : kernel.terms) {
+    BoundPredicateKernel::Term b;
+    b.prop = t.prop;
+    b.op = t.op;
+    if (t.literal != nullptr) {
+      b.rhs = t.literal;
+    } else {
+      if (params == nullptr) return false;
+      auto it = params->find(t.param);
+      if (it == params->end()) return false;
+      b.rhs = &it->second;
+    }
+    out->terms.push_back(b);
+  }
+  return true;
+}
+
+bool EvalKernel(const BoundPredicateKernel& kernel, const PropertyGraph& g,
+                bool is_node, uint32_t id) {
+  for (const BoundPredicateKernel::Term& t : kernel.terms) {
+    // An un-interned key means the column read is NULL, so the comparison
+    // is UNKNOWN: the conjunction can never be kTrue.
+    if (t.prop == kInvalidSymbol) return false;
+    const Value& lhs =
+        is_node ? g.NodeColumnValue(t.prop, id) : g.EdgeColumnValue(t.prop, id);
+    Result<TriBool> r = CompareValues(t.op, lhs, *t.rhs);
+    if (!r.ok() || *r != TriBool::kTrue) return false;
+  }
+  return true;
+}
+
 }  // namespace gpml

@@ -102,6 +102,68 @@ Result<TriBool> EvalPredicate(const Expr& expr, const PropertyGraph& g,
 /// path(...) notation.
 Value ToOutputValue(const EvalValue& v, const PropertyGraph& g);
 
+// ---------------------------------------------------------------------------
+// Vectorizable predicate kernels (batch matcher fast path)
+// ---------------------------------------------------------------------------
+
+/// The compiled form of an inline WHERE the batch matcher can evaluate over
+/// a dense candidate block (docs/vectorized.md): an AND-conjunction of
+/// `var.prop <op> literal-or-$param` comparison terms, all over the one
+/// element being bound. Compiled at plan-bind time next to the program's
+/// CompiledLabelPreds and stored on the Program, so plan-cache hits reuse
+/// the kernel like they reuse compiled label predicates. Property keys are
+/// pre-resolved to column symbols; evaluation is a column read plus a SQL
+/// comparison per term — no expression-tree walk, no EvalScope virtual
+/// dispatch, and no per-candidate string hashing.
+struct PredicateKernel {
+  struct Term {
+    /// Column of the pending element's property; kInvalidSymbol when the
+    /// graph never interned the key (the column read is then NULL, so the
+    /// comparison is UNKNOWN and the term rejects every candidate — the
+    /// same verdict the scalar evaluator reaches).
+    Symbol prop = kInvalidSymbol;
+    BinaryOp op = BinaryOp::kEq;  // Comparison subset only.
+    const Value* literal = nullptr;  // Borrowed from the plan's AST.
+    std::string param;  // $name when literal == nullptr.
+  };
+  std::vector<Term> terms;
+
+  /// Compiles `where` over the pending variable `var` (the node/edge being
+  /// bound). Returns false when the predicate falls outside the kernel
+  /// shape — references to other variables, OR/NOT, arithmetic, aggregates,
+  /// `e.*` accesses, element comparisons — in which case the caller must
+  /// stay on the scalar evaluator.
+  static bool Compile(const Expr& where, int var, const VarTable& vars,
+                      const SymbolTable& property_symbols,
+                      PredicateKernel* out);
+};
+
+/// A kernel with its $parameters resolved for one execution: plain
+/// (column, op, value) triples, every Value borrowed (AST literal or
+/// Params slot — both outlive the run).
+struct BoundPredicateKernel {
+  struct Term {
+    Symbol prop = kInvalidSymbol;
+    BinaryOp op = BinaryOp::kEq;
+    const Value* rhs = nullptr;
+  };
+  std::vector<Term> terms;
+};
+
+/// Resolves `kernel`'s parameters against `params`. Returns false when a
+/// referenced $param is unbound — the caller falls back to the scalar path,
+/// which reproduces the unbound-parameter error exactly. A NULL-bound
+/// parameter binds fine (and rejects every candidate, as `= NULL` should).
+bool BindPredicateKernel(const PredicateKernel& kernel, const Params* params,
+                         BoundPredicateKernel* out);
+
+/// Evaluates a bound kernel against one element (node when `is_node`, edge
+/// otherwise): passes iff every term compares kTrue under the engine's SQL
+/// three-valued comparison — exactly EvalPredicate's verdict on the same
+/// conjunction.
+bool EvalKernel(const BoundPredicateKernel& kernel, const PropertyGraph& g,
+                bool is_node, uint32_t id);
+
 }  // namespace gpml
 
 #endif  // GPML_EVAL_EXPR_EVAL_H_

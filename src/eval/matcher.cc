@@ -227,7 +227,13 @@ class Matcher {
         params_(params) {}
 
   Status Run() {
-    return program_.selector.IsNone() ? RunDfs() : RunBfs();
+    if (!program_.selector.IsNone()) return RunBfs();
+    // Block-at-a-time route (docs/vectorized.md): eligible linear programs
+    // with all predicate kernels bindable. Anything else — and the
+    // differential oracle with use_batch off — runs the tuple-at-a-time
+    // interpreter.
+    if (options_.use_batch && TryBindBatch()) return RunBatch();
+    return RunDfs();
   }
 
   /// Raw accepted bindings in discovery order, deduplicated within this
@@ -236,6 +242,9 @@ class Matcher {
   std::vector<PathBinding> TakeResults() { return std::move(results_); }
 
   size_t steps() const { return steps_; }
+  size_t batch_blocks() const { return batch_blocks_; }
+  size_t batch_candidates() const { return batch_candidates_; }
+  size_t batch_survivors() const { return batch_survivors_; }
 
  private:
   // --- shared helpers ------------------------------------------------------
@@ -472,7 +481,7 @@ class Matcher {
         const Instr& in = program_.code[static_cast<size_t>(cur.pc)];
         switch (in.op) {
           case Instr::Op::kAccept: {
-            GPML_RETURN_IF_ERROR(RecordAccept(cur));
+            GPML_RETURN_IF_ERROR(RecordAccept(cur.chain, cur.tags));
             dead = true;
             break;
           }
@@ -561,8 +570,12 @@ class Matcher {
     return Status::OK();
   }
 
-  Status RecordAccept(const State& state) {
-    PathBinding pb = ReduceChain(state.chain, vars_, state.tags);
+  /// Records one accepted binding (shared by the interpreter's kAccept and
+  /// the batch drain, which accepts in the same order — so the shard-local
+  /// keep-first dedup is route-independent).
+  Status RecordAccept(const BindingChain& chain,
+                      const std::vector<int32_t>& tags) {
+    PathBinding pb = ReduceChain(chain, vars_, tags);
     size_t h = pb.ReducedHash();
     auto [it, inserted] = seen_.emplace(h, std::vector<size_t>());
     for (size_t idx : it->second) {
@@ -594,21 +607,351 @@ class Matcher {
 
   Status RunDfs() {
     for (size_t i = 0; i < num_seeds_; ++i) {
-      std::vector<State> stack;
-      GPML_RETURN_IF_ERROR(AdvanceEpsilon(MakeStart(seeds_[i]), &stack));
-      while (!stack.empty()) {
-        State cur = std::move(stack.back());
-        stack.pop_back();
-        const Instr& in = program_.code[static_cast<size_t>(cur.pc)];
+      GPML_RETURN_IF_ERROR(RunDfsSeed(seeds_[i]));
+    }
+    return Status::OK();
+  }
+
+  /// One seed's depth-first search — also the batch route's per-seed
+  /// fallback when a frontier level overflows the in-memory cap.
+  Status RunDfsSeed(NodeId seed) {
+    std::vector<State> stack;
+    GPML_RETURN_IF_ERROR(AdvanceEpsilon(MakeStart(seed), &stack));
+    while (!stack.empty()) {
+      State cur = std::move(stack.back());
+      stack.pop_back();
+      const Instr& in = program_.code[static_cast<size_t>(cur.pc)];
+      bool prefiltered = false;
+      AdjSpan range = ExpansionRange(in, cur.node, &prefiltered);
+      for (const Adjacency& adj : range) {
+        GPML_RETURN_IF_ERROR(Budget());
+        GPML_ASSIGN_OR_RETURN(std::optional<State> next,
+                              TryEdge(in, cur, adj, prefiltered));
+        if (next.has_value()) {
+          GPML_RETURN_IF_ERROR(AdvanceEpsilon(std::move(*next), &stack));
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  // --- Batch route (docs/vectorized.md) -----------------------------------
+  //
+  // Linear fixed-length patterns expand level by level: levels_[l] holds
+  // every partial binding of length l as a 16-byte FrontierEntry instead of
+  // a State (no environment links, no chain refcounts — the binding is the
+  // parent-pointer path itself). Each level is expanded in blocks of
+  // kBatchBlockTarget entries: the block's adjacency candidates are gathered
+  // into dense arrays, the filter cascade runs as selection-vector passes
+  // over those arrays, and only final-hop survivors ever materialize a
+  // BindingChain. Rows come out byte-identical to the scalar DFS because the
+  // drain replays its accept order: the DFS pops parked states in reverse of
+  // their push order at every level, so the level-(L-1) entries are visited
+  // in exact reverse of the forward build order, each emitting its surviving
+  // final-hop children in forward adjacency order.
+
+  /// One partial binding on a frontier level: the node reached, the edge
+  /// that reached it (kInvalidId on level 0), and the parent entry on the
+  /// previous level.
+  struct FrontierEntry {
+    NodeId node = kInvalidId;
+    EdgeId edge = kInvalidId;
+    uint32_t parent = 0;
+    Traversal traversal = Traversal::kForward;
+  };
+
+  /// Struct-of-arrays candidate block: the gathered adjacency records of one
+  /// frontier block, plus the two selection vectors the filter passes
+  /// ping-pong between.
+  struct CandidateBlock {
+    std::vector<uint32_t> parent;  // Absolute index into the source level.
+    std::vector<EdgeId> edge;
+    std::vector<NodeId> neighbor;
+    std::vector<Traversal> traversal;
+    std::vector<uint32_t> sel;
+    std::vector<uint32_t> sel2;
+
+    void Clear() {
+      parent.clear();
+      edge.clear();
+      neighbor.clear();
+      traversal.clear();
+    }
+    size_t size() const { return parent.size(); }
+  };
+
+  /// Per-seed frontier size cap: a level growing past this falls the seed
+  /// back to the scalar DFS (bounded memory; the DFS recomputes from
+  /// scratch, which is safe because the batch route emits no accepts until
+  /// the final drain).
+  static constexpr size_t kMaxLevelEntries = 1u << 22;
+
+  /// Charges `n` batch-gathered candidates against the step budget in one
+  /// call. Equivalent to n Budget() calls (same stride flushing), so shared
+  /// budgets see the same charge cadence; only the per-route step totals
+  /// differ (the batch path charges per adjacency candidate, the interpreter
+  /// additionally per epsilon instruction).
+  Status ChargeBatchSteps(size_t n) {
+    steps_ += n;
+    if (budget_ == nullptr) {
+      if (steps_ > options_.max_steps) {
+        return Status::ResourceExhausted(
+            "match search exceeded max_steps; tighten the pattern or raise "
+            "MatcherOptions::max_steps");
+      }
+      return Status::OK();
+    }
+    pending_steps_ += n;
+    if (pending_steps_ >= charge_stride_) {
+      size_t m = pending_steps_;
+      pending_steps_ = 0;
+      return budget_->ChargeSteps(m);
+    }
+    return Status::OK();
+  }
+
+  /// Binds the program's compiled predicate kernels to this run's $params.
+  /// False routes the run to the scalar interpreter: the program is not
+  /// batch-eligible, or a kernel references an unbound parameter (the scalar
+  /// evaluator then reproduces the unbound-parameter error exactly).
+  bool TryBindBatch() {
+    const BatchPlan* bp = program_.batch.get();
+    if (bp == nullptr || !bp->eligible) return false;
+    node_kernels_.assign(bp->nodes.size(), BoundPredicateKernel());
+    edge_kernels_.assign(bp->edges.size(), BoundPredicateKernel());
+    for (size_t i = 0; i < bp->nodes.size(); ++i) {
+      if (bp->nodes[i].has_kernel &&
+          !BindPredicateKernel(bp->nodes[i].kernel, params_,
+                               &node_kernels_[i])) {
+        return false;
+      }
+    }
+    for (size_t i = 0; i < bp->edges.size(); ++i) {
+      if (bp->edges[i].has_kernel &&
+          !BindPredicateKernel(bp->edges[i].kernel, params_,
+                               &edge_kernels_[i])) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// The ancestor of `levels_[level][idx]` at `target_level`, by walking
+  /// parent pointers — how equi-join passes reach the joined-to binding
+  /// without any environment structure.
+  const FrontierEntry& Ancestor(size_t level, uint32_t idx,
+                                size_t target_level) const {
+    const FrontierEntry* e = &levels_[level][idx];
+    while (level > target_level) {
+      idx = e->parent;
+      --level;
+      e = &levels_[level][idx];
+    }
+    return *e;
+  }
+
+  /// Expands levels_[h] into levels_[h+1] block-at-a-time. Returns true on
+  /// overflow (the caller falls back to the scalar DFS for this seed).
+  Result<bool> ExpandLevel(size_t h) {
+    const BatchPlan& bp = *program_.batch;
+    const BatchPlan::EdgeStep& es = bp.edges[h];
+    const BatchPlan::NodeStep& ns = bp.nodes[h + 1];
+    const Instr& edge_in = program_.code[static_cast<size_t>(es.pc)];
+    const Instr& node_in = program_.code[static_cast<size_t>(ns.pc)];
+    const EdgeOrientation orientation = edge_in.edge->orientation;
+    const bool edge_prefiltered = options_.use_csr &&
+                                  edge_in.edge_label_sym != kNoLabelPartition &&
+                                  edge_in.edge_prefiltered;
+    const bool check_edge_label =
+        !edge_prefiltered && edge_in.edge->labels != nullptr;
+    const bool check_node_label =
+        node_in.node->labels != nullptr && !ns.label_implied;
+
+    const std::vector<FrontierEntry>& frontier = levels_[h];
+    std::vector<FrontierEntry>& next = levels_[h + 1];
+    CandidateBlock& blk = block_;
+
+    for (size_t base = 0; base < frontier.size();
+         base += kBatchBlockTarget) {
+      const size_t limit =
+          std::min(base + kBatchBlockTarget, frontier.size());
+      blk.Clear();
+
+      // Gather: every adjacency candidate of the block's frontier entries,
+      // straight out of the contiguous CSR label bucket (or the full
+      // adjacency list when no partition applies).
+      for (size_t f = base; f < limit; ++f) {
         bool prefiltered = false;
-        AdjSpan range = ExpansionRange(in, cur.node, &prefiltered);
-        for (const Adjacency& adj : range) {
-          GPML_RETURN_IF_ERROR(Budget());
-          GPML_ASSIGN_OR_RETURN(std::optional<State> next,
-                                TryEdge(in, cur, adj, prefiltered));
-          if (next.has_value()) {
-            GPML_RETURN_IF_ERROR(AdvanceEpsilon(std::move(*next), &stack));
-          }
+        AdjSpan range =
+            ExpansionRange(edge_in, frontier[f].node, &prefiltered);
+        for (size_t k = 0; k < range.count; ++k) {
+          const Adjacency& adj = range[k];
+          blk.parent.push_back(static_cast<uint32_t>(f));
+          blk.edge.push_back(adj.edge);
+          blk.neighbor.push_back(adj.neighbor);
+          blk.traversal.push_back(adj.traversal);
+        }
+      }
+      const size_t n = blk.size();
+      GPML_RETURN_IF_ERROR(ChargeBatchSteps(n));
+      ++batch_blocks_;
+      batch_candidates_ += n;
+      if (n == 0) continue;
+
+      // Filter cascade over selection vectors: each pass scans the current
+      // survivor list and compacts it. Pass order is free to differ from
+      // the interpreter's check order because every pass is a pure
+      // conjunct — the surviving set is the same either way.
+      blk.sel.resize(n);
+      for (size_t i = 0; i < n; ++i) {
+        blk.sel[i] = static_cast<uint32_t>(i);
+      }
+      auto filter = [&blk](auto&& keep) {
+        blk.sel2.clear();
+        for (uint32_t i : blk.sel) {
+          if (keep(i)) blk.sel2.push_back(i);
+        }
+        blk.sel.swap(blk.sel2);
+      };
+
+      if (orientation != EdgeOrientation::kAny) {
+        filter([&](uint32_t i) {
+          return Admits(orientation, blk.traversal[i]);
+        });
+      }
+      if (check_edge_label) {
+        filter([&](uint32_t i) {
+          return EdgeLabelsMatch(edge_in, blk.edge[i]);
+        });
+      }
+      if (!edge_kernels_[h].terms.empty()) {
+        const BoundPredicateKernel& kernel = edge_kernels_[h];
+        filter([&](uint32_t i) {
+          return EvalKernel(kernel, g_, /*is_node=*/false, blk.edge[i]);
+        });
+      }
+      if (es.eq_pos >= 0) {
+        // Edge equi-join: hop q's edge lives on the level-(q+1) entry.
+        const size_t target = static_cast<size_t>(es.eq_pos) + 1;
+        filter([&](uint32_t i) {
+          return Ancestor(h, blk.parent[i], target).edge == blk.edge[i];
+        });
+      }
+      if (ns.eq_pos >= 0) {
+        const size_t target = static_cast<size_t>(ns.eq_pos);
+        filter([&](uint32_t i) {
+          return Ancestor(h, blk.parent[i], target).node == blk.neighbor[i];
+        });
+      }
+      if (check_node_label) {
+        filter([&](uint32_t i) {
+          return NodeLabelsMatch(node_in, blk.neighbor[i]);
+        });
+      }
+      if (!node_kernels_[h + 1].terms.empty()) {
+        const BoundPredicateKernel& kernel = node_kernels_[h + 1];
+        filter([&](uint32_t i) {
+          return EvalKernel(kernel, g_, /*is_node=*/true, blk.neighbor[i]);
+        });
+      }
+
+      batch_survivors_ += blk.sel.size();
+      for (uint32_t i : blk.sel) {
+        next.push_back({blk.neighbor[i], blk.edge[i], blk.parent[i],
+                        blk.traversal[i]});
+      }
+      if (next.size() > kMaxLevelEntries) return true;  // Overflow.
+    }
+    return false;
+  }
+
+  /// Materializes the binding chain of a final-level entry, exactly as the
+  /// interpreter would have built it: node, then (edge, node) per hop, with
+  /// the edge link carrying the traversal direction.
+  BindingChain BuildChain(size_t level, uint32_t idx) {
+    const BatchPlan& bp = *program_.batch;
+    // Collect the entry's ancestor path root-first.
+    chain_scratch_.resize(level + 1);
+    {
+      const FrontierEntry* e = &levels_[level][idx];
+      size_t l = level;
+      while (true) {
+        chain_scratch_[l] = e;
+        if (l == 0) break;
+        e = &levels_[l - 1][e->parent];
+        --l;
+      }
+    }
+    BindingChain chain = Extend(
+        nullptr, {bp.nodes[0].var, ElementRef::Node(chain_scratch_[0]->node)});
+    for (size_t l = 1; l <= level; ++l) {
+      const FrontierEntry& e = *chain_scratch_[l];
+      chain = Extend(chain, {bp.edges[l - 1].var, ElementRef::Edge(e.edge)},
+                     e.traversal);
+      chain = Extend(chain, {bp.nodes[l].var, ElementRef::Node(e.node)});
+    }
+    return chain;
+  }
+
+  Status RunBatch() {
+    const BatchPlan& bp = *program_.batch;
+    const size_t hops = bp.edges.size();
+    levels_.resize(hops + 1);
+    const std::vector<int32_t> no_tags;  // Eligible programs emit no kTag.
+
+    for (size_t s = 0; s < num_seeds_; ++s) {
+      const NodeId seed = seeds_[s];
+      // Level 0: the seed must pass the first node check (seeding may have
+      // come from a label-index superset, exactly like the scalar route).
+      GPML_RETURN_IF_ERROR(ChargeBatchSteps(1));
+      const Instr& first = program_.code[static_cast<size_t>(bp.nodes[0].pc)];
+      if (!NodeLabelsMatch(first, seed)) continue;
+      if (!node_kernels_[0].terms.empty() &&
+          !EvalKernel(node_kernels_[0], g_, /*is_node=*/true, seed)) {
+        continue;
+      }
+      if (hops == 0) {
+        GPML_RETURN_IF_ERROR(RecordAccept(
+            Extend(nullptr, {bp.nodes[0].var, ElementRef::Node(seed)}),
+            no_tags));
+        continue;
+      }
+
+      for (std::vector<FrontierEntry>& level : levels_) level.clear();
+      levels_[0].push_back({seed, kInvalidId, 0, Traversal::kForward});
+      bool overflow = false;
+      for (size_t h = 0; h < hops && !overflow; ++h) {
+        GPML_ASSIGN_OR_RETURN(overflow, ExpandLevel(h));
+        if (!overflow && levels_[h + 1].empty()) break;
+      }
+      if (overflow) {
+        // Bounded-memory fallback: redo this seed tuple-at-a-time. No
+        // accepts have been emitted for it yet, so the replay keeps the
+        // result stream identical (the already-charged batch steps stay
+        // charged — deterministic overshoot).
+        GPML_RETURN_IF_ERROR(RunDfsSeed(seed));
+        continue;
+      }
+      if (levels_[hops].empty()) continue;
+
+      // Drain in scalar-DFS accept order: level-(hops-1) entries in reverse
+      // of forward build order, each emitting its surviving final-hop
+      // children in forward adjacency order. Children of one parent are
+      // contiguous in levels_[hops] because the gather walks parents in
+      // order — so a per-parent offset table suffices.
+      const std::vector<FrontierEntry>& parents = levels_[hops - 1];
+      const std::vector<FrontierEntry>& finals = levels_[hops];
+      drain_offsets_.assign(parents.size() + 1, 0);
+      for (const FrontierEntry& e : finals) {
+        ++drain_offsets_[e.parent + 1];
+      }
+      for (size_t p = 1; p <= parents.size(); ++p) {
+        drain_offsets_[p] += drain_offsets_[p - 1];
+      }
+      for (size_t p = parents.size(); p-- > 0;) {
+        for (size_t i = drain_offsets_[p]; i < drain_offsets_[p + 1]; ++i) {
+          GPML_RETURN_IF_ERROR(RecordAccept(
+              BuildChain(hops, static_cast<uint32_t>(i)), no_tags));
         }
       }
     }
@@ -750,6 +1093,16 @@ class Matcher {
   size_t pending_steps_ = 0;
   uint64_t serial_gen_ = 0;
   std::vector<State> epsilon_work_;  // AdvanceEpsilon scratch.
+  // Batch-route state (sized once, reused across seeds and levels):
+  std::vector<BoundPredicateKernel> node_kernels_;  // Indexed like
+  std::vector<BoundPredicateKernel> edge_kernels_;  // BatchPlan::nodes/edges.
+  std::vector<std::vector<FrontierEntry>> levels_;
+  CandidateBlock block_;
+  std::vector<const FrontierEntry*> chain_scratch_;  // BuildChain ancestors.
+  std::vector<size_t> drain_offsets_;
+  size_t batch_blocks_ = 0;
+  size_t batch_candidates_ = 0;
+  size_t batch_survivors_ = 0;
   std::vector<PathBinding> results_;
   std::unordered_map<size_t, std::vector<size_t>> seen_;
   std::unordered_map<size_t, Visits> visits_;
@@ -763,6 +1116,9 @@ struct ShardOutcome {
   Status status = Status::OK();
   std::vector<PathBinding> results;
   size_t steps = 0;
+  size_t batch_blocks = 0;
+  size_t batch_candidates = 0;
+  size_t batch_survivors = 0;
   double ms = 0;  // Shard wall clock, measured inside the worker.
 };
 
@@ -781,6 +1137,9 @@ void RunShard(const PropertyGraph& g, const Program& program,
             charge_stride, params);
   out->status = m.Run();
   out->steps = m.steps();
+  out->batch_blocks = m.batch_blocks();
+  out->batch_candidates = m.batch_candidates();
+  out->batch_survivors = m.batch_survivors();
   if (out->status.ok()) {
     out->results = m.TakeResults();
     out->ms = shard_clock.ElapsedMs();
@@ -937,11 +1296,17 @@ Result<MatchSet> RunPattern(const PropertyGraph& g, const Program& program,
     stats->seeds = seeds.size();
     stats->shards = shards;
     stats->steps = 0;
+    stats->batch_blocks = 0;
+    stats->batch_candidates = 0;
+    stats->batch_survivors = 0;
     stats->seed_ms = seed_ms;
     stats->shard_ms.clear();
     stats->shard_ms.reserve(outcomes.size());
     for (const ShardOutcome& o : outcomes) {
       stats->steps += o.steps;
+      stats->batch_blocks += o.batch_blocks;
+      stats->batch_candidates += o.batch_candidates;
+      stats->batch_survivors += o.batch_survivors;
       stats->shard_ms.push_back(o.ms);
     }
   }

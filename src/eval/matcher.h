@@ -44,7 +44,24 @@ struct MatcherOptions {
   /// order); only the step counts differ, because the CSR path never visits
   /// the records the label filter would reject.
   bool use_csr = true;
+  /// Block-at-a-time frontier expansion (docs/vectorized.md): linear
+  /// fixed-length patterns expand whole frontier blocks against contiguous
+  /// CSR ranges with selection-vector filtering and compiled predicate
+  /// kernels, materializing states only for accepted rows. Off runs the
+  /// tuple-at-a-time interpreter for every pattern — the differential
+  /// oracle, exactly like `use_csr` above. Rows are byte-identical either
+  /// way (the batch drain replays the DFS accept order); only the step
+  /// accounting differs, because the batch path charges per adjacency
+  /// candidate rather than per interpreter instruction. Patterns outside
+  /// the eligible shape (selectors, quantifiers, restrictors, non-kernel
+  /// WHEREs) fall back to the scalar interpreter automatically.
+  bool use_batch = true;
 };
+
+/// Target number of frontier entries expanded per batch block. Candidate
+/// gathers run per block, so this bounds the transient candidate arrays
+/// while keeping the filter loops long enough to vectorize.
+inline constexpr size_t kBatchBlockTarget = 512;
 
 /// One shared step/match budget drawn on by every seed shard of a RunPattern
 /// call. Sequential runs charge every step individually, so the limit fires
@@ -117,6 +134,10 @@ struct MatchStats {
   size_t seeds = 0;   // Start nodes seeded.
   size_t steps = 0;   // Interpreter instructions executed (summed over shards).
   size_t shards = 0;  // Worker shards the seed list was split into.
+  // Batch-path counters (zero when the scalar interpreter ran):
+  size_t batch_blocks = 0;      // Frontier blocks expanded.
+  size_t batch_candidates = 0;  // Adjacency candidates gathered into blocks.
+  size_t batch_survivors = 0;   // Candidates surviving all filter passes.
   // Wall-clock timings (monotonic clock, see obs/clock.h), always measured:
   // two clock reads per region, far below the bench_obs 2% overhead gate.
   // The engine turns these into trace spans and EngineMetrics/stage-

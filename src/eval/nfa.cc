@@ -237,7 +237,115 @@ Result<Program> CompilePattern(const PathPatternDecl& decl,
   return c.Compile(decl);
 }
 
-void BindProgramToGraph(Program* program, const PropertyGraph& g) {
+namespace {
+
+/// Builds the block-at-a-time plan (see BatchPlan in nfa.h): verifies the
+/// linear `NodeCheck (EdgeStep NodeCheck)* Accept` shape, compiles every
+/// inline WHERE into a PredicateKernel, resolves implicit equi-join targets
+/// to their first binding occurrence, and hoists label checks that the
+/// equi-join already implies. Any program outside the shape (or with a
+/// non-kernel WHERE) yields an ineligible plan and the scalar interpreter
+/// runs instead.
+std::shared_ptr<const BatchPlan> BuildBatchPlan(const Program& program,
+                                                const PropertyGraph& g,
+                                                const VarTable& vars) {
+  auto plan = std::make_shared<BatchPlan>();
+  if (!program.selector.IsNone()) return plan;
+
+  size_t pc = static_cast<size_t>(program.start);
+  bool expect_node = true;
+  while (true) {
+    if (pc >= program.code.size()) return plan;
+    const Instr& in = program.code[pc];
+    if (expect_node) {
+      if (in.op != Instr::Op::kNodeCheck) return plan;
+      BatchPlan::NodeStep ns;
+      ns.pc = static_cast<int>(pc);
+      ns.var = in.var;
+      if (in.node->where != nullptr) {
+        ns.has_kernel = true;
+        if (!PredicateKernel::Compile(*in.node->where, in.var, vars,
+                                      g.property_symbols(), &ns.kernel)) {
+          return plan;
+        }
+      }
+      plan->nodes.push_back(std::move(ns));
+      expect_node = false;
+    } else {
+      if (in.op == Instr::Op::kAccept) break;
+      if (in.op != Instr::Op::kEdgeStep) return plan;
+      BatchPlan::EdgeStep es;
+      es.pc = static_cast<int>(pc);
+      es.var = in.var;
+      if (in.edge->where != nullptr) {
+        es.has_kernel = true;
+        if (!PredicateKernel::Compile(*in.edge->where, in.var, vars,
+                                      g.property_symbols(), &es.kernel)) {
+          return plan;
+        }
+      }
+      plan->edges.push_back(std::move(es));
+      expect_node = true;
+    }
+    if (in.next != static_cast<int>(pc) + 1) return plan;  // Linear only.
+    ++pc;
+  }
+
+  // Equi-join targets: the first occurrence of each named variable is the
+  // one the scalar environment binds; later occurrences compare against it
+  // (serials are all 0 in frame-free programs). Anonymous variables never
+  // join (the scalar path skips the environment for them too).
+  for (size_t i = 0; i < plan->nodes.size(); ++i) {
+    BatchPlan::NodeStep& ns = plan->nodes[i];
+    if (vars.info(ns.var).anonymous) continue;
+    for (size_t j = 0; j < i; ++j) {
+      if (plan->nodes[j].var == ns.var) {
+        ns.eq_pos = static_cast<int>(j);
+        break;
+      }
+    }
+    if (ns.eq_pos < 0) continue;
+    const LabelExprPtr& mine =
+        program.code[static_cast<size_t>(ns.pc)].node->labels;
+    const LabelExprPtr& theirs =
+        program.code[static_cast<size_t>(
+                         plan->nodes[static_cast<size_t>(ns.eq_pos)].pc)]
+            .node->labels;
+    // Bind-time label hoist: a re-visit joined to an identical-label
+    // occurrence already passed this label check when it was first bound.
+    ns.label_implied =
+        mine == nullptr ||
+        (theirs != nullptr && mine->ToString() == theirs->ToString());
+  }
+  for (size_t i = 0; i < plan->edges.size(); ++i) {
+    BatchPlan::EdgeStep& es = plan->edges[i];
+    if (vars.info(es.var).anonymous) continue;
+    for (size_t j = 0; j < i; ++j) {
+      if (plan->edges[j].var == es.var) {
+        es.eq_pos = static_cast<int>(j);
+        break;
+      }
+    }
+  }
+
+  // A variable shared across kinds (node and edge) runs the scalar
+  // element-equality join (which always fails on mixed kinds); keep such
+  // degenerate patterns off the batch path rather than modelling them.
+  for (const BatchPlan::NodeStep& ns : plan->nodes) {
+    if (vars.info(ns.var).anonymous) continue;
+    for (const BatchPlan::EdgeStep& es : plan->edges) {
+      if (es.var == ns.var) return plan;  // `eligible` stays false.
+    }
+  }
+
+  plan->eligible = !plan->nodes.empty();
+  return plan;
+}
+
+}  // namespace
+
+void BindProgramToGraph(Program* program, const PropertyGraph& g,
+                        const VarTable* vars) {
   const SymbolTable& labels = g.label_symbols();
   const bool use_bits = g.label_bits_usable();
   program->label_preds.clear();
@@ -288,6 +396,12 @@ void BindProgramToGraph(Program* program, const PropertyGraph& g) {
     }
     in.edge_label_sym = best;
   }
+
+  // Batch eligibility + kernel compilation. Derived data only — both the
+  // scalar and the vectorized matcher run the same bound program; without a
+  // variable table (tests binding raw programs) the batch path stays off.
+  program->batch =
+      vars != nullptr ? BuildBatchPlan(*program, g, *vars) : nullptr;
 }
 
 }  // namespace gpml

@@ -1,11 +1,13 @@
 #ifndef GPML_EVAL_NFA_H_
 #define GPML_EVAL_NFA_H_
 
+#include <memory>
 #include <vector>
 
 #include "ast/ast.h"
 #include "common/result.h"
 #include "eval/binding.h"
+#include "eval/expr_eval.h"
 
 namespace gpml {
 
@@ -64,6 +66,45 @@ struct Instr {
   int32_t tag = 0;                   // kTag.
 };
 
+/// The block-at-a-time execution plan of a program (docs/vectorized.md).
+/// Built by BindProgramToGraph for programs of the linear fixed-length shape
+/// `NodeCheck (EdgeStep NodeCheck)* Accept` — no selector, splits, frames,
+/// restrictor scopes, or provenance tags — whose inline WHEREs all compile
+/// into PredicateKernels. Anything else leaves `eligible` false and the
+/// matcher runs the scalar interpreter (which stays the differential oracle
+/// either way; see MatcherOptions::use_batch).
+struct BatchPlan {
+  /// One kNodeCheck position. `nodes[i]` binds the node reached after i
+  /// edge hops.
+  struct NodeStep {
+    int pc = -1;   // Program position of the kNodeCheck.
+    int var = -1;  // Interned variable id.
+    /// Implicit equi-join (§4.2): the variable already bound at
+    /// nodes[eq_pos]; a candidate must be that exact node. -1 for first
+    /// occurrences and anonymous variables.
+    int eq_pos = -1;
+    /// The label predicate is subsumed by the equi-join: this position's
+    /// label expression is absent or textually identical to the one at
+    /// eq_pos, which the joined-to node already passed — so the batch path
+    /// skips re-evaluating it on cyclic re-visits (the scalar interpreter
+    /// re-checks redundantly; see the Figure 4 regression test).
+    bool label_implied = false;
+    bool has_kernel = false;  // Inline WHERE present (compiled below).
+    PredicateKernel kernel;
+  };
+  /// One kEdgeStep position; `edges[i]` is hop i.
+  struct EdgeStep {
+    int pc = -1;
+    int var = -1;
+    int eq_pos = -1;  // Into `edges`, same discipline as NodeStep::eq_pos.
+    bool has_kernel = false;
+    PredicateKernel kernel;
+  };
+  std::vector<NodeStep> nodes;  // hops + 1 entries.
+  std::vector<EdgeStep> edges;  // One per hop.
+  bool eligible = false;
+};
+
 /// A compiled top-level path pattern.
 struct Program {
   std::vector<Instr> code;
@@ -79,6 +120,12 @@ struct Program {
   /// BindProgramToGraph); indexed by Instr::lpred. Empty on unbound
   /// programs.
   std::vector<CompiledLabelPred> label_preds;
+
+  /// Block-at-a-time plan, built when BindProgramToGraph is given the
+  /// variable table; nullptr (or !eligible) routes to the scalar
+  /// interpreter. Stored on the program so plan-cache hits reuse the
+  /// compiled kernels exactly like they reuse label_preds.
+  std::shared_ptr<const BatchPlan> batch;
 
   std::string ToString() const;  // Disassembly for tests/debugging.
 };
@@ -97,7 +144,13 @@ Result<Program> CompilePattern(const PathPatternDecl& decl,
 /// only run over that graph; the plan cache guarantees this by keying
 /// entries on the graph identity token. Unbound programs still execute
 /// correctly through the legacy string paths.
-void BindProgramToGraph(Program* program, const PropertyGraph& g);
+///
+/// When `vars` is non-null the batch plan is built too (Program::batch):
+/// shape eligibility, per-position equi-join targets, bind-time label
+/// hoisting, and the inline-WHERE predicate kernels — all derived data, so
+/// both the batch and scalar routes can run the same bound program.
+void BindProgramToGraph(Program* program, const PropertyGraph& g,
+                        const VarTable* vars = nullptr);
 
 }  // namespace gpml
 

@@ -105,7 +105,9 @@ std::string ExplainPlan(const Plan& plan, const VarTable& vars,
      << (plan.planner_used ? "on" : "off") << "\n";
   if (exec != nullptr) {
     os << "exec: threads=" << exec->threads
-       << " cached=" << (exec->cached ? "true" : "false");
+       << " cached=" << (exec->cached ? "true" : "false")
+       // Vectorized matcher block target; 0 = scalar execution.
+       << " batch=" << exec->batch;
     if (exec->analyzed) {
       os << " rows=" << exec->rows
          << " truncated=" << (exec->truncated ? "true" : "false");
@@ -155,7 +157,10 @@ std::string ExplainPlan(const Plan& plan, const VarTable& vars,
     } else {
       os << "all";
     }
-    os << " fanout~" << FormatEstimate(dp.anchor.fanout) << " join=["
+    os << " fanout~" << FormatEstimate(dp.anchor.fanout)
+       // Inline-predicate selectivity the seed estimate used — exact when
+       // histogram estimates resolved it, else the System-R constants.
+       << " sel~" << FormatEstimate(dp.anchor.selectivity) << " join=["
        << JoinVarNames(dp.join_vars, vars) << "]";
     if (actuals != nullptr && i < actuals->size()) {
       // EXPLAIN ANALYZE: measured counterparts of the estimates above.
@@ -215,6 +220,8 @@ Result<ExplainedPlan> ParseExplain(const std::string& text) {
       out.threads = static_cast<size_t>(
           std::atoi(TokenValue(line, "threads=").c_str()));
       out.cached = TokenValue(line, "cached=") == "true";
+      out.batch = static_cast<size_t>(
+          std::atol(TokenValue(line, "batch=").c_str()));
       std::string rows = TokenValue(line, "rows=");
       if (!rows.empty()) {
         out.analyzed = true;
@@ -243,6 +250,8 @@ Result<ExplainedPlan> ParseExplain(const std::string& text) {
     d.var = UnescapeExplainValue(TokenValue(line, "var="));
     std::string seeds = TokenValue(line, "seeds~");
     d.seeds = seeds == "*" ? -1 : std::atof(seeds.c_str());
+    std::string sel = TokenValue(line, "sel~");
+    if (!sel.empty()) d.selectivity = std::atof(sel.c_str());
     // The source prefix ("all" / "label:" / "bound:") never contains escape
     // characters, so unescaping the whole token restores exactly the value
     // part.

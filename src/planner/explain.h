@@ -19,6 +19,9 @@ namespace planner {
 struct ExplainExec {
   size_t threads = 1;
   bool cached = false;
+  /// Vectorized matcher block target (EngineOptions::use_batch on): rendered
+  /// as `batch=N` on the exec line; 0 = scalar execution.
+  size_t batch = 0;
   bool analyzed = false;  // True for EXPLAIN ANALYZE: rows/truncated valid.
   size_t rows = 0;        // Result rows after join, mode filter, postfilter.
   bool truncated = false; // Budget-truncated output (not a clean LIMIT stop).
@@ -95,6 +98,7 @@ struct ExplainedDecl {
   std::string var;      // Anchor variable name; "_" when none.
   double seeds = 0;     // Estimated enumerated seeds; -1 ("*") for bound
                         // steps, whose seed count is a run-time join size.
+  double selectivity = -1;  // `sel~` estimate; -1 when the line carried none.
   std::string source;   // "all", "label:<L>", or "bound:<var>".
   std::vector<std::string> join_vars;
   std::string selector;
@@ -122,6 +126,7 @@ struct ExplainedPlan {
   bool has_exec = false;   // An `exec:` line was present.
   size_t threads = 0;      // From the exec line; 0 when absent.
   bool cached = false;     // From the exec line; false when absent.
+  size_t batch = 0;        // `batch=` on the exec line; 0 when absent.
   bool analyzed = false;   // The exec line carried ANALYZE actuals.
   size_t rows = 0;         // From the exec line; 0 when absent.
   bool truncated = false;  // From the exec line; false when absent.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "graph/property_graph.h"
+
 namespace gpml {
 namespace planner {
 
@@ -284,19 +286,33 @@ SeedEstimate EstimateEndpoint(const NodePattern* np, const GraphStats& stats,
   } else {
     est.enumerated = n;
   }
+  SelectivityHints hints;
+  hints.var = np->var;
+  hints.label = est.label;
+  hints.label_count = est.label.empty() ? n : est.enumerated;
+  est.selectivity = PredicateSelectivity(np->where, config, hints);
   est.survivors = EstimateLabelCardinality(np->labels, stats) *
-                  PredicateSelectivity(np->where, config);
+                  est.selectivity;
   est.survivors = std::min(est.survivors, est.enumerated);
 
   // Index-backed seeding: a labeled endpoint with an inline equality
   // predicate can seed from the (label, prop) = value hash index. The cost
   // comparison against the label scan is the eq-selectivity discount on the
-  // enumerated seeds; the index is never larger than the label scan, so
-  // this estimate errs conservative.
+  // enumerated seeds (exact bucket size when histograms are available); the
+  // index is never larger than the label scan, so this estimate errs
+  // conservative.
   if (config.use_seed_index && !est.label.empty() && np->where != nullptr &&
       FindEqualityConjunct(*np->where, np->var, &est.index_prop,
                            &est.index_value, &est.index_param)) {
-    est.enumerated *= config.eq_selectivity;
+    if (config.histograms != nullptr && est.index_param.empty()) {
+      double exact = static_cast<double>(
+          config.histograms
+              ->IndexedNodes(est.label, est.index_prop, est.index_value)
+              .size());
+      est.enumerated = std::min(est.enumerated, exact);
+    } else {
+      est.enumerated *= config.eq_selectivity;
+    }
     est.survivors = std::min(est.survivors, est.enumerated);
   }
   return est;
@@ -401,22 +417,62 @@ double EstimateLabelCardinality(const LabelExprPtr& labels,
   return n;
 }
 
-double PredicateSelectivity(const ExprPtr& where,
-                            const PlannerConfig& config) {
+namespace {
+
+/// Exact selectivity of `hints.var.prop = literal` from the property seed
+/// index histogram: bucket count over label count, clamped to [0, 1].
+/// Negative when the conjunct doesn't resolve (wrong shape, other variable,
+/// $param operand, no label, empty histogram context).
+double ExactEqualitySelectivity(const Expr& eq, const PlannerConfig& config,
+                                const SelectivityHints& hints) {
+  if (config.histograms == nullptr || hints.label.empty() ||
+      hints.var.empty() || hints.label_count <= 0) {
+    return -1.0;
+  }
+  const Expr* access = nullptr;
+  const Expr* literal = nullptr;
+  if (eq.lhs->kind == Expr::Kind::kPropertyAccess &&
+      eq.rhs->kind == Expr::Kind::kLiteral) {
+    access = eq.lhs.get();
+    literal = eq.rhs.get();
+  } else if (eq.rhs->kind == Expr::Kind::kPropertyAccess &&
+             eq.lhs->kind == Expr::Kind::kLiteral) {
+    access = eq.rhs.get();
+    literal = eq.lhs.get();
+  } else {
+    return -1.0;
+  }
+  if (access->var != hints.var || access->property == "*" ||
+      literal->literal.is_null()) {
+    return -1.0;
+  }
+  double count = static_cast<double>(
+      config.histograms
+          ->IndexedNodes(hints.label, access->property, literal->literal)
+          .size());
+  return std::min(1.0, count / hints.label_count);
+}
+
+}  // namespace
+
+double PredicateSelectivity(const ExprPtr& where, const PlannerConfig& config,
+                            const SelectivityHints& hints) {
   if (where == nullptr) return 1.0;
   switch (where->kind) {
     case Expr::Kind::kBinary:
       switch (where->op) {
         case BinaryOp::kAnd:
-          return PredicateSelectivity(where->lhs, config) *
-                 PredicateSelectivity(where->rhs, config);
+          return PredicateSelectivity(where->lhs, config, hints) *
+                 PredicateSelectivity(where->rhs, config, hints);
         case BinaryOp::kOr: {
-          double a = PredicateSelectivity(where->lhs, config);
-          double b = PredicateSelectivity(where->rhs, config);
+          double a = PredicateSelectivity(where->lhs, config, hints);
+          double b = PredicateSelectivity(where->rhs, config, hints);
           return std::min(1.0, a + b - a * b);
         }
-        case BinaryOp::kEq:
-          return config.eq_selectivity;
+        case BinaryOp::kEq: {
+          double exact = ExactEqualitySelectivity(*where, config, hints);
+          return exact >= 0 ? exact : config.eq_selectivity;
+        }
         case BinaryOp::kNeq:
           return config.neq_selectivity;
         case BinaryOp::kLt:
@@ -428,7 +484,8 @@ double PredicateSelectivity(const ExprPtr& where,
           return config.default_selectivity;
       }
     case Expr::Kind::kNot:
-      return std::max(0.0, 1.0 - PredicateSelectivity(where->lhs, config));
+      return std::max(0.0,
+                      1.0 - PredicateSelectivity(where->lhs, config, hints));
     case Expr::Kind::kIsNull:
       return where->negated ? config.neq_selectivity : config.eq_selectivity;
     case Expr::Kind::kLiteral:
@@ -436,6 +493,11 @@ double PredicateSelectivity(const ExprPtr& where,
     default:
       return config.default_selectivity;
   }
+}
+
+double PredicateSelectivity(const ExprPtr& where,
+                            const PlannerConfig& config) {
+  return PredicateSelectivity(where, config, SelectivityHints{});
 }
 
 const NodePattern* FirstNodeOf(const PathPattern& p) {

@@ -30,6 +30,13 @@ struct PlannerConfig {
   /// result-preserving: the restriction only drops starts the first node
   /// check would reject anyway. Off for differential comparison.
   bool use_seed_index = true;
+  /// Exact equality histograms: when non-null, `var.prop = literal`
+  /// selectivities over a labeled endpoint are computed from the graph's
+  /// per-(label, key, value) property seed index counts instead of
+  /// eq_selectivity, and index-backed seed estimates use the exact bucket
+  /// size. Estimates only — never results. Null keeps the System-R
+  /// constants (unit tests exercise the cost model without a graph).
+  const PropertyGraph* histograms = nullptr;
 };
 
 /// Seed-cost estimate of one endpoint of a path pattern declaration.
@@ -46,6 +53,12 @@ struct SeedEstimate {
                             // $parameter instead of a literal; the engine
                             // resolves the index value at bind time
                             // (index_value is unset in that case).
+
+  /// The inline-predicate selectivity this estimate used — exact (from the
+  /// property seed index histogram) when PlannerConfig::histograms resolved
+  /// the predicate, else the System-R constant product. Rendered as `sel~`
+  /// on EXPLAIN step lines.
+  double selectivity = 1.0;
 
   bool has_index() const { return !index_prop.empty(); }
 
@@ -114,6 +127,24 @@ double EstimateLabelCardinality(const LabelExprPtr& labels,
 
 /// Estimated fraction of elements surviving an inline predicate.
 double PredicateSelectivity(const ExprPtr& where, const PlannerConfig& config);
+
+/// Context for the histogram-aware overload: which endpoint the predicate
+/// filters, so `var.prop = literal` can be resolved against the graph's
+/// per-(label, key, value) seed-index counts.
+struct SelectivityHints {
+  std::string var;     // Endpoint variable name ("" = unknown).
+  std::string label;   // Single seeding label ("" = full scan).
+  double label_count = 0;  // Estimated elements carrying `label`.
+};
+
+/// PredicateSelectivity with exact equality estimates: when
+/// config.histograms is set, hints.label is non-empty, and the conjunct is
+/// `hints.var.prop = literal`, returns the exact bucket count from the
+/// property seed index divided by hints.label_count (clamped to [0, 1]).
+/// Every other shape recurses with the same hints and falls back to the
+/// System-R constants.
+double PredicateSelectivity(const ExprPtr& where, const PlannerConfig& config,
+                            const SelectivityHints& hints);
 
 /// Endpoint node patterns of a declaration pattern, when extractable
 /// (concatenations, through parentheses and min>=1 quantifier heads).

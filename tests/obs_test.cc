@@ -325,6 +325,42 @@ TEST(MetricsTest, EnginePublishesToGraphRegistry) {
   EXPECT_EQ(total->count, 2u);
 }
 
+TEST(MetricsTest, BatchMatcherPublishesBlockTelemetry) {
+  // The vectorized matcher's telemetry (docs/vectorized.md): per-execution
+  // block/candidate/survivor counts on EngineMetrics, a cumulative
+  // gpml_batch_blocks_total counter, and per-execution survivor rates in
+  // the gpml_batch_survivor_rate histogram.
+  PropertyGraph g = BuildPaperGraph();
+  EngineMetrics metrics;
+  EngineOptions options;
+  options.metrics = &metrics;
+  options.use_batch = true;
+  ASSERT_TRUE(Engine(g, options).Match(kStreamQuery).ok());
+  EXPECT_GT(metrics.batch_blocks, 0u);
+  EXPECT_GT(metrics.batch_candidates, 0u);
+  EXPECT_GT(metrics.batch_survivors, 0u);
+  EXPECT_LE(metrics.batch_survivors, metrics.batch_candidates);
+
+  obs::MetricsSnapshot snap = g.metrics_registry()->Snapshot();
+  EXPECT_EQ(snap.CounterValue("gpml_batch_blocks_total"),
+            metrics.batch_blocks);
+  const obs::HistogramSnapshot* rate =
+      snap.FindHistogram("gpml_batch_survivor_rate");
+  ASSERT_NE(rate, nullptr);
+  EXPECT_EQ(rate->count, 1u);
+
+  // The scalar oracle leaves the batch telemetry untouched.
+  PropertyGraph scalar_graph = BuildPaperGraph();
+  options.use_batch = false;
+  ASSERT_TRUE(Engine(scalar_graph, options).Match(kStreamQuery).ok());
+  EXPECT_EQ(metrics.batch_blocks, 0u);
+  EXPECT_EQ(metrics.batch_candidates, 0u);
+  obs::MetricsSnapshot scalar_snap =
+      scalar_graph.metrics_registry()->Snapshot();
+  EXPECT_EQ(scalar_snap.CounterValue("gpml_batch_blocks_total"), 0u);
+  EXPECT_EQ(scalar_snap.FindHistogram("gpml_batch_survivor_rate"), nullptr);
+}
+
 TEST(MetricsTest, PublishMetricsOffLeavesRegistryEmpty) {
   PropertyGraph g = BuildPaperGraph();
   EngineOptions options;
@@ -710,6 +746,26 @@ TEST(ObsTest, ExplainAnalyzeReportsStageActuals) {
   EXPECT_LE(decl_ms, parsed->total_ms + 1.0)
       << "per-declaration time is contained in the total\n"
       << *text;
+}
+
+TEST(ObsTest, ExplainAnalyzeRoundTripsBatchBlockTarget) {
+  // The exec line's batch= token (the vectorized block target, 0 when the
+  // batch path is disabled) survives a render -> ParseExplain round trip.
+  PropertyGraph g = BuildPaperGraph();
+  EngineOptions options;
+  options.use_batch = true;
+  Result<std::string> text = Engine(g, options).ExplainAnalyze(kStreamQuery);
+  ASSERT_TRUE(text.ok()) << text.status();
+  Result<planner::ExplainedPlan> parsed = planner::ParseExplain(*text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status() << "\n" << *text;
+  EXPECT_EQ(parsed->batch, 512) << *text;
+
+  options.use_batch = false;
+  Result<std::string> off = Engine(g, options).ExplainAnalyze(kStreamQuery);
+  ASSERT_TRUE(off.ok()) << off.status();
+  Result<planner::ExplainedPlan> parsed_off = planner::ParseExplain(*off);
+  ASSERT_TRUE(parsed_off.ok()) << parsed_off.status() << "\n" << *off;
+  EXPECT_EQ(parsed_off->batch, 0) << *off;
 }
 
 }  // namespace

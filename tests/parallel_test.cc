@@ -257,7 +257,9 @@ TEST(ParallelTest, SequentialBudgetTriggersAtTheSamePoint) {
 /// shard stays below it.
 TEST(ParallelTest, ParallelBudgetIsSharedAcrossShards) {
   FraudGraphOptions options;
-  options.num_accounts = 40;
+  // 60 accounts keeps the step count (batch charging: one per gathered
+  // candidate) far above the grain even on the vectorized path.
+  options.num_accounts = 60;
   PropertyGraph g = MakeFraudGraph(options);
   size_t steps = StepsUsed(g, kBudgetQuery);
   // Far above the parallel charge batching grain (256 x 8 shards), so the

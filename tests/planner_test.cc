@@ -156,6 +156,105 @@ TEST(CostModelTest, PredicateSelectivities) {
       config.eq_selectivity * config.range_selectivity);
 }
 
+TEST(CostModelTest, HistogramExactEqualitySelectivity) {
+  // 10 Src nodes, kind: 3x 'a', 7x 'b'. With histograms wired the equality
+  // estimate is the exact per-(label, key, value) bucket count from the
+  // property seed index, not the System-R constant.
+  GraphBuilder b;
+  for (int i = 0; i < 10; ++i) {
+    b.AddNode("s" + std::to_string(i), {"Src"},
+              {{"kind", Value::String(i < 3 ? "a" : "b")}});
+  }
+  Result<PropertyGraph> g = std::move(b).Build();
+  ASSERT_TRUE(g.ok());
+
+  planner::PlannerConfig config;
+  planner::SelectivityHints hints;
+  hints.var = "x";
+  hints.label = "Src";
+  hints.label_count = 10;
+  auto eq = Expr::Binary(BinaryOp::kEq, Expr::Prop("x", "kind"),
+                         Expr::Lit(Value::String("a")));
+
+  // Null histograms: the System-R constant, unchanged.
+  EXPECT_DOUBLE_EQ(planner::PredicateSelectivity(eq, config, hints),
+                   config.eq_selectivity);
+
+  config.histograms = &*g;
+  EXPECT_DOUBLE_EQ(planner::PredicateSelectivity(eq, config, hints), 0.3);
+
+  // A value no node carries: exactly zero survivors, not 10%.
+  auto miss = Expr::Binary(BinaryOp::kEq, Expr::Prop("x", "kind"),
+                           Expr::Lit(Value::String("z")));
+  EXPECT_DOUBLE_EQ(planner::PredicateSelectivity(miss, config, hints), 0.0);
+
+  // Conjunctions resolve each equality conjunct exactly.
+  auto both = Expr::Binary(BinaryOp::kAnd, eq, miss);
+  EXPECT_DOUBLE_EQ(planner::PredicateSelectivity(both, config, hints), 0.0);
+
+  // A different variable cannot be resolved against this endpoint's
+  // histogram: System-R fallback.
+  auto other = Expr::Binary(BinaryOp::kEq, Expr::Prop("y", "kind"),
+                            Expr::Lit(Value::String("a")));
+  EXPECT_DOUBLE_EQ(planner::PredicateSelectivity(other, config, hints),
+                   config.eq_selectivity);
+
+  // Range predicates keep the System-R constant even with histograms.
+  auto lt = Expr::Binary(BinaryOp::kLt, Expr::Prop("x", "kind"),
+                         Expr::Lit(Value::String("b")));
+  EXPECT_DOUBLE_EQ(planner::PredicateSelectivity(lt, config, hints),
+                   config.range_selectivity);
+}
+
+TEST(AnchorSelectionTest, HistogramSelectivityDrivesAnchorChoice) {
+  // 100 Src nodes (95 kind='hot', 5 kind='cold') each with one E edge into
+  // one of 10 Dst nodes. The System-R constant (10%) would call the 'hot'
+  // endpoint selective (100 * 0.1 = 10 survivors < 10 Dst + fanout); the
+  // exact histogram knows it keeps 95 nodes, so the planner anchors at the
+  // Dst end instead. The 'cold' endpoint really is selective (5 nodes) and
+  // stays the anchor, with its exact selectivity and bucket-sized seed
+  // estimate surfaced in EXPLAIN.
+  GraphBuilder b;
+  for (int i = 0; i < 10; ++i) {
+    b.AddNode("d" + std::to_string(i), {"Dst"});
+  }
+  for (int i = 0; i < 100; ++i) {
+    std::string name = "s" + std::to_string(i);
+    b.AddNode(name, {"Src"},
+              {{"kind", Value::String(i < 95 ? "hot" : "cold")}});
+    b.AddDirectedEdge("e" + std::to_string(i), name,
+                      "d" + std::to_string(i % 10), {"E"});
+  }
+  Result<PropertyGraph> built = std::move(b).Build();
+  ASSERT_TRUE(built.ok());
+  PropertyGraph g = std::move(*built);
+  Engine engine(g);
+
+  Result<std::string> hot =
+      engine.Explain("MATCH (a:Src WHERE a.kind='hot')-[:E]->(b:Dst)");
+  ASSERT_TRUE(hot.ok()) << hot.status();
+  Result<planner::ExplainedPlan> hot_plan = planner::ParseExplain(*hot);
+  ASSERT_TRUE(hot_plan.ok()) << hot_plan.status() << "\n" << *hot;
+  ASSERT_EQ(hot_plan->decls.size(), 1u);
+  EXPECT_TRUE(hot_plan->decls[0].reversed)
+      << "95/100 survivors must out-cost the 10-node Dst scan\n"
+      << *hot;
+
+  Result<std::string> cold =
+      engine.Explain("MATCH (a:Src WHERE a.kind='cold')-[:E]->(b:Dst)");
+  ASSERT_TRUE(cold.ok()) << cold.status();
+  Result<planner::ExplainedPlan> cold_plan = planner::ParseExplain(*cold);
+  ASSERT_TRUE(cold_plan.ok()) << cold_plan.status() << "\n" << *cold;
+  ASSERT_EQ(cold_plan->decls.size(), 1u);
+  const planner::ExplainedDecl& anchor = cold_plan->decls[0];
+  EXPECT_FALSE(anchor.reversed) << *cold;
+  EXPECT_EQ(anchor.var, "a") << *cold;
+  EXPECT_DOUBLE_EQ(anchor.selectivity, 0.05) << *cold;
+  // Index-backed seeding caps the seed estimate at the exact bucket size.
+  EXPECT_DOUBLE_EQ(anchor.seeds, 5.0) << *cold;
+  EXPECT_EQ(anchor.source, "index:Src.kind") << *cold;
+}
+
 // --- Anchor / direction selection -------------------------------------------
 
 Result<planner::Plan> PlanFor(const PropertyGraph& g, const std::string& query,
