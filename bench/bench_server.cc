@@ -1,0 +1,276 @@
+// Network server contract gate (docs/server.md):
+//
+//   * byte-identity — a fleet of client threads executes >= 1000
+//     parameterized queries against an in-process server and every result
+//     row, as raw response bytes, equals the in-process engine's
+//     RowToJson output for the same binding (transport adds nothing,
+//     loses nothing);
+//   * concurrency — the fleet runs on 8 connections concurrently through
+//     the bounded worker pool with zero spurious failures;
+//   * tail latency — per-query wall times are summarized as p50/p95/p99
+//     into BENCH_server.json (bench_util.h percentile helpers);
+//   * graceful shutdown — Stop() drains with a cursor still open and a
+//     subsequent fetch fails with a transport error, not a hang.
+//
+// Run under ctest as bench_server_contract; exits non-zero on violation.
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "eval/engine.h"
+#include "gql/json_export.h"
+#include "graph/generator.h"
+#include "obs/clock.h"
+#include "server/client.h"
+#include "server/server.h"
+
+namespace gpml {
+namespace {
+
+constexpr int kAccounts = 300;
+constexpr int kClientThreads = 8;
+constexpr int kQueriesPerThread = 150;  // 1200 total, > the 1000 floor.
+
+// Parameterized fraud probe: suspect account by $owner, transfers out to
+// blocked receivers. MATCH-only text — the engine-level prepare surface
+// the server exposes.
+constexpr char kQuery[] =
+    "MATCH (x:Account WHERE x.isBlocked='no' AND x.owner = $owner)"
+    "-[t:Transfer]->(y:Account WHERE y.isBlocked='yes')";
+
+FraudGraphOptions WorkloadOptions() {
+  FraudGraphOptions options;
+  options.num_accounts = kAccounts;
+  return options;
+}
+
+Params OwnerParams(int index) {
+  return Params{{"owner", Value::String("u" + std::to_string(index))}};
+}
+
+/// The in-process oracle: expected row bytes per $owner binding, computed
+/// on an identical (same generator, same seed) graph.
+std::vector<std::vector<std::string>> ComputeExpected(
+    const PropertyGraph& graph) {
+  Engine engine(graph);
+  Result<PreparedQuery> prepared = engine.Prepare(kQuery);
+  if (!prepared.ok()) {
+    std::fprintf(stderr, "oracle prepare failed: %s\n",
+                 prepared.status().ToString().c_str());
+    std::exit(1);
+  }
+  std::vector<std::vector<std::string>> expected(kAccounts);
+  for (int i = 0; i < kAccounts; ++i) {
+    Result<MatchOutput> output = prepared->Execute(OwnerParams(i));
+    if (!output.ok()) {
+      std::fprintf(stderr, "oracle execute failed: %s\n",
+                   output.status().ToString().c_str());
+      std::exit(1);
+    }
+    expected[i].reserve(output->rows.size());
+    for (const ResultRow& row : output->rows) {
+      expected[i].push_back(RowToJson(*output, row, graph));
+    }
+  }
+  return expected;
+}
+
+struct FleetResult {
+  std::vector<double> latencies_ms;
+  size_t rows = 0;
+  size_t failures = 0;
+  size_t mismatches = 0;
+};
+
+FleetResult RunFleet(int port,
+                     const std::vector<std::vector<std::string>>& expected) {
+  std::mutex mu;
+  FleetResult merged;
+  std::vector<std::thread> threads;
+  threads.reserve(kClientThreads);
+  for (int t = 0; t < kClientThreads; ++t) {
+    threads.emplace_back([t, port, &expected, &mu, &merged] {
+      FleetResult local;
+      Result<server::Client> client =
+          server::Client::Connect("127.0.0.1", port, "bench");
+      if (!client.ok() || !client->UseGraph("fraud").ok()) {
+        local.failures += kQueriesPerThread;
+        std::lock_guard<std::mutex> lock(mu);
+        merged.failures += local.failures;
+        return;
+      }
+      Result<server::Client::PreparedInfo> prepared =
+          client->Prepare(kQuery);
+      if (!prepared.ok()) {
+        local.failures += kQueriesPerThread;
+        std::lock_guard<std::mutex> lock(mu);
+        merged.failures += local.failures;
+        return;
+      }
+      for (int i = 0; i < kQueriesPerThread; ++i) {
+        int owner = (t * kQueriesPerThread + i) % kAccounts;
+        obs::Stopwatch watch;
+        Result<server::ExecuteResult> result =
+            client->Execute(prepared->stmt, OwnerParams(owner));
+        double ms = static_cast<double>(watch.ElapsedMicros()) / 1e3;
+        if (!result.ok()) {
+          ++local.failures;
+          continue;
+        }
+        local.latencies_ms.push_back(ms);
+        local.rows += result->rows.size();
+        const std::vector<std::string>& want = expected[owner];
+        if (result->rows.size() != want.size()) {
+          ++local.mismatches;
+        } else {
+          for (size_t r = 0; r < want.size(); ++r) {
+            if (result->rows[r].raw != want[r]) {
+              ++local.mismatches;
+              break;
+            }
+          }
+        }
+      }
+      client->Bye();
+      std::lock_guard<std::mutex> lock(mu);
+      merged.failures += local.failures;
+      merged.mismatches += local.mismatches;
+      merged.rows += local.rows;
+      merged.latencies_ms.insert(merged.latencies_ms.end(),
+                                 local.latencies_ms.begin(),
+                                 local.latencies_ms.end());
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  return merged;
+}
+
+/// Stop() must drain and return with a client cursor still open, and the
+/// abandoned client must see a clean transport error afterwards.
+bool ShutdownDrainContract(server::Server* srv) {
+  Result<server::Client> client =
+      server::Client::Connect("127.0.0.1", srv->port(), "drain");
+  if (!client.ok() || !client->UseGraph("fraud").ok()) return false;
+  Result<server::Client::PreparedInfo> prepared =
+      client->Prepare("MATCH (x:Account)-[t:Transfer]->(y:Account)");
+  if (!prepared.ok()) return false;
+  Result<int64_t> cursor = client->Open(prepared->stmt);
+  if (!cursor.ok()) return false;
+  Result<server::ExecuteResult> page = client->Fetch(*cursor, 16);
+  if (!page.ok() || page->rows.empty()) return false;
+
+  srv->Stop();  // Must not hang on the open connection/cursor.
+
+  Result<server::ExecuteResult> after = client->Fetch(*cursor, 16);
+  if (after.ok()) {
+    std::fprintf(stderr, "fetch succeeded after server Stop()\n");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+}  // namespace gpml
+
+int main() {
+  using namespace gpml;
+
+  PropertyGraph oracle_graph = MakeFraudGraph(WorkloadOptions());
+  std::vector<std::vector<std::string>> expected =
+      ComputeExpected(oracle_graph);
+  size_t expected_rows = 0;
+  for (const auto& rows : expected) expected_rows += rows.size();
+  std::printf("oracle: %d bindings, %zu total rows\n", kAccounts,
+              expected_rows);
+
+  server::ServerOptions options;
+  options.worker_threads = 8;
+  options.max_queue = 4096;
+  server::Server srv(options);
+  if (!srv.AddGraph("fraud", MakeFraudGraph(WorkloadOptions())).ok()) {
+    std::fprintf(stderr, "AddGraph failed\n");
+    return 1;
+  }
+  Status started = srv.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+
+  obs::Stopwatch wall;
+  FleetResult fleet = RunFleet(srv.port(), expected);
+  double wall_ms = wall.ElapsedMs();
+
+  const size_t total = static_cast<size_t>(kClientThreads) *
+                       static_cast<size_t>(kQueriesPerThread);
+  std::printf(
+      "fleet: %zu queries over %d connections in %.1f ms "
+      "(%zu rows, %zu failures, %zu mismatched)\n",
+      total, kClientThreads, wall_ms, fleet.rows, fleet.failures,
+      fleet.mismatches);
+
+  // The server's own telemetry must be visible through the aggregate the
+  // /metrics endpoint serves.
+  bool metrics_ok = false;
+  {
+    Result<server::Client> probe =
+        server::Client::Connect("127.0.0.1", srv.port(), "probe");
+    if (probe.ok()) {
+      Result<std::string> text = probe->Metrics();
+      metrics_ok = text.ok() &&
+                   text->find("gpml_server_queries_total") !=
+                       std::string::npos;
+      probe->Bye();
+    }
+  }
+
+  bool drained = ShutdownDrainContract(&srv);
+
+  std::vector<std::pair<std::string, double>> extra =
+      bench::LatencySummary(fleet.latencies_ms);
+  extra.emplace_back("connections", kClientThreads);
+  extra.emplace_back("queries", static_cast<double>(total));
+  extra.emplace_back("qps", wall_ms > 0 ? 1e3 * static_cast<double>(total) /
+                                              wall_ms
+                                        : 0);
+  extra.emplace_back("failures", static_cast<double>(fleet.failures));
+  extra.emplace_back("mismatches", static_cast<double>(fleet.mismatches));
+  bench::JsonReport report("server");
+  report.Add("fraud300_execute_8x150", wall_ms, 0, 0, fleet.rows, extra);
+  report.Write();
+
+  bool ok = true;
+  if (fleet.failures != 0) {
+    std::fprintf(stderr, "FAIL: %zu queries failed\n", fleet.failures);
+    ok = false;
+  }
+  if (fleet.mismatches != 0) {
+    std::fprintf(stderr, "FAIL: %zu queries returned rows differing from "
+                         "the in-process oracle\n",
+                 fleet.mismatches);
+    ok = false;
+  }
+  if (fleet.latencies_ms.size() != total) {
+    std::fprintf(stderr, "FAIL: expected %zu latency samples, got %zu\n",
+                 total, fleet.latencies_ms.size());
+    ok = false;
+  }
+  if (!metrics_ok) {
+    std::fprintf(stderr, "FAIL: /metrics aggregate is missing "
+                         "gpml_server_queries_total\n");
+    ok = false;
+  }
+  if (!drained) {
+    std::fprintf(stderr, "FAIL: graceful-shutdown drain contract\n");
+    ok = false;
+  }
+  if (!ok) return 1;
+  std::printf("bench_server: all contracts PASSED\n");
+  return 0;
+}

@@ -1,6 +1,8 @@
 #ifndef GPML_BENCH_BENCH_UTIL_H_
 #define GPML_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -29,6 +31,36 @@ inline size_t RunOrDie(const PropertyGraph& g, const std::string& query,
     std::abort();
   }
   return out->rows.size();
+}
+
+/// The p-th percentile (0 < p <= 100) of `samples` by linear interpolation
+/// between closest ranks (the "exclusive" flavor numpy calls 'linear').
+/// Sorts a copy; benchmarks call this once per distribution, not per
+/// sample. Returns 0 for an empty sample set.
+inline double Percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  if (samples.size() == 1) return samples[0];
+  double rank = (p / 100.0) * static_cast<double>(samples.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  if (lo >= samples.size() - 1) return samples.back();
+  double frac = rank - static_cast<double>(lo);
+  return samples[lo] + frac * (samples[lo + 1] - samples[lo]);
+}
+
+/// The tail summary every latency benchmark reports: p50/p95/p99 plus the
+/// extremes, as ready-to-Add JsonReport extra pairs.
+inline std::vector<std::pair<std::string, double>> LatencySummary(
+    const std::vector<double>& samples_ms) {
+  std::vector<double> sorted = samples_ms;
+  std::sort(sorted.begin(), sorted.end());
+  double min = sorted.empty() ? 0 : sorted.front();
+  double max = sorted.empty() ? 0 : sorted.back();
+  return {{"p50_ms", Percentile(sorted, 50)},
+          {"p95_ms", Percentile(sorted, 95)},
+          {"p99_ms", Percentile(sorted, 99)},
+          {"min_ms", min},
+          {"max_ms", max}};
 }
 
 /// Machine-readable benchmark report: one BENCH_<name>.json file written
@@ -136,7 +168,10 @@ class JsonReport {
         default:
           if (static_cast<unsigned char>(c) < 0x20) {
             char buf[8];
-            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            // The cast matters: a plain (signed) char would sign-extend
+            // and print 8 hex digits for bytes >= 0x80.
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(c)));
             out += buf;
           } else {
             out += c;

@@ -1067,9 +1067,10 @@ Status Cursor::FillChunk() {
       RunPattern(*graph_, program, *context_.vars, matcher_options, &chunk,
                  &stats, context_.params.get(), budget_.get(),
                  truncate ? &exhausted : nullptr);
-  if (!match.ok()) return match.status();
-  if (dp.reversed) planner::UnreverseMatchSet(&*match);
-
+  // Record the matcher work even when the run errored: RunPattern fills
+  // `stats` with the steps actually spent before a budget refusal, and
+  // downstream accounting (the server's per-tenant step charging) must see
+  // them — a query that dies on its step cap still did that work.
   seeds_total_ += stats.seeds;
   steps_total_ += stats.steps;
   batch_blocks_total_ += stats.batch_blocks;
@@ -1086,6 +1087,8 @@ Status Cursor::FillChunk() {
     options_.metrics->seed_ms += stats.seed_ms;
     options_.metrics->exec_ms += stats.match_ms;
   }
+  if (!match.ok()) return match.status();
+  if (dp.reversed) planner::UnreverseMatchSet(&*match);
 
   for (PathBinding& pb : match->bindings) {
     ResultRow row;

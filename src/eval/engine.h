@@ -266,6 +266,19 @@ class PreparedQuery {
     signature_.Merge(extra);
   }
 
+  /// A copy of this prepared query that executes under different engine
+  /// options — same graph, same shared compiled plan, nothing recompiled.
+  /// The server layer (src/server/) uses this to attach a per-execution
+  /// metrics sink and to tighten the matcher's step/match caps to a
+  /// tenant's admission quota (each execution's SharedBudget is built
+  /// from those caps) without paying Prepare again or mutating the
+  /// statement other executions share.
+  PreparedQuery WithOptions(EngineOptions options) const {
+    PreparedQuery copy(*this);
+    copy.options_ = options;
+    return copy;
+  }
+
   /// Materializing execution — row-identical to Engine::Match on the same
   /// pattern with the bound values written as literals (prepared-vs-literal
   /// differential tests assert this).

@@ -1,0 +1,146 @@
+#include "server/protocol.h"
+
+#include <cstdio>
+
+#include "gql/json_export.h"
+
+namespace gpml {
+namespace server {
+
+WireError ToWireError(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return {0, "OK"};
+    case StatusCode::kInvalidArgument: return {100, "INVALID_ARGUMENT"};
+    case StatusCode::kSyntaxError: return {101, "SYNTAX_ERROR"};
+    case StatusCode::kSemanticError: return {102, "SEMANTIC_ERROR"};
+    case StatusCode::kNonTerminating: return {103, "NON_TERMINATING"};
+    case StatusCode::kNotFound: return {104, "NOT_FOUND"};
+    case StatusCode::kAlreadyExists: return {105, "ALREADY_EXISTS"};
+    case StatusCode::kResourceExhausted: return {106, "RESOURCE_EXHAUSTED"};
+    case StatusCode::kUnimplemented: return {107, "UNIMPLEMENTED"};
+    case StatusCode::kInternal: return {108, "INTERNAL"};
+  }
+  return {108, "INTERNAL"};
+}
+
+StatusCode FromWireCode(int code) {
+  switch (code) {
+    case 0: return StatusCode::kOk;
+    case 100: return StatusCode::kInvalidArgument;
+    case 101: return StatusCode::kSyntaxError;
+    case 102: return StatusCode::kSemanticError;
+    case 103: return StatusCode::kNonTerminating;
+    case 104: return StatusCode::kNotFound;
+    case 105: return StatusCode::kAlreadyExists;
+    case 106: return StatusCode::kResourceExhausted;
+    case 107: return StatusCode::kUnimplemented;
+    case 108: return StatusCode::kInternal;
+    default: return StatusCode::kInternal;
+  }
+}
+
+std::string ValueToWireJson(const Value& value) {
+  switch (value.type()) {
+    case ValueType::kNull: return "null";
+    case ValueType::kBool: return value.bool_value() ? "true" : "false";
+    case ValueType::kInt: return std::to_string(value.int_value());
+    case ValueType::kDouble: {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.17g", value.double_value());
+      std::string s = buf;
+      if (s.find_first_of(".eE") == std::string::npos &&
+          s.find_first_of("nN") == std::string::npos) {
+        s += ".0";
+      }
+      return s;
+    }
+    case ValueType::kString:
+      return "\"" + JsonEscape(value.string_value()) + "\"";
+  }
+  return "null";
+}
+
+Result<Value> WireJsonToValue(const JsonValue& json) {
+  switch (json.type) {
+    case JsonValue::Type::kNull: return Value::Null();
+    case JsonValue::Type::kBool: return Value::Bool(json.bool_v);
+    case JsonValue::Type::kInt: return Value::Int(json.int_v);
+    case JsonValue::Type::kDouble: return Value::Double(json.double_v);
+    case JsonValue::Type::kString: return Value::String(json.string_v);
+    case JsonValue::Type::kArray:
+    case JsonValue::Type::kObject:
+      return Status::InvalidArgument(
+          "parameter values must be scalars (null/bool/number/string)");
+  }
+  return Status::InvalidArgument("unrecognized parameter value");
+}
+
+Result<Params> WireJsonToParams(const JsonValue& json) {
+  Params params;
+  if (json.is_null()) return params;  // Absent "params" = no bindings.
+  if (!json.is_object()) {
+    return Status::InvalidArgument("\"params\" must be a JSON object");
+  }
+  for (const auto& [name, value_json] : json.object_v) {
+    GPML_ASSIGN_OR_RETURN(Value value, WireJsonToValue(value_json));
+    params[name] = std::move(value);
+  }
+  return params;
+}
+
+std::string ParamsToWireJson(const Params& params) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, value] : params) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\":" + ValueToWireJson(value);
+  }
+  return out + "}";
+}
+
+std::string ErrorResponse(const Status& status, const std::string& reason,
+                          const std::string& id_raw) {
+  WireError wire = ToWireError(status.code());
+  std::string out = "{\"ok\":false";
+  if (!id_raw.empty()) out += ",\"id\":" + id_raw;
+  out += ",\"error\":{\"code\":" + std::to_string(wire.code) + ",\"name\":\"" +
+         wire.name + "\",\"message\":\"" + JsonEscape(status.message()) + "\"";
+  if (!reason.empty()) {
+    out += ",\"reason\":\"" + JsonEscape(reason) + "\"";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string OkResponseHead(const std::string& id_raw) {
+  std::string out = "{\"ok\":true";
+  if (!id_raw.empty()) out += ",\"id\":" + id_raw;
+  return out;
+}
+
+Status StatusFromWireError(const JsonValue& error) {
+  StatusCode code = StatusCode::kInternal;
+  const JsonValue* code_json = error.Find("code");
+  if (code_json != nullptr && code_json->is_int()) {
+    code = FromWireCode(static_cast<int>(code_json->int_v));
+  }
+  std::string message = "server error";
+  const JsonValue* msg_json = error.Find("message");
+  if (msg_json != nullptr && msg_json->is_string()) {
+    message = msg_json->string_v;
+  }
+  std::string reason = ReasonFromWireError(error);
+  if (!reason.empty()) message = "[" + reason + "] " + message;
+  if (code == StatusCode::kOk) code = StatusCode::kInternal;
+  return Status(code, std::move(message));
+}
+
+std::string ReasonFromWireError(const JsonValue& error) {
+  const JsonValue* reason = error.Find("reason");
+  if (reason != nullptr && reason->is_string()) return reason->string_v;
+  return "";
+}
+
+}  // namespace server
+}  // namespace gpml

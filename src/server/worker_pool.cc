@@ -1,0 +1,78 @@
+#include "server/worker_pool.h"
+
+#include <utility>
+
+namespace gpml {
+namespace server {
+
+WorkerPool::WorkerPool(size_t num_threads, size_t max_queue)
+    : max_queue_(max_queue) {
+  if (num_threads == 0) num_threads = 1;
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() { Shutdown(); }
+
+bool WorkerPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return false;
+    if (queue_.size() >= max_queue_) return false;
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+void WorkerPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && threads_.empty()) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+size_t WorkerPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+size_t WorkerPool::active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_;
+}
+
+void WorkerPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        // stopping_ with a drained queue: exit. (stopping_ with queued
+        // tasks keeps draining — Shutdown's contract.)
+        return;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+}  // namespace server
+}  // namespace gpml

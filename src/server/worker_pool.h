@@ -1,0 +1,64 @@
+#ifndef GPML_SERVER_WORKER_POOL_H_
+#define GPML_SERVER_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gpml {
+namespace server {
+
+/// A fixed-size thread pool with a BOUNDED queue — the server's
+/// backpressure mechanism (docs/server.md). Submit never blocks and never
+/// queues unboundedly: when every worker is busy and the queue is at
+/// max_queue, it returns false and the caller turns that into a
+/// structured SERVER_SATURATED error instead of letting latency (and
+/// memory) grow without bound.
+///
+/// Shutdown drains: every task accepted before Shutdown runs to
+/// completion before the workers join — the graceful-shutdown half of the
+/// server contract (in-flight executions finish; new work is rejected).
+class WorkerPool {
+ public:
+  WorkerPool(size_t num_threads, size_t max_queue);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Enqueues `task`. False (task not accepted) when the queue is full or
+  /// the pool is shutting down.
+  bool Submit(std::function<void()> task);
+
+  /// Rejects new submissions, runs everything already accepted, joins the
+  /// workers. Idempotent.
+  void Shutdown();
+
+  /// Tasks waiting (not yet started). Running tasks are not counted.
+  size_t queue_depth() const;
+  /// Tasks currently executing.
+  size_t active() const;
+  size_t num_threads() const { return threads_.size(); }
+  size_t max_queue() const { return max_queue_; }
+
+ private:
+  void WorkerLoop();
+
+  const size_t max_queue_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;        // Signals workers: work or stop.
+  std::condition_variable idle_cv_;   // Signals Shutdown: all drained.
+  std::deque<std::function<void()>> queue_;
+  size_t active_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace server
+}  // namespace gpml
+
+#endif  // GPML_SERVER_WORKER_POOL_H_
