@@ -8,10 +8,15 @@
 //     cost <= 2% wall time vs running with everything off. This is the
 //     contract that lets instrumentation stay on by default
 //     (docs/observability.md).
-//  2. Functional (always enforced): the instrumented run actually produced
+//  2. Query-stats overhead (same build gating): recording into the
+//     per-fingerprint statistics store (obs/query_stats.h), with everything
+//     else off, must also cost <= 2% wall time vs the bare baseline.
+//  3. Functional (always enforced): the instrumented run actually produced
 //     telemetry — span tree with a closed "query" root, emitted JSON lines,
-//     advanced registry counters, a well-formed Prometheus rendering, and a
-//     slow-query capture whose EXPLAIN ANALYZE text parses back.
+//     advanced registry counters, a well-formed Prometheus rendering, a
+//     slow-query capture whose EXPLAIN ANALYZE text parses back, an exact
+//     per-fingerprint stats entry, and a seed-index toggle surfacing as
+//     exactly one recorded plan change.
 
 #include <algorithm>
 #include <chrono>
@@ -24,6 +29,7 @@
 #include "graph/generator.h"
 #include "obs/metrics.h"
 #include "obs/prometheus.h"
+#include "obs/query_stats.h"
 #include "obs/slow_query_log.h"
 #include "obs/trace.h"
 #include "planner/explain.h"
@@ -65,6 +71,7 @@ EngineOptions OffOptions() {
   EngineOptions options;
   options.num_threads = 1;  // Single-threaded for timing stability.
   options.publish_metrics = false;
+  options.publish_query_stats = false;
   options.slow_query_ms = -1;
   return options;
 }
@@ -72,13 +79,15 @@ EngineOptions OffOptions() {
 /// The full stack attached, slow threshold high enough to never fire
 /// during the timed loop (capture itself is measured separately).
 EngineOptions OnOptions(EngineMetrics* metrics, obs::Trace* trace,
-                        obs::TraceSink* sink) {
+                        obs::TraceSink* sink, obs::QueryStatsStore* stats) {
   EngineOptions options;
   options.num_threads = 1;
   options.metrics = metrics;
   options.trace = trace;
   options.trace_sink = sink;
   options.publish_metrics = true;
+  options.publish_query_stats = true;
+  options.query_stats = stats;
   options.slow_query_ms = 1e9;
   return options;
 }
@@ -117,8 +126,9 @@ int RunBench() {
   EngineMetrics metrics;
   obs::Trace trace;
   obs::StringTraceSink sink;
+  obs::QueryStatsStore full_store;
   EngineOptions off = OffOptions();
-  EngineOptions on = OnOptions(&metrics, &trace, &sink);
+  EngineOptions on = OnOptions(&metrics, &trace, &sink, &full_store);
 
   // Warm the plan cache, stats, and label indexes so both sides measure
   // pure matching work.
@@ -186,6 +196,92 @@ int RunBench() {
     ok = false;
   }
 
+  // --- query-stats recording alone, against the same 2% budget -----------
+  // Everything else stays off so the gate isolates what the per-fingerprint
+  // store adds to every execution (docs/observability.md).
+  obs::QueryStatsStore stats_store;
+  EngineOptions stats = OffOptions();
+  stats.publish_query_stats = true;
+  stats.query_stats = &stats_store;
+  size_t rows_stats = 0;
+  size_t stats_calls = 0;
+  MeasureOnce(g, stats, &ok, &rows_stats);  // Warm, like the main gate.
+  ++stats_calls;
+  if (!ok) return 1;
+  auto measure_stats_pair = [&](double* best_base, double* best_stats) {
+    for (int rep = 0; rep < kRepetitions && ok; ++rep) {
+      double ms_base, ms_stats;
+      if (rep % 2 == 0) {
+        ms_base = MeasureOnce(g, off, &ok, &rows_off);
+        ms_stats = MeasureOnce(g, stats, &ok, &rows_stats);
+      } else {
+        ms_stats = MeasureOnce(g, stats, &ok, &rows_stats);
+        ms_base = MeasureOnce(g, off, &ok, &rows_off);
+      }
+      ++stats_calls;
+      *best_base = std::min(*best_base, ms_base);
+      *best_stats = std::min(*best_stats, ms_stats);
+    }
+  };
+  double best_base = 1e300, best_stats = 1e300;
+  measure_stats_pair(&best_base, &best_stats);
+  if (OverheadGateActive() && ok && overhead(best_base, best_stats) > 2.0) {
+    std::printf("query-stats overhead %.2f%% on first round; re-measuring\n",
+                overhead(best_base, best_stats));
+    measure_stats_pair(&best_base, &best_stats);
+  }
+  if (!ok) return 1;
+  double stats_overhead_pct = overhead(best_base, best_stats);
+  std::printf(
+      "query-stats overhead: off %.3fms, stats %.3fms (%+.2f%%)\n",
+      best_base, best_stats, stats_overhead_pct);
+  report.Add("fraud300:stats=on", best_stats, 0, 0, rows_stats,
+             {{"overhead_pct", stats_overhead_pct}});
+  if (!OverheadGateActive()) {
+    std::printf("query-stats gate: SKIPPED (sanitizer or unoptimized build "
+                "distorts timings)\n");
+  } else if (stats_overhead_pct > 2.0) {
+    std::fprintf(stderr,
+                 "FAIL: query-stats overhead %.2f%% > 2%% "
+                 "(off %.3fms, stats %.3fms)\n",
+                 stats_overhead_pct, best_base, best_stats);
+    ok = false;
+  }
+
+  // The store must have seen every instrumented execution, exactly.
+  std::vector<obs::QueryStatEntry> recorded = stats_store.Snapshot();
+  if (recorded.size() != 1 || recorded[0].calls != stats_calls ||
+      recorded[0].rows != stats_calls * rows_stats ||
+      recorded[0].steps == 0) {
+    std::fprintf(stderr,
+                 "FAIL: query-stats entry does not match the workload "
+                 "(%zu entries; want calls %zu rows %zu)\n",
+                 recorded.size(), stats_calls, stats_calls * rows_stats);
+    ok = false;
+  }
+
+  // Plan-change regression detection: flipping the seed index between runs
+  // of the same fingerprint must surface as exactly one plan change.
+  obs::QueryStatsStore change_store;
+  EngineOptions indexed = OffOptions();
+  indexed.publish_query_stats = true;
+  indexed.query_stats = &change_store;
+  EngineOptions scanned = indexed;
+  scanned.use_seed_index = false;
+  size_t rows_toggle = 0;
+  MeasureOnce(g, indexed, &ok, &rows_toggle);
+  MeasureOnce(g, scanned, &ok, &rows_toggle);
+  MeasureOnce(g, scanned, &ok, &rows_toggle);
+  std::vector<obs::QueryStatEntry> toggled = change_store.Snapshot();
+  if (toggled.size() != 1 || !toggled[0].plan_changed ||
+      toggled[0].plan_changes != 1 || toggled[0].plans.size() != 2) {
+    std::fprintf(stderr,
+                 "FAIL: seed-index toggle did not record exactly one plan "
+                 "change (%zu entries)\n",
+                 toggled.size());
+    ok = false;
+  }
+
   // --- functional contract: the telemetry is actually there ---------------
   const obs::Span* root = trace.Find("query");
   if (trace.empty() || root == nullptr || root->duration_us < 0) {
@@ -214,7 +310,7 @@ int RunBench() {
   // Slow-query capture: threshold 0 sends this run into a private log; its
   // EXPLAIN ANALYZE text must parse back (the ms= roundtrip contract).
   obs::SlowQueryLog slow_log(4);
-  EngineOptions slow = OnOptions(&metrics, &trace, &sink);
+  EngineOptions slow = OnOptions(&metrics, &trace, &sink, &full_store);
   slow.slow_query_ms = 0;
   slow.slow_log = &slow_log;
   size_t rows_slow = 0;

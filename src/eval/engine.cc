@@ -297,10 +297,56 @@ void CaptureSlowQuery(const EngineOptions& options, const PropertyGraph& g,
                                      /*stats=*/nullptr, &exec, actuals,
                                      &prepared.diagnostics);
   if (trace != nullptr) rec.trace_json = trace->ToJsonLines();
+  rec.tenant = options.tenant;
+  rec.trace_id = options.trace_id;
   obs::SlowQueryLog& log = options.slow_log != nullptr
                                ? *options.slow_log
                                : obs::GlobalSlowQueryLog();
   log.Add(std::move(rec));
+}
+
+/// Folds one completed execution — success, error, or truncation — into
+/// the query-stats store (EngineOptions::query_stats, defaulting to the
+/// process-wide store) and publishes the gpml_querystats_* /
+/// gpml_plan_changes_total counters into the graph's registry. One short
+/// mutexed update per completion; the matcher's inner loop never sees it.
+void RecordQueryStats(const EngineOptions& options, const PropertyGraph& g,
+                      const planner::CachedPlan& prepared, bool cache_hit,
+                      double total_ms, uint64_t rows, uint64_t seeds,
+                      uint64_t steps, bool error, bool truncated,
+                      bool batch_engaged) {
+  if (!options.publish_query_stats) return;
+  obs::QueryObservation o;
+  // Stats key: the parameterized pattern text (same discipline as the
+  // slow-query fingerprint — bound values never leak). The cached copy
+  // avoids re-rendering per execution; plan-cache-off runs compute it
+  // fresh in PreparePlan either way.
+  o.fingerprint = prepared.stats_fingerprint;
+  o.graph_token = g.identity_token();
+  o.tenant = options.tenant;
+  o.plan_hash = prepared.plan_hash;
+  o.total_ms = total_ms;
+  o.rows = rows;
+  o.seeds = seeds;
+  o.steps = steps;
+  o.error = error;
+  o.truncated = truncated;
+  o.cache_hit = cache_hit;
+  o.batch_engaged = batch_engaged;
+  obs::QueryStatsStore& store = options.query_stats != nullptr
+                                    ? *options.query_stats
+                                    : obs::GlobalQueryStats();
+  obs::QueryStatsStore::RecordOutcome outcome = store.Record(o);
+  if (options.publish_metrics) {
+    std::shared_ptr<obs::MetricsRegistry> registry = g.metrics_registry();
+    registry->GetCounter("gpml_querystats_observations_total")->Increment();
+    if (outcome.evicted) {
+      registry->GetCounter("gpml_querystats_evictions_total")->Increment();
+    }
+    if (outcome.plan_changed) {
+      registry->GetCounter("gpml_plan_changes_total")->Increment();
+    }
+  }
 }
 
 }  // namespace
@@ -412,6 +458,17 @@ Result<std::shared_ptr<const planner::CachedPlan>> Engine::PreparePlan(
         std::make_shared<const Program>(std::move(program)));
   }
   entry->compile_ms = compile_clock.ElapsedMs();
+  // Workload-statistics identity, computed once per compile so executions
+  // (cache hits included) never pay for rendering. The stats fingerprint
+  // deliberately omits the planning flags the cache fingerprint embeds:
+  // toggling use_seed_index keeps one stats entry while the plan hash —
+  // FNV-1a of the plan's EXPLAIN rendering, diagnostics excluded so
+  // warnings don't masquerade as replans — flips, which is exactly the
+  // signal QueryStatsStore turns into a plan-change event.
+  entry->stats_fingerprint = Print(entry->normalized);
+  entry->plan_hash = obs::HashPlanText(planner::ExplainPlan(
+      entry->plan, *entry->vars, /*stats=*/nullptr, /*exec=*/nullptr,
+      /*actuals=*/nullptr, /*warnings=*/nullptr));
   std::shared_ptr<const planner::CachedPlan> shared = std::move(entry);
   if (options_.use_plan_cache) {
     planner::StorePlan(graph_, fingerprint, shared);
@@ -597,6 +654,29 @@ Result<MatchOutput> Engine::ExecutePlan(
     std::shared_ptr<const Params> params,
     std::vector<planner::DeclActual>* actuals, double parse_ms) const {
   obs::Stopwatch total_clock;
+  ExecObserved observed;
+  Result<MatchOutput> out =
+      ExecutePlanImpl(prepared, cache_hit, std::move(params), actuals,
+                      parse_ms, &observed);
+  // Unlike the registry publication inside the impl (completed executions
+  // only), workload statistics count failures too: a query that dies on
+  // its step budget dominated that budget, and the whole point of the
+  // store is to say so. `observed` carries the work spent before death.
+  RecordQueryStats(options_, graph_, prepared, cache_hit,
+                   total_clock.ElapsedMs(),
+                   out.ok() ? out->rows.size() : 0, observed.seeds,
+                   observed.steps, /*error=*/!out.ok(),
+                   /*truncated=*/out.ok() && out->truncated,
+                   /*batch_engaged=*/observed.batch_blocks > 0);
+  return out;
+}
+
+Result<MatchOutput> Engine::ExecutePlanImpl(
+    const planner::CachedPlan& prepared, bool cache_hit,
+    std::shared_ptr<const Params> params,
+    std::vector<planner::DeclActual>* actuals, double parse_ms,
+    ExecObserved* observed) const {
+  obs::Stopwatch total_clock;
   MatchOutput out;
   if (options_.metrics != nullptr) *options_.metrics = {};
   out.normalized = prepared.normalized;
@@ -638,6 +718,10 @@ Result<MatchOutput> Engine::ExecutePlan(
     root = tr->Begin("query");
     tr->Attr(root, "threads", std::to_string(num_workers));
     tr->Attr(root, "cached", cache_hit ? "true" : "false");
+    if (!options_.tenant.empty()) tr->Attr(root, "tenant", options_.tenant);
+    if (!options_.trace_id.empty()) {
+      tr->Attr(root, "trace_id", options_.trace_id);
+    }
     if (parse_ms > 0) {
       tr->AddComplete("parse", root, 0, MsToUs(parse_ms));
     }
@@ -657,10 +741,13 @@ Result<MatchOutput> Engine::ExecutePlan(
 
   // Registry aggregates (published at the end, for completed executions);
   // tracked locally so publication does not depend on options_.metrics.
-  size_t agg_seeded = 0, agg_steps = 0, agg_reversed = 0, agg_bound = 0,
-         agg_indexed = 0;
-  size_t agg_batch_blocks = 0, agg_batch_candidates = 0,
-         agg_batch_survivors = 0;
+  // Seeds/steps/batch-blocks accumulate through `observed` so the
+  // ExecutePlan wrapper sees partial work after an error return.
+  size_t& agg_seeded = observed->seeds;
+  size_t& agg_steps = observed->steps;
+  size_t& agg_batch_blocks = observed->batch_blocks;
+  size_t agg_reversed = 0, agg_bound = 0, agg_indexed = 0;
+  size_t agg_batch_candidates = 0, agg_batch_survivors = 0;
   double seed_ms_total = 0, match_ms_total = 0, join_ms_total = 0;
 
   // Evaluate every path declaration independently (§6.5) in plan order,
@@ -1163,6 +1250,10 @@ Result<bool> Cursor::Next(RowView* view) {
     }
     if (!status_.ok()) {
       done_ = true;
+      // kStream errors bypass FinishStream (no clean completion to
+      // publish), but the workload store still counts them; kBatch
+      // errors were already recorded inside ExecutePlan.
+      RecordStreamStats(/*error=*/true);
       return status_;
     }
   }
@@ -1192,6 +1283,10 @@ void Cursor::FinishStream() {
     tr->Attr(root, "mode", "stream");
     tr->Attr(root, "cached", cache_hit_ ? "true" : "false");
     tr->Attr(root, "rows", std::to_string(emitted_));
+    if (!options_.tenant.empty()) tr->Attr(root, "tenant", options_.tenant);
+    if (!options_.trace_id.empty()) {
+      tr->Attr(root, "trace_id", options_.trace_id);
+    }
     if (parse_ms_ > 0) {
       tr->AddComplete("parse", root, 0, MsToUs(parse_ms_));
     }
@@ -1246,6 +1341,17 @@ void Cursor::FinishStream() {
     CaptureSlowQuery(options_, *graph_, *plan_, exec, /*actuals=*/nullptr,
                      tr, total_ms, emitted_);
   }
+  RecordStreamStats(/*error=*/false);
+}
+
+void Cursor::RecordStreamStats(bool error) {
+  if (stats_recorded_ || mode_ != Mode::kStream) return;
+  stats_recorded_ = true;
+  const double total_ms =
+      static_cast<double>(obs::MonotonicMicros() - open_us_) / 1e3;
+  RecordQueryStats(options_, *graph_, *plan_, cache_hit_, total_ms, emitted_,
+                   seeds_total_, steps_total_, error, truncated_,
+                   /*batch_engaged=*/batch_blocks_total_ > 0);
 }
 
 Result<MatchOutput> Cursor::Drain() {

@@ -14,6 +14,7 @@
 #include "eval/matcher.h"
 #include "eval/params.h"
 #include "graph/property_graph.h"
+#include "obs/query_stats.h"
 #include "obs/slow_query_log.h"
 #include "obs/trace.h"
 #include "planner/explain.h"
@@ -164,6 +165,21 @@ struct EngineOptions {
   /// abandoned streams are never captured.
   double slow_query_ms = 1000.0;
   obs::SlowQueryLog* slow_log = nullptr;
+  /// Fold every completed execution — success, error, or truncation — into
+  /// the per-fingerprint workload statistics store (obs/query_stats.h):
+  /// cumulative calls/rows/steps, a log2 latency histogram, and the plan
+  /// ring that detects replans. One short mutexed update per completion,
+  /// inside the bench_obs 2% budget. Off only for overhead measurement.
+  bool publish_query_stats = true;
+  /// The store to record into; null uses obs::GlobalQueryStats(). The
+  /// server passes its own store only in tests — production shares the
+  /// global one so /query_stats sees every graph.
+  obs::QueryStatsStore* query_stats = nullptr;
+  /// Workload attribution, stamped into query-stats entries, slow-query
+  /// records, and the execution trace root. The server sets these per
+  /// request; in-process hosts leave them empty.
+  std::string tenant;
+  std::string trace_id;  // Client-supplied correlation id.
 };
 
 /// One solution of a graph pattern: a path binding per path declaration
@@ -404,6 +420,12 @@ class Cursor {
   /// streams publish through ExecutePlan instead; errored or abandoned
   /// streams publish nothing (docs/observability.md).
   void FinishStream();
+  /// Folds this stream into the query-stats store (kStream only; kBatch
+  /// records through ExecutePlan). Called once — from FinishStream on
+  /// clean completion, or from Next when the stream dies on an error, so
+  /// unlike the metrics publication above, errored streams ARE counted
+  /// (with the steps they spent before failing).
+  void RecordStreamStats(bool error);
 
   const PropertyGraph* graph_;
   EngineOptions options_;
@@ -444,6 +466,7 @@ class Cursor {
   size_t batch_candidates_total_ = 0;
   size_t batch_survivors_total_ = 0;
   bool published_ = false;
+  bool stats_recorded_ = false;  // RecordStreamStats fired (once ever).
 };
 
 /// The GPML processor of Figure 9: evaluates graph patterns over one
@@ -554,6 +577,24 @@ class Engine {
       const planner::CachedPlan& prepared, bool cache_hit,
       std::shared_ptr<const Params> params,
       std::vector<planner::DeclActual>* actuals, double parse_ms = 0) const;
+
+  /// Matcher work observed by one ExecutePlan call, filled as the run
+  /// progresses so the query-stats recorder sees the steps an execution
+  /// spent even when it then died on an error (mirrors the cursor's
+  /// record-before-status-check discipline in FillChunk).
+  struct ExecObserved {
+    size_t seeds = 0;
+    size_t steps = 0;
+    size_t batch_blocks = 0;
+  };
+
+  /// The body of ExecutePlan; the public wrapper times it and records the
+  /// outcome — success or error — into the query-stats store.
+  Result<MatchOutput> ExecutePlanImpl(
+      const planner::CachedPlan& prepared, bool cache_hit,
+      std::shared_ptr<const Params> params,
+      std::vector<planner::DeclActual>* actuals, double parse_ms,
+      ExecObserved* observed) const;
 
   const PropertyGraph& graph_;
   EngineOptions options_;

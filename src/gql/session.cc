@@ -3,6 +3,7 @@
 #include "gql/result_table.h"
 #include "obs/metrics.h"
 #include "obs/prometheus.h"
+#include "obs/snapshot_filter.h"
 #include "parser/parser.h"
 #include "planner/explain.h"
 
@@ -86,13 +87,18 @@ Result<std::vector<obs::SlowQueryRecord>> Session::SlowQueries() const {
   const obs::SlowQueryLog& log = options_.slow_log != nullptr
                                      ? *options_.slow_log
                                      : obs::GlobalSlowQueryLog();
-  std::vector<obs::SlowQueryRecord> mine;
-  for (obs::SlowQueryRecord& rec : log.Snapshot()) {
-    if (rec.graph_token == graph_->identity_token()) {
-      mine.push_back(std::move(rec));
-    }
+  return obs::FilterByGraphToken(log.Snapshot(), graph_->identity_token());
+}
+
+Result<std::vector<obs::QueryStatEntry>> Session::QueryStats() const {
+  if (graph_ == nullptr) {
+    return Status::InvalidArgument("no graph selected; call UseGraph first");
   }
-  return mine;
+  const obs::QueryStatsStore& store = options_.query_stats != nullptr
+                                          ? *options_.query_stats
+                                          : obs::GlobalQueryStats();
+  return obs::FilterByGraphToken(store.Snapshot(),
+                                 graph_->identity_token());
 }
 
 Result<std::string> Session::Explain(const std::string& statement,

@@ -107,6 +107,13 @@ class Session {
   /// Error when no graph is selected.
   Result<std::vector<obs::SlowQueryRecord>> SlowQueries() const;
 
+  /// The per-fingerprint workload statistics belonging to the current
+  /// graph, most-recently-updated first: the session's configured store
+  /// (EngineOptions::query_stats, or the process-wide
+  /// obs::GlobalQueryStats()) filtered by graph identity
+  /// (docs/observability.md). Error when no graph is selected.
+  Result<std::vector<obs::QueryStatEntry>> QueryStats() const;
+
   /// Engine options applied to every statement (planner, worker threads,
   /// plan cache, evaluation budgets); adjustable between statements. The
   /// plan cache itself lives on the graph, so compiled plans survive both

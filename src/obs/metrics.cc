@@ -30,6 +30,13 @@ uint64_t MetricsSnapshot::CounterValue(const std::string& name) const {
   return 0;
 }
 
+int64_t MetricsSnapshot::GaugeValue(const std::string& name) const {
+  for (const GaugeSnapshot& g : gauges) {
+    if (g.name == name) return g.value;
+  }
+  return 0;
+}
+
 const HistogramSnapshot* MetricsSnapshot::FindHistogram(
     const std::string& name) const {
   for (const HistogramSnapshot& h : histograms) {
@@ -52,15 +59,29 @@ MetricsRegistry::~MetricsRegistry() {
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (histograms_.count(name) != 0) return nullptr;  // Type mismatch.
+  if (histograms_.count(name) != 0 || gauges_.count(name) != 0) {
+    return nullptr;  // Type mismatch.
+  }
   std::unique_ptr<Counter>& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (counters_.count(name) != 0 || histograms_.count(name) != 0) {
+    return nullptr;  // Type mismatch.
+  }
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
 Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (counters_.count(name) != 0) return nullptr;  // Type mismatch.
+  if (counters_.count(name) != 0 || gauges_.count(name) != 0) {
+    return nullptr;  // Type mismatch.
+  }
   std::unique_ptr<Histogram>& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>();
   return slot.get();
@@ -73,6 +94,10 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     snap.counters.reserve(counters_.size());
     for (const auto& [name, counter] : counters_) {
       snap.counters.push_back({name, counter->value()});
+    }
+    snap.gauges.reserve(gauges_.size());
+    for (const auto& [name, gauge] : gauges_) {
+      snap.gauges.push_back({name, gauge->value()});
     }
     snap.histograms.reserve(histograms_.size());
     for (const auto& [name, hist] : histograms_) {
@@ -89,6 +114,10 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   }
   std::sort(snap.counters.begin(), snap.counters.end(),
             [](const CounterSnapshot& a, const CounterSnapshot& b) {
+              return a.name < b.name;
+            });
+  std::sort(snap.gauges.begin(), snap.gauges.end(),
+            [](const GaugeSnapshot& a, const GaugeSnapshot& b) {
               return a.name < b.name;
             });
   std::sort(snap.histograms.begin(), snap.histograms.end(),
@@ -122,6 +151,17 @@ MetricsSnapshot AggregateAllRegistries() {
       }
       if (!merged) out.counters.push_back(std::move(c));
     }
+    for (GaugeSnapshot& g : part.gauges) {
+      bool merged = false;
+      for (GaugeSnapshot& existing : out.gauges) {
+        if (existing.name == g.name) {
+          existing.value += g.value;
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) out.gauges.push_back(std::move(g));
+    }
     for (HistogramSnapshot& h : part.histograms) {
       bool merged = false;
       for (HistogramSnapshot& existing : out.histograms) {
@@ -141,6 +181,10 @@ MetricsSnapshot AggregateAllRegistries() {
   }
   std::sort(out.counters.begin(), out.counters.end(),
             [](const CounterSnapshot& a, const CounterSnapshot& b) {
+              return a.name < b.name;
+            });
+  std::sort(out.gauges.begin(), out.gauges.end(),
+            [](const GaugeSnapshot& a, const GaugeSnapshot& b) {
               return a.name < b.name;
             });
   std::sort(out.histograms.begin(), out.histograms.end(),

@@ -27,6 +27,24 @@ class Counter {
   std::atomic<uint64_t> value_{0};
 };
 
+/// A gauge: a value that goes up and down (live sessions, queue depth).
+/// Same relaxed-atomic discipline as Counter; signed so a racing
+/// decrement-before-increment interleaving never wraps.
+class Gauge {
+ public:
+  void Increment(int64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void Decrement(int64_t n = 1) {
+    value_.fetch_sub(n, std::memory_order_relaxed);
+  }
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
 /// A fixed-bucket latency histogram with log-scaled (power-of-two) bucket
 /// bounds: bucket i counts observations <= 2^i microseconds, the last
 /// bucket is the +Inf overflow. 27 bounds cover 1us .. ~67s, which spans
@@ -87,6 +105,11 @@ struct CounterSnapshot {
   uint64_t value = 0;
 };
 
+struct GaugeSnapshot {
+  std::string name;
+  int64_t value = 0;
+};
+
 struct HistogramSnapshot {
   std::string name;
   uint64_t count = 0;
@@ -96,10 +119,13 @@ struct HistogramSnapshot {
 
 struct MetricsSnapshot {
   std::vector<CounterSnapshot> counters;
+  std::vector<GaugeSnapshot> gauges;
   std::vector<HistogramSnapshot> histograms;
 
   /// The counter's value, or 0 when the name was never registered.
   uint64_t CounterValue(const std::string& name) const;
+  /// The gauge's value, or 0 when the name was never registered.
+  int64_t GaugeValue(const std::string& name) const;
   /// The histogram entry, or nullptr when the name was never registered.
   const HistogramSnapshot* FindHistogram(const std::string& name) const;
 };
@@ -126,11 +152,12 @@ class MetricsRegistry {
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
-  /// The counter/histogram registered under `name`, created on first use.
-  /// Handles stay valid for the registry's lifetime. A name registered as
-  /// a counter cannot be re-registered as a histogram (and vice versa);
-  /// the mismatched lookup returns nullptr.
+  /// The counter/gauge/histogram registered under `name`, created on first
+  /// use. Handles stay valid for the registry's lifetime. A name registered
+  /// as one kind cannot be re-registered as another; the mismatched lookup
+  /// returns nullptr.
   Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
   Histogram* GetHistogram(const std::string& name);
 
   MetricsSnapshot Snapshot() const;
@@ -138,6 +165,7 @@ class MetricsRegistry {
  private:
   mutable std::mutex mu_;
   std::unordered_map<std::string, std::unique_ptr<Counter>> counters_;
+  std::unordered_map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::unordered_map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 

@@ -26,6 +26,21 @@ void AppendSeries(std::string* out, const std::string& base,
   *out += buf;
 }
 
+/// Signed variant for gauges (which may legitimately read negative during
+/// racing increment/decrement interleavings).
+void AppendSeriesInt(std::string* out, const std::string& base,
+                     const std::string& labels, int64_t value) {
+  *out += base;
+  if (!labels.empty()) {
+    out->push_back('{');
+    *out += labels;
+    out->push_back('}');
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), " %" PRId64 "\n", value);
+  *out += buf;
+}
+
 /// Emits `# TYPE base <type>` once per base name (bases arrive grouped
 /// because snapshots are name-sorted and labeled series share a prefix).
 void MaybeTypeLine(std::string* out, std::string* last_base,
@@ -62,6 +77,13 @@ std::string RenderPrometheus(const MetricsSnapshot& snapshot) {
     SplitMetricName(c.name, &base, &labels);
     MaybeTypeLine(&out, &last_base, base, "counter");
     AppendSeries(&out, base, labels, "", c.value);
+  }
+  last_base.clear();
+  for (const GaugeSnapshot& g : snapshot.gauges) {
+    std::string base, labels;
+    SplitMetricName(g.name, &base, &labels);
+    MaybeTypeLine(&out, &last_base, base, "gauge");
+    AppendSeriesInt(&out, base, labels, g.value);
   }
   last_base.clear();
   for (const HistogramSnapshot& h : snapshot.histograms) {

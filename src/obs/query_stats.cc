@@ -1,0 +1,174 @@
+#include "obs/query_stats.h"
+
+#include <algorithm>
+
+#include "obs/clock.h"
+
+namespace gpml {
+namespace obs {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t Fnv1a(const std::string& text, uint64_t h = kFnvOffset) {
+  for (char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+uint64_t HashPlanText(const std::string& explain_text) {
+  return Fnv1a(explain_text);
+}
+
+size_t QueryStatsStore::KeyHash::operator()(const Key& k) const {
+  // Fold the tenant into the fingerprint hash with a separator byte so
+  // ("ab", "c") and ("a", "bc") cannot collide structurally.
+  uint64_t h = Fnv1a(k.tenant);
+  h ^= 0xff;
+  h *= kFnvPrime;
+  return static_cast<size_t>(Fnv1a(k.fingerprint, h));
+}
+
+QueryStatsStore::RecordOutcome QueryStatsStore::Record(
+    const QueryObservation& obs) {
+  RecordOutcome outcome;
+  const uint64_t now_us = MonotonicMicros();
+  const uint64_t latency_us = static_cast<uint64_t>(
+      obs.total_ms > 0 ? obs.total_ms * 1e3 : 0.0);
+  const size_t bucket = Histogram::BucketIndex(latency_us);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++recorded_;
+
+  Key key{obs.tenant, obs.fingerprint};
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    outcome.new_entry = true;
+    if (entries_.size() >= capacity_) {
+      // Evict the least-recently-updated entry.
+      const Key& victim = lru_.back();
+      entries_.erase(victim);
+      lru_.pop_back();
+      ++evictions_;
+      outcome.evicted = true;
+    }
+    lru_.push_front(key);
+    Entry entry;
+    entry.stats.fingerprint = obs.fingerprint;
+    entry.stats.tenant = obs.tenant;
+    entry.stats.latency_buckets.assign(Histogram::kNumBounds + 1, 0);
+    entry.lru_pos = lru_.begin();
+    it = entries_.emplace(std::move(key), std::move(entry)).first;
+  } else {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    it->second.lru_pos = lru_.begin();
+  }
+
+  QueryStatEntry& s = it->second.stats;
+  const bool first_call = s.calls == 0;
+  s.graph_token = obs.graph_token;  // Last writer wins (stable in practice).
+  ++s.calls;
+  if (obs.error) ++s.errors;
+  if (obs.truncated) ++s.truncations;
+  s.rows += obs.rows;
+  s.seeds += obs.seeds;
+  s.steps += obs.steps;
+  if (obs.cache_hit) {
+    ++s.cache_hits;
+  } else {
+    ++s.cache_misses;
+  }
+  if (obs.batch_engaged) ++s.batch_calls;
+  s.total_ms += obs.total_ms;
+  if (first_call || obs.total_ms < s.min_ms) s.min_ms = obs.total_ms;
+  if (first_call || obs.total_ms > s.max_ms) s.max_ms = obs.total_ms;
+  s.latency_buckets[bucket] += 1;
+
+  // Plan ring: find the observation's plan among the remembered ones.
+  PlanRecord* rec = nullptr;
+  for (PlanRecord& p : s.plans) {
+    if (p.plan_hash == obs.plan_hash) {
+      rec = &p;
+      break;
+    }
+  }
+  // back() is the plan currently in use; arriving under any other hash —
+  // brand new or a remembered older plan — is a change.
+  const bool current_plan =
+      !s.plans.empty() && s.plans.back().plan_hash == obs.plan_hash;
+  if (!s.plans.empty() && !current_plan) {
+    outcome.plan_changed = true;
+    s.plan_changed = true;
+    ++s.plan_changes;
+  }
+  if (rec == nullptr) {
+    if (s.plans.size() >= kMaxPlans) {
+      s.plans.erase(s.plans.begin());  // Drop the oldest remembered plan.
+    }
+    s.plans.push_back(PlanRecord{});
+    rec = &s.plans.back();
+    rec->plan_hash = obs.plan_hash;
+    rec->first_seen_us = now_us;
+    rec->min_ms = obs.total_ms;
+    rec->max_ms = obs.total_ms;
+  } else if (!current_plan) {
+    // Revisited an older remembered plan: move it to the current slot.
+    PlanRecord revived = *rec;
+    s.plans.erase(s.plans.begin() + (rec - s.plans.data()));
+    s.plans.push_back(revived);
+    rec = &s.plans.back();
+  }
+  rec->last_seen_us = now_us;
+  ++rec->calls;
+  rec->total_ms += obs.total_ms;
+  if (obs.total_ms < rec->min_ms) rec->min_ms = obs.total_ms;
+  if (obs.total_ms > rec->max_ms) rec->max_ms = obs.total_ms;
+
+  return outcome;
+}
+
+std::vector<QueryStatEntry> QueryStatsStore::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<QueryStatEntry> out;
+  out.reserve(entries_.size());
+  for (const Key& key : lru_) {
+    auto it = entries_.find(key);
+    if (it != entries_.end()) out.push_back(it->second.stats);
+  }
+  return out;
+}
+
+uint64_t QueryStatsStore::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+uint64_t QueryStatsStore::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+size_t QueryStatsStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void QueryStatsStore::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  lru_.clear();
+}
+
+QueryStatsStore& GlobalQueryStats() {
+  static QueryStatsStore* store = new QueryStatsStore();
+  return *store;
+}
+
+}  // namespace obs
+}  // namespace gpml

@@ -22,6 +22,8 @@ struct SlowQueryRecord {
   size_t rows = 0;           // Result rows delivered.
   std::string explain;       // EXPLAIN ANALYZE rendering with actuals.
   std::string trace_json;    // The execution's span tree as JSON lines.
+  std::string tenant;        // Server tenant ("" for in-process hosts).
+  std::string trace_id;      // Client-supplied correlation id ("" if none).
 };
 
 /// A bounded, thread-safe ring buffer of slow-query captures: the newest

@@ -1,0 +1,29 @@
+#ifndef GPML_OBS_SNAPSHOT_FILTER_H_
+#define GPML_OBS_SNAPSHOT_FILTER_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace gpml {
+namespace obs {
+
+/// Keeps only the records of `snapshot` whose `graph_token` field matches
+/// `token` — the one way every host surface narrows a process-wide
+/// observability snapshot (slow queries, query stats) down to its own
+/// graph. Works on any record type with a `graph_token` member; preserves
+/// order and moves the survivors.
+template <typename Record>
+std::vector<Record> FilterByGraphToken(std::vector<Record> snapshot,
+                                       uint64_t token) {
+  std::vector<Record> mine;
+  for (Record& rec : snapshot) {
+    if (rec.graph_token == token) mine.push_back(std::move(rec));
+  }
+  return mine;
+}
+
+}  // namespace obs
+}  // namespace gpml
+
+#endif  // GPML_OBS_SNAPSHOT_FILTER_H_

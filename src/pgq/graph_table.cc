@@ -5,6 +5,7 @@
 #include "gql/result_table.h"
 #include "obs/metrics.h"
 #include "obs/prometheus.h"
+#include "obs/snapshot_filter.h"
 #include "parser/parser.h"
 #include "planner/explain.h"
 
@@ -80,11 +81,17 @@ Result<std::vector<obs::SlowQueryRecord>> GraphTableSlowQueries(
                         catalog.GetGraph(graph));
   const obs::SlowQueryLog& source =
       log != nullptr ? *log : obs::GlobalSlowQueryLog();
-  std::vector<obs::SlowQueryRecord> mine;
-  for (obs::SlowQueryRecord& rec : source.Snapshot()) {
-    if (rec.graph_token == g->identity_token()) mine.push_back(std::move(rec));
-  }
-  return mine;
+  return obs::FilterByGraphToken(source.Snapshot(), g->identity_token());
+}
+
+Result<std::vector<obs::QueryStatEntry>> GraphTableQueryStats(
+    const Catalog& catalog, const std::string& graph,
+    const obs::QueryStatsStore* store) {
+  GPML_ASSIGN_OR_RETURN(std::shared_ptr<const PropertyGraph> g,
+                        catalog.GetGraph(graph));
+  const obs::QueryStatsStore& source =
+      store != nullptr ? *store : obs::GlobalQueryStats();
+  return obs::FilterByGraphToken(source.Snapshot(), g->identity_token());
 }
 
 Result<GraphTableQuery> ParseGraphTableCall(const std::string& sql) {

@@ -84,6 +84,15 @@ Result<std::vector<obs::SlowQueryRecord>> GraphTableSlowQueries(
     const Catalog& catalog, const std::string& graph,
     const obs::SlowQueryLog* log = nullptr);
 
+/// The per-fingerprint workload statistics belonging to the catalog graph,
+/// most-recently-updated first — the SQL host's counterpart of
+/// gql::Session::QueryStats. `store` selects the store the executions
+/// recorded into (EngineOptions::query_stats); null reads the process-wide
+/// obs::GlobalQueryStats(). Error only when the graph is unknown.
+Result<std::vector<obs::QueryStatEntry>> GraphTableQueryStats(
+    const Catalog& catalog, const std::string& graph,
+    const obs::QueryStatsStore* store = nullptr);
+
 }  // namespace gpml
 
 #endif  // GPML_PGQ_GRAPH_TABLE_H_

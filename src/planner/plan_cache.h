@@ -60,6 +60,17 @@ struct CachedPlan {
   /// site): execution skips seeding and matching entirely and publishes
   /// metrics with 0 seeds and 0 steps — the cached empty plan.
   bool always_empty = false;
+  /// The workload-statistics key: Print of the normalized pattern, $names
+  /// kept. Unlike the cache fingerprint it does NOT embed planning flags —
+  /// toggling use_seed_index must keep one stats entry (same query shape)
+  /// while producing a different plan_hash, which is exactly how
+  /// QueryStatsStore detects a plan change. Computed once on the cache-miss
+  /// path; hits reuse it for free.
+  std::string stats_fingerprint;
+  /// FNV-1a of the plan's EXPLAIN rendering (obs::HashPlanText): the stable
+  /// plan identity QueryStatsStore tracks per fingerprint. Identical plans
+  /// hash identically across cache hits, processes, and runs.
+  uint64_t plan_hash = 0;
 };
 
 /// An immutable snapshot map of fingerprint -> CachedPlan, stored on the

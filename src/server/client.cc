@@ -333,6 +333,25 @@ Result<std::string> Client::SlowQueries(const std::string& graph) {
   return records->RawSpan(response.raw);
 }
 
+Result<std::string> Client::QueryStats(const std::string& graph,
+                                       const std::string& tenant) {
+  std::string request = "{\"op\":\"query_stats\"";
+  if (!graph.empty()) {
+    request += ",\"graph\":\"" + JsonEscape(graph) + "\"";
+  }
+  if (!tenant.empty()) {
+    request += ",\"tenant\":\"" + JsonEscape(tenant) + "\"";
+  }
+  request += "}";
+  GPML_ASSIGN_OR_RETURN(RawResponse response, Call(request));
+  const JsonValue* entries = response.parsed.Find("entries");
+  if (entries == nullptr || !entries->is_array()) {
+    return Status::Internal("query_stats response without \"entries\": " +
+                            response.raw);
+  }
+  return entries->RawSpan(response.raw);
+}
+
 Status Client::DebugSleep(int64_t ms) {
   return Call("{\"op\":\"debug_sleep\",\"ms\":" + std::to_string(ms) + "}")
       .status();

@@ -106,6 +106,11 @@ class Client {
   Result<std::string> Metrics();
   /// Slow-query records as a raw JSON array ("" = all graphs).
   Result<std::string> SlowQueries(const std::string& graph = "");
+  /// Per-fingerprint workload statistics as a raw JSON array, sorted by
+  /// total time descending ("" = no graph / tenant filter) — same JSON
+  /// the HTTP /query_stats endpoint serves.
+  Result<std::string> QueryStats(const std::string& graph = "",
+                                 const std::string& tenant = "");
   /// debug_sleep (test servers only; see ServerOptions::enable_debug_ops).
   Status DebugSleep(int64_t ms);
 

@@ -5,8 +5,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <future>
@@ -19,6 +21,8 @@
 #include "graph/sample_graph.h"
 #include "obs/clock.h"
 #include "obs/prometheus.h"
+#include "obs/query_stats.h"
+#include "obs/trace.h"
 #include "pgq/graph_table.h"
 #include "server/json.h"
 #include "server/protocol.h"
@@ -147,6 +151,66 @@ std::string FormatMs(double ms) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.3f", ms);
   return buf;
+}
+
+/// Prometheus label-value escaping (text format): backslash, double
+/// quote, and newline. Tenant names are client-supplied, so they go
+/// through here before being spliced into a series name.
+std::string PromLabelEscape(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\' || c == '"') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// The value of `key` in an HTTP query string ("a=1&b=2"), or "". No
+/// percent-decoding — graph and tenant names on these endpoints are the
+/// same plain identifiers the NDJSON ops take.
+std::string QueryParam(const std::string& query, const std::string& key) {
+  size_t pos = 0;
+  while (pos <= query.size()) {
+    size_t amp = query.find('&', pos);
+    size_t end = amp == std::string::npos ? query.size() : amp;
+    if (end > pos && query.compare(pos, key.size(), key) == 0 &&
+        pos + key.size() < end && query[pos + key.size()] == '=') {
+      return query.substr(pos + key.size() + 1, end - pos - key.size() - 1);
+    }
+    if (amp == std::string::npos) break;
+    pos = amp + 1;
+  }
+  return "";
+}
+
+/// Upper-bound quantile estimate from a log2 latency histogram (the
+/// query-stats buckets share obs::Histogram's bounds): the bound of the
+/// first bucket whose cumulative count reaches ceil(q * calls).
+double QuantileMsFromBuckets(const std::vector<uint64_t>& buckets,
+                             uint64_t calls, double q) {
+  if (calls == 0 || buckets.empty()) return 0;
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * static_cast<double>(calls)));
+  if (rank == 0) rank = 1;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= rank) {
+      size_t bound = i < obs::Histogram::kNumBounds
+                         ? i
+                         : obs::Histogram::kNumBounds - 1;
+      return static_cast<double>(obs::Histogram::BoundMicros(bound)) / 1e3;
+    }
+  }
+  return static_cast<double>(
+             obs::Histogram::BoundMicros(obs::Histogram::kNumBounds - 1)) /
+         1e3;
 }
 
 /// Builds one of the generator graphs by kind name (docs/server.md lists
@@ -357,15 +421,7 @@ void Server::ReaperLoop() {
     std::vector<std::shared_ptr<ServerSession>> reaped =
         registry_.ReapIdle(obs::MonotonicMicros(), idle_us);
     for (const std::shared_ptr<ServerSession>& session : reaped) {
-      bool release = false;
-      {
-        std::lock_guard<std::mutex> session_lock(session->mu);
-        if (!session->admission_released) {
-          session->admission_released = true;
-          release = true;
-        }
-      }
-      if (release) admission_.ReleaseSession(session->tenant());
+      ReleaseSessionSlot(session);
       sessions_reaped_total_->Increment();
     }
   }
@@ -393,15 +449,7 @@ void Server::HandleConnection(Connection* conn) {
     if (state.close_requested) break;
   }
   if (state.session != nullptr) {
-    bool release = false;
-    {
-      std::lock_guard<std::mutex> lock(state.session->mu);
-      if (!state.session->admission_released) {
-        state.session->admission_released = true;
-        release = true;
-      }
-    }
-    if (release) admission_.ReleaseSession(state.session->tenant());
+    ReleaseSessionSlot(state.session);
     registry_.Remove(state.session->id());
   }
   // The fd is closed by the accept-loop sweep (or Stop) after this thread
@@ -443,9 +491,7 @@ void Server::HandleHttp(int fd, const std::string& request_line,
   if (path == "/metrics") {
     body = obs::RenderPrometheus(obs::AggregateAllRegistries());
   } else if (path == "/slow_queries") {
-    std::string graph;
-    if (query.rfind("graph=", 0) == 0) graph = query.substr(6);
-    Result<std::string> records = SlowQueriesJson(graph);
+    Result<std::string> records = SlowQueriesJson(QueryParam(query, "graph"));
     if (records.ok()) {
       content_type = "application/json";
       body = *records;
@@ -454,6 +500,18 @@ void Server::HandleHttp(int fd, const std::string& request_line,
       code = 404;
       reason = "Not Found";
       body = records.status().message() + "\n";
+    }
+  } else if (path == "/query_stats") {
+    Result<std::string> entries = QueryStatsJson(QueryParam(query, "graph"),
+                                                 QueryParam(query, "tenant"));
+    if (entries.ok()) {
+      content_type = "application/json";
+      body = *entries;
+      body += "\n";
+    } else {
+      code = 404;
+      reason = "Not Found";
+      body = entries.status().message() + "\n";
     }
   } else {
     code = 404;
@@ -526,6 +584,8 @@ std::string Server::Dispatch(ConnState* state, const std::string& line) {
     response = OpMetrics(id_raw);
   } else if (*op == "slow_queries") {
     response = OpSlowQueries(req, id_raw);
+  } else if (*op == "query_stats") {
+    response = OpQueryStats(req, id_raw);
   } else if (*op == "stats") {
     response = OpStats(state, id_raw);
   } else if (*op == "debug_sleep") {
@@ -545,17 +605,69 @@ Status Server::EnsureSession(ConnState* state, const std::string& tenant) {
   Status admitted = admission_.AdmitSession(effective);
   if (!admitted.ok()) {
     rejected_quota_total_->Increment();
+    TenantRefusalsCounter(effective, kReasonTenantSessions)->Increment();
     return admitted;
   }
   state->session = registry_.Create(effective);
   sessions_opened_total_->Increment();
+  TenantSessionsGauge(effective)->Increment();
   return Status::OK();
 }
 
-std::string Server::RunPooled(const std::string& tenant,
+bool Server::ReleaseSessionSlot(
+    const std::shared_ptr<ServerSession>& session) {
+  bool release = false;
+  {
+    std::lock_guard<std::mutex> lock(session->mu);
+    if (!session->admission_released) {
+      session->admission_released = true;
+      release = true;
+    }
+  }
+  if (release) {
+    admission_.ReleaseSession(session->tenant());
+    TenantSessionsGauge(session->tenant())->Decrement();
+  }
+  return release;
+}
+
+obs::Counter* Server::TenantStepsCounter(const std::string& tenant) {
+  return metrics_.GetCounter("gpml_tenant_steps_total{tenant=\"" +
+                             PromLabelEscape(tenant) + "\"}");
+}
+
+obs::Counter* Server::TenantRefusalsCounter(const std::string& tenant,
+                                            const char* reason) {
+  return metrics_.GetCounter("gpml_tenant_refusals_total{tenant=\"" +
+                             PromLabelEscape(tenant) + "\",reason=\"" +
+                             reason + "\"}");
+}
+
+obs::Gauge* Server::TenantSessionsGauge(const std::string& tenant) {
+  return metrics_.GetGauge("gpml_tenant_active_sessions{tenant=\"" +
+                           PromLabelEscape(tenant) + "\"}");
+}
+
+void Server::ChargeTenantSteps(const std::string& tenant, uint64_t steps) {
+  admission_.ChargeSteps(tenant, steps);
+  if (steps > 0) TenantStepsCounter(tenant)->Increment(steps);
+}
+
+std::string Server::RunPooled(const char* op, const std::string& tenant,
+                              const std::string& trace_id,
                               const std::string& id_raw,
                               const std::function<std::string()>& fn) {
+  obs::Trace trace;
+  int root = trace.Begin("request");
+  trace.Attr(root, "op", op);
+  trace.Attr(root, "tenant", tenant);
+  if (!trace_id.empty()) trace.Attr(root, "trace_id", trace_id);
+
+  int admission_span = trace.Begin("admission", root);
+  obs::Stopwatch admission_clock;
   Status admitted = admission_.AdmitQuery(tenant);
+  double admission_ms = admission_clock.ElapsedMs();
+  trace.End(admission_span);
   if (!admitted.ok()) {
     rejected_quota_total_->Increment();
     // AdmitQuery has two refusal causes; the messages (admission.cc) are
@@ -564,23 +676,65 @@ std::string Server::RunPooled(const std::string& tenant,
         admitted.message().find("step budget") != std::string::npos
             ? kReasonTenantStepBudget
             : kReasonTenantConcurrency;
+    TenantRefusalsCounter(tenant, reason)->Increment();
     return ErrorResponse(admitted, reason, id_raw);
   }
   QueryTicket ticket(&admission_, tenant);
   std::promise<std::string> result;
   std::future<std::string> future = result.get_future();
-  bool accepted =
-      pool_->Submit([&result, &fn] { result.set_value(fn()); });
+  // The worker writes these before set_value; future.get() synchronizes,
+  // so the reads below are ordered after the writes.
+  double queue_ms = 0;
+  double exec_ms = 0;
+  uint64_t queue_start_us = trace.NowUs();
+  bool accepted = pool_->SubmitTimed(
+      [&result, &fn, &queue_ms, &exec_ms](double waited_ms) {
+        queue_ms = waited_ms;
+        obs::Stopwatch exec_clock;
+        std::string response = fn();
+        exec_ms = exec_clock.ElapsedMs();
+        result.set_value(std::move(response));
+      });
   if (!accepted) {
     rejected_saturated_total_->Increment();
     bool stopping = stopping_.load();
+    const char* reason =
+        stopping ? kReasonServerStopping : kReasonServerSaturated;
+    TenantRefusalsCounter(tenant, reason)->Increment();
     return ErrorResponse(
         Status::ResourceExhausted(
             stopping ? "server is shutting down"
                      : "server worker pool is saturated; retry later"),
-        stopping ? kReasonServerStopping : kReasonServerSaturated, id_raw);
+        reason, id_raw);
   }
-  return future.get();
+  std::string response = future.get();
+
+  // The queue span starts at submission and ends at worker pickup (the
+  // wait the pool measured); the session span is the handler running
+  // under the session from pickup to completion. Both are reconstructed
+  // here because the worker thread must not touch the trace while the
+  // submitting thread owns it.
+  uint64_t queue_us = static_cast<uint64_t>(queue_ms * 1e3);
+  uint64_t exec_us = static_cast<uint64_t>(exec_ms * 1e3);
+  trace.AddComplete("queue", root, queue_start_us, queue_us);
+  trace.AddComplete("session", root, queue_start_us + queue_us, exec_us);
+  trace.End(root);
+  if (options_.engine.trace_sink != nullptr) {
+    options_.engine.trace_sink->Emit(trace);
+  }
+
+  // Successful responses carry the request timing breakdown; error
+  // response shapes stay pinned by the protocol tests.
+  if (response.rfind("{\"ok\":true", 0) == 0 && !response.empty() &&
+      response.back() == '}') {
+    char timing[160];
+    std::snprintf(timing, sizeof(timing),
+                  ",\"timing\":{\"admission_ms\":%.3f,\"queue_ms\":%.3f,"
+                  "\"exec_ms\":%.3f}",
+                  admission_ms, queue_ms, exec_ms);
+    response.insert(response.size() - 1, timing);
+  }
+  return response;
 }
 
 std::string Server::OpHello(ConnState* state, const JsonValue& req,
@@ -813,15 +967,17 @@ std::string Server::OpExecute(ConnState* state, const JsonValue& req,
                          "", id_raw);
   }
 
+  std::string trace_id;
+  if (const std::string* t = GetString(req, "trace_id")) trace_id = *t;
   const std::string& tenant = state->session->tenant();
-  return RunPooled(tenant, id_raw, [&]() -> std::string {
+  return RunPooled("execute", tenant, trace_id, id_raw, [&]() -> std::string {
     obs::Stopwatch watch;
     EngineMetrics metrics;
     PreparedQuery bound =
-        stored->WithOptions(ExecutionOptions(tenant, &metrics));
+        stored->WithOptions(ExecutionOptions(tenant, &metrics, trace_id));
     Result<Cursor> cursor = bound.Open(params, limit);
     if (!cursor.ok()) {
-      admission_.ChargeSteps(tenant, metrics.matcher_steps);
+      ChargeTenantSteps(tenant, metrics.matcher_steps);
       return ErrorResponse(cursor.status(), "", id_raw);
     }
     std::string rows;
@@ -830,7 +986,7 @@ std::string Server::OpExecute(ConnState* state, const JsonValue& req,
     while (true) {
       Result<bool> more = cursor->Next(&view);
       if (!more.ok()) {
-        admission_.ChargeSteps(tenant, metrics.matcher_steps);
+        ChargeTenantSteps(tenant, metrics.matcher_steps);
         return ErrorResponse(more.status(), "", id_raw);
       }
       if (!*more) break;
@@ -838,7 +994,7 @@ std::string Server::OpExecute(ConnState* state, const JsonValue& req,
       rows += RowToJson(cursor->context(), *view.row, *graph);
       ++count;
     }
-    admission_.ChargeSteps(tenant, metrics.matcher_steps);
+    ChargeTenantSteps(tenant, metrics.matcher_steps);
     queries_total_->Increment();
     query_duration_us_->Observe(watch.ElapsedMicros());
     return OkResponseHead(id_raw) + ",\"rows\":[" + rows +
@@ -893,11 +1049,13 @@ std::string Server::OpOpen(ConnState* state, const JsonValue& req,
                          "", id_raw);
   }
 
+  std::string trace_id;
+  if (const std::string* t = GetString(req, "trace_id")) trace_id = *t;
   const std::string& tenant = state->session->tenant();
-  return RunPooled(tenant, id_raw, [&]() -> std::string {
+  return RunPooled("open", tenant, trace_id, id_raw, [&]() -> std::string {
     auto metrics = std::make_unique<EngineMetrics>();
     PreparedQuery bound =
-        stored->WithOptions(ExecutionOptions(tenant, metrics.get()));
+        stored->WithOptions(ExecutionOptions(tenant, metrics.get(), trace_id));
     Result<Cursor> cursor = bound.Open(params, limit);
     if (!cursor.ok()) return ErrorResponse(cursor.status(), "", id_raw);
     queries_total_->Increment();
@@ -950,15 +1108,17 @@ std::string Server::OpFetch(ConnState* state, const JsonValue& req,
                          "", id_raw);
   }
 
+  std::string trace_id;
+  if (const std::string* t = GetString(req, "trace_id")) trace_id = *t;
   const std::string& tenant = state->session->tenant();
-  return RunPooled(tenant, id_raw, [&]() -> std::string {
+  return RunPooled("fetch", tenant, trace_id, id_raw, [&]() -> std::string {
     std::string rows;
     size_t count = 0;
     bool done = false;
     RowView view;
     auto charge = [&] {
       uint64_t total = handle->metrics->matcher_steps;
-      admission_.ChargeSteps(tenant, total - handle->steps_charged);
+      ChargeTenantSteps(tenant, total - handle->steps_charged);
       handle->steps_charged = total;
     };
     while (count < static_cast<size_t>(max_rows)) {
@@ -1055,6 +1215,17 @@ std::string Server::OpSlowQueries(const JsonValue& req,
   return OkResponseHead(id_raw) + ",\"records\":" + *records + "}";
 }
 
+std::string Server::OpQueryStats(const JsonValue& req,
+                                 const std::string& id_raw) {
+  std::string graph;
+  std::string tenant;
+  if (const std::string* g = GetString(req, "graph")) graph = *g;
+  if (const std::string* t = GetString(req, "tenant")) tenant = *t;
+  Result<std::string> entries = QueryStatsJson(graph, tenant);
+  if (!entries.ok()) return ErrorResponse(entries.status(), "", id_raw);
+  return OkResponseHead(id_raw) + ",\"entries\":" + *entries + "}";
+}
+
 std::string Server::OpStats(ConnState* state, const std::string& id_raw) {
   std::string tenant =
       state->session != nullptr ? state->session->tenant() : "default";
@@ -1085,8 +1256,11 @@ std::string Server::OpDebugSleep(ConnState* state, const JsonValue& req,
   int64_t ms = GetIntOr(req, "ms", 10);
   if (ms < 0) ms = 0;
   if (ms > 10000) ms = 10000;
+  std::string trace_id;
+  if (const std::string* t = GetString(req, "trace_id")) trace_id = *t;
   const std::string& tenant = state->session->tenant();
-  return RunPooled(tenant, id_raw, [&]() -> std::string {
+  return RunPooled("debug_sleep", tenant, trace_id, id_raw,
+                   [&]() -> std::string {
     std::this_thread::sleep_for(std::chrono::milliseconds(ms));
     return OkResponseHead(id_raw) + ",\"slept_ms\":" + std::to_string(ms) +
            "}";
@@ -1125,6 +1299,8 @@ Result<std::string> Server::SlowQueriesJson(const std::string& graph) {
            ",\"graph\":\"" +
            JsonEscape(name_it != token_names.end() ? name_it->second : "") +
            "\",\"fingerprint\":\"" + JsonEscape(record.fingerprint) +
+           "\",\"tenant\":\"" + JsonEscape(record.tenant) +
+           "\",\"trace_id\":\"" + JsonEscape(record.trace_id) +
            "\",\"total_ms\":" + FormatMs(record.total_ms) +
            ",\"rows\":" + std::to_string(record.rows) + ",\"explain\":\"" +
            JsonEscape(record.explain) + "\"}";
@@ -1133,10 +1309,98 @@ Result<std::string> Server::SlowQueriesJson(const std::string& graph) {
   return out;
 }
 
+Result<std::string> Server::QueryStatsJson(const std::string& graph,
+                                           const std::string& tenant) {
+  const obs::QueryStatsStore* store =
+      options_.engine.query_stats != nullptr ? options_.engine.query_stats
+                                             : &obs::GlobalQueryStats();
+  std::vector<obs::QueryStatEntry> entries;
+  if (!graph.empty()) {
+    std::lock_guard<std::mutex> lock(catalog_mu_);
+    GPML_ASSIGN_OR_RETURN(entries,
+                          GraphTableQueryStats(catalog_, graph, store));
+  } else {
+    entries = store->Snapshot();
+  }
+  if (!tenant.empty()) {
+    entries.erase(std::remove_if(entries.begin(), entries.end(),
+                                 [&](const obs::QueryStatEntry& e) {
+                                   return e.tenant != tenant;
+                                 }),
+                  entries.end());
+  }
+  // Heaviest first: the gpml_top ordering, so a plain curl already reads
+  // as a leaderboard.
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const obs::QueryStatEntry& a,
+                      const obs::QueryStatEntry& b) {
+                     return a.total_ms > b.total_ms;
+                   });
+  std::map<uint64_t, std::string> token_names;
+  {
+    std::lock_guard<std::mutex> lock(catalog_mu_);
+    for (const std::string& name : catalog_.GraphNames()) {
+      Result<std::shared_ptr<const PropertyGraph>> g = catalog_.GetGraph(name);
+      if (g.ok()) token_names[(*g)->identity_token()] = name;
+    }
+  }
+  std::string out = "[";
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const obs::QueryStatEntry& e = entries[i];
+    if (i > 0) out += ",";
+    auto name_it = token_names.find(e.graph_token);
+    uint64_t current_plan = e.plans.empty() ? 0 : e.plans.back().plan_hash;
+    double mean_ms =
+        e.calls > 0 ? e.total_ms / static_cast<double>(e.calls) : 0;
+    out += "{\"fingerprint\":\"" + JsonEscape(e.fingerprint) +
+           "\",\"graph_token\":" + std::to_string(e.graph_token) +
+           ",\"graph\":\"" +
+           JsonEscape(name_it != token_names.end() ? name_it->second : "") +
+           "\",\"tenant\":\"" + JsonEscape(e.tenant) +
+           "\",\"calls\":" + std::to_string(e.calls) +
+           ",\"errors\":" + std::to_string(e.errors) +
+           ",\"truncations\":" + std::to_string(e.truncations) +
+           ",\"rows\":" + std::to_string(e.rows) +
+           ",\"seeds\":" + std::to_string(e.seeds) +
+           ",\"steps\":" + std::to_string(e.steps) +
+           ",\"cache_hits\":" + std::to_string(e.cache_hits) +
+           ",\"cache_misses\":" + std::to_string(e.cache_misses) +
+           ",\"batch_calls\":" + std::to_string(e.batch_calls) +
+           ",\"total_ms\":" + FormatMs(e.total_ms) +
+           ",\"mean_ms\":" + FormatMs(mean_ms) +
+           ",\"min_ms\":" + FormatMs(e.min_ms) +
+           ",\"max_ms\":" + FormatMs(e.max_ms) + ",\"p50_ms\":" +
+           FormatMs(QuantileMsFromBuckets(e.latency_buckets, e.calls, 0.50)) +
+           ",\"p95_ms\":" +
+           FormatMs(QuantileMsFromBuckets(e.latency_buckets, e.calls, 0.95)) +
+           ",\"plan_hash\":" + std::to_string(current_plan) +
+           ",\"plan_changed\":" + (e.plan_changed ? "true" : "false") +
+           ",\"plan_changes\":" + std::to_string(e.plan_changes) +
+           ",\"plans\":[";
+    for (size_t p = 0; p < e.plans.size(); ++p) {
+      const obs::PlanRecord& plan = e.plans[p];
+      if (p > 0) out += ",";
+      out += "{\"plan_hash\":" + std::to_string(plan.plan_hash) +
+             ",\"calls\":" + std::to_string(plan.calls) +
+             ",\"total_ms\":" + FormatMs(plan.total_ms) +
+             ",\"min_ms\":" + FormatMs(plan.min_ms) +
+             ",\"max_ms\":" + FormatMs(plan.max_ms) +
+             ",\"first_seen_us\":" + std::to_string(plan.first_seen_us) +
+             ",\"last_seen_us\":" + std::to_string(plan.last_seen_us) + "}";
+    }
+    out += "]}";
+  }
+  out += "]";
+  return out;
+}
+
 EngineOptions Server::ExecutionOptions(const std::string& tenant,
-                                       EngineMetrics* metrics) const {
+                                       EngineMetrics* metrics,
+                                       const std::string& trace_id) const {
   EngineOptions opts = options_.engine;
   opts.metrics = metrics;
+  opts.tenant = tenant;
+  opts.trace_id = trace_id;
   opts.matcher = admission_.ApplyQuota(tenant, opts.matcher);
   return opts;
 }

@@ -61,11 +61,14 @@ struct ServerOptions {
 
 /// A multi-threaded TCP query server speaking the newline-delimited JSON
 /// protocol of docs/server.md over per-connection sessions, plus plain
-/// HTTP GET for the two observability endpoints:
+/// HTTP GET for the observability endpoints:
 ///
 ///   GET /metrics       -> RenderPrometheus(AggregateAllRegistries())
 ///   GET /slow_queries  -> slow-query captures as JSON (?graph=NAME
 ///                         filters by graph identity)
+///   GET /query_stats   -> per-fingerprint workload statistics as JSON,
+///                         sorted by total time (?graph= and ?tenant=
+///                         filter; docs/observability.md has the schema)
 ///
 /// Lifecycle: construct, AddGraph named graphs (or let clients load_graph
 /// generator graphs), Start, serve, Stop. Stop is graceful: accepting
@@ -130,8 +133,15 @@ class Server {
 
   /// Runs `fn` on the worker pool under a tenant query ticket, blocking
   /// until it finishes; maps saturation and quota refusals to structured
-  /// errors.
-  std::string RunPooled(const std::string& tenant, const std::string& id_raw,
+  /// errors. Builds the request-level trace (root "request" with
+  /// admission/queue/session child spans, emitted to the engine trace
+  /// sink when one is configured) and injects a "timing" object —
+  /// admission_ms / queue_ms / exec_ms — into successful responses.
+  /// `trace_id` is the client-supplied correlation id ("" = none): echoed
+  /// as a root-span attribute and threaded into the engine options so
+  /// slow-query captures carry it.
+  std::string RunPooled(const char* op, const std::string& tenant,
+                        const std::string& trace_id, const std::string& id_raw,
                         const std::function<std::string()>& fn);
 
   // Op handlers (NDJSON). All return a full response line.
@@ -157,6 +167,7 @@ class Server {
                                const std::string& id_raw);
   std::string OpMetrics(const std::string& id_raw);
   std::string OpSlowQueries(const JsonValue& req, const std::string& id_raw);
+  std::string OpQueryStats(const JsonValue& req, const std::string& id_raw);
   std::string OpStats(ConnState* state, const std::string& id_raw);
   std::string OpDebugSleep(ConnState* state, const JsonValue& req,
                            const std::string& id_raw);
@@ -164,10 +175,38 @@ class Server {
   /// Slow-query records as a JSON array ("" graph = all graphs).
   Result<std::string> SlowQueriesJson(const std::string& graph);
 
+  /// Query-stats entries as a JSON array sorted by total time, descending
+  /// ("" graph / "" tenant = no filter). Reads the store the executions
+  /// record into (ServerOptions::engine.query_stats, or the process-wide
+  /// store when that is null).
+  Result<std::string> QueryStatsJson(const std::string& graph,
+                                     const std::string& tenant);
+
   /// Engine options for one execution of `tenant`: base options with the
-  /// tenant's quota mapped onto the matcher budget and `metrics` attached.
+  /// tenant's quota mapped onto the matcher budget, `metrics` attached,
+  /// and the tenant / client trace_id stamped for slow-query captures and
+  /// query-stats attribution.
   EngineOptions ExecutionOptions(const std::string& tenant,
-                                 EngineMetrics* metrics) const;
+                                 EngineMetrics* metrics,
+                                 const std::string& trace_id) const;
+
+  // Per-tenant metric families, registered in the server registry with
+  // the tenant (and refusal reason) spliced into the series name as
+  // Prometheus labels — AggregateAllRegistries exports them via /metrics.
+  obs::Counter* TenantStepsCounter(const std::string& tenant);
+  obs::Counter* TenantRefusalsCounter(const std::string& tenant,
+                                      const char* reason);
+  obs::Gauge* TenantSessionsGauge(const std::string& tenant);
+
+  /// Charges `steps` against the tenant's admission budget and mirrors
+  /// them into gpml_tenant_steps_total{tenant=...}.
+  void ChargeTenantSteps(const std::string& tenant, uint64_t steps);
+
+  /// Releases the session's admission slot exactly once (the
+  /// admission_released latch) and decrements the tenant's active-sessions
+  /// gauge with it. Both teardown paths — connection close and the idle
+  /// reaper — funnel through here. Returns whether this call released.
+  bool ReleaseSessionSlot(const std::shared_ptr<ServerSession>& session);
 
   ServerOptions options_;
   int listen_fd_ = -1;

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/clock.h"
+
 namespace gpml {
 namespace server {
 
@@ -17,6 +19,18 @@ WorkerPool::WorkerPool(size_t num_threads, size_t max_queue)
 WorkerPool::~WorkerPool() { Shutdown(); }
 
 bool WorkerPool::Submit(std::function<void()> task) {
+  return SubmitTimed(
+      [task = std::move(task)](double /*queue_ms*/) { task(); });
+}
+
+bool WorkerPool::SubmitTimed(std::function<void(double queue_ms)> task) {
+  QueuedTask queued;
+  queued.fn = std::move(task);
+  queued.enqueued_us = obs::MonotonicMicros();
+  return Enqueue(std::move(queued));
+}
+
+bool WorkerPool::Enqueue(QueuedTask task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) return false;
@@ -52,7 +66,7 @@ size_t WorkerPool::active() const {
 
 void WorkerPool::WorkerLoop() {
   while (true) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -65,7 +79,9 @@ void WorkerPool::WorkerLoop() {
       queue_.pop_front();
       ++active_;
     }
-    task();
+    const double queue_ms =
+        static_cast<double>(obs::MonotonicMicros() - task.enqueued_us) / 1e3;
+    task.fn(queue_ms);
     {
       std::lock_guard<std::mutex> lock(mu_);
       --active_;

@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -34,6 +35,12 @@ class WorkerPool {
   /// the pool is shutting down.
   bool Submit(std::function<void()> task);
 
+  /// Like Submit, but stamps the enqueue time and hands the task its own
+  /// queue wait (milliseconds between submission and worker pickup) — the
+  /// server's `queue` span. Without this, execution spans start at worker
+  /// pickup and queue wait is invisible in traces and slow-query entries.
+  bool SubmitTimed(std::function<void(double queue_ms)> task);
+
   /// Rejects new submissions, runs everything already accepted, joins the
   /// workers. Idempotent.
   void Shutdown();
@@ -46,13 +53,21 @@ class WorkerPool {
   size_t max_queue() const { return max_queue_; }
 
  private:
+  /// A queued task plus its enqueue timestamp (monotonic microseconds);
+  /// the worker computes the queue wait at pickup.
+  struct QueuedTask {
+    std::function<void(double queue_ms)> fn;
+    uint64_t enqueued_us = 0;
+  };
+
   void WorkerLoop();
+  bool Enqueue(QueuedTask task);
 
   const size_t max_queue_;
   mutable std::mutex mu_;
   std::condition_variable cv_;        // Signals workers: work or stop.
   std::condition_variable idle_cv_;   // Signals Shutdown: all drained.
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   size_t active_ = 0;
   bool stopping_ = false;
   std::vector<std::thread> threads_;

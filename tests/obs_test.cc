@@ -83,8 +83,8 @@ TEST(MetricsTest, HistogramBucketsAreLogScaled) {
   EXPECT_EQ(h->bucket(7), 1u);
   EXPECT_EQ(h->bucket(10), 1u);
 
-  const obs::HistogramSnapshot* snap =
-      registry.Snapshot().FindHistogram("lat_us");
+  obs::MetricsSnapshot snapshot = registry.Snapshot();
+  const obs::HistogramSnapshot* snap = snapshot.FindHistogram("lat_us");
   ASSERT_NE(snap, nullptr);
   EXPECT_EQ(snap->count, 3u);
   EXPECT_EQ(snap->sum_us, 1101u);

@@ -24,6 +24,7 @@
 #include "eval/engine.h"
 #include "gql/json_export.h"
 #include "graph/generator.h"
+#include "obs/query_stats.h"
 #include "obs/slow_query_log.h"
 #include "server/client.h"
 #include "server/json.h"
@@ -590,6 +591,165 @@ TEST(ServerTest, SlowQueryEndpointCapturesAndFiltersByGraph) {
   std::string response = HttpGet(srv.port(), "/slow_queries?graph=fraud");
   EXPECT_NE(response.find("200 OK"), std::string::npos);
   EXPECT_NE(response.find("\"fingerprint\""), std::string::npos);
+}
+
+TEST(ServerTest, QueryStatsOpAndHttpEndpointFilterAndSort) {
+  obs::QueryStatsStore store;
+  ServerOptions options;
+  options.engine.query_stats = &store;  // Hermetic: no global-store bleed.
+  TestServer srv(options);
+  Client client = MustConnect(srv, "acme");
+  ASSERT_TRUE(client.UseGraph("fraud").ok());
+  Result<Client::PreparedInfo> all = client.Prepare(kAllTransfers);
+  ASSERT_TRUE(all.ok());
+  ASSERT_TRUE(client.Execute(all->stmt).ok());
+  ASSERT_TRUE(client.Execute(all->stmt).ok());
+  Result<Client::PreparedInfo> owner = client.Prepare(kOwnerQuery);
+  ASSERT_TRUE(owner.ok());
+  ASSERT_TRUE(client.Execute(owner->stmt, Owner(1)).ok());
+
+  // In-band op, filtered to the graph we queried.
+  Result<std::string> stats = client.QueryStats("fraud");
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  Result<JsonValue> parsed = ParseJson(*stats);
+  ASSERT_TRUE(parsed.ok()) << *stats;
+  ASSERT_TRUE(parsed->is_array());
+  ASSERT_EQ(parsed->array_v.size(), 2u);
+  // Sorted by total time descending.
+  EXPECT_GE(parsed->array_v[0].Find("total_ms")->AsDouble(),
+            parsed->array_v[1].Find("total_ms")->AsDouble());
+  for (const JsonValue& entry : parsed->array_v) {
+    EXPECT_EQ(entry.Find("graph")->string_v, "fraud");
+    EXPECT_EQ(entry.Find("tenant")->string_v, "acme");
+    EXPECT_NE(entry.Find("plan_hash")->AsDouble(), 0);
+    bool is_owner = entry.Find("fingerprint")->string_v.find("owner") !=
+                    std::string::npos;
+    EXPECT_EQ(entry.Find("calls")->AsDouble(), is_owner ? 1 : 2);
+  }
+
+  // Tenant filter: a tenant that never ran anything has no entries.
+  Result<std::string> mine = client.QueryStats("", "acme");
+  ASSERT_TRUE(mine.ok());
+  Result<JsonValue> mine_parsed = ParseJson(*mine);
+  ASSERT_TRUE(mine_parsed.ok());
+  EXPECT_EQ(mine_parsed->array_v.size(), 2u);
+  Result<std::string> nobody = client.QueryStats("", "nobody");
+  ASSERT_TRUE(nobody.ok());
+  Result<JsonValue> nobody_parsed = ParseJson(*nobody);
+  ASSERT_TRUE(nobody_parsed.ok());
+  EXPECT_TRUE(nobody_parsed->array_v.empty());
+
+  // An unknown graph is a structured error, not an empty list.
+  EXPECT_FALSE(client.QueryStats("missing").ok());
+
+  // Raw HTTP flavor of the same endpoint.
+  std::string response = HttpGet(srv.port(), "/query_stats?graph=fraud");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("\"plan_hash\""), std::string::npos);
+  EXPECT_NE(response.find("\"p95_ms\""), std::string::npos);
+  EXPECT_NE(HttpGet(srv.port(), "/query_stats?graph=missing").find("404"),
+            std::string::npos);
+}
+
+// The timing object must account for queue wait from enqueue (not worker
+// pickup): saturate the single worker, then check the queued request's
+// queue_ms + exec_ms against its client-observed wall time.
+TEST(ServerTest, TimingSeparatesQueueWaitFromExecution) {
+  ServerOptions options;
+  options.enable_debug_ops = true;
+  options.worker_threads = 1;
+  TestServer srv(options);
+  Client holder = MustConnect(srv);
+  Client prober = MustConnect(srv);
+
+  std::thread occupy([&holder] { holder.DebugSleep(600); });
+  // Let the holder's sleep reach the lone worker before probing.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+  auto start = std::chrono::steady_clock::now();
+  Result<Client::RawResponse> response =
+      prober.RoundTrip("{\"op\":\"debug_sleep\",\"ms\":200}");
+  double wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  occupy.join();
+  ASSERT_TRUE(response.ok()) << response.status();
+  ASSERT_TRUE(response->parsed.Find("ok")->bool_v) << response->raw;
+  const JsonValue* timing = response->parsed.Find("timing");
+  ASSERT_NE(timing, nullptr) << response->raw;
+  double queue_ms = timing->Find("queue_ms")->AsDouble();
+  double exec_ms = timing->Find("exec_ms")->AsDouble();
+  // The probe sat behind ~450ms of the holder's sleep, then slept 200ms
+  // itself. Wide margins: CI boxes stall, but the invariants hold.
+  EXPECT_GE(queue_ms, 100.0) << response->raw;
+  EXPECT_GE(exec_ms, 180.0) << response->raw;
+  EXPECT_LE(queue_ms + exec_ms, wall_ms + 1.0)
+      << "timing cannot exceed the client-observed wall time";
+  EXPECT_GE(queue_ms + exec_ms, wall_ms - 150.0)
+      << "queue + exec should account for nearly all of the wall time";
+}
+
+TEST(ServerTest, SlowQueryRecordsCarryTenantAndTraceId) {
+  obs::SlowQueryLog log;
+  ServerOptions options;
+  options.engine.slow_query_ms = 0;  // Capture everything.
+  options.engine.slow_log = &log;
+  TestServer srv(options);
+  Client client = MustConnect(srv, "acme");
+  ASSERT_TRUE(client.UseGraph("fraud").ok());
+  Result<Client::PreparedInfo> prepared = client.Prepare(kAllTransfers);
+  ASSERT_TRUE(prepared.ok());
+  Result<Client::RawResponse> executed = client.RoundTrip(
+      "{\"op\":\"execute\",\"stmt\":" + std::to_string(prepared->stmt) +
+      ",\"trace_id\":\"req-42\"}");
+  ASSERT_TRUE(executed.ok());
+  ASSERT_TRUE(executed->parsed.Find("ok")->bool_v) << executed->raw;
+
+  Result<std::string> records = client.SlowQueries("fraud");
+  ASSERT_TRUE(records.ok()) << records.status();
+  Result<JsonValue> parsed = ParseJson(*records);
+  ASSERT_TRUE(parsed.ok()) << *records;
+  ASSERT_FALSE(parsed->array_v.empty());
+  const JsonValue& record = parsed->array_v[0];
+  EXPECT_EQ(record.Find("tenant")->string_v, "acme");
+  EXPECT_EQ(record.Find("trace_id")->string_v, "req-42");
+}
+
+TEST(ServerTest, PerTenantMetricFamiliesAreExported) {
+  ServerOptions options;
+  options.default_quota.max_sessions = 1;
+  TestServer srv(options);
+  Client acme = MustConnect(srv, "acme");
+  ASSERT_TRUE(acme.UseGraph("fraud").ok());
+  Result<Client::PreparedInfo> prepared = acme.Prepare(kAllTransfers);
+  ASSERT_TRUE(prepared.ok());
+  ASSERT_TRUE(acme.Execute(prepared->stmt).ok());
+  // A second acme connection trips the session quota -> refusal counter.
+  EXPECT_FALSE(Client::Connect("127.0.0.1", srv.port(), "acme").ok());
+
+  Result<std::string> text = acme.Metrics();
+  ASSERT_TRUE(text.ok()) << text.status();
+  EXPECT_NE(text->find("# TYPE gpml_tenant_steps_total counter"),
+            std::string::npos)
+      << *text;
+  EXPECT_NE(text->find("gpml_tenant_steps_total{tenant=\"acme\"} "),
+            std::string::npos)
+      << *text;
+  EXPECT_NE(text->find("gpml_tenant_active_sessions{tenant=\"acme\"} 1"),
+            std::string::npos)
+      << *text;
+  EXPECT_NE(text->find("gpml_tenant_refusals_total{tenant=\"acme\","
+                       "reason=\"TENANT_SESSIONS\"} 1"),
+            std::string::npos)
+      << *text;
+  // Steps were actually charged, not just registered at zero.
+  size_t pos = text->find("gpml_tenant_steps_total{tenant=\"acme\"} ");
+  ASSERT_NE(pos, std::string::npos);
+  EXPECT_NE((*text)[pos + std::string(
+                              "gpml_tenant_steps_total{tenant=\"acme\"} ")
+                              .size()],
+            '0')
+      << *text;
 }
 
 // --- shutdown and concurrency ----------------------------------------------
